@@ -1,0 +1,58 @@
+"""Ablation: does modelling interconnect contention change the conclusion?
+
+The paper assumes a contention-free multipath network (§3.2).  Since
+sharing-based placement's purpose is to remove interconnect operations,
+contention is exactly where it would earn its keep if it could.  This
+bench runs the fixed-point contention model over LOAD-BAL, SHARE-REFS and
+MIN-SHARE and checks the finding is robust: the coherence traffic the
+placements differ by is such a small fraction of total interconnect
+operations (Table 4) that even a contended network does not separate them
+in sharing's favor.
+"""
+
+from repro.arch.config import ArchConfig
+from repro.arch.contention import simulate_with_contention
+from repro.experiments.runner import ExperimentSuite
+from repro.workload.applications import spec_for
+
+from conftest import BENCH_SCALE
+
+ALGORITHMS = ("LOAD-BAL", "SHARE-REFS", "MIN-SHARE")
+
+
+def test_contention_ablation(benchmark):
+    def run():
+        suite = ExperimentSuite(scale=BENCH_SCALE, seed=0)
+        app, processors = "MP3D", 8
+        traces = suite.traces(app)
+        outcomes = {}
+        for algorithm in ALGORITHMS:
+            placement = suite.placement(app, algorithm, processors)
+            config = ArchConfig(
+                num_processors=processors,
+                contexts_per_processor=max(
+                    -(-traces.num_threads // processors),
+                    int(placement.cluster_sizes().max()),
+                ),
+                cache_words=spec_for(app).cache_words,
+            )
+            contended = simulate_with_contention(
+                traces, placement, config, service_cycles=4.0
+            )
+            outcomes[algorithm] = contended
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for algorithm, contended in outcomes.items():
+        print(f"  {algorithm:11s} execution={contended.result.execution_time:8d} "
+              f"latency={contended.effective_latency:3d} "
+              f"rho={contended.utilization:.2f}")
+
+    times = {name: c.result.execution_time for name, c in outcomes.items()}
+    # All fixed points converged and latency inflation is real but modest.
+    assert all(c.converged for c in outcomes.values())
+    assert all(c.effective_latency >= 50 for c in outcomes.values())
+    # The conclusion survives contention: SHARE-REFS does not beat
+    # LOAD-BAL by more than noise even when the interconnect is contended.
+    assert times["SHARE-REFS"] >= times["LOAD-BAL"] * 0.92

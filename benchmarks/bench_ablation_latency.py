@@ -1,0 +1,87 @@
+"""Ablation: memory latency and the latency-hiding value of contexts.
+
+Two sweeps around the paper's 50-cycle Alewife-style latency:
+
+* latency up, execution time up (monotone);
+* at high latency, more hardware contexts hide more of it — the core
+  multithreading effect the related-work section discusses (Weber &
+  Gupta; Saavedra-Barrera's "few contexts cannot hide very long
+  latencies").
+"""
+
+import pytest
+
+from repro.arch.config import ArchConfig
+from repro.arch.simulator import simulate
+from repro.placement.base import PlacementMap
+from repro.trace.analysis import TraceSetAnalysis
+from repro.placement import PlacementInputs, algorithm_by_name
+from repro.workload import build_application, spec_for
+
+from conftest import BENCH_SCALE
+
+LATENCIES = (20, 50, 100)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    traces = build_application("Water", scale=BENCH_SCALE, seed=0)
+    analysis = TraceSetAnalysis(traces)
+    # 8 processors / 2 contexts: little latency hiding, so the
+    # latency term is visible in the makespan.
+    placement = algorithm_by_name("LOAD-BAL").place(PlacementInputs(analysis, 8))
+    return traces, placement
+
+
+def run_latency_sweep(traces, placement):
+    times = {}
+    for latency in LATENCIES:
+        config = ArchConfig(
+            num_processors=8,
+            contexts_per_processor=int(placement.cluster_sizes().max()),
+            cache_words=spec_for("Water").cache_words,
+            memory_latency_cycles=latency,
+        )
+        times[latency] = simulate(traces, placement, config).execution_time
+    return times
+
+
+def test_latency_sweep(benchmark, workload):
+    traces, placement = workload
+    times = benchmark.pedantic(
+        lambda: run_latency_sweep(traces, placement), rounds=1, iterations=1
+    )
+    print()
+    for latency, time in times.items():
+        print(f"  latency {latency:3d} cycles -> execution {time} cycles")
+    assert times[20] <= times[50] <= times[100]
+    assert times[20] < times[100]
+
+
+def test_contexts_hide_latency(workload):
+    """Utilization rises with hardware contexts at fixed high latency."""
+    traces, _ = workload
+    t = traces.num_threads
+    utilizations = {}
+    for processors in (2,):
+        for threads_used in (2, 8, t):
+            subset = PlacementMap(
+                [tid % processors for tid in range(threads_used)], processors
+            )
+            sub_traces = type(traces)(
+                traces.name, [traces[tid] for tid in range(threads_used)]
+            )
+            config = ArchConfig(
+                num_processors=processors,
+                contexts_per_processor=-(-threads_used // processors),
+                cache_words=spec_for("Water").cache_words,
+                memory_latency_cycles=100,
+            )
+            result = simulate(sub_traces, subset, config)
+            busy = sum(p.busy for p in result.processors)
+            total = sum(max(p.total, 1) for p in result.processors)
+            utilizations[threads_used] = busy / total
+    print()
+    for threads_used, utilization in utilizations.items():
+        print(f"  {threads_used:3d} threads -> utilization {utilization:.2f}")
+    assert utilizations[8] > utilizations[2]

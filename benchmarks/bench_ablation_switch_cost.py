@@ -1,0 +1,52 @@
+"""Ablation: context-switch cost (Table 3's 6-cycle pipeline drain).
+
+Sweeps the switch cost over the Table 3 range and checks the expected
+monotonicity: costlier switches slow multithreaded execution, and the
+effect grows with miss rate (every miss pays one switch).
+"""
+
+import pytest
+
+from repro.arch.config import ArchConfig
+from repro.arch.simulator import simulate
+from repro.placement import PlacementInputs, algorithm_by_name
+from repro.trace.analysis import TraceSetAnalysis
+from repro.workload import build_application, spec_for
+
+from conftest import BENCH_SCALE
+
+SWITCH_COSTS = (0, 6, 16)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    traces = build_application("Water", scale=BENCH_SCALE, seed=0)
+    analysis = TraceSetAnalysis(traces)
+    placement = algorithm_by_name("LOAD-BAL").place(PlacementInputs(analysis, 4))
+    return traces, placement
+
+
+def run_sweep(traces, placement):
+    times = {}
+    for cost in SWITCH_COSTS:
+        config = ArchConfig(
+            num_processors=4,
+            contexts_per_processor=int(placement.cluster_sizes().max()),
+            cache_words=spec_for("Water").cache_words,
+            context_switch_cycles=cost,
+        )
+        times[cost] = simulate(traces, placement, config).execution_time
+    return times
+
+
+def test_switch_cost_sweep(benchmark, workload):
+    traces, placement = workload
+    times = benchmark.pedantic(
+        lambda: run_sweep(traces, placement), rounds=1, iterations=1
+    )
+    print()
+    for cost, time in times.items():
+        print(f"  switch cost {cost:2d} cycles -> execution {time} cycles")
+    assert times[0] <= times[6] <= times[16]
+    # The 6-cycle drain is a second-order effect, as in the paper.
+    assert times[6] / times[0] < 1.25

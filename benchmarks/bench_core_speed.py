@@ -1,0 +1,64 @@
+"""Microbenchmarks of the core engines (throughput, not paper shapes).
+
+These are the performance-regression guards: simulator replay throughput,
+clustering-engine speed on the largest thread count (Gauss, 127 threads),
+and whole-application workload generation.
+"""
+
+import pytest
+
+from repro.arch.config import ArchConfig
+from repro.arch.simulator import simulate
+from repro.placement import PlacementInputs, ShareRefs
+from repro.trace.analysis import TraceSetAnalysis
+from repro.workload import build_application, spec_for
+
+from conftest import BENCH_SCALE
+
+
+@pytest.fixture(scope="module")
+def water():
+    traces = build_application("Water", scale=BENCH_SCALE, seed=0)
+    analysis = TraceSetAnalysis(traces)
+    return traces, analysis
+
+
+def test_simulator_throughput(benchmark, water):
+    traces, analysis = water
+    from repro.placement import LoadBal
+
+    placement = LoadBal().place(PlacementInputs(analysis, 4))
+    config = ArchConfig(
+        num_processors=4,
+        contexts_per_processor=int(placement.cluster_sizes().max()),
+        cache_words=spec_for("Water").cache_words,
+    )
+    result = benchmark(lambda: simulate(traces, placement, config))
+    assert result.execution_time > 0
+
+
+def test_clustering_gauss(benchmark):
+    traces = build_application("Gauss", scale=BENCH_SCALE, seed=0)
+    analysis = TraceSetAnalysis(traces)
+    analysis.shared_refs_matrix  # pre-compute: measure clustering only
+    inputs = PlacementInputs(analysis, 16)
+    placement = benchmark(lambda: ShareRefs().place(inputs))
+    assert placement.is_thread_balanced()
+
+
+def test_workload_generation(benchmark):
+    traces = benchmark(lambda: build_application("MP3D", scale=BENCH_SCALE, seed=0))
+    assert traces.num_threads == 16
+
+
+def test_static_analysis(benchmark, water):
+    traces, _ = water
+
+    def analyze():
+        analysis = TraceSetAnalysis(traces)
+        analysis.shared_refs_matrix
+        analysis.write_shared_refs_matrix
+        return analysis
+
+    analysis = benchmark(analyze)
+    assert analysis.num_threads == traces.num_threads

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 4 (Barnes-Hut execution times vs RANDOM).
+
+Barnes-Hut's threads are nearly uniform (7.0% deviation); the paper's
+point is that here *no* placement algorithm does appreciably better than
+any other.
+"""
+
+from repro.experiments.figures import figure4
+
+
+def test_figure4(benchmark, suite_factory):
+    def regenerate():
+        return figure4(suite_factory())
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    values = [v for series in result.series.values() for v in series]
+    # Everything within a modest band of RANDOM: nobody wins appreciably.
+    assert max(values) <= 1.30
+    assert min(values) >= 0.75
+    # At one thread per processor every thread-balanced map is equivalent.
+    last = [series[-1] for name, series in result.series.items()
+            if name not in ("LOAD-BAL",)]
+    assert max(last) - min(last) < 0.15

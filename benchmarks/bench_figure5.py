@@ -1,0 +1,45 @@
+"""Benchmark: regenerate Figure 5 (cache-miss components for Water).
+
+Paper shapes: conflict misses fall as threads per processor fall;
+inter-thread conflicts vanish at one thread per processor; compulsory +
+invalidation misses are essentially invariant across placement algorithms.
+"""
+
+from repro.experiments.figures import figure5
+from repro.experiments.runner import ExperimentSuite
+
+
+def test_figure5(benchmark):
+    # Conflict-miss structure needs the cache-stressing default scale:
+    # at smaller scales the scaled caches hold every working set and the
+    # conflict components the figure decomposes vanish.
+    def regenerate():
+        return figure5(ExperimentSuite(scale=0.004, seed=0), "Water")
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    # Group by machine configuration.
+    by_machine: dict[str, list[tuple]] = {}
+    for row in result.rows:
+        by_machine.setdefault(row[0], []).append(row)
+
+    # Invariance of compulsory + invalidation across algorithms.
+    for machine, rows in by_machine.items():
+        ci = [comp + inv for _, _, comp, _, _, inv, _ in rows]
+        assert max(ci) - min(ci) <= max(4, 0.35 * min(ci)), machine
+
+    # Inter-thread conflicts vanish at one thread per processor.
+    for machine, rows in by_machine.items():
+        if machine.endswith("/1c"):
+            assert all(inter == 0 for _, _, _, _, inter, _, _ in rows)
+
+    # Conflicts per processor shrink as threads per processor shrink: the
+    # many-threads config has more inter-thread conflicts than the
+    # fewest-threads config (averaged over algorithms).
+    machines = sorted(by_machine, key=lambda m: int(m.split("p")[0]))
+    def mean_inter(machine):
+        rows = by_machine[machine]
+        return sum(r[4] for r in rows) / len(rows)
+    assert mean_inter(machines[0]) > mean_inter(machines[-1])

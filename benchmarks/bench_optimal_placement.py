@@ -1,0 +1,59 @@
+"""Extension: even the provably OPTIMAL sharing placement does not win.
+
+The paper's strongest form of its argument (§4.2) uses the dynamically
+measured coherence traffic as "the best possible placement that a
+sharing-based algorithm can produce".  This bench goes further on a scaled
+instance: exhaustively enumerate every thread-balanced placement of a
+12-thread slice of Water on 2 processors, take the one that provably
+maximizes co-located shared references, simulate it — and watch it land in
+the same place as everything else, within noise of LOAD-BAL.
+"""
+
+from repro.arch.config import ArchConfig
+from repro.arch.simulator import simulate
+from repro.placement import LoadBal, PlacementInputs, ShareRefs
+from repro.placement.exhaustive import optimal_sharing_placement
+from repro.trace.analysis import TraceSetAnalysis
+from repro.trace.transform import select_threads
+from repro.workload import build_application, spec_for
+
+from conftest import BENCH_SCALE
+
+
+def test_optimal_sharing_placement(benchmark):
+    def run():
+        traces = select_threads(
+            build_application("Water", scale=BENCH_SCALE, seed=0),
+            list(range(12)),
+        )
+        analysis = TraceSetAnalysis(traces)
+        optimal, score = optimal_sharing_placement(analysis, 2)
+        inputs = PlacementInputs(analysis, 2)
+        placements = {
+            "OPTIMAL-SHARING": optimal,
+            "SHARE-REFS": ShareRefs().place(inputs),
+            "LOAD-BAL": LoadBal().place(inputs),
+        }
+        config = ArchConfig(
+            num_processors=2,
+            contexts_per_processor=6,
+            cache_words=spec_for("Water").cache_words,
+        )
+        times = {
+            name: simulate(traces, placement, config).execution_time
+            for name, placement in placements.items()
+        }
+        return times, score
+
+    times, score = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"  optimal captured-sharing score: {score:.0f}")
+    for name, time in times.items():
+        print(f"  {name:16s} execution {time} cycles")
+
+    # The provably optimal sharing placement buys nothing: it lands within
+    # a few percent of LOAD-BAL (and of the greedy heuristic).
+    assert times["OPTIMAL-SHARING"] >= times["LOAD-BAL"] * 0.92
+    assert abs(times["OPTIMAL-SHARING"] - times["SHARE-REFS"]) <= (
+        0.15 * times["LOAD-BAL"]
+    )

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table 1 (the application suite)."""
+
+from repro.experiments.tables import table1
+from repro.workload.targets import Grain
+from repro.workload.applications import spec_for
+
+
+def test_table1(benchmark, suite_factory):
+    def regenerate():
+        return table1(suite_factory())
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print()
+    print(result.render(float_format=".0f"))
+
+    # Shape: 14 applications, coarse threads fewer and longer than medium.
+    assert len(result.rows) == 14
+    coarse = [r for r in result.rows if r[1] == Grain.COARSE.value]
+    medium = [r for r in result.rows if r[1] == Grain.MEDIUM.value]
+    assert max(r[3] for r in coarse) <= min(r[3] for r in medium)
+    avg_coarse = sum(r[4] for r in coarse) / len(coarse)
+    avg_medium = sum(r[4] for r in medium) / len(medium)
+    assert avg_coarse > avg_medium
+    assert all(r[3] == spec_for(r[0]).num_threads for r in result.rows)

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Table 2 (measured workload characteristics)."""
+
+from repro.experiments.tables import table2
+
+
+def test_table2(benchmark, suite_factory):
+    def regenerate():
+        return table2(suite_factory())
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print()
+    print(result.render(float_format=".1f"))
+
+    # Shape: measured shared% tracks the paper column for every app, and
+    # the scale-free deviations land in the paper's regime.
+    for row in result.rows:
+        name = row[0]
+        measured_shared, paper_shared = row[8], row[9]
+        assert abs(measured_shared - paper_shared) < 20.0, name
+        measured_len_dev, paper_len_dev = row[10], row[11]
+        assert abs(measured_len_dev - paper_len_dev) <= max(
+            15.0, 0.3 * paper_len_dev
+        ), name

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 3 (architectural simulator inputs)."""
+
+from repro.experiments.tables import table3
+
+
+def test_table3(benchmark, suite_factory):
+    def regenerate():
+        return table3(suite_factory())
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    text = result.render()
+    # The Table 3 rows the paper specifies.
+    for needle in ("round-robin", "6 cycles", "50 cycles", "direct-mapped",
+                   "directory", "multipath"):
+        assert needle in text

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table 4 (static sharing vs dynamic coherence).
+
+The paper's key measurement: statically counted pairwise shared references
+exceed dynamically measured coherence traffic by 1-3 orders of magnitude.
+"""
+
+from repro.experiments.tables import table4
+
+
+def test_table4(benchmark, suite_factory):
+    def regenerate():
+        return table4(suite_factory())
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print()
+    print(result.render(float_format=".2f"))
+
+    for row in result.rows:
+        name, gap, total_dynamic_pct = row[0], row[4], row[7]
+        assert gap >= 0.8, f"{name}: static/dynamic gap only {gap:.2f} orders"
+        assert total_dynamic_pct < 15.0, name
+        assert row[2] > row[3], f"{name}: static must exceed dynamic"

@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures end to end
+(workload generation, placement, simulation, rendering) with a fresh
+:class:`~repro.experiments.runner.ExperimentSuite` per measured round, and
+prints the regenerated rows so ``pytest benchmarks/ --benchmark-only -s``
+doubles as the reproduction's report generator.
+
+``BENCH_SCALE`` trades fidelity for wall-clock: 0.002 (1/500 of the paper's
+trace lengths) keeps the full harness to a few minutes while preserving
+every qualitative shape; rerun with ``REPRO_BENCH_SCALE=0.004`` for the
+scale the integration tests use.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentSuite
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.002"))
+
+
+def fresh_suite() -> ExperimentSuite:
+    """A new, empty-cached suite (so benchmarks measure real work)."""
+    return ExperimentSuite(scale=BENCH_SCALE, seed=0)
+
+
+@pytest.fixture
+def suite_factory():
+    return fresh_suite

@@ -1,0 +1,99 @@
+"""Building a custom synthetic workload with the pattern API.
+
+The fourteen paper applications are pre-registered, but the workload layer
+is a general substrate: define an address space, compose access channels
+into per-thread recipes (or use a pattern class), generate traces, and run
+the full placement + simulation pipeline on them.
+
+This example builds a deliberately *placement-sensitive* workload — two
+cliques of threads that write-share only within their clique, with no load
+imbalance — and shows that on such a workload SHARE-REFS does beat RANDOM:
+it isolates the cliques and eliminates every invalidation.  That contrast
+marks the boundary of the paper's result: the negative finding is about
+realistic workloads' uniform, sequential sharing, not a theorem about all
+workloads.
+
+Run:  python examples/custom_workload.py
+"""
+
+import numpy as np
+
+from repro.arch import ArchConfig, simulate
+from repro.placement import PlacementInputs, algorithm_by_name
+from repro.trace.analysis import TraceSetAnalysis
+from repro.trace.stream import TraceSet
+from repro.workload import AddressSpace, PoolChannel, ThreadRecipe, generate_thread
+
+
+def build_clique_workload(
+    num_threads: int = 8, length: int = 4000, seed: int = 7
+) -> TraceSet:
+    """Two cliques of threads; heavy write-sharing inside each clique.
+
+    Short runs (mean 3) and a high write probability maximize inter-clique
+    coherence traffic when a clique is split across processors — the exact
+    opposite of the paper's workloads' long, read-mostly runs.
+    """
+    space = AddressSpace()
+    pools = [space.allocate("clique-0", 16), space.allocate("clique-1", 16)]
+    privates = [space.allocate(f"private-{tid}", 64) for tid in range(num_threads)]
+
+    threads = []
+    for tid in range(num_threads):
+        clique = tid % 2  # interleaved so a naive split separates partners
+        recipe = ThreadRecipe(
+            thread_id=tid,
+            length=length,
+            data_ref_fraction=0.3,
+            shared_fraction=0.6,
+            channels=[
+                PoolChannel(
+                    region=pools[clique],
+                    weight=1.0,
+                    write_prob=0.6,
+                    mean_run=3.0,
+                    span=1,
+                )
+            ],
+            private_region=privates[tid],
+        )
+        threads.append(generate_thread(recipe, np.random.default_rng(seed + tid)))
+    return TraceSet("two-cliques", threads)
+
+
+def main() -> None:
+    traces = build_clique_workload()
+    analysis = TraceSetAnalysis(traces)
+    print(f"custom workload: {traces.num_threads} threads, "
+          f"{traces.total_refs} references")
+    print(f"pairwise sharing deviation: "
+          f"{analysis.pairwise_sharing.percent_dev:.0f}% "
+          f"(strongly non-uniform, unlike the paper's suite)\n")
+
+    # A cache big enough that conflicts don't mask the coherence effect.
+    config = ArchConfig(num_processors=2, contexts_per_processor=4,
+                        cache_words=2048)
+    inputs = PlacementInputs(analysis, num_processors=2,
+                             rng=np.random.default_rng(0))
+
+    for name in ("RANDOM", "SHARE-REFS", "LOAD-BAL"):
+        placement = algorithm_by_name(name).place(inputs)
+        result = simulate(traces, placement, config)
+        cliques = [
+            sorted({tid % 2 for tid in placement.threads_on(p)})
+            for p in range(2)
+        ]
+        print(f"{name:11s} execution={result.execution_time:7d} cycles, "
+              f"invalidations={result.interconnect.invalidations_sent:4d}, "
+              f"cliques per processor={cliques}")
+
+    print("\nSHARE-REFS isolates the cliques and eliminates every")
+    print("invalidation, running measurably faster than the mixed RANDOM")
+    print("map — the behaviour the placement hypothesis expected.  The")
+    print("paper's point is that real parallel programs do not look like")
+    print("this: their sharing is uniform (no cliques to find) and")
+    print("sequential (little traffic to eliminate).")
+
+
+if __name__ == "__main__":
+    main()

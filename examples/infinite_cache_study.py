@@ -1,0 +1,67 @@
+"""The infinite-cache question (paper §4.3 / Table 5), interactively.
+
+"It is important to understand how sharing-based placement algorithms
+will impact performance if very large caches are used.  With an infinite
+cache, capacity and conflict misses are eliminated ... thus, coherency
+operations may dominate interconnect traffic."
+
+For one application this script compares LOAD-BAL, the best static
+sharing algorithm, and the dynamic COHERENCE-TRAFFIC algorithm under the
+application's normal (scaled) cache and under the effectively infinite
+8 MB cache, showing that removing every conflict miss still does not let
+sharing-based placement win.
+
+Run:  python examples/infinite_cache_study.py [app] [processors]
+"""
+
+import sys
+
+from repro.arch import MissKind
+from repro.experiments import ExperimentSuite, best_static_sharing
+from repro.util import format_table
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "FFT"
+    processors = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+
+    suite = ExperimentSuite(scale=0.004, seed=0)
+    best_name, _ = best_static_sharing(suite, app, processors)
+    algorithms = ["LOAD-BAL", best_name, "COHERENCE-TRAFFIC"]
+
+    rows = []
+    for infinite in (False, True):
+        for name in algorithms:
+            result = suite.run(app, name, processors, infinite=infinite)
+            misses = result.miss_breakdown()
+            conflicts = (misses[MissKind.INTRA_THREAD_CONFLICT]
+                         + misses[MissKind.INTER_THREAD_CONFLICT])
+            rows.append([
+                "infinite (8 MB)" if infinite else "scaled",
+                name,
+                result.execution_time,
+                conflicts,
+                misses[MissKind.COMPULSORY] + misses[MissKind.INVALIDATION],
+            ])
+
+    print(format_table(
+        ["cache", "algorithm", "execution time", "conflict misses",
+         "comp+inval misses"],
+        rows,
+        title=f"Infinite-cache study: {app} on {processors} processors "
+              f"(best static sharing: {best_name})",
+    ))
+
+    loadbal = next(r[2] for r in rows if r[0].startswith("infinite")
+                   and r[1] == "LOAD-BAL")
+    sharing = next(r[2] for r in rows if r[0].startswith("infinite")
+                   and r[1] == best_name)
+    print(f"\nWith every conflict miss gone, the best sharing-based "
+          f"placement runs at {sharing / loadbal:.2f}x LOAD-BAL — the")
+    print("paper's §4.3 conclusion: an infinite cache does not rescue")
+    print("sharing-based placement, because the comp+inval column it was")
+    print("supposed to shrink never varied with placement to begin with.")
+
+
+if __name__ == "__main__":
+    main()

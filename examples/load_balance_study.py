@@ -1,0 +1,44 @@
+"""Load balance vs sharing: the paper's Figures 2-4 in one study.
+
+Compares execution time under every placement algorithm, normalized to the
+RANDOM baseline, for three applications that span the thread-length
+imbalance spectrum:
+
+* FFT — the most imbalanced threads in the suite (187.6% deviation);
+* LocusRoute — moderately imbalanced (14.6%);
+* Barnes-Hut — nearly uniform (7.0%).
+
+The paper's finding appears directly in the output: the more imbalanced
+the threads, the more LOAD-BAL (and the "+LB" family) wins; sharing-based
+placement never helps.
+
+Run:  python examples/load_balance_study.py [scale]
+"""
+
+import sys
+
+from repro.experiments import ExperimentSuite, execution_time_figure
+from repro.workload import spec_for
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.004
+    suite = ExperimentSuite(scale=scale, seed=0)
+
+    for app in ("FFT", "LocusRoute", "Barnes-Hut"):
+        deviation = spec_for(app).targets.thread_length_dev_pct
+        figure = execution_time_figure(suite, app)
+        print(figure.render())
+        loadbal = figure.series["LOAD-BAL"]
+        best_win = (1 - min(loadbal)) * 100
+        print(f"thread-length deviation {deviation}%; "
+              f"LOAD-BAL's best win over RANDOM: {best_win:.0f}%")
+        print()
+
+    print("Reading the tables: LOAD-BAL rows fall well below 1.0 exactly")
+    print("where thread lengths are uneven and threads per processor are")
+    print("few; for the uniform application every algorithm is comparable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Anatomy of a placement: what each algorithm optimizes vs what matters.
+
+For one application this script tabulates, per placement algorithm, the
+*static* qualities the algorithms compete on (captured sharing,
+cross-processor write sharing, private footprint, load balance) next to
+the *dynamic* outcomes (execution time, compulsory+invalidation misses).
+
+The paper's finding falls straight out of the table: the sharing columns
+vary wildly across algorithms while the compulsory+invalidation column
+barely moves, and execution time tracks the load-imbalance column instead.
+
+Run:  python examples/placement_anatomy.py [app] [processors]
+"""
+
+import sys
+
+from repro.experiments import ExperimentSuite
+from repro.placement import all_algorithms, evaluate_placement
+from repro.util import format_table
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "LocusRoute"
+    processors = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+
+    suite = ExperimentSuite(scale=0.004, seed=0)
+    analysis = suite.analysis(app)
+
+    rows = []
+    for algorithm in all_algorithms():
+        placement = suite.placement(app, algorithm.name, processors)
+        quality = evaluate_placement(placement, analysis)
+        result = suite.run(app, algorithm.name, processors)
+        rows.append([
+            algorithm.name,
+            100 * quality.captured_sharing,
+            100 * quality.cross_write_sharing,
+            quality.load_imbalance,
+            result.execution_time,
+            result.compulsory_plus_invalidation,
+        ])
+
+    print(format_table(
+        ["algorithm", "captured sharing %", "cross-proc write sharing %",
+         "load imbalance", "execution time", "comp+inv misses"],
+        rows,
+        title=f"Placement anatomy: {app} on {processors} processors",
+    ))
+
+    ci = [row[5] for row in rows]
+    captured = [row[1] for row in rows]
+    print(f"\ncaptured sharing only spans {min(captured):.0f}%.."
+          f"{max(captured):.0f}% across algorithms — with uniform sharing")
+    print("there is simply nothing for a sharing-based algorithm to exploit —")
+    print(f"and compulsory+invalidation misses stay within "
+          f"[{min(ci)}, {max(ci)}]: the paper's invariance result.")
+    best = min(rows, key=lambda r: r[4])
+    print(f"fastest: {best[0]} (load imbalance {best[3]:.3f})")
+
+
+if __name__ == "__main__":
+    main()

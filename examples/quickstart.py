@@ -1,0 +1,69 @@
+"""Quickstart: generate a workload, place its threads, simulate, compare.
+
+The five-minute tour of the library: build one of the paper's applications
+synthetically, compute placements with two algorithms (the basic sharing
+algorithm and the load balancer), replay the traces on the multithreaded
+multiprocessor, and look at what actually moved the needle — exactly the
+comparison at the heart of Thekkath & Eggers (ISCA 1994).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.arch import ArchConfig, MissKind, simulate
+from repro.placement import PlacementInputs, algorithm_by_name
+from repro.trace.analysis import TraceSetAnalysis
+from repro.workload import build_application, spec_for
+
+
+def main() -> None:
+    # 1. A synthetic application, calibrated to the paper's Table 2 row.
+    app = "LocusRoute"
+    traces = build_application(app, scale=0.004, seed=0)
+    print(f"{app}: {traces.num_threads} threads, "
+          f"{traces.total_refs} data references, "
+          f"{traces.total_length} instructions")
+
+    # 2. Static per-thread analysis — everything a placement algorithm sees.
+    analysis = TraceSetAnalysis(traces)
+    print(f"shared references: {analysis.percent_shared_refs.mean:.1f}% of all "
+          f"references; pairwise sharing deviation "
+          f"{analysis.pairwise_sharing.percent_dev:.0f}%")
+
+    # 3. Two placements onto 8 processors.
+    inputs = PlacementInputs(analysis, num_processors=8)
+    placements = {
+        name: algorithm_by_name(name).place(inputs)
+        for name in ("SHARE-REFS", "LOAD-BAL")
+    }
+
+    # 4. Simulate each on the paper's machine (Table 3 parameters).
+    config = ArchConfig(
+        num_processors=8,
+        contexts_per_processor=3,
+        cache_words=spec_for(app).cache_words,
+    )
+    print(f"\nmachine: {config.num_processors} processors x "
+          f"{config.contexts_per_processor} contexts, "
+          f"{config.cache_words}-word direct-mapped caches\n")
+
+    for name, placement in placements.items():
+        result = simulate(traces, placement, config)
+        misses = result.miss_breakdown()
+        print(f"{name}:")
+        print(f"  execution time       {result.execution_time} cycles")
+        print(f"  load imbalance       "
+              f"{placement.load_imbalance(traces.thread_lengths):.3f}")
+        print(f"  compulsory misses    {misses[MissKind.COMPULSORY]}")
+        print(f"  invalidation misses  {misses[MissKind.INVALIDATION]}")
+        print(f"  conflict misses      "
+              f"{misses[MissKind.INTRA_THREAD_CONFLICT] + misses[MissKind.INTER_THREAD_CONFLICT]}")
+        print(f"  coherence traffic    "
+              f"{100 * result.coherence_traffic_fraction:.2f}% of references")
+        print()
+
+    print("The paper's finding, in miniature: compulsory + invalidation")
+    print("misses barely move with placement — load balance is what counts.")
+
+
+if __name__ == "__main__":
+    main()

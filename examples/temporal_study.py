@@ -1,0 +1,54 @@
+"""Temporal sharing across the suite: why static metrics mislead.
+
+Prints, for every application, the temporal sharing report — access-run
+lengths (sequential sharing), write-run lengths, and the migratory
+fraction the paper cites for FFT ("73% of all shared elements are
+migratory, i.e., accessed in long write runs").
+
+These are the properties that make the statically counted shared
+references (Table 2) a misleading guide to runtime coherence traffic
+(Table 4): a thread's many references to a shared datum arrive in long
+uninterrupted runs, so only the run *boundaries* can generate traffic.
+
+Run:  python examples/temporal_study.py [scale]
+"""
+
+import sys
+
+from repro.trace import analyze_temporal_sharing
+from repro.util import format_table
+from repro.workload import application_names, build_application, spec_for
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.004
+
+    rows = []
+    for name in application_names():
+        traces = build_application(name, scale=scale, seed=0)
+        report = analyze_temporal_sharing(traces)
+        rows.append([
+            name,
+            spec_for(name).targets.shape.value,
+            report.shared_addresses,
+            report.access_run_length.mean,
+            report.write_run_length.mean,
+            100 * report.migratory_fraction,
+        ])
+
+    print(format_table(
+        ["application", "pattern", "shared addrs", "access run (refs)",
+         "write run (refs)", "migratory %"],
+        rows,
+        title="Temporal sharing across the suite",
+        float_format=".1f",
+    ))
+
+    print("\nReading the table: every application's shared data is accessed")
+    print("in multi-reference single-thread runs (sequential sharing), and")
+    print("the migratory pattern apps (FFT, Vandermonde) show the paper's")
+    print("'long write runs that move between threads'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""repro — reproduction of Thekkath & Eggers (ISCA 1994).
+
+"Impact of Sharing-Based Thread Placement on Multithreaded Architectures".
+
+Public API layers (see DESIGN.md for the full inventory):
+
+* :mod:`repro.trace` — trace substrate and static per-thread analysis;
+* :mod:`repro.workload` — synthetic reconstruction of the 14-application
+  suite, calibrated to the paper's Tables 1 and 2;
+* :mod:`repro.placement` — the placement-algorithm family (SHARE-REFS,
+  SHARE-ADDR, MIN-PRIV, MIN-INVS, MAX-WRITES, MIN-SHARE, their "+LB"
+  variants, LOAD-BAL, RANDOM, and the dynamic coherence-traffic placer);
+* :mod:`repro.arch` — the multithreaded multiprocessor simulator
+  (multi-context processors, direct-mapped/set-associative caches with
+  four-way miss classification, directory-based write-invalidate
+  coherence, fixed-latency interconnect);
+* :mod:`repro.experiments` — regeneration of every table and figure in
+  the paper's evaluation.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,187 @@
+"""Per-processor data caches with four-way miss classification.
+
+The paper's cache unit is direct-mapped with a one-cycle hit; §4.1 suggests
+set associativity as the fix for the Patch thrashing anomaly, so both
+organizations are provided behind one interface.
+
+Classification (§3.2) requires knowing, for every block that ever lived in
+the cache, *why it left*:
+
+* never resident before → **compulsory**;
+* removed by a coherence invalidation → **invalidation** miss;
+* evicted by a mapping conflict → **conflict** miss, *intra*-thread if the
+  evicting reference came from the same thread as the missing one and
+  *inter*-thread otherwise (the multithreading interference the paper is
+  about).
+
+With the §4.3 "infinite" cache no eviction ever happens, so only the first
+two kinds remain — exactly the property the infinite-cache experiment
+relies on.
+"""
+
+from __future__ import annotations
+
+from repro.arch.config import ArchConfig
+from repro.arch.stats import CacheStats, MissKind
+
+__all__ = ["DirectMappedCache", "SetAssociativeCache", "make_cache"]
+
+
+class DirectMappedCache:
+    """Direct-mapped cache (the paper's configuration).
+
+    One block per set; the set index is the low bits of the block number.
+    """
+
+    def __init__(self, config: ArchConfig) -> None:
+        if config.associativity != 1:
+            raise ValueError("DirectMappedCache requires associativity 1")
+        self.num_sets = config.num_sets
+        self._mask = self.num_sets - 1
+        self._line_block: list[int] = [-1] * self.num_sets
+        self._line_thread: list[int] = [-1] * self.num_sets
+        self._seen: set[int] = set()
+        self._invalidated_by: dict[int, int] = {}
+        self._evicted_by: dict[int, int] = {}
+        self.stats = CacheStats()
+
+    def contains(self, block: int) -> bool:
+        """Whether the block is currently resident."""
+        return self._line_block[block & self._mask] == block
+
+    def access(
+        self, block: int, thread_id: int
+    ) -> tuple[MissKind | None, int | None, int | None]:
+        """One reference to ``block`` by ``thread_id``.
+
+        Returns ``(miss_kind, evicted_block, invalidator)``:
+        ``(None, None, None)`` on a hit; on a miss, the classified kind,
+        the block evicted to make room (``None`` when the line was empty),
+        and — for invalidation misses — the processor whose write
+        invalidated the block.
+        """
+        index = block & self._mask
+        if self._line_block[index] == block:
+            self.stats.record_hit()
+            return None, None, None
+
+        # Miss: classify from the block's departure record.
+        invalidator: int | None = None
+        if block not in self._seen:
+            kind = MissKind.COMPULSORY
+            self._seen.add(block)
+        elif block in self._invalidated_by:
+            invalidator = self._invalidated_by.pop(block)
+            kind = MissKind.INVALIDATION
+        else:
+            evictor = self._evicted_by.pop(block, thread_id)
+            kind = (
+                MissKind.INTRA_THREAD_CONFLICT
+                if evictor == thread_id
+                else MissKind.INTER_THREAD_CONFLICT
+            )
+        self.stats.record_miss(kind)
+
+        evicted = self._line_block[index]
+        if evicted != -1:
+            self._evicted_by[evicted] = thread_id
+        self._line_block[index] = block
+        self._line_thread[index] = thread_id
+        return kind, (evicted if evicted != -1 else None), invalidator
+
+    def invalidate(self, block: int, by_processor: int) -> bool:
+        """Coherence invalidation; True if the block was resident."""
+        index = block & self._mask
+        if self._line_block[index] != block:
+            return False
+        self._line_block[index] = -1
+        self._line_thread[index] = -1
+        self._invalidated_by[block] = by_processor
+        return True
+
+    def invalidator_of(self, block: int) -> int | None:
+        """Processor whose write invalidated ``block``, if any."""
+        return self._invalidated_by.get(block)
+
+    def resident_blocks(self) -> set[int]:
+        """All blocks currently resident (for invariant checks)."""
+        return {b for b in self._line_block if b != -1}
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache (the §4.1 extension)."""
+
+    def __init__(self, config: ArchConfig) -> None:
+        self.num_sets = config.num_sets
+        self.ways = config.associativity
+        self._mask = self.num_sets - 1
+        # Per set: list of (block, thread) tuples, MRU first.
+        self._sets: list[list[tuple[int, int]]] = [[] for _ in range(self.num_sets)]
+        self._seen: set[int] = set()
+        self._invalidated_by: dict[int, int] = {}
+        self._evicted_by: dict[int, int] = {}
+        self.stats = CacheStats()
+
+    def contains(self, block: int) -> bool:
+        """Whether the block is currently resident."""
+        return any(b == block for b, _ in self._sets[block & self._mask])
+
+    def access(
+        self, block: int, thread_id: int
+    ) -> tuple[MissKind | None, int | None, int | None]:
+        """One reference; see :meth:`DirectMappedCache.access`."""
+        lines = self._sets[block & self._mask]
+        for position, (resident, _) in enumerate(lines):
+            if resident == block:
+                # LRU update: move to MRU position.
+                lines.insert(0, lines.pop(position))
+                self.stats.record_hit()
+                return None, None, None
+
+        invalidator: int | None = None
+        if block not in self._seen:
+            kind = MissKind.COMPULSORY
+            self._seen.add(block)
+        elif block in self._invalidated_by:
+            invalidator = self._invalidated_by.pop(block)
+            kind = MissKind.INVALIDATION
+        else:
+            evictor = self._evicted_by.pop(block, thread_id)
+            kind = (
+                MissKind.INTRA_THREAD_CONFLICT
+                if evictor == thread_id
+                else MissKind.INTER_THREAD_CONFLICT
+            )
+        self.stats.record_miss(kind)
+
+        evicted = None
+        if len(lines) >= self.ways:
+            evicted, _ = lines.pop()
+            self._evicted_by[evicted] = thread_id
+        lines.insert(0, (block, thread_id))
+        return kind, evicted, invalidator
+
+    def invalidate(self, block: int, by_processor: int) -> bool:
+        """Coherence invalidation; True if the block was resident."""
+        lines = self._sets[block & self._mask]
+        for position, (resident, _) in enumerate(lines):
+            if resident == block:
+                lines.pop(position)
+                self._invalidated_by[block] = by_processor
+                return True
+        return False
+
+    def invalidator_of(self, block: int) -> int | None:
+        """Processor whose write invalidated ``block``, if any."""
+        return self._invalidated_by.get(block)
+
+    def resident_blocks(self) -> set[int]:
+        """All blocks currently resident (for invariant checks)."""
+        return {b for lines in self._sets for b, _ in lines}
+
+
+def make_cache(config: ArchConfig):
+    """Cache of the organization the configuration asks for."""
+    if config.associativity == 1:
+        return DirectMappedCache(config)
+    return SetAssociativeCache(config)

@@ -1,0 +1,117 @@
+"""Interconnect contention as a fixed-point extension (ablation).
+
+The paper deliberately does not model network contention: "We assume a
+multipath network and do not explicitly model network contention.
+Instead, we use a latency value of 50 cycles" (§3.2).  Its introduction
+still motivates the placement question with traffic: improved utilization
+"could be offset by a rise in interconnect traffic".
+
+This module ablates that modelling choice with the classic
+analytic-simulation hybrid: treat the interconnect as a queueing resource
+with a per-operation service time, estimate its utilization from a
+simulation's measured traffic, inflate the remote latency by the M/M/1
+factor 1/(1-rho), and re-simulate until the latency stops moving.  If
+sharing-based placement were being short-changed by the contention-free
+assumption (its whole purpose is to remove interconnect operations), this
+model would reveal it — see ``benchmarks/bench_ablation_contention.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import ArchConfig
+from repro.arch.simulator import simulate
+from repro.arch.stats import SimulationResult
+from repro.placement.base import PlacementMap
+from repro.trace.stream import TraceSet
+from repro.util.validate import check_positive
+
+__all__ = ["ContentionResult", "simulate_with_contention"]
+
+# Utilization is capped below 1 so the M/M/1 inflation stays finite; a
+# machine offered more traffic than the interconnect can carry saturates
+# at this point rather than diverging.
+_MAX_UTILIZATION = 0.95
+
+
+@dataclass(frozen=True)
+class ContentionResult:
+    """Outcome of the fixed-point contention simulation.
+
+    Attributes:
+        result: The final (converged) simulation.
+        effective_latency: The converged remote latency in cycles.
+        utilization: The converged interconnect utilization (rho).
+        iterations: Fixed-point passes performed.
+        converged: Whether successive latencies agreed within one cycle.
+    """
+
+    result: SimulationResult
+    effective_latency: int
+    utilization: float
+    iterations: int
+    converged: bool
+
+
+def _interconnect_utilization(
+    result: SimulationResult, service_cycles: float
+) -> float:
+    """Offered interconnect load: operation-cycles per machine cycle."""
+    if result.execution_time <= 0:
+        return 0.0
+    busy = result.interconnect.total_operations * service_cycles
+    return min(busy / result.execution_time, _MAX_UTILIZATION)
+
+
+def simulate_with_contention(
+    trace_set: TraceSet,
+    placement: PlacementMap,
+    config: ArchConfig,
+    *,
+    service_cycles: float = 2.0,
+    max_passes: int = 6,
+    quantum_refs: int = 256,
+) -> ContentionResult:
+    """Simulate with latency inflated to the contention fixed point.
+
+    Args:
+        trace_set / placement / config: As for
+            :func:`repro.arch.simulator.simulate`; ``config``'s latency is
+            the uncontended base.
+        service_cycles: Interconnect occupancy per operation (memory fetch
+            or invalidation).
+        max_passes: Fixed-point iteration budget.
+        quantum_refs: Simulator scheduling quantum.
+
+    Returns:
+        The converged :class:`ContentionResult`.
+    """
+    check_positive("service_cycles", service_cycles)
+    check_positive("max_passes", max_passes)
+    base_latency = config.memory_latency_cycles
+
+    latency = base_latency
+    utilization = 0.0
+    result = simulate(trace_set, placement, config, quantum_refs=quantum_refs)
+    converged = False
+    passes = 1
+    for passes in range(2, max_passes + 1):
+        utilization = _interconnect_utilization(result, service_cycles)
+        new_latency = max(1, round(base_latency / (1.0 - utilization)))
+        if abs(new_latency - latency) <= 1:
+            latency = new_latency
+            converged = True
+            break
+        latency = new_latency
+        result = simulate(
+            trace_set, placement, config.with_memory_latency(latency),
+            quantum_refs=quantum_refs,
+        )
+    return ContentionResult(
+        result=result,
+        effective_latency=latency,
+        utilization=utilization,
+        iterations=passes,
+        converged=converged,
+    )

@@ -1,0 +1,114 @@
+"""Distributed, directory-based cache coherence (paper §3.2).
+
+"Cache coherency is maintained with a distributed, directory-based cache
+coherency protocol" — a full-map write-invalidate directory: every block
+has a sharer set; a write anywhere invalidates every other cached copy.
+
+The directory is the *global* coherence authority; the per-processor caches
+only learn about invalidations when the directory tells them.  Timing is
+folded into the simulator's fixed memory latency (the paper's multipath
+network is contention-free with one 50-cycle latency for all remote
+operations), so the directory tracks state and traffic, not time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.stats import InterconnectStats
+
+__all__ = ["Directory"]
+
+
+class Directory:
+    """Full-map write-invalidate directory over all processor caches.
+
+    The owning simulator passes in the cache list so invalidations can be
+    applied to remote caches immediately (at the issuing processor's
+    current time — the trace-driven approximation described in DESIGN.md).
+    """
+
+    def __init__(self, caches: list, pairwise: np.ndarray) -> None:
+        self._caches = caches
+        self._sharers: dict[int, set[int]] = {}
+        self._last_writer: dict[int, int] = {}
+        self.stats = InterconnectStats()
+        self.pairwise = pairwise
+
+    def sharers_of(self, block: int) -> set[int]:
+        """Current sharer set (copy) — for tests and invariant checks."""
+        return set(self._sharers.get(block, ()))
+
+    def fetch(self, block: int, processor: int, is_write: bool) -> int | None:
+        """A processor misses on ``block``; update global state.
+
+        Counts the memory fetch, invalidates remote copies when the fetch
+        is for a write, and returns the processor the data was sourced from
+        (the last writer if it still holds the block, else the lowest
+        sharer), or None when only memory holds it.
+        """
+        self.stats.memory_fetches += 1
+        sharers = self._sharers.setdefault(block, set())
+        source: int | None = None
+        if sharers:
+            last_writer = self._last_writer.get(block)
+            source = last_writer if last_writer in sharers else min(sharers)
+        if is_write:
+            self._invalidate_others(block, processor, sharers)
+            sharers.clear()
+            self._last_writer[block] = processor
+        sharers.add(processor)
+        return source
+
+    def write_hit(self, block: int, processor: int) -> int:
+        """A processor writes a block it holds; invalidate other copies.
+
+        This is the upgrade path.  By default it generates invalidations
+        (interconnect traffic) but no stall — the simulator models an
+        Alewife-style write buffer, so context switches remain purely
+        miss-driven as in the paper; the processor can optionally stall on
+        it (see ``ArchConfig.write_upgrade_stalls``).
+
+        Returns the number of invalidations sent.
+        """
+        sharers = self._sharers.setdefault(block, set())
+        sent = 0
+        if len(sharers) > 1 or (sharers and processor not in sharers):
+            before = self.stats.invalidations_sent
+            self._invalidate_others(block, processor, sharers)
+            sent = self.stats.invalidations_sent - before
+            sharers.clear()
+            sharers.add(processor)
+        self._last_writer[block] = processor
+        return sent
+
+    def evict(self, block: int, processor: int) -> None:
+        """A cache silently dropped its copy."""
+        sharers = self._sharers.get(block)
+        if sharers is not None:
+            sharers.discard(processor)
+
+    def _invalidate_others(self, block: int, writer: int, sharers: set[int]) -> None:
+        for holder in sharers:
+            if holder == writer:
+                continue
+            if self._caches[holder].invalidate(block, by_processor=writer):
+                self.stats.invalidations_sent += 1
+                self.pairwise[writer, holder] += 1
+
+    def check_invariants(self) -> None:
+        """Single-writer/multi-reader sanity check (used by tests).
+
+        Every block's sharer set must exactly match the caches that hold
+        it resident.
+        """
+        for block, sharers in self._sharers.items():
+            resident = {
+                pid for pid, cache in enumerate(self._caches)
+                if cache.contains(block)
+            }
+            if resident != sharers:
+                raise AssertionError(
+                    f"directory out of sync for block {block}: "
+                    f"directory={sorted(sharers)}, resident={sorted(resident)}"
+                )

@@ -1,0 +1,119 @@
+"""Markov-chain model of multithreaded processor efficiency (paper §5).
+
+"Saavedra-Barrera et al. developed a Markov chain model for multithreaded
+processor efficiency that uses the number of contexts, the network
+latency, context switch times and remote reference rate ...  The study
+shows that few contexts cannot effectively hide very long memory
+latencies."
+
+This is a per-cycle chain in that spirit.  State = number of contexts
+stalled on memory (0..n).  Each executed cycle the running context misses
+with probability ``1 / run_length`` (geometric run lengths); each stalled
+context's access completes with probability ``1 / latency`` (the standard
+geometric-service approximation of the fixed latency, which is what makes
+the process Markovian).  The stationary distribution gives the fraction
+of cycles with at least one runnable context; the 6-cycle switch drain is
+applied as the same per-miss overhead factor the closed-form model of
+:mod:`repro.arch.models` uses.
+
+In the saturated regime the chain matches the closed-form model of
+:mod:`repro.arch.models`; in the unsaturated regime it sits somewhat below
+it — the memoryless service loses the perfect self-scheduling that
+deterministic latencies provide, a classic deterministic-vs-exponential
+difference.  See ``tests/arch/test_markov.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.util.validate import check_positive
+
+__all__ = ["MarkovEfficiencyModel"]
+
+
+@dataclass(frozen=True)
+class MarkovEfficiencyModel:
+    """Stationary-state efficiency of an n-context processor.
+
+    Attributes:
+        contexts: Hardware contexts (n >= 1).
+        run_length: Mean useful cycles between misses (geometric).
+        latency: Memory latency in cycles (geometric-service approximated).
+        switch_cost: Context-switch cost in cycles.
+    """
+
+    contexts: int
+    run_length: float
+    latency: float
+    switch_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("contexts", self.contexts)
+        check_positive("run_length", self.run_length)
+        check_positive("latency", self.latency)
+        check_positive("switch_cost", self.switch_cost, allow_zero=True)
+
+    @cached_property
+    def transition_matrix(self) -> np.ndarray:
+        """Per-cycle transitions over the number of stalled contexts.
+
+        ``T[k, k']`` is the probability of moving from k to k' stalled
+        contexts in one cycle.
+        """
+        n = self.contexts
+        p_miss = min(1.0, 1.0 / self.run_length)
+        p_done = min(1.0, 1.0 / self.latency)
+        size = n + 1
+        matrix = np.zeros((size, size))
+        from math import comb
+
+        for k in range(size):
+            # Completions among the k outstanding accesses: Binomial(k, q).
+            completion_pmf = np.array([
+                comb(k, c) * p_done**c * (1 - p_done) ** (k - c)
+                for c in range(k + 1)
+            ])
+            for c in range(k + 1):
+                remaining = k - c
+                if k < n:
+                    # A context is running: it may miss.
+                    matrix[k, remaining + 1] += completion_pmf[c] * p_miss
+                    matrix[k, remaining] += completion_pmf[c] * (1 - p_miss)
+                else:
+                    # All stalled: nothing new can miss.
+                    matrix[k, remaining] += completion_pmf[c]
+        return matrix
+
+    @cached_property
+    def stationary_distribution(self) -> np.ndarray:
+        """Stationary probabilities over the stalled-context count."""
+        matrix = self.transition_matrix
+        size = matrix.shape[0]
+        # Solve pi = pi T with sum(pi) = 1 as a linear system.
+        system = np.vstack([(matrix.T - np.eye(size)), np.ones(size)])
+        rhs = np.zeros(size + 1)
+        rhs[-1] = 1.0
+        solution, *_ = np.linalg.lstsq(system, rhs, rcond=None)
+        solution = np.clip(solution, 0.0, None)
+        return solution / solution.sum()
+
+    @property
+    def busy_probability(self) -> float:
+        """Fraction of cycles with at least one runnable context."""
+        return float(self.stationary_distribution[: self.contexts].sum())
+
+    @property
+    def utilization(self) -> float:
+        """Predicted useful-cycle fraction, switch overhead included.
+
+        A single-context processor never context-switches (it stalls in
+        place), so the per-miss drain applies only for n > 1.
+        """
+        if self.contexts == 1:
+            return self.busy_probability
+        switch_factor = self.run_length / (self.run_length + self.switch_cost)
+        return self.busy_probability * switch_factor

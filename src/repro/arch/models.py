@@ -1,0 +1,91 @@
+"""Analytical multithreaded-processor models (paper §5, related work).
+
+The paper's related-work section discusses analytical models of
+multithreaded processor efficiency: Agarwal's model incorporating contexts,
+latency and switch cost, and Saavedra-Barrera et al.'s Markov-chain model
+showing "few contexts cannot effectively hide very long memory latencies".
+
+This module implements the standard closed-form model those works share.
+With *n* contexts, mean run length between misses *R* (cycles), memory
+latency *L* and switch cost *C*, a processor is **saturated** when the
+other contexts' work covers an outstanding miss, i.e.
+``(n - 1) * (R + C) >= L``:
+
+* saturated:    utilization = R / (R + C)
+* unsaturated:  utilization = n * R / (R + L)
+
+(The unsaturated denominator is one full miss period; with too few
+contexts the processor idles for the remainder of L no matter how it
+switches.)
+
+:func:`predicted_utilization` evaluates the model;
+:func:`measured_run_length` extracts R from a simulation so the model and
+the simulator can be compared on equal inputs — see
+``tests/arch/test_models.py`` for the agreement checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.stats import SimulationResult
+from repro.util.validate import check_positive
+
+__all__ = ["EfficiencyModel", "predicted_utilization", "measured_run_length"]
+
+
+@dataclass(frozen=True)
+class EfficiencyModel:
+    """Inputs of the closed-form multithreading efficiency model.
+
+    Attributes:
+        contexts: Hardware contexts per processor (n).
+        run_length: Mean cycles of useful work between misses (R).
+        latency: Memory latency in cycles (L).
+        switch_cost: Context-switch cost in cycles (C).
+    """
+
+    contexts: int
+    run_length: float
+    latency: float
+    switch_cost: float
+
+    def __post_init__(self) -> None:
+        check_positive("contexts", self.contexts)
+        check_positive("run_length", self.run_length)
+        check_positive("latency", self.latency, allow_zero=True)
+        check_positive("switch_cost", self.switch_cost, allow_zero=True)
+
+    @property
+    def saturated(self) -> bool:
+        """True when enough contexts exist to fully hide the latency."""
+        return (self.contexts - 1) * (self.run_length + self.switch_cost) >= self.latency
+
+    @property
+    def utilization(self) -> float:
+        """Predicted fraction of cycles doing useful work."""
+        if self.contexts == 1:
+            return self.run_length / (self.run_length + self.latency)
+        if self.saturated:
+            return self.run_length / (self.run_length + self.switch_cost)
+        return self.contexts * self.run_length / (self.run_length + self.latency)
+
+
+def predicted_utilization(
+    contexts: int, run_length: float, latency: float, switch_cost: float
+) -> float:
+    """Convenience wrapper over :class:`EfficiencyModel`."""
+    return EfficiencyModel(contexts, run_length, latency, switch_cost).utilization
+
+
+def measured_run_length(result: SimulationResult) -> float:
+    """Mean useful cycles between misses, measured from a simulation.
+
+    R = total busy cycles / total misses: the empirical counterpart of the
+    model's run-length parameter.
+    """
+    busy = sum(p.busy for p in result.processors)
+    misses = result.cache_totals.total_misses
+    if misses == 0:
+        return float(busy)
+    return busy / misses

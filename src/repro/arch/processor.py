@@ -1,0 +1,195 @@
+"""The multithreaded processor model (paper §3.2).
+
+"Each processor models multiple hardware contexts and a round-robin
+context switch policy.  A context switch takes 6 cycles, the time to drain
+the execution pipeline.  A context switch is initiated by a cache miss
+from the currently executing thread."
+
+One hardware context holds one thread for the whole run.  A context
+executes instructions (one cycle each) and issues data references; a cache
+hit costs the hit time, a miss stalls the context for the memory latency
+and hands the pipeline to the next *ready* context in round-robin order.
+If no context is ready the processor idles (charged to the idle counter)
+until the earliest outstanding miss completes.
+"""
+
+from __future__ import annotations
+
+from repro.arch.config import ArchConfig
+from repro.arch.directory import Directory
+from repro.arch.stats import MissKind, ProcessorStats
+from repro.trace.stream import ThreadTrace
+
+__all__ = ["HardwareContext", "Processor"]
+
+
+class HardwareContext:
+    """One hardware context: a thread's trace plus its replay cursor."""
+
+    __slots__ = ("thread_id", "gaps", "blocks", "writes", "length", "pos",
+                 "ready_time", "done")
+
+    def __init__(self, trace: ThreadTrace, block_bits: int) -> None:
+        self.thread_id = trace.thread_id
+        # Plain Python lists: the replay loop indexes elementwise, where
+        # lists are several times faster than numpy scalar access.
+        self.gaps = trace.gaps.tolist()
+        self.blocks = (trace.addrs >> block_bits).tolist()
+        self.writes = trace.writes.tolist()
+        self.length = trace.num_refs
+        self.pos = 0
+        self.ready_time = 0
+        self.done = self.length == 0
+
+    def __repr__(self) -> str:
+        return (
+            f"HardwareContext(thread={self.thread_id}, pos={self.pos}/"
+            f"{self.length}, ready={self.ready_time}, done={self.done})"
+        )
+
+
+class Processor:
+    """One multithreaded processor: contexts + cache + cycle accounting."""
+
+    def __init__(
+        self,
+        pid: int,
+        config: ArchConfig,
+        cache,
+        directory: Directory,
+        traces: list[ThreadTrace],
+    ) -> None:
+        if len(traces) > config.contexts_per_processor:
+            raise ValueError(
+                f"processor {pid} was assigned {len(traces)} threads but has "
+                f"only {config.contexts_per_processor} hardware contexts"
+            )
+        self.pid = pid
+        self.config = config
+        self.cache = cache
+        self.directory = directory
+        self.contexts = [HardwareContext(t, config.block_bits) for t in traces]
+        self.stats = ProcessorStats()
+        self.time = 0
+        self.current = 0
+        self.finished = all(c.done for c in self.contexts)
+        if self.finished:
+            self.stats.completion_time = 0
+
+    # ------------------------------------------------------------------
+
+    def advance(self, quantum_refs: int) -> int | None:
+        """Run one scheduling quantum; return the next service time.
+
+        Executes the current (ready) context until it misses, finishes, or
+        exhausts the quantum; then applies the round-robin switch policy.
+        Returns the processor's new local time, or None when every context
+        has completed (the completion time is recorded in the stats).
+        """
+        if self.finished:
+            return None
+        context = self.contexts[self.current]
+        stalled = self._run(context, quantum_refs)
+        if not stalled and not context.done:
+            # Quantum expired mid-run: same context continues next turn.
+            return self.time
+        return self._schedule_next()
+
+    # ------------------------------------------------------------------
+
+    def _run(self, context: HardwareContext, quantum_refs: int) -> bool:
+        """Replay references until a miss, completion, or quantum expiry.
+
+        Returns True when the context stalled on a miss.
+        """
+        config = self.config
+        cache_access = self.cache.access
+        directory = self.directory
+        pid = self.pid
+        pairwise = directory.pairwise
+        hit_cycles = config.hit_cycles
+        upgrade_stalls = config.write_upgrade_stalls
+        gaps, blocks, writes = context.gaps, context.blocks, context.writes
+        tid = context.thread_id
+        time = self.time
+        busy = 0
+        pos = context.pos
+        end = min(pos + quantum_refs, context.length)
+        stalled = False
+
+        while pos < end:
+            cost = gaps[pos] + hit_cycles
+            time += cost
+            busy += cost
+            block = blocks[pos]
+            is_write = writes[pos]
+            kind, evicted, invalidator = cache_access(block, tid)
+            pos += 1
+            if kind is None:
+                if is_write:
+                    sent = directory.write_hit(block, pid)
+                    if sent and upgrade_stalls:
+                        # Sequentially-consistent mode: the upgrade is a
+                        # remote transaction the context must wait out.
+                        context.ready_time = time + config.memory_latency_cycles
+                        stalled = True
+                        break
+                continue
+            # Miss: coherence transaction plus a full memory latency.
+            if evicted is not None:
+                directory.evict(evicted, pid)
+            source = directory.fetch(block, pid, is_write)
+            if kind is MissKind.INVALIDATION and invalidator is not None:
+                pairwise[pid, invalidator] += 1
+            elif kind is MissKind.COMPULSORY and source is not None:
+                pairwise[pid, source] += 1
+            context.ready_time = time + config.memory_latency_cycles
+            stalled = True
+            break
+
+        context.pos = pos
+        # A context that stalled on its final reference is not done yet:
+        # the thread completes only when that memory access returns, so it
+        # stays pending (with its ready_time) and is marked done on resume.
+        if pos >= context.length and not stalled:
+            context.done = True
+        self.time = time
+        self.stats.busy += busy
+        return stalled
+
+    def _schedule_next(self) -> int | None:
+        """Round-robin pick of the next context; switch, idle, or finish."""
+        contexts = self.contexts
+        n = len(contexts)
+
+        # A ready context, scanning round-robin from the next slot.
+        for offset in range(1, n + 1):
+            index = (self.current + offset) % n
+            candidate = contexts[index]
+            if not candidate.done and candidate.ready_time <= self.time:
+                if index != self.current:
+                    self._pay_switch()
+                self.current = index
+                return self.time
+
+        pending = [(c.ready_time, i) for i, c in enumerate(contexts) if not c.done]
+        if not pending:
+            self.finished = True
+            self.stats.completion_time = self.time
+            return None
+
+        # Everyone is stalled: idle until the earliest miss completes.
+        ready_time, index = min(
+            pending, key=lambda item: (item[0], (item[1] - self.current) % n)
+        )
+        self.stats.idle += ready_time - self.time
+        self.time = ready_time
+        if index != self.current:
+            self._pay_switch()
+        self.current = index
+        return self.time
+
+    def _pay_switch(self) -> None:
+        cost = self.config.context_switch_cycles
+        self.time += cost
+        self.stats.switching += cost

@@ -1,0 +1,106 @@
+"""Whole-system trace-driven simulation.
+
+:func:`simulate` replays an application's traces on the multithreaded
+multiprocessor under a placement map and returns the paper's metrics:
+execution time (the slowest processor's completion time), per-processor
+cycle accounting, the four-way miss decomposition per cache, interconnect
+traffic and the pairwise coherence matrix §4.2 measures.
+
+Global timing uses min-time scheduling: the processor with the smallest
+local clock advances by one bounded quantum (a run of hits ending in a
+miss, completion, or the quantum cap), so inter-processor skew stays within
+one quantum while each processor's own timing is exact.  Coherence actions
+apply at the issuing processor's current time — the standard trace-driven
+approximation (DESIGN.md, "Key design decisions").
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.arch.cache import make_cache
+from repro.arch.config import ArchConfig
+from repro.arch.directory import Directory
+from repro.arch.processor import Processor
+from repro.arch.stats import SimulationResult
+from repro.placement.base import PlacementMap
+from repro.trace.stream import TraceSet
+from repro.util.validate import check_positive
+
+__all__ = ["simulate"]
+
+
+def simulate(
+    trace_set: TraceSet,
+    placement: PlacementMap,
+    config: ArchConfig,
+    *,
+    quantum_refs: int = 256,
+) -> SimulationResult:
+    """Simulate one application under one placement and configuration.
+
+    Args:
+        trace_set: The application's per-thread traces.
+        placement: Thread-to-processor map; must target exactly
+            ``config.num_processors`` processors and place every thread.
+        config: Architectural parameters (Table 3).
+        quantum_refs: Scheduling quantum in references; bounds the timing
+            skew between processors.  The default keeps skew far below the
+            phase lengths of any workload in the suite.
+
+    Returns:
+        The run's :class:`~repro.arch.stats.SimulationResult`.
+
+    Raises:
+        ValueError: On any placement/configuration mismatch (wrong thread
+            count, wrong processor count, more threads on a processor than
+            hardware contexts).
+    """
+    check_positive("quantum_refs", quantum_refs)
+    if placement.num_threads != trace_set.num_threads:
+        raise ValueError(
+            f"placement covers {placement.num_threads} threads, trace set has "
+            f"{trace_set.num_threads}"
+        )
+    if placement.num_processors != config.num_processors:
+        raise ValueError(
+            f"placement targets {placement.num_processors} processors, "
+            f"config has {config.num_processors}"
+        )
+
+    p = config.num_processors
+    pairwise = np.zeros((p, p), dtype=np.int64)
+    caches = [make_cache(config) for _ in range(p)]
+    directory = Directory(caches, pairwise)
+    processors = [
+        Processor(
+            pid,
+            config,
+            caches[pid],
+            directory,
+            [trace_set[tid] for tid in placement.threads_on(pid)],
+        )
+        for pid in range(p)
+    ]
+
+    # Min-time scheduling over processors with runnable work.
+    heap: list[tuple[int, int]] = [
+        (proc.time, proc.pid) for proc in processors if not proc.finished
+    ]
+    heapq.heapify(heap)
+    while heap:
+        _, pid = heapq.heappop(heap)
+        next_time = processors[pid].advance(quantum_refs)
+        if next_time is not None:
+            heapq.heappush(heap, (next_time, pid))
+
+    return SimulationResult(
+        execution_time=max(proc.stats.completion_time for proc in processors),
+        processors=[proc.stats for proc in processors],
+        caches=[cache.stats for cache in caches],
+        interconnect=directory.stats,
+        pairwise_coherence=pairwise,
+        total_refs=trace_set.total_refs,
+    )

@@ -1,0 +1,80 @@
+"""Thrashing detection (paper §4.1).
+
+"In a few rare situations, e.g., Patch with sixteen processors and
+LOAD-BAL, we observed thrashing when two co-located threads frequently
+conflicted for the same cache block ...  In our case the thrashing
+processor had an order of magnitude more inter-thread conflict misses than
+other processors, and therefore took longer to complete execution.  Set
+associative caching would address this problem."
+
+:func:`detect_thrashing` applies exactly that criterion to a
+:class:`~repro.arch.stats.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.stats import MissKind, SimulationResult
+from repro.util.validate import check_positive
+
+__all__ = ["ThrashingDiagnosis", "detect_thrashing"]
+
+
+@dataclass(frozen=True)
+class ThrashingDiagnosis:
+    """One thrashing processor: its conflicts vs its peers'."""
+
+    processor: int
+    inter_thread_conflicts: int
+    peer_median: float
+
+    @property
+    def ratio(self) -> float:
+        return self.inter_thread_conflicts / max(self.peer_median, 1.0)
+
+    def __str__(self) -> str:
+        return (
+            f"processor {self.processor}: {self.inter_thread_conflicts} "
+            f"inter-thread conflict misses, {self.ratio:.0f}x the peer median "
+            f"({self.peer_median:.0f})"
+        )
+
+
+def detect_thrashing(
+    result: SimulationResult, *, factor: float = 10.0, min_conflicts: int = 50
+) -> list[ThrashingDiagnosis]:
+    """Find processors thrashing on inter-thread cache conflicts.
+
+    A processor is flagged when its inter-thread conflict-miss count is at
+    least ``factor`` times the median of the *other* processors' counts
+    (the paper's "order of magnitude more") and at least ``min_conflicts``
+    in absolute terms (so near-zero medians don't flag noise).
+
+    Returns diagnoses sorted worst-first; an empty list means no thrashing.
+    """
+    check_positive("factor", factor)
+    check_positive("min_conflicts", min_conflicts)
+    counts = np.array(
+        [c.misses[MissKind.INTER_THREAD_CONFLICT] for c in result.caches],
+        dtype=float,
+    )
+    if counts.size < 2:
+        return []
+    diagnoses = []
+    for pid in range(counts.size):
+        peers = np.delete(counts, pid)
+        median = float(np.median(peers))
+        mine = int(counts[pid])
+        if mine >= min_conflicts and mine >= factor * max(median, 1.0):
+            diagnoses.append(
+                ThrashingDiagnosis(
+                    processor=pid,
+                    inter_thread_conflicts=mine,
+                    peer_median=median,
+                )
+            )
+    diagnoses.sort(key=lambda d: -d.ratio)
+    return diagnoses

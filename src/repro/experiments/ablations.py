@@ -1,0 +1,277 @@
+"""Ablation sweeps over the Table 3 parameter ranges.
+
+DESIGN.md's step-5 extensions: structured sweeps over the architectural
+knobs the paper holds fixed (or mentions only in passing), so the design
+choices can be interrogated:
+
+* :func:`sweep_context_switch` — the 6-cycle pipeline drain;
+* :func:`sweep_memory_latency` — the 50-cycle Alewife-style latency;
+* :func:`sweep_cache_size` — from stressed to effectively infinite;
+* :func:`sweep_associativity` — the §4.1 thrashing remedy;
+* :func:`sweep_contexts` — latency hiding vs hardware contexts, using a
+  fixed per-processor thread supply (the multithreading trade-off of the
+  related-work models).
+
+Every sweep returns a :class:`SweepResult` with one row per knob value and
+renders like the other report artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.arch.config import ArchConfig
+from repro.arch.simulator import simulate
+from repro.arch.stats import MissKind
+from repro.experiments.runner import ExperimentSuite
+from repro.util.tables import format_table
+from repro.workload.applications import spec_for
+
+__all__ = [
+    "SweepResult",
+    "sweep_context_switch",
+    "sweep_memory_latency",
+    "sweep_cache_size",
+    "sweep_associativity",
+    "sweep_contexts",
+    "sweep_write_buffering",
+]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One ablation sweep: (knob value, execution time, misses, ...) rows."""
+
+    title: str
+    knob: str
+    headers: list[str]
+    rows: list[list[object]]
+
+    def render(self, *, float_format: str = ".2f") -> str:
+        """The sweep as an aligned ASCII table."""
+        return format_table(self.headers, self.rows, title=self.title,
+                            float_format=float_format)
+
+    def values(self) -> list[object]:
+        """The knob values, in sweep order."""
+        return [row[0] for row in self.rows]
+
+    def execution_times(self) -> list[int]:
+        """The execution-time column, in sweep order."""
+        index = self.headers.index("execution time")
+        return [int(row[index]) for row in self.rows]
+
+
+def _base_cell(suite: ExperimentSuite, app: str, processors: int):
+    """Traces + LOAD-BAL placement + the machine contexts it needs."""
+    traces = suite.traces(app)
+    placement = suite.placement(app, "LOAD-BAL", processors)
+    contexts = max(
+        -(-traces.num_threads // processors),
+        int(placement.cluster_sizes().max()),
+    )
+    return traces, placement, contexts
+
+
+def sweep_context_switch(
+    suite: ExperimentSuite,
+    app: str = "Water",
+    processors: int = 4,
+    costs: Sequence[int] = (0, 2, 6, 12, 24),
+) -> SweepResult:
+    """Execution time vs context-switch cost (Table 3: 6 cycles)."""
+    traces, placement, contexts = _base_cell(suite, app, processors)
+    rows = []
+    for cost in costs:
+        config = ArchConfig(
+            num_processors=processors,
+            contexts_per_processor=contexts,
+            cache_words=spec_for(app).cache_words,
+            context_switch_cycles=cost,
+        )
+        result = simulate(traces, placement, config)
+        switching = sum(p.switching for p in result.processors)
+        rows.append([cost, result.execution_time, switching])
+    return SweepResult(
+        title=f"Ablation: context-switch cost ({app}, {processors}p)",
+        knob="context_switch_cycles",
+        headers=["switch cycles", "execution time", "switch cycles spent"],
+        rows=rows,
+    )
+
+
+def sweep_memory_latency(
+    suite: ExperimentSuite,
+    app: str = "Water",
+    processors: int = 8,
+    latencies: Sequence[int] = (10, 25, 50, 100, 200),
+) -> SweepResult:
+    """Execution time vs remote latency (Table 3: 50 cycles)."""
+    traces, placement, contexts = _base_cell(suite, app, processors)
+    rows = []
+    for latency in latencies:
+        config = ArchConfig(
+            num_processors=processors,
+            contexts_per_processor=contexts,
+            cache_words=spec_for(app).cache_words,
+            memory_latency_cycles=latency,
+        )
+        result = simulate(traces, placement, config)
+        idle = sum(p.idle for p in result.processors)
+        rows.append([latency, result.execution_time, idle])
+    return SweepResult(
+        title=f"Ablation: memory latency ({app}, {processors}p)",
+        knob="memory_latency_cycles",
+        headers=["latency cycles", "execution time", "idle cycles"],
+        rows=rows,
+    )
+
+
+def sweep_cache_size(
+    suite: ExperimentSuite,
+    app: str = "Water",
+    processors: int = 2,
+    sizes: Sequence[int] | None = None,
+) -> SweepResult:
+    """Miss mix vs cache size, from stressed to effectively infinite.
+
+    Reproduces the §4.3 transition: conflict misses dominate in small
+    caches and vanish entirely in the infinite one, leaving only the
+    (placement-invariant) compulsory + invalidation components.
+    """
+    traces, placement, contexts = _base_cell(suite, app, processors)
+    base = spec_for(app).cache_words
+    sizes = list(sizes) if sizes is not None else [
+        base // 2, base, base * 4, base * 16, ArchConfig.INFINITE_CACHE_WORDS,
+    ]
+    rows = []
+    for size in sizes:
+        config = ArchConfig(
+            num_processors=processors,
+            contexts_per_processor=contexts,
+            cache_words=size,
+        )
+        result = simulate(traces, placement, config)
+        breakdown = result.miss_breakdown()
+        conflicts = (
+            breakdown[MissKind.INTRA_THREAD_CONFLICT]
+            + breakdown[MissKind.INTER_THREAD_CONFLICT]
+        )
+        rows.append([
+            size,
+            result.execution_time,
+            conflicts,
+            breakdown[MissKind.COMPULSORY] + breakdown[MissKind.INVALIDATION],
+        ])
+    return SweepResult(
+        title=f"Ablation: cache size ({app}, {processors}p)",
+        knob="cache_words",
+        headers=["cache words", "execution time", "conflict misses",
+                 "compulsory+invalidation"],
+        rows=rows,
+    )
+
+
+def sweep_associativity(
+    suite: ExperimentSuite,
+    app: str = "Patch",
+    processors: int = 8,
+    ways: Sequence[int] = (1, 2, 4),
+) -> SweepResult:
+    """Conflict misses vs associativity (the §4.1 thrashing remedy)."""
+    traces, placement, contexts = _base_cell(suite, app, processors)
+    rows = []
+    for way in ways:
+        config = ArchConfig(
+            num_processors=processors,
+            contexts_per_processor=contexts,
+            cache_words=spec_for(app).cache_words,
+            associativity=way,
+        )
+        result = simulate(traces, placement, config)
+        breakdown = result.miss_breakdown()
+        conflicts = (
+            breakdown[MissKind.INTRA_THREAD_CONFLICT]
+            + breakdown[MissKind.INTER_THREAD_CONFLICT]
+        )
+        rows.append([way, result.execution_time, conflicts])
+    return SweepResult(
+        title=f"Ablation: cache associativity ({app}, {processors}p)",
+        knob="associativity",
+        headers=["ways", "execution time", "conflict misses"],
+        rows=rows,
+    )
+
+
+def sweep_contexts(
+    suite: ExperimentSuite,
+    app: str = "Water",
+    context_counts: Sequence[int] = (1, 2, 4, 8),
+) -> SweepResult:
+    """Processor utilization vs hardware contexts at fixed latency.
+
+    One processor, growing thread supply: the multithreading effect
+    (Weber & Gupta / Agarwal models in the paper's related work) —
+    utilization climbs as contexts hide more of the 50-cycle latency.
+    """
+    from repro.placement.base import PlacementMap
+    from repro.trace.stream import TraceSet
+
+    traces = suite.traces(app)
+    rows = []
+    for contexts in context_counts:
+        used = min(contexts, traces.num_threads)
+        subset = TraceSet(traces.name, [traces[tid] for tid in range(used)])
+        placement = PlacementMap([0] * used, 1)
+        config = ArchConfig(
+            num_processors=1,
+            contexts_per_processor=used,
+            cache_words=spec_for(app).cache_words,
+        )
+        result = simulate(subset, placement, config)
+        stats = result.processors[0]
+        rows.append([used, result.execution_time, round(stats.utilization, 3)])
+    return SweepResult(
+        title=f"Ablation: hardware contexts ({app}, 1 processor)",
+        knob="contexts_per_processor",
+        headers=["contexts", "execution time", "utilization"],
+        rows=rows,
+    )
+
+
+def sweep_write_buffering(
+    suite: ExperimentSuite,
+    app: str = "MP3D",
+    processors: int = 8,
+) -> SweepResult:
+    """Execution time with and without the write buffer.
+
+    The paper's processor only stalls on cache *misses*; writes that must
+    invalidate remote copies retire into an Alewife-style write buffer.
+    This sweep ablates that assumption: in the sequentially-consistent
+    mode every invalidating write-hit stalls for the full memory latency.
+    The negative result is insensitive to the choice — which this sweep
+    lets a reader verify.
+    """
+    traces, placement, contexts = _base_cell(suite, app, processors)
+    rows = []
+    for stalls in (False, True):
+        config = ArchConfig(
+            num_processors=processors,
+            contexts_per_processor=contexts,
+            cache_words=spec_for(app).cache_words,
+            write_upgrade_stalls=stalls,
+        )
+        result = simulate(traces, placement, config)
+        rows.append([
+            "stall on upgrade" if stalls else "write buffer (paper)",
+            result.execution_time,
+            result.interconnect.invalidations_sent,
+        ])
+    return SweepResult(
+        title=f"Ablation: write buffering ({app}, {processors}p)",
+        knob="write_upgrade_stalls",
+        headers=["mode", "execution time", "invalidations sent"],
+        rows=rows,
+    )

@@ -1,0 +1,143 @@
+"""Persistent on-disk cache of simulation results.
+
+A full-suite report is ~900 simulations; the in-process memoization in
+:class:`~repro.experiments.runner.ExperimentSuite` makes each table cheap
+*within* a run, and this store makes them cheap *across* runs (successive
+CLI invocations, benchmark re-runs, notebook sessions).
+
+Results are serialized explicitly to ``.npz`` (no pickling): every field
+of :class:`~repro.arch.stats.SimulationResult` round-trips through plain
+arrays, keyed by a SHA-256 of the cell descriptor (workload scale/seed,
+application, algorithm, machine).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.arch.stats import (
+    CacheStats,
+    InterconnectStats,
+    MissKind,
+    ProcessorStats,
+    SimulationResult,
+)
+
+__all__ = ["ResultStore", "result_to_arrays", "result_from_arrays"]
+
+# Fixed field order for the per-cache miss matrix.
+_MISS_ORDER: tuple[MissKind, ...] = (
+    MissKind.COMPULSORY,
+    MissKind.INTRA_THREAD_CONFLICT,
+    MissKind.INTER_THREAD_CONFLICT,
+    MissKind.INVALIDATION,
+)
+
+_FORMAT_VERSION = 1
+
+
+def result_to_arrays(result: SimulationResult) -> dict[str, np.ndarray]:
+    """Flatten a simulation result into named arrays (for ``np.savez``)."""
+    p = result.num_processors
+    processors = np.array(
+        [
+            [s.busy, s.switching, s.idle, s.completion_time]
+            for s in result.processors
+        ],
+        dtype=np.int64,
+    ).reshape(p, 4)
+    hits = np.array([c.hits for c in result.caches], dtype=np.int64)
+    misses = np.array(
+        [[c.misses[kind] for kind in _MISS_ORDER] for c in result.caches],
+        dtype=np.int64,
+    ).reshape(p, len(_MISS_ORDER))
+    scalars = np.array(
+        [
+            _FORMAT_VERSION,
+            result.execution_time,
+            result.total_refs,
+            result.interconnect.memory_fetches,
+            result.interconnect.invalidations_sent,
+        ],
+        dtype=np.int64,
+    )
+    return {
+        "scalars": scalars,
+        "processors": processors,
+        "hits": hits,
+        "misses": misses,
+        "pairwise": np.asarray(result.pairwise_coherence, dtype=np.int64),
+    }
+
+
+def result_from_arrays(arrays) -> SimulationResult:
+    """Rebuild a simulation result from :func:`result_to_arrays` output."""
+    scalars = arrays["scalars"]
+    version = int(scalars[0])
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported result format version {version} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    processors = [
+        ProcessorStats(busy=int(b), switching=int(s), idle=int(i),
+                       completion_time=int(c))
+        for b, s, i, c in arrays["processors"]
+    ]
+    caches = []
+    for hits, miss_row in zip(arrays["hits"], arrays["misses"]):
+        stats = CacheStats(hits=int(hits))
+        for kind, count in zip(_MISS_ORDER, miss_row):
+            stats.misses[kind] = int(count)
+        caches.append(stats)
+    return SimulationResult(
+        execution_time=int(scalars[1]),
+        processors=processors,
+        caches=caches,
+        interconnect=InterconnectStats(
+            memory_fetches=int(scalars[3]),
+            invalidations_sent=int(scalars[4]),
+        ),
+        pairwise_coherence=np.asarray(arrays["pairwise"], dtype=np.int64),
+        total_refs=int(scalars[2]),
+    )
+
+
+class ResultStore:
+    """Content-addressed store of simulation results under one directory."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: tuple) -> Path:
+        digest = hashlib.sha256(repr(key).encode()).hexdigest()[:32]
+        return self.directory / f"{digest}.npz"
+
+    def load(self, key: tuple) -> SimulationResult | None:
+        """The stored result for ``key``, or None.
+
+        Unreadable or stale-format files are treated as misses (and left
+        for the next ``store`` to overwrite).
+        """
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as arrays:
+                return result_from_arrays(arrays)
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def store(self, key: tuple, result: SimulationResult) -> None:
+        """Persist ``result`` under ``key`` (atomic via rename)."""
+        path = self._path(key)
+        temporary = path.with_suffix(".tmp.npz")
+        np.savez_compressed(temporary, **result_to_arrays(result))
+        temporary.replace(path)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.npz"))

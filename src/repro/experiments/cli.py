@@ -1,0 +1,118 @@
+"""Command-line entry point: ``repro-experiments``.
+
+Regenerates the paper's tables and figures::
+
+    repro-experiments                       # everything, default scale
+    repro-experiments --sections table4 figure2
+    repro-experiments --scale 0.002 --seed 1 --out report.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.report import REPORT_SECTIONS, write_report
+from repro.experiments.runner import ExperimentSuite
+from repro.workload.applications import DEFAULT_SCALE
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The tool's argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the evaluation of Thekkath & Eggers, 'Impact of "
+            "Sharing-Based Thread Placement on Multithreaded Architectures' "
+            "(ISCA 1994)."
+        ),
+    )
+    parser.add_argument(
+        "--sections",
+        nargs="+",
+        choices=sorted(REPORT_SECTIONS),
+        default=None,
+        help="which tables/figures to regenerate (default: all)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=DEFAULT_SCALE,
+        help=f"workload scale relative to the paper (default {DEFAULT_SCALE})",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root seed")
+    parser.add_argument(
+        "--charts",
+        action="store_true",
+        help="also render each figure as ASCII bar charts",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="check the paper's claims against the regenerated experiments "
+             "and print PASS/FAIL per claim (exit code 1 on any FAIL)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="additionally export the sections as one JSON document",
+    )
+    parser.add_argument(
+        "--csv-dir",
+        metavar="DIR",
+        help="additionally export one CSV per section into a directory",
+    )
+    parser.add_argument(
+        "--html",
+        metavar="PATH",
+        help="additionally render the sections as a self-contained HTML "
+             "report",
+    )
+    parser.add_argument(
+        "--out",
+        type=argparse.FileType("w"),
+        default=sys.stdout,
+        help="output file (default: stdout)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Console entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    suite = ExperimentSuite(scale=args.scale, seed=args.seed)
+    if args.verify:
+        from repro.experiments.claims import verify_claims
+
+        results = verify_claims(suite)
+        for result in results:
+            args.out.write(result.render() + "\n")
+        return 0 if all(r.passed for r in results) else 1
+    # Preserve the paper's presentation order regardless of CLI order.
+    sections = (
+        [s for s in REPORT_SECTIONS if s in set(args.sections)]
+        if args.sections
+        else None
+    )
+    if args.json:
+        from repro.experiments.export import export_json
+
+        export_json(suite, args.json, sections=sections)
+    if args.csv_dir:
+        from repro.experiments.export import export_csv_dir
+
+        export_csv_dir(suite, args.csv_dir, sections=sections)
+    if args.html:
+        from repro.experiments.html import write_html
+
+        write_html(suite, args.html, sections=sections)
+    if args.json or args.csv_dir or args.html:
+        return 0
+    write_report(suite, args.out, sections=sections, charts=args.charts)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,130 @@
+"""Machine-readable export of the regenerated evaluation.
+
+The text report is for reading; this module serializes the same artifacts
+for downstream analysis:
+
+* :func:`section_to_dict` — one table/figure as plain JSON-able data;
+* :func:`export_json` — the chosen sections as one JSON document;
+* :func:`export_csv_dir` — one CSV file per tabular artifact.
+
+Everything round-trips through only strings/numbers/lists/dicts, so the
+output is consumable from any environment (pandas, R, a spreadsheet).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.experiments.figures import FigureResult, MissComponentsResult
+from repro.experiments.report import REPORT_SECTIONS
+from repro.experiments.runner import ExperimentSuite
+from repro.experiments.tables import TableResult
+
+__all__ = ["section_to_dict", "export_json", "export_csv_dir"]
+
+
+def section_to_dict(result: object) -> dict:
+    """Convert a report artifact to JSON-able data.
+
+    Tables become ``{headers, rows}``; figures become ``{machines,
+    series}``; miss decompositions become ``{headers, rows}``; pre-rendered
+    text sections carry their text.
+    """
+    if isinstance(result, TableResult):
+        return {
+            "kind": "table",
+            "title": result.title,
+            "headers": list(result.headers),
+            "rows": [list(row) for row in result.rows],
+            "note": result.note,
+        }
+    if isinstance(result, FigureResult):
+        return {
+            "kind": "figure",
+            "title": result.title,
+            "app": result.app,
+            "baseline": result.baseline,
+            "machines": [str(m) for m in result.machines],
+            "series": {name: list(values) for name, values in result.series.items()},
+        }
+    if isinstance(result, MissComponentsResult):
+        return {
+            "kind": "miss-components",
+            "title": result.title,
+            "app": result.app,
+            "headers": ["config", "algorithm", "compulsory", "intra_conflict",
+                        "inter_conflict", "invalidation", "total"],
+            "rows": [list(row) for row in result.rows],
+        }
+    if hasattr(result, "render"):
+        return {"kind": "text", "title": getattr(result, "title", ""),
+                "text": result.render()}
+    raise TypeError(f"cannot export section of type {type(result).__name__}")
+
+
+def export_json(
+    suite: ExperimentSuite,
+    path: str | Path,
+    *,
+    sections: list[str] | None = None,
+) -> dict:
+    """Write the chosen sections (default: all) to one JSON document.
+
+    Returns the document (for further in-process use).
+    """
+    chosen = sections or list(REPORT_SECTIONS)
+    unknown = [s for s in chosen if s not in REPORT_SECTIONS]
+    if unknown:
+        raise KeyError(f"unknown sections {unknown}; known: {list(REPORT_SECTIONS)}")
+    document = {
+        "paper": "Thekkath & Eggers, ISCA 1994",
+        "scale": suite.scale,
+        "seed": suite.seed,
+        "sections": {
+            name: section_to_dict(REPORT_SECTIONS[name](suite)) for name in chosen
+        },
+    }
+    Path(path).write_text(json.dumps(document, indent=2) + "\n",
+                          encoding="ascii")
+    return document
+
+
+def export_csv_dir(
+    suite: ExperimentSuite,
+    directory: str | Path,
+    *,
+    sections: list[str] | None = None,
+) -> list[Path]:
+    """Write one CSV per tabular artifact into ``directory``.
+
+    Figures are flattened to (algorithm, machine, value) rows.  Returns
+    the written paths.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    chosen = sections or list(REPORT_SECTIONS)
+    unknown = [s for s in chosen if s not in REPORT_SECTIONS]
+    if unknown:
+        raise KeyError(f"unknown sections {unknown}; known: {list(REPORT_SECTIONS)}")
+
+    written: list[Path] = []
+    for name in chosen:
+        data = section_to_dict(REPORT_SECTIONS[name](suite))
+        path = directory / f"{name}.csv"
+        with open(path, "w", newline="", encoding="ascii") as handle:
+            writer = csv.writer(handle)
+            if data["kind"] in ("table", "miss-components"):
+                writer.writerow(data["headers"])
+                writer.writerows(data["rows"])
+            elif data["kind"] == "figure":
+                writer.writerow(["algorithm", "machine", "normalized_time"])
+                for algorithm, values in data["series"].items():
+                    for machine, value in zip(data["machines"], values):
+                        writer.writerow([algorithm, machine, value])
+            else:
+                writer.writerow(["text"])
+                writer.writerow([data["text"]])
+        written.append(path)
+    return written

@@ -1,0 +1,146 @@
+"""Self-contained HTML report (no external assets or dependencies).
+
+``repro-experiments --html report.html`` renders the same sections as the
+text report into a single HTML file: real tables for the tables, inline
+SVG grouped-bar charts for the figures (with the RANDOM=1.0 baseline
+drawn), and preformatted blocks for the text-only sections.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+
+from repro.experiments.export import section_to_dict
+from repro.experiments.report import REPORT_SECTIONS
+from repro.experiments.runner import ExperimentSuite
+
+__all__ = ["render_html", "write_html"]
+
+_STYLE = """
+body { font-family: Georgia, serif; max-width: 72rem; margin: 2rem auto;
+       padding: 0 1rem; color: #222; }
+h1 { font-size: 1.5rem; } h2 { font-size: 1.2rem; margin-top: 2.5rem;
+     border-bottom: 1px solid #ccc; padding-bottom: .3rem; }
+table { border-collapse: collapse; font-size: .85rem; margin: 1rem 0;
+        font-family: "Helvetica Neue", Arial, sans-serif; }
+th, td { border: 1px solid #ddd; padding: .3rem .6rem; text-align: right; }
+th { background: #f4f4f4; } td:first-child, th:first-child { text-align: left; }
+.note { font-size: .8rem; color: #666; font-style: italic; }
+pre { background: #f8f8f8; padding: 1rem; overflow-x: auto; font-size: .8rem; }
+svg { margin: .5rem 0; }
+.bar { fill: #4878a8; } .bar.loadbal { fill: #b05030; }
+.baseline { stroke: #a00; stroke-dasharray: 4 3; }
+.axis-label { font: 11px sans-serif; fill: #444; }
+"""
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return html.escape(str(value))
+
+
+def _table_html(data: dict) -> str:
+    head = "".join(f"<th>{html.escape(str(h))}</th>" for h in data["headers"])
+    body = "".join(
+        "<tr>" + "".join(f"<td>{_cell(cell)}</td>" for cell in row) + "</tr>"
+        for row in data["rows"]
+    )
+    note = (f'<p class="note">{html.escape(data["note"])}</p>'
+            if data.get("note") else "")
+    return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>{note}"
+
+
+def _figure_svg(data: dict, *, bar_height: int = 14, gap: int = 4) -> str:
+    """Grouped horizontal bars per machine, with the 1.0 baseline marked."""
+    parts: list[str] = []
+    label_width, chart_width = 130, 360
+    peak = max(
+        (v for values in data["series"].values() for v in values), default=1.0
+    )
+    peak = max(peak, 1.05)
+    scale = chart_width / peak
+    for index, machine in enumerate(data["machines"]):
+        rows = list(data["series"].items())
+        height = len(rows) * (bar_height + gap) + 26
+        svg = [
+            f'<svg width="{label_width + chart_width + 70}" height="{height}" '
+            f'role="img" aria-label="{html.escape(data["title"])} {machine}">'
+        ]
+        svg.append(
+            f'<text class="axis-label" x="0" y="12">{html.escape(machine)}'
+            f' (vs {html.escape(data["baseline"])} = 1.0)</text>'
+        )
+        baseline_x = label_width + 1.0 * scale
+        svg.append(
+            f'<line class="baseline" x1="{baseline_x:.1f}" y1="18" '
+            f'x2="{baseline_x:.1f}" y2="{height - 4}"/>'
+        )
+        for row, (name, values) in enumerate(rows):
+            y = 20 + row * (bar_height + gap)
+            value = values[index]
+            width = max(value * scale, 1)
+            css = "bar loadbal" if name == "LOAD-BAL" else "bar"
+            svg.append(
+                f'<text class="axis-label" x="0" y="{y + bar_height - 3}">'
+                f'{html.escape(name)}</text>'
+            )
+            svg.append(
+                f'<rect class="{css}" x="{label_width}" y="{y}" '
+                f'width="{width:.1f}" height="{bar_height}"/>'
+            )
+            svg.append(
+                f'<text class="axis-label" '
+                f'x="{label_width + width + 4:.1f}" '
+                f'y="{y + bar_height - 3}">{value:.3f}</text>'
+            )
+        svg.append("</svg>")
+        parts.append("".join(svg))
+    return "<br/>".join(parts)
+
+
+def _section_html(name: str, data: dict) -> str:
+    title = html.escape(data.get("title") or name)
+    body: str
+    if data["kind"] in ("table", "miss-components"):
+        body = _table_html(data)
+    elif data["kind"] == "figure":
+        body = _figure_svg(data)
+    else:
+        body = f"<pre>{html.escape(data['text'])}</pre>"
+    return f'<section id="{html.escape(name)}"><h2>{title}</h2>{body}</section>'
+
+
+def render_html(
+    suite: ExperimentSuite, *, sections: list[str] | None = None
+) -> str:
+    """Render the chosen sections (default: all) as one HTML document."""
+    chosen = sections or list(REPORT_SECTIONS)
+    unknown = [s for s in chosen if s not in REPORT_SECTIONS]
+    if unknown:
+        raise KeyError(f"unknown sections {unknown}; known: {list(REPORT_SECTIONS)}")
+    body = "".join(
+        _section_html(name, section_to_dict(REPORT_SECTIONS[name](suite)))
+        for name in chosen
+    )
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'/>"
+        "<title>Thekkath &amp; Eggers (ISCA 1994) — reproduction</title>"
+        f"<style>{_STYLE}</style></head><body>"
+        "<h1>Impact of Sharing-Based Thread Placement on Multithreaded "
+        "Architectures — reproduction report</h1>"
+        f"<p>workload scale = {suite.scale}, seed = {suite.seed}</p>"
+        f"{body}</body></html>"
+    )
+
+
+def write_html(
+    suite: ExperimentSuite,
+    path: str | Path,
+    *,
+    sections: list[str] | None = None,
+) -> None:
+    """Render and write the HTML report."""
+    Path(path).write_text(render_html(suite, sections=sections),
+                          encoding="utf-8")

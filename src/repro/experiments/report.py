@@ -1,0 +1,145 @@
+"""Full evaluation report: every table and figure, in paper order.
+
+Beyond the paper's own artifacts, two extra sections document the
+reproduction itself: ``calibration`` (each synthetic application checked
+against its Table 2 targets) and ``ablations`` (sweeps over the Table 3
+parameter ranges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TextIO
+
+from repro.experiments.ablations import (
+    sweep_associativity,
+    sweep_cache_size,
+    sweep_context_switch,
+    sweep_contexts,
+    sweep_memory_latency,
+    sweep_write_buffering,
+)
+from repro.experiments.figures import figure2, figure3, figure4, figure5
+from repro.experiments.runner import ExperimentSuite
+from repro.experiments.tables import table1, table2, table3, table4, table5
+from repro.workload.applications import application_names, spec_for
+from repro.workload.calibration import calibrate
+
+__all__ = ["REPORT_SECTIONS", "full_report", "write_report"]
+
+
+@dataclass(frozen=True)
+class TextSection:
+    """A report section assembled from pre-rendered parts."""
+
+    title: str
+    parts: tuple[str, ...]
+
+    def render(self) -> str:
+        return "\n".join((self.title, "=" * len(self.title)) + self.parts)
+
+
+def calibration_section(suite: ExperimentSuite) -> TextSection:
+    """Per-application calibration against the paper's Table 2 targets."""
+    parts = []
+    for name in application_names():
+        report = calibrate(
+            suite.traces(name), spec_for(name).targets, suite.scale,
+            analysis=suite.analysis(name),
+        )
+        verdict = "PASS" if report.passed else "FAIL"
+        parts.append(f"[{verdict}] {report}")
+    return TextSection("Workload calibration (measured vs paper Table 2)",
+                       tuple(parts))
+
+
+def ablations_section(suite: ExperimentSuite) -> TextSection:
+    """All parameter-range sweeps (DESIGN.md step-5 ablations)."""
+    sweeps = (
+        sweep_context_switch(suite),
+        sweep_memory_latency(suite),
+        sweep_cache_size(suite),
+        sweep_associativity(suite),
+        sweep_contexts(suite),
+        sweep_write_buffering(suite),
+    )
+    return TextSection(
+        "Ablations over the Table 3 parameter ranges",
+        tuple(sweep.render() for sweep in sweeps),
+    )
+
+
+#: Every regenerable artifact, in the order the paper presents them, plus
+#: the reproduction's own calibration and ablation sections.
+REPORT_SECTIONS: dict[str, Callable[[ExperimentSuite], object]] = {
+    "calibration": calibration_section,
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure4": figure4,
+    "figure5": figure5,
+    "table4": table4,
+    "table5": table5,
+    "ablations": ablations_section,
+}
+
+
+def _render_section(result: object, charts: bool) -> str:
+    text = result.render()
+    if charts and hasattr(result, "render_chart"):
+        text += "\n\n" + result.render_chart()
+    return text
+
+
+def full_report(
+    suite: ExperimentSuite,
+    *,
+    sections: list[str] | None = None,
+    charts: bool = False,
+) -> str:
+    """Render the requested sections (default: all) as one text report.
+
+    ``charts`` additionally renders each figure as ASCII bars.
+    """
+    chosen = sections or list(REPORT_SECTIONS)
+    unknown = [s for s in chosen if s not in REPORT_SECTIONS]
+    if unknown:
+        raise KeyError(
+            f"unknown sections {unknown}; known: {list(REPORT_SECTIONS)}"
+        )
+    parts = [
+        "Reproduction of Thekkath & Eggers, ISCA 1994",
+        f"workload scale = {suite.scale}, seed = {suite.seed}",
+        "",
+    ]
+    for section in chosen:
+        result = REPORT_SECTIONS[section](suite)
+        parts.append(_render_section(result, charts))
+        parts.append("")
+    return "\n".join(parts)
+
+
+def write_report(
+    suite: ExperimentSuite,
+    stream: TextIO,
+    *,
+    sections: list[str] | None = None,
+    charts: bool = False,
+) -> None:
+    """Render a report into a stream, section by section (streamed so long
+    runs show progress)."""
+    chosen = sections or list(REPORT_SECTIONS)
+    unknown = [s for s in chosen if s not in REPORT_SECTIONS]
+    if unknown:
+        raise KeyError(
+            f"unknown sections {unknown}; known: {list(REPORT_SECTIONS)}"
+        )
+    stream.write("Reproduction of Thekkath & Eggers, ISCA 1994\n")
+    stream.write(f"workload scale = {suite.scale}, seed = {suite.seed}\n\n")
+    for section in chosen:
+        result = REPORT_SECTIONS[section](suite)
+        stream.write(_render_section(result, charts))
+        stream.write("\n\n")
+        stream.flush()

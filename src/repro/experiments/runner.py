@@ -1,0 +1,256 @@
+"""The experiment suite: memoized (application x algorithm x machine) runs.
+
+Every table and figure in the paper's evaluation is a view over the same
+underlying grid of simulations.  :class:`ExperimentSuite` owns that grid:
+it builds each application once, analyzes it once, computes each placement
+once and simulates each (application, algorithm, processors, cache) cell
+once, memoizing everything in process.
+
+Machine sizing follows the paper: contexts per processor are nominally
+⌈t/p⌉ ("all threads have been loaded into the hardware contexts"); when an
+algorithm that does not thread-balance (LOAD-BAL, the "+LB" family)
+produces a larger cluster, the machine is given exactly as many contexts
+as the placement needs, and the nominal value is what configuration labels
+report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.config import ArchConfig
+from repro.arch.simulator import simulate
+from repro.arch.stats import SimulationResult
+from repro.placement.algorithms import algorithm_by_name
+from repro.placement.base import PlacementInputs, PlacementMap
+from repro.placement.dynamic import measure_coherence_matrix
+from repro.trace.analysis import TraceSetAnalysis
+from repro.trace.stream import TraceSet
+from repro.workload.applications import DEFAULT_SCALE, build_application, spec_for
+from repro.util.rng import RngStreams
+from repro.util.validate import check_positive
+
+__all__ = ["MachineSpec", "ExperimentSuite", "PROCESSOR_COUNTS"]
+
+#: The paper's processor axis (Table 3: 2-16 processors).
+PROCESSOR_COUNTS: tuple[int, ...] = (2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One machine configuration label: (processors, nominal contexts)."""
+
+    processors: int
+    contexts: int
+
+    def __str__(self) -> str:
+        return f"{self.processors}p/{self.contexts}c"
+
+
+class ExperimentSuite:
+    """Memoized access to every simulation cell the evaluation needs.
+
+    Args:
+        scale: Workload scale (see :mod:`repro.workload.applications`).
+        seed: Root seed for workload generation and the RANDOM placement.
+        quantum_refs: Simulator scheduling quantum.
+        random_replicates: RANDOM-baseline draws to average over.
+        cache_dir: Optional directory for a persistent
+            :class:`~repro.experiments.cache.ResultStore`, making repeated
+            report/benchmark runs reuse each other's simulations.
+    """
+
+    def __init__(
+        self,
+        *,
+        scale: float = DEFAULT_SCALE,
+        seed: int = 0,
+        quantum_refs: int = 256,
+        random_replicates: int = 3,
+        cache_dir: str | None = None,
+    ) -> None:
+        check_positive("scale", scale)
+        check_positive("random_replicates", random_replicates)
+        self.scale = scale
+        self.seed = seed
+        self.quantum_refs = quantum_refs
+        self.random_replicates = random_replicates
+        self._store = None
+        if cache_dir is not None:
+            from repro.experiments.cache import ResultStore
+
+            self._store = ResultStore(cache_dir)
+        self._streams = RngStreams(seed).child("experiments")
+        self._traces: dict[str, TraceSet] = {}
+        self._analyses: dict[str, TraceSetAnalysis] = {}
+        self._coherence: dict[str, np.ndarray] = {}
+        self._placements: dict[tuple[str, str, int], PlacementMap] = {}
+        self._results: dict[tuple, SimulationResult] = {}
+
+    # ------------------------------------------------------------------
+    # Workload access
+    # ------------------------------------------------------------------
+
+    def traces(self, app: str) -> TraceSet:
+        """The application's generated trace set (memoized)."""
+        name = spec_for(app).name
+        if name not in self._traces:
+            self._traces[name] = build_application(name, scale=self.scale,
+                                                   seed=self.seed)
+        return self._traces[name]
+
+    def analysis(self, app: str) -> TraceSetAnalysis:
+        """The application's static analysis (memoized)."""
+        name = spec_for(app).name
+        if name not in self._analyses:
+            self._analyses[name] = TraceSetAnalysis(self.traces(name))
+        return self._analyses[name]
+
+    def coherence_matrix(self, app: str) -> np.ndarray:
+        """§4.2 measurement: one thread per processor, infinite cache."""
+        name = spec_for(app).name
+        if name not in self._coherence:
+            self._coherence[name] = measure_coherence_matrix(self.traces(name))
+        return self._coherence[name]
+
+    def processors_for(self, app: str) -> list[int]:
+        """Processor counts applicable to this application (p <= t)."""
+        t = spec_for(app).num_threads
+        return [p for p in PROCESSOR_COUNTS if p <= t]
+
+    def machine_specs(self, app: str) -> list[MachineSpec]:
+        """The figures' X-axis: (processors, nominal contexts) pairs."""
+        t = spec_for(app).num_threads
+        return [MachineSpec(p, -(-t // p)) for p in self.processors_for(app)]
+
+    # ------------------------------------------------------------------
+    # Placements and simulations
+    # ------------------------------------------------------------------
+
+    def placement(
+        self, app: str, algorithm: str, processors: int, *, replicate: int = 0
+    ) -> PlacementMap:
+        """The (memoized) placement of one cell.
+
+        ``replicate`` only matters for RANDOM: each replicate draws an
+        independent random map (the RANDOM baseline is averaged over
+        :attr:`random_replicates` draws, so a single unlucky map cannot
+        distort every normalized result — important for workloads like FFT
+        whose few giant threads make single draws high-variance).
+        """
+        name = spec_for(app).name
+        key = (name, algorithm.upper(), processors, replicate)
+        if key not in self._placements:
+            algo = algorithm_by_name(algorithm)
+            inputs = PlacementInputs(
+                self.analysis(name),
+                processors,
+                rng=self._streams.get("random-placement", name, processors,
+                                      replicate),
+                coherence_matrix=(
+                    self.coherence_matrix(name)
+                    if algo.name == "COHERENCE-TRAFFIC"
+                    else None
+                ),
+            )
+            self._placements[key] = algo.place(inputs)
+        return self._placements[key]
+
+    def _machine(
+        self,
+        app: str,
+        placement: PlacementMap,
+        *,
+        infinite: bool,
+        associativity: int,
+        cache_words: int | None,
+    ) -> ArchConfig:
+        spec = spec_for(app)
+        nominal = -(-spec.num_threads // placement.num_processors)
+        contexts = max(nominal, int(placement.cluster_sizes().max()))
+        if cache_words is None:
+            cache_words = (
+                ArchConfig.INFINITE_CACHE_WORDS if infinite else spec.cache_words
+            )
+        return ArchConfig(
+            num_processors=placement.num_processors,
+            contexts_per_processor=contexts,
+            cache_words=cache_words,
+            associativity=associativity,
+        )
+
+    def run(
+        self,
+        app: str,
+        algorithm: str,
+        processors: int,
+        *,
+        infinite: bool = False,
+        associativity: int = 1,
+        cache_words: int | None = None,
+        replicate: int = 0,
+    ) -> SimulationResult:
+        """Simulate one cell (memoized).
+
+        Args:
+            app: Application name.
+            algorithm: Placement algorithm name (paper spelling).
+            processors: Processor count.
+            infinite: Use the §4.3 "effectively infinite" 8 MB cache.
+            associativity: Cache ways (1 = the paper's direct-mapped).
+            cache_words: Explicit cache size override (wins over
+                ``infinite`` and the application default).
+            replicate: RANDOM draw index (see :meth:`placement`).
+        """
+        name = spec_for(app).name
+        key = (name, algorithm.upper(), processors, infinite, associativity,
+               cache_words, replicate)
+        if key not in self._results:
+            store_key = ("v1", self.scale, self.seed, self.quantum_refs) + key
+            stored = self._store.load(store_key) if self._store is not None else None
+            if stored is not None:
+                self._results[key] = stored
+            else:
+                placement = self.placement(name, algorithm, processors,
+                                           replicate=replicate)
+                config = self._machine(
+                    name, placement, infinite=infinite,
+                    associativity=associativity, cache_words=cache_words,
+                )
+                result = simulate(
+                    self.traces(name), placement, config,
+                    quantum_refs=self.quantum_refs,
+                )
+                if self._store is not None:
+                    self._store.store(store_key, result)
+                self._results[key] = result
+        return self._results[key]
+
+    def execution_time(self, app: str, algorithm: str, processors: int,
+                       **kwargs) -> float:
+        """Execution time of one cell; RANDOM is averaged over replicates."""
+        if algorithm.upper() == "RANDOM":
+            times = [
+                self.run(app, algorithm, processors, replicate=r,
+                         **kwargs).execution_time
+                for r in range(self.random_replicates)
+            ]
+            return float(np.mean(times))
+        return float(self.run(app, algorithm, processors, **kwargs).execution_time)
+
+    def normalized_time(
+        self,
+        app: str,
+        algorithm: str,
+        processors: int,
+        *,
+        baseline: str = "RANDOM",
+        **kwargs,
+    ) -> float:
+        """Execution time normalized to a baseline algorithm (the figures'
+        Y-axis; RANDOM for Figures 2-4, LOAD-BAL for Table 5)."""
+        ours = self.execution_time(app, algorithm, processors, **kwargs)
+        reference = self.execution_time(app, baseline, processors, **kwargs)
+        return ours / reference if reference else float("inf")

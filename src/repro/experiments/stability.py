@@ -1,0 +1,113 @@
+"""Seed-stability analysis: are the conclusions artifacts of one draw?
+
+The synthetic workloads are stochastic reconstructions; any single seed
+could, in principle, produce a lucky or unlucky instance.  This module
+re-runs a comparison across several independently generated workloads
+(different root seeds) and summarizes the distribution, so the headline
+claims can be checked for stability:
+
+* :func:`algorithm_stability` — one (app, algorithm, processors) cell's
+  normalized execution time across seeds;
+* :func:`invariance_stability` — the compulsory+invalidation spread across
+  placement algorithms, per seed.
+
+Used by ``benchmarks/bench_stability.py`` and the slow test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.experiments.runner import ExperimentSuite
+from repro.placement.algorithms import all_algorithms
+from repro.util.stats import Summary, summarize
+from repro.util.tables import format_table
+
+__all__ = ["StabilityResult", "algorithm_stability", "invariance_stability"]
+
+
+@dataclass(frozen=True)
+class StabilityResult:
+    """Per-seed values of one quantity, with a summary."""
+
+    title: str
+    quantity: str
+    seeds: tuple[int, ...]
+    values: tuple[float, ...]
+
+    @property
+    def summary(self) -> Summary:
+        return summarize(self.values)
+
+    def render(self) -> str:
+        """Per-seed values plus mean/deviation, as an aligned table."""
+        rows = [[seed, value] for seed, value in zip(self.seeds, self.values)]
+        rows.append(["mean", self.summary.mean])
+        rows.append(["dev%", self.summary.percent_dev])
+        return format_table(["seed", self.quantity], rows, title=self.title,
+                            float_format=".3f")
+
+
+def algorithm_stability(
+    app: str,
+    algorithm: str,
+    processors: int,
+    *,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    scale: float,
+    baseline: str = "RANDOM",
+    infinite: bool = False,
+) -> StabilityResult:
+    """Normalized execution time of one cell across workload seeds.
+
+    Each seed generates an *independent* synthetic instance of the
+    application (lengths, structure and reference streams all re-drawn),
+    so the spread here is the reproduction's instance-to-instance noise.
+    """
+    values = []
+    for seed in seeds:
+        suite = ExperimentSuite(scale=scale, seed=seed)
+        values.append(
+            suite.normalized_time(app, algorithm, processors,
+                                  baseline=baseline, infinite=infinite)
+        )
+    return StabilityResult(
+        title=f"Stability: {algorithm} on {app}, {processors}p "
+              f"(normalized to {baseline})",
+        quantity="normalized time",
+        seeds=tuple(seeds),
+        values=tuple(values),
+    )
+
+
+def invariance_stability(
+    app: str,
+    processors: int,
+    *,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    scale: float,
+    algorithms: Sequence[str] | None = None,
+) -> StabilityResult:
+    """Compulsory+invalidation spread across algorithms, per seed.
+
+    The paper's invariance claim, re-checked on independent workload
+    instances: for each seed, the relative spread (max-min)/min of the
+    compulsory+invalidation miss count across placement algorithms.
+    """
+    names = list(algorithms) if algorithms else [a.name for a in all_algorithms()]
+    values = []
+    for seed in seeds:
+        suite = ExperimentSuite(scale=scale, seed=seed)
+        counts = [
+            suite.run(app, name, processors).compulsory_plus_invalidation
+            for name in names
+        ]
+        low = max(min(counts), 1)
+        values.append((max(counts) - min(counts)) / low)
+    return StabilityResult(
+        title=f"Invariance stability: comp+inval spread for {app}, {processors}p",
+        quantity="relative spread",
+        seeds=tuple(seeds),
+        values=tuple(values),
+    )

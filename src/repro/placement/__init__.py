@@ -1,0 +1,92 @@
+"""Thread placement algorithms (paper §2 and §4.2).
+
+Map threads to processors by agglomerative clustering under balance
+constraints.  Typical use::
+
+    from repro.placement import PlacementInputs, algorithm_by_name
+    from repro.trace.analysis import TraceSetAnalysis
+
+    inputs = PlacementInputs(TraceSetAnalysis(traces), num_processors=4)
+    placement = algorithm_by_name("SHARE-REFS").place(inputs)
+"""
+
+from repro.placement.balance import (
+    BalancePolicy,
+    LoadBalance,
+    ThreadBalance,
+    Unconstrained,
+    balanced_cluster_sizes,
+    thread_balance_feasible,
+)
+from repro.placement.base import PlacementAlgorithm, PlacementInputs, PlacementMap
+from repro.placement.clustering import (
+    ClusteringResult,
+    agglomerate,
+    matrix_average_scorer,
+)
+from repro.placement.algorithms import (
+    ClusteringPlacement,
+    CoherenceTraffic,
+    LoadBal,
+    MaxWrites,
+    MinInvs,
+    MinPriv,
+    MinShare,
+    Random,
+    ShareAddr,
+    ShareRefs,
+    algorithm_by_name,
+    all_algorithms,
+    static_sharing_algorithms,
+)
+from repro.placement.dynamic import measure_coherence_matrix
+from repro.placement.exhaustive import (
+    count_balanced_partitions,
+    enumerate_balanced_partitions,
+    optimal_sharing_placement,
+)
+from repro.placement.io import (
+    load_placement,
+    placement_from_json,
+    placement_to_json,
+    save_placement,
+)
+from repro.placement.quality import PlacementQuality, evaluate_placement
+
+__all__ = [
+    "PlacementMap",
+    "PlacementInputs",
+    "PlacementAlgorithm",
+    "BalancePolicy",
+    "ThreadBalance",
+    "LoadBalance",
+    "Unconstrained",
+    "balanced_cluster_sizes",
+    "thread_balance_feasible",
+    "ClusteringResult",
+    "agglomerate",
+    "matrix_average_scorer",
+    "ClusteringPlacement",
+    "ShareRefs",
+    "ShareAddr",
+    "MinPriv",
+    "MinInvs",
+    "MaxWrites",
+    "MinShare",
+    "LoadBal",
+    "Random",
+    "CoherenceTraffic",
+    "static_sharing_algorithms",
+    "all_algorithms",
+    "algorithm_by_name",
+    "measure_coherence_matrix",
+    "PlacementQuality",
+    "evaluate_placement",
+    "count_balanced_partitions",
+    "enumerate_balanced_partitions",
+    "optimal_sharing_placement",
+    "save_placement",
+    "load_placement",
+    "placement_to_json",
+    "placement_from_json",
+]

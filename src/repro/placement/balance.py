@@ -1,0 +1,164 @@
+"""Balance constraints for cluster combining.
+
+Two constraint families from the paper's §2:
+
+* **Thread balance** (the default): the final partition must have cluster
+  sizes in {⌊t/p⌋, ⌈t/p⌉}.  During combining, a merge is admissible only if
+  the resulting multiset of cluster sizes can *still* be merged down to
+  such a partition — an exact feasibility question this module answers with
+  a memoized search (:func:`thread_balance_feasible`).
+* **Load balance** (the "+LB" variants, §2 item 8): a merge is admissible
+  while the combined instruction load of the two clusters stays within a
+  tolerance (typically 10%) of the ideal per-processor load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.validate import check_positive, check_range
+
+__all__ = [
+    "balanced_cluster_sizes",
+    "thread_balance_feasible",
+    "BalancePolicy",
+    "ThreadBalance",
+    "LoadBalance",
+    "Unconstrained",
+]
+
+
+def balanced_cluster_sizes(num_threads: int, num_processors: int) -> list[int]:
+    """Target cluster sizes of a thread-balanced placement (descending).
+
+    ``t mod p`` clusters of size ⌈t/p⌉ and the rest of size ⌊t/p⌋.
+    """
+    check_positive("num_threads", num_threads)
+    check_positive("num_processors", num_processors)
+    if num_processors > num_threads:
+        raise ValueError(
+            f"{num_processors} processors for {num_threads} threads: "
+            "some processor would be empty"
+        )
+    floor = num_threads // num_processors
+    remainder = num_threads % num_processors
+    return [floor + 1] * remainder + [floor] * (num_processors - remainder)
+
+
+@lru_cache(maxsize=200_000)
+def _can_pack(sizes: tuple[int, ...], bins: tuple[int, ...]) -> bool:
+    """Can the size multiset be merged into groups with exactly these sums?
+
+    Classic number-partitioning feasibility, exact via DFS.  ``sizes`` must
+    be sorted descending and ``bins`` sorted descending; memoized on the
+    canonical state.  Cluster counts here are small (they only shrink as
+    combining proceeds) and sizes repeat heavily, so the cache keeps this
+    fast in practice.
+    """
+    if not sizes:
+        return all(b == 0 for b in bins)
+    first, rest = sizes[0], sizes[1:]
+    tried: set[int] = set()
+    for i, capacity in enumerate(bins):
+        if capacity in tried or capacity < first:
+            continue
+        tried.add(capacity)
+        new_bins = tuple(sorted(
+            bins[:i] + (capacity - first,) + bins[i + 1:], reverse=True
+        ))
+        if _can_pack(rest, new_bins):
+            return True
+    return False
+
+
+def thread_balance_feasible(
+    cluster_sizes: Sequence[int], num_threads: int, num_processors: int
+) -> bool:
+    """Can these clusters still reach a thread-balanced final partition?
+
+    True iff the multiset of current cluster sizes can be merged (merging
+    only ever unions whole clusters) into exactly ``num_processors`` groups
+    whose sizes are ⌊t/p⌋ or ⌈t/p⌉.
+    """
+    sizes = tuple(sorted((int(s) for s in cluster_sizes), reverse=True))
+    if sum(sizes) != num_threads:
+        raise ValueError(
+            f"cluster sizes sum to {sum(sizes)}, expected {num_threads}"
+        )
+    if len(sizes) < num_processors:
+        return False
+    bins = tuple(balanced_cluster_sizes(num_threads, num_processors))
+    return _can_pack(sizes, bins)
+
+
+class BalancePolicy:
+    """Decides whether two clusters may be combined, given engine state."""
+
+    def allows(
+        self,
+        cluster_a: list[int],
+        cluster_b: list[int],
+        all_sizes: Sequence[int],
+        lengths: np.ndarray,
+        num_threads: int,
+        num_processors: int,
+    ) -> bool:
+        """May clusters a and b merge?
+
+        Args:
+            cluster_a, cluster_b: The candidate clusters (thread ids).
+            all_sizes: Sizes of *all* current clusters, with a and b merged
+                already reflected (callers pass the post-merge multiset).
+            lengths: Per-thread instruction lengths.
+            num_threads / num_processors: Problem dimensions.
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ThreadBalance(BalancePolicy):
+    """The paper's default: exact thread balance must stay reachable."""
+
+    def allows(self, cluster_a, cluster_b, all_sizes, lengths,
+               num_threads, num_processors) -> bool:
+        """Merge allowed iff exact thread balance remains reachable."""
+        ceil = -(-num_threads // num_processors)
+        if len(cluster_a) + len(cluster_b) > ceil:
+            return False
+        return thread_balance_feasible(all_sizes, num_threads, num_processors)
+
+
+@dataclass(frozen=True)
+class LoadBalance(BalancePolicy):
+    """The "+LB" criterion: merged load within tolerance of the ideal.
+
+    "The load-balancing criteria is deemed satisfied if the combined load
+    of the two clusters does not exceed a certain percentage (typically
+    10%) of the desirable load." (§2, item 8)
+    """
+
+    tolerance: float = 0.10
+
+    def __post_init__(self) -> None:
+        check_range("tolerance", self.tolerance, 0.0, 1.0)
+
+    def allows(self, cluster_a, cluster_b, all_sizes, lengths,
+               num_threads, num_processors) -> bool:
+        """Merge allowed iff the combined load stays within tolerance."""
+        ideal = float(lengths.sum()) / num_processors
+        combined = float(lengths[list(cluster_a) + list(cluster_b)].sum())
+        return combined <= (1.0 + self.tolerance) * ideal
+
+
+@dataclass(frozen=True)
+class Unconstrained(BalancePolicy):
+    """No balance constraint (useful for tests and ablations)."""
+
+    def allows(self, cluster_a, cluster_b, all_sizes, lengths,
+               num_threads, num_processors) -> bool:
+        """Always allowed."""
+        return True

@@ -1,0 +1,265 @@
+"""The agglomerative clustering engine (paper §2.1).
+
+All sharing-based placement algorithms share one skeleton: start with every
+thread in its own cluster, repeatedly combine the pair of clusters with the
+best sharing-metric value subject to the balance criteria, and backtrack
+(undo the last combine and take the next-best choice) when the greedy path
+dead-ends — "If forward progress is not possible, ... backtracking is
+applied and the last combining step is undone until progress can be made"
+(§2.1 step 4).
+
+The engine is metric-agnostic: a *scorer* maps a cluster pair to a
+comparable score (floats or tuples for lexicographic criteria like
+SHARE-ADDR's), and a :class:`~repro.placement.balance.BalancePolicy`
+decides admissibility.  If the search space is exhausted (or a backtrack
+budget is hit — possible with adversarial metrics), the engine completes
+the partition with a metric-blind fallback and flags the result, mirroring
+the paper's observation that "+LB" algorithms sometimes "compromised on the
+load balancing requirement and were unable to generate a well balanced
+load".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.placement.balance import BalancePolicy, thread_balance_feasible
+from repro.util.validate import check_positive
+
+__all__ = [
+    "ClusterScorer",
+    "ClusteringResult",
+    "agglomerate",
+    "matrix_average_scorer",
+    "cross_sums",
+    "MatrixAverageScorer",
+]
+
+# A scorer returns a comparable score for a cluster pair; tuples give
+# lexicographic secondary criteria.  Scorers may additionally provide a
+# ``pair_scores(clusters)`` method returning ``[(score, (i, j)), ...]`` for
+# all pairs at once; the engine uses it when present (one matrix product
+# per iteration instead of thousands of tiny reductions).
+ClusterScorer = Callable[[list[int], list[int]], tuple]
+
+
+def cross_sums(matrix: np.ndarray, clusters: list[list[int]]) -> np.ndarray:
+    """Cluster-by-cluster cross sums of a thread-pair matrix.
+
+    ``result[i, j]`` is the sum of ``matrix[a, b]`` over threads a in
+    cluster i and b in cluster j — the numerator of the paper's sharing
+    metric, for every pair at once.
+    """
+    t = matrix.shape[0]
+    membership = np.zeros((t, len(clusters)))
+    for ci, cluster in enumerate(clusters):
+        membership[cluster, ci] = 1.0
+    return membership.T @ matrix @ membership
+
+
+class MatrixAverageScorer:
+    """The paper's sharing metric: averaged cross-cluster pair sum.
+
+    sharing-metric(c_a, c_b) = sum of matrix[t_a, t_b] over t_a in c_a,
+    t_b in c_b, divided by |c_a| * |c_b| (§2.1 step 2b).  The average
+    normalizes the magnitude between clusters of unequal sizes.  Pass
+    ``normalize=False`` for MIN-INVS's unnormalized separation cost.
+    """
+
+    def __init__(self, matrix: np.ndarray, *, normalize: bool = True) -> None:
+        self.matrix = np.asarray(matrix, dtype=float)
+        self.normalize = normalize
+
+    def __call__(self, cluster_a: list[int], cluster_b: list[int]) -> tuple:
+        total = float(self.matrix[np.ix_(cluster_a, cluster_b)].sum())
+        if self.normalize:
+            total /= len(cluster_a) * len(cluster_b)
+        return (total,)
+
+    def pair_scores_array(
+        self, clusters: list[list[int]]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized scores for every cluster pair: (scores, index pairs)."""
+        sums = cross_sums(self.matrix, clusters)
+        sizes = np.array([len(c) for c in clusters], dtype=float)
+        if self.normalize:
+            sums = sums / np.outer(sizes, sizes)
+        upper_i, upper_j = np.triu_indices(len(clusters), k=1)
+        scores = sums[upper_i, upper_j][:, None]
+        pairs = np.column_stack([upper_i, upper_j])
+        return scores, pairs
+
+
+def matrix_average_scorer(matrix: np.ndarray) -> ClusterScorer:
+    """Factory kept for API symmetry; see :class:`MatrixAverageScorer`."""
+    return MatrixAverageScorer(matrix)
+
+
+@dataclass(frozen=True)
+class ClusteringResult:
+    """Outcome of one agglomeration.
+
+    Attributes:
+        clusters: Final partition, ``num_processors`` clusters.
+        merges: Total combine operations performed (including undone ones).
+        backtracks: How many combines were undone.
+        relaxed: True when the metric-blind fallback had to finish the job.
+    """
+
+    clusters: list[list[int]]
+    merges: int
+    backtracks: int
+    relaxed: bool
+
+
+def _ordered_candidates(
+    clusters: list[list[int]], scorer: ClusterScorer, maximize: bool
+) -> list[tuple[int, int]]:
+    """All cluster index pairs, best score first (deterministic ties).
+
+    Returns an (n_pairs, 2) integer array of cluster index pairs, ordered
+    by score (lexicographic across score components), ties broken by the
+    index pair for determinism.
+    """
+    batch = getattr(scorer, "pair_scores_array", None)
+    if batch is not None:
+        scores, pairs = batch(clusters)
+    else:
+        rows = [
+            (scorer(clusters[i], clusters[j]), (i, j))
+            for i in range(len(clusters))
+            for j in range(i + 1, len(clusters))
+        ]
+        scores = np.array([list(score) for score, _ in rows], dtype=float)
+        pairs = np.array([pair for _, pair in rows], dtype=np.int64)
+    if maximize:
+        scores = -scores
+    # np.lexsort: last key is primary -> pair indices first (least
+    # significant), then score components from least to most significant.
+    keys = [pairs[:, 1], pairs[:, 0]]
+    keys += [scores[:, c] for c in range(scores.shape[1] - 1, -1, -1)]
+    order = np.lexsort(tuple(keys))
+    return pairs[order]
+
+
+def _merge(clusters: list[list[int]], i: int, j: int) -> list[list[int]]:
+    """New cluster list with clusters i and j combined (i < j)."""
+    merged = clusters[i] + clusters[j]
+    return (
+        [c for k, c in enumerate(clusters) if k not in (i, j)] + [merged]
+    )
+
+
+def _fallback_finish(
+    clusters: list[list[int]],
+    num_processors: int,
+    lengths: np.ndarray,
+    num_threads: int,
+) -> list[list[int]]:
+    """Metric-blind completion: merge lightest clusters, preferring merges
+    that keep exact thread balance reachable; relax if none do."""
+    clusters = [list(c) for c in clusters]
+    while len(clusters) > num_processors:
+        order = sorted(
+            range(len(clusters)), key=lambda k: int(lengths[clusters[k]].sum())
+        )
+        chosen: tuple[int, int] | None = None
+        for a_pos in range(len(order)):
+            for b_pos in range(a_pos + 1, len(order)):
+                i, j = sorted((order[a_pos], order[b_pos]))
+                merged = _merge(clusters, i, j)
+                sizes = [len(c) for c in merged]
+                if thread_balance_feasible(sizes, num_threads, num_processors):
+                    chosen = (i, j)
+                    break
+            if chosen:
+                break
+        if chosen is None:
+            # Nothing keeps balance reachable: merge the two lightest.
+            chosen = tuple(sorted((order[0], order[1])))  # type: ignore[assignment]
+        clusters = _merge(clusters, chosen[0], chosen[1])
+    return clusters
+
+
+def agglomerate(
+    num_threads: int,
+    num_processors: int,
+    scorer: ClusterScorer,
+    balance: BalancePolicy,
+    lengths: Sequence[int] | np.ndarray,
+    *,
+    maximize: bool = True,
+    max_backtracks: int = 2000,
+) -> ClusteringResult:
+    """Run the §2.1 clustering algorithm.
+
+    Args:
+        num_threads: Thread count t (each starts in its own cluster).
+        num_processors: Target cluster count p.
+        scorer: Cluster-pair metric; higher is combined first when
+            ``maximize``, lower first otherwise.
+        balance: Admissibility of each combine.
+        lengths: Per-thread instruction lengths (consulted by load-balance
+            policies and by the fallback).
+        maximize: Direction of the metric.
+        max_backtracks: Search budget before the fallback finishes the
+            partition.
+
+    Returns:
+        A :class:`ClusteringResult` with exactly ``num_processors``
+        clusters covering every thread.
+    """
+    check_positive("num_threads", num_threads)
+    check_positive("num_processors", num_processors)
+    if num_processors > num_threads:
+        raise ValueError(
+            f"cannot form {num_processors} non-empty clusters from "
+            f"{num_threads} threads"
+        )
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.size != num_threads:
+        raise ValueError(f"expected {num_threads} lengths, got {lengths.size}")
+
+    clusters: list[list[int]] = [[tid] for tid in range(num_threads)]
+    # Each stack level: (clusters before the merge, candidate order, index
+    # of the next candidate to try on re-entry).
+    stack: list[tuple[list[list[int]], np.ndarray, int]] = []
+    merges = 0
+    backtracks = 0
+    candidates = _ordered_candidates(clusters, scorer, maximize)
+    next_index = 0
+
+    while len(clusters) > num_processors:
+        chosen: tuple[int, int] | None = None
+        cluster_sizes = [len(c) for c in clusters]
+        for k in range(next_index, len(candidates)):
+            i, j = int(candidates[k][0]), int(candidates[k][1])
+            sizes = [
+                s for idx, s in enumerate(cluster_sizes) if idx not in (i, j)
+            ] + [cluster_sizes[i] + cluster_sizes[j]]
+            if balance.allows(
+                clusters[i], clusters[j], sizes, lengths, num_threads,
+                num_processors,
+            ):
+                chosen = (i, j)
+                next_index = k + 1
+                break
+        if chosen is None:
+            if not stack or backtracks >= max_backtracks:
+                finished = _fallback_finish(
+                    clusters, num_processors, lengths, num_threads
+                )
+                return ClusteringResult(finished, merges, backtracks, relaxed=True)
+            clusters, candidates, next_index = stack.pop()
+            backtracks += 1
+            continue
+        stack.append(([list(c) for c in clusters], candidates, next_index))
+        clusters = _merge(clusters, chosen[0], chosen[1])
+        merges += 1
+        candidates = _ordered_candidates(clusters, scorer, maximize)
+        next_index = 0
+
+    return ClusteringResult(clusters, merges, backtracks, relaxed=False)

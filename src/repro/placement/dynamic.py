@@ -1,0 +1,66 @@
+"""Measuring the dynamic coherence-traffic matrix (paper §4.2).
+
+"In order to obtain the maximum amount of coherence traffic between
+individual pairs of threads, we simulated a system with one thread per
+processor and as many processors as the number of threads in the
+application.  The coherence traffic measured between processor pairs
+enabled direct comparisons with the inter-thread pairwise shared
+references computed from the trace files."
+
+:func:`measure_coherence_matrix` reproduces that measurement: it runs the
+architecture simulator with p = t, one hardware context each, and returns
+the symmetric threads x threads matrix of coherence events (invalidations
+sent plus invalidation misses plus remote compulsory transfers between the
+pair).  Feed it to :class:`~repro.placement.algorithms.CoherenceTraffic`
+via :attr:`~repro.placement.base.PlacementInputs.coherence_matrix`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.stream import TraceSet
+
+__all__ = ["measure_coherence_matrix"]
+
+
+def measure_coherence_matrix(
+    trace_set: TraceSet,
+    *,
+    cache_words: int | None = None,
+) -> np.ndarray:
+    """Simulate one thread per processor and return pairwise coherence traffic.
+
+    Args:
+        trace_set: The application's traces.
+        cache_words: Per-processor cache size for the measurement run; by
+            default the "effectively infinite" cache is used so the
+            measured traffic is pure sharing traffic, uninfluenced by
+            conflict evictions.
+
+    Returns:
+        Symmetric (t, t) float matrix; entry (i, j) counts coherence events
+        between threads i and j.
+    """
+    # Imported here: repro.arch depends only on trace/, but experiments
+    # construct PlacementInputs from both packages; the local import keeps
+    # placement importable without pulling the whole simulator in.
+    from repro.arch.config import ArchConfig
+    from repro.arch.simulator import simulate
+    from repro.placement.base import PlacementMap
+
+    t = trace_set.num_threads
+    config = ArchConfig(
+        num_processors=t,
+        contexts_per_processor=1,
+        cache_words=cache_words if cache_words is not None else ArchConfig.INFINITE_CACHE_WORDS,
+    )
+    identity = PlacementMap(np.arange(t, dtype=np.int64), t)
+    result = simulate(trace_set, identity, config)
+    matrix = np.asarray(result.pairwise_coherence, dtype=float)
+    # One thread per processor, so the processor-pair matrix *is* the
+    # thread-pair matrix.  The simulator records each event under
+    # (requester, peer); fold both directions into a symmetric matrix.
+    symmetric = matrix + matrix.T
+    np.fill_diagonal(symmetric, 0.0)
+    return symmetric

@@ -1,0 +1,155 @@
+"""Cluster-pair scorers: one per sharing metric in the paper's §2.
+
+Every scorer consumes the static :class:`~repro.trace.analysis.TraceSetAnalysis`
+(or, for the dynamic algorithm, a measured coherence-traffic matrix) and
+returns a :data:`~repro.placement.clustering.ClusterScorer` for the
+agglomeration engine.  Scores are tuples so secondary criteria compose
+lexicographically.  All scorers implement the batch ``pair_scores`` path
+(one matrix product per clustering iteration).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.placement.clustering import (
+    ClusterScorer,
+    MatrixAverageScorer,
+    cross_sums,
+)
+from repro.trace.analysis import TraceSetAnalysis
+
+__all__ = [
+    "ShareAddrScorer",
+    "MinPrivScorer",
+    "share_refs_scorer",
+    "share_addr_scorer",
+    "min_priv_scorer",
+    "min_invs_scorer",
+    "max_writes_scorer",
+    "min_share_scorer",
+    "coherence_traffic_scorer",
+]
+
+
+class ShareAddrScorer:
+    """SHARE-ADDR: shared references first, then references per shared address.
+
+    "Given two candidate clusters, each with the same number of shared
+    references, it picks the one with the smaller shared working set, i.e.,
+    more references per shared address." (§2, item 2)
+    """
+
+    def __init__(self, refs: np.ndarray, addrs: np.ndarray) -> None:
+        self.refs = np.asarray(refs, dtype=float)
+        self.addrs = np.asarray(addrs, dtype=float)
+
+    def __call__(self, cluster_a: list[int], cluster_b: list[int]) -> tuple:
+        index = np.ix_(cluster_a, cluster_b)
+        size = len(cluster_a) * len(cluster_b)
+        total_refs = float(self.refs[index].sum())
+        total_addrs = float(self.addrs[index].sum())
+        density = total_refs / total_addrs if total_addrs > 0 else 0.0
+        return (total_refs / size, density)
+
+    def pair_scores_array(
+        self, clusters: list[list[int]]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized (refs, density) scores for every cluster pair."""
+        ref_sums = cross_sums(self.refs, clusters)
+        addr_sums = cross_sums(self.addrs, clusters)
+        sizes = np.array([len(c) for c in clusters], dtype=float)
+        averaged = ref_sums / np.outer(sizes, sizes)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            density = np.where(addr_sums > 0, ref_sums / addr_sums, 0.0)
+        upper_i, upper_j = np.triu_indices(len(clusters), k=1)
+        scores = np.column_stack(
+            [averaged[upper_i, upper_j], density[upper_i, upper_j]]
+        )
+        return scores, np.column_stack([upper_i, upper_j])
+
+
+class MinPrivScorer:
+    """MIN-PRIV: maximize shared references; minimize private addresses.
+
+    The secondary criterion is the (negated) private-address count of the
+    would-be combined cluster, so ties in sharing fall to the merge that
+    adds the least private cache footprint (§2, item 3).
+    """
+
+    def __init__(self, refs: np.ndarray, private_per_thread: np.ndarray) -> None:
+        self.refs = np.asarray(refs, dtype=float)
+        self.private = np.asarray(private_per_thread, dtype=float)
+
+    def __call__(self, cluster_a: list[int], cluster_b: list[int]) -> tuple:
+        index = np.ix_(cluster_a, cluster_b)
+        size = len(cluster_a) * len(cluster_b)
+        combined = float(self.private[cluster_a].sum() + self.private[cluster_b].sum())
+        return (float(self.refs[index].sum()) / size, -combined)
+
+    def pair_scores_array(
+        self, clusters: list[list[int]]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized (refs, -private) scores for every cluster pair."""
+        ref_sums = cross_sums(self.refs, clusters)
+        sizes = np.array([len(c) for c in clusters], dtype=float)
+        averaged = ref_sums / np.outer(sizes, sizes)
+        cluster_private = np.array([float(self.private[c].sum()) for c in clusters])
+        combined = cluster_private[:, None] + cluster_private[None, :]
+        upper_i, upper_j = np.triu_indices(len(clusters), k=1)
+        scores = np.column_stack(
+            [averaged[upper_i, upper_j], -combined[upper_i, upper_j]]
+        )
+        return scores, np.column_stack([upper_i, upper_j])
+
+
+def share_refs_scorer(analysis: TraceSetAnalysis) -> ClusterScorer:
+    """SHARE-REFS: maximize averaged cross-cluster shared references."""
+    return MatrixAverageScorer(analysis.shared_refs_matrix)
+
+
+def share_addr_scorer(analysis: TraceSetAnalysis) -> ClusterScorer:
+    """SHARE-ADDR scorer over the analysis's pairwise matrices."""
+    return ShareAddrScorer(analysis.shared_refs_matrix, analysis.shared_addrs_matrix)
+
+
+def min_priv_scorer(analysis: TraceSetAnalysis) -> ClusterScorer:
+    """MIN-PRIV scorer over sharing and per-thread private counts."""
+    return MinPrivScorer(
+        analysis.shared_refs_matrix, analysis.private_addresses_per_thread
+    )
+
+
+def min_invs_scorer(analysis: TraceSetAnalysis) -> ClusterScorer:
+    """MIN-INVS: combine the pair whose *separation* costs the most.
+
+    "During clustering, the algorithm compares the cost of keeping two
+    clusters separated, rather than comparing the savings in combining
+    them" (§2, item 4): the cost of separation is the total (unnormalized)
+    cross-cluster write-shared traffic that would cross the interconnect.
+    """
+    return MatrixAverageScorer(analysis.write_shared_refs_matrix, normalize=False)
+
+
+def max_writes_scorer(analysis: TraceSetAnalysis) -> ClusterScorer:
+    """MAX-WRITES: maximize averaged cross-cluster write-shared references."""
+    return MatrixAverageScorer(analysis.write_shared_refs_matrix)
+
+
+def min_share_scorer(analysis: TraceSetAnalysis) -> ClusterScorer:
+    """MIN-SHARE: the deliberate worst case — run with ``maximize=False``."""
+    return MatrixAverageScorer(analysis.shared_refs_matrix)
+
+
+def coherence_traffic_scorer(coherence_matrix: np.ndarray) -> ClusterScorer:
+    """Dynamic placement (§4.2): averaged measured coherence traffic.
+
+    ``coherence_matrix[i, j]`` must hold the coherence operations measured
+    between threads i and j when simulated one-thread-per-processor.
+    """
+    matrix = np.asarray(coherence_matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"coherence matrix must be square, got {matrix.shape}")
+    if not np.allclose(matrix, matrix.T):
+        raise ValueError("coherence matrix must be symmetric")
+    return MatrixAverageScorer(matrix)

@@ -1,0 +1,113 @@
+"""Placement-quality metrics.
+
+Given a placement and the static analysis, quantify what each algorithm
+actually optimized — the quantities the paper's §4 discussion reasons
+about when explaining the results:
+
+* **captured sharing**: the fraction of all pairwise shared references
+  that fall *within* clusters (what SHARE-REFS maximizes; the paper's
+  Figure 1(d) totals);
+* **cross-processor write sharing**: write-shared references split across
+  processors (what MIN-INVS minimizes — the static proxy for
+  invalidations);
+* **private footprint balance**: private addresses per processor (what
+  MIN-PRIV's secondary criterion controls);
+* **load imbalance** and **thread balance** (what LOAD-BAL and the
+  thread-balance constraint control).
+
+These are *static* metrics — the point of the paper is precisely that
+optimizing them does not move execution time; this module makes that
+visible (see ``examples/placement_anatomy.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.placement.base import PlacementMap
+from repro.trace.analysis import TraceSetAnalysis
+
+__all__ = ["PlacementQuality", "evaluate_placement"]
+
+
+@dataclass(frozen=True)
+class PlacementQuality:
+    """Static quality metrics of one placement.
+
+    Attributes:
+        captured_sharing: Within-cluster pairwise shared references as a
+            fraction of all pairwise shared references (1.0 = all sharing
+            co-located; impossible unless one processor).
+        cross_write_sharing: Write-shared references between threads on
+            *different* processors, as a fraction of all pairwise
+            write-shared references (the static invalidation proxy).
+        load_imbalance: Max processor instruction load over the ideal.
+        thread_balanced: Whether cluster sizes are all ⌊t/p⌋ or ⌈t/p⌉.
+        private_addresses_max: Largest per-processor private-address count.
+        private_addresses_mean: Mean per-processor private-address count.
+    """
+
+    captured_sharing: float
+    cross_write_sharing: float
+    load_imbalance: float
+    thread_balanced: bool
+    private_addresses_max: int
+    private_addresses_mean: float
+
+    def __str__(self) -> str:
+        return (
+            f"captured sharing {100 * self.captured_sharing:.1f}%, "
+            f"cross-processor write sharing {100 * self.cross_write_sharing:.1f}%, "
+            f"load imbalance {self.load_imbalance:.3f}, "
+            f"thread-balanced {'yes' if self.thread_balanced else 'no'}"
+        )
+
+
+def _within_cluster_fraction(matrix: np.ndarray, placement: PlacementMap) -> float:
+    """Fraction of a symmetric pair-matrix total that is intra-cluster."""
+    t = matrix.shape[0]
+    upper = np.triu_indices(t, k=1)
+    total = float(matrix[upper].sum())
+    if total == 0.0:
+        return 0.0
+    same = placement.assignment[upper[0]] == placement.assignment[upper[1]]
+    within = float(matrix[upper][same].sum())
+    return within / total
+
+
+def evaluate_placement(
+    placement: PlacementMap, analysis: TraceSetAnalysis
+) -> PlacementQuality:
+    """Compute the static quality metrics of a placement.
+
+    Raises:
+        ValueError: If the placement's thread count does not match the
+            analysis.
+    """
+    if placement.num_threads != analysis.num_threads:
+        raise ValueError(
+            f"placement covers {placement.num_threads} threads, analysis has "
+            f"{analysis.num_threads}"
+        )
+    captured = _within_cluster_fraction(analysis.shared_refs_matrix, placement)
+    cross_writes = 1.0 - _within_cluster_fraction(
+        analysis.write_shared_refs_matrix, placement
+    )
+    if float(analysis.write_shared_refs_matrix.sum()) == 0.0:
+        cross_writes = 0.0
+
+    lengths = np.array([p.length for p in analysis.profiles], dtype=np.int64)
+    private = analysis.private_addresses_per_thread
+    per_proc_private = np.zeros(placement.num_processors, dtype=np.int64)
+    np.add.at(per_proc_private, placement.assignment, private)
+
+    return PlacementQuality(
+        captured_sharing=captured,
+        cross_write_sharing=cross_writes,
+        load_imbalance=placement.load_imbalance(lengths),
+        thread_balanced=placement.is_thread_balanced(),
+        private_addresses_max=int(per_proc_private.max()),
+        private_addresses_mean=float(per_proc_private.mean()),
+    )

@@ -1,0 +1,13 @@
+"""Command-line tools mirroring the paper's experimental pipeline.
+
+The paper's methodology is a three-stage pipeline (§3): trace the
+programs (MPtrace), run the placement algorithms over the traces, feed
+maps and traces to the simulator.  These tools expose the same pipeline
+over files:
+
+* ``repro-workload`` — generate an application's traces to disk;
+* ``repro-place``    — compute a placement map from a trace file;
+* ``repro-simulate`` — replay traces under a map on a configured machine;
+* ``repro-experiments`` — the whole evaluation in one command
+  (:mod:`repro.experiments.cli`).
+"""

@@ -1,0 +1,127 @@
+"""Trace serialization.
+
+Two formats:
+
+* **Binary** (``.npz``): the columnar arrays, verbatim.  Compact and fast;
+  the default for experiment caching.
+* **Text**: one record per line, ``<thread> <gap> <R|W> <addr>``, preceded by
+  a header.  Human-inspectable and diff-able; the format examples and tests
+  use to show what a trace *is*.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from repro.trace.stream import ThreadTrace, TraceSet
+
+__all__ = [
+    "save_trace_set",
+    "load_trace_set",
+    "save_trace_set_text",
+    "load_trace_set_text",
+]
+
+_TEXT_MAGIC = "# repro-trace v1"
+
+
+def save_trace_set(trace_set: TraceSet, path: str | Path) -> None:
+    """Save a trace set as a compressed ``.npz`` archive."""
+    arrays: dict[str, np.ndarray] = {}
+    for trace in trace_set:
+        arrays[f"gaps_{trace.thread_id}"] = trace.gaps
+        arrays[f"addrs_{trace.thread_id}"] = trace.addrs
+        arrays[f"writes_{trace.thread_id}"] = trace.writes
+    arrays["_meta_num_threads"] = np.array([trace_set.num_threads])
+    arrays["_meta_name"] = np.array([trace_set.name])
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_trace_set(path: str | Path) -> TraceSet:
+    """Load a trace set saved by :func:`save_trace_set`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        num_threads = int(data["_meta_num_threads"][0])
+        name = str(data["_meta_name"][0])
+        threads = [
+            ThreadTrace(
+                thread_id=tid,
+                gaps=data[f"gaps_{tid}"],
+                addrs=data[f"addrs_{tid}"],
+                writes=data[f"writes_{tid}"],
+            )
+            for tid in range(num_threads)
+        ]
+    return TraceSet(name, threads)
+
+
+def _write_text(trace_set: TraceSet, stream: TextIO) -> None:
+    stream.write(f"{_TEXT_MAGIC}\n")
+    stream.write(f"# name: {trace_set.name}\n")
+    stream.write(f"# threads: {trace_set.num_threads}\n")
+    for trace in trace_set:
+        for gap, addr, is_write in zip(trace.gaps, trace.addrs, trace.writes):
+            kind = "W" if is_write else "R"
+            stream.write(f"{trace.thread_id} {int(gap)} {kind} {int(addr)}\n")
+
+
+def save_trace_set_text(trace_set: TraceSet, path: str | Path) -> None:
+    """Save a trace set in the line-per-record text format."""
+    with open(Path(path), "w", encoding="ascii") as stream:
+        _write_text(trace_set, stream)
+
+
+def trace_set_to_text(trace_set: TraceSet) -> str:
+    """Render a trace set to the text format as a string (for tests/demos)."""
+    buffer = io.StringIO()
+    _write_text(trace_set, buffer)
+    return buffer.getvalue()
+
+
+def _parse_text(stream: TextIO) -> TraceSet:
+    magic = stream.readline().rstrip("\n")
+    if magic != _TEXT_MAGIC:
+        raise ValueError(f"not a repro trace file (bad magic line {magic!r})")
+    name_line = stream.readline().rstrip("\n")
+    threads_line = stream.readline().rstrip("\n")
+    if not name_line.startswith("# name: ") or not threads_line.startswith("# threads: "):
+        raise ValueError("malformed trace header")
+    name = name_line[len("# name: "):]
+    num_threads = int(threads_line[len("# threads: "):])
+    if num_threads <= 0:
+        raise ValueError(f"header declares {num_threads} threads")
+
+    per_thread: list[list[tuple[int, int, bool]]] = [[] for _ in range(num_threads)]
+    for line_no, line in enumerate(stream, start=4):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 4 or parts[2] not in ("R", "W"):
+            raise ValueError(f"malformed trace record at line {line_no}: {line!r}")
+        tid, gap, kind, addr = int(parts[0]), int(parts[1]), parts[2], int(parts[3])
+        if not 0 <= tid < num_threads:
+            raise ValueError(f"record at line {line_no} names unknown thread {tid}")
+        per_thread[tid].append((gap, addr, kind == "W"))
+
+    threads = []
+    for tid, rows in enumerate(per_thread):
+        gaps = np.array([r[0] for r in rows], dtype=np.int64)
+        addrs = np.array([r[1] for r in rows], dtype=np.int64)
+        writes = np.array([r[2] for r in rows], dtype=bool)
+        threads.append(ThreadTrace(tid, gaps, addrs, writes))
+    return TraceSet(name, threads)
+
+
+def load_trace_set_text(path: str | Path) -> TraceSet:
+    """Load a trace set from the line-per-record text format."""
+    with open(Path(path), "r", encoding="ascii") as stream:
+        return _parse_text(stream)
+
+
+def trace_set_from_text(text: str) -> TraceSet:
+    """Parse the text format from a string (for tests/demos)."""
+    return _parse_text(io.StringIO(text))

@@ -1,0 +1,70 @@
+"""The single-reference trace record.
+
+A thread's trace is a sequence of *data references*, each annotated with the
+number of non-memory instructions (``gap``) the thread executed since its
+previous data reference.  This is the standard compressed representation of
+an address trace: replaying a record costs ``gap`` execution cycles followed
+by one cache access.
+
+The paper's MPtrace traces contain instruction fetches as well; we fold them
+into ``gap`` because the paper's four cache-miss components (compulsory,
+intra-/inter-thread conflict, invalidation) are all *data*-miss components
+and instruction footprints cannot differentiate thread placements (see
+DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["AccessType", "TraceRecord"]
+
+
+class AccessType(enum.Enum):
+    """Kind of data reference."""
+
+    READ = "R"
+    WRITE = "W"
+
+    @classmethod
+    def from_flag(cls, is_write: bool) -> "AccessType":
+        return cls.WRITE if is_write else cls.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self is AccessType.WRITE
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One data reference in a thread's trace.
+
+    Attributes:
+        gap: Non-memory instructions executed before this reference (>= 0).
+        addr: Word address referenced (>= 0).  Addresses are word-granular;
+            the cache model converts them to block addresses.
+        access: Whether the reference reads or writes the address.
+    """
+
+    gap: int
+    addr: int
+    access: AccessType
+
+    def __post_init__(self) -> None:
+        if self.gap < 0:
+            raise ValueError(f"gap must be >= 0, got {self.gap}")
+        if self.addr < 0:
+            raise ValueError(f"addr must be >= 0, got {self.addr}")
+
+    @property
+    def is_write(self) -> bool:
+        return self.access.is_write
+
+    @property
+    def cost_in_instructions(self) -> int:
+        """Instructions this record represents: the gap plus the reference."""
+        return self.gap + 1
+
+    def __str__(self) -> str:
+        return f"{self.gap} {self.access.value} {self.addr:#x}"

@@ -1,0 +1,42 @@
+"""Shared utilities: deterministic RNG streams, paper-definition statistics,
+ASCII table rendering and validation helpers.
+
+These are deliberately dependency-light; every other subpackage builds on
+them.
+"""
+
+from repro.util.rng import RngStreams, derive_seed
+from repro.util.stats import (
+    absolute_deviation,
+    mean,
+    percent_deviation,
+    population_std,
+    summarize,
+    Summary,
+)
+from repro.util.ascii_chart import horizontal_bars, stacked_bars
+from repro.util.tables import format_table
+from repro.util.validate import (
+    check_non_empty,
+    check_positive,
+    check_power_of_two,
+    check_range,
+)
+
+__all__ = [
+    "RngStreams",
+    "derive_seed",
+    "mean",
+    "population_std",
+    "percent_deviation",
+    "absolute_deviation",
+    "summarize",
+    "Summary",
+    "format_table",
+    "horizontal_bars",
+    "stacked_bars",
+    "check_positive",
+    "check_non_empty",
+    "check_power_of_two",
+    "check_range",
+]

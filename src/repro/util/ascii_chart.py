@@ -1,0 +1,95 @@
+"""ASCII bar charts for the figure renderers.
+
+The paper's Figures 2-5 are grouped/stacked bar charts; the report's
+tables carry the exact numbers and these charts make the *shapes* visible
+in a terminal: who is below 1.0, where the crossovers fall, how the miss
+mix shifts across configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["horizontal_bars", "stacked_bars"]
+
+_FULL = "#"
+
+
+def horizontal_bars(
+    values: Mapping[str, float],
+    *,
+    width: int = 40,
+    reference: float | None = None,
+    value_format: str = ".3f",
+) -> str:
+    """Labelled horizontal bars, optionally with a reference tick.
+
+    >>> print(horizontal_bars({"a": 1.0, "b": 0.5}, width=8))
+    a | ######## 1.000
+    b | ####     0.500
+    """
+    if not values:
+        raise ValueError("no values to chart")
+    if width < 4:
+        raise ValueError(f"width must be >= 4, got {width}")
+    peak = max(max(values.values()), reference or 0.0)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(label) for label in values)
+    ref_col = round(width * (reference / peak)) if reference else None
+
+    lines = []
+    for label, value in values.items():
+        filled = round(width * (value / peak))
+        bar = list(_FULL * filled + " " * (width - filled))
+        if ref_col is not None and 0 < ref_col <= width and filled < ref_col:
+            bar[ref_col - 1] = "|"
+        lines.append(
+            f"{label.ljust(label_width)} | {''.join(bar)} "
+            f"{format(value, value_format)}"
+        )
+    return "\n".join(lines)
+
+
+def stacked_bars(
+    rows: Mapping[str, Sequence[float]],
+    segment_labels: Sequence[str],
+    *,
+    width: int = 40,
+) -> str:
+    """Stacked horizontal bars with a legend (for miss decompositions).
+
+    Each row's segments are drawn with successive glyphs; rows are scaled
+    to the largest row total.
+
+    >>> print(stacked_bars({"x": [2, 2]}, ["a", "b"], width=8))
+    legend: a=1 b=2
+    x | 11112222 (total 4)
+    """
+    if not rows:
+        raise ValueError("no rows to chart")
+    glyphs = "123456789"
+    if len(segment_labels) > len(glyphs):
+        raise ValueError(f"at most {len(glyphs)} segments supported")
+    for label, segments in rows.items():
+        if len(segments) != len(segment_labels):
+            raise ValueError(
+                f"row {label!r} has {len(segments)} segments, expected "
+                f"{len(segment_labels)}"
+            )
+    peak = max(sum(segments) for segments in rows.values()) or 1.0
+    label_width = max(len(label) for label in rows)
+
+    legend = "legend: " + " ".join(
+        f"{name}={glyph}" for name, glyph in zip(segment_labels, glyphs)
+    )
+    lines = [legend]
+    for label, segments in rows.items():
+        bar = []
+        for glyph, value in zip(glyphs, segments):
+            bar.append(glyph * round(width * (value / peak)))
+        lines.append(
+            f"{label.ljust(label_width)} | {''.join(bar)} "
+            f"(total {sum(segments):g})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Statistics exactly as the paper reports them.
+
+Table 2 and Table 4 of the paper report, for per-thread (or per-thread-pair)
+quantities:
+
+* the **mean**;
+* the **percent deviation** ("Dev(%)"): the standard deviation expressed as
+  a percentage of the mean;
+* the **absolute deviation** (Table 4 footnote): the standard deviation in
+  the units of the mean — "Absolute deviation takes into account the size of
+  the mean, and therefore diminishes the effect of a large standard deviation
+  when the mean is small.  For example, Vandermonde has a deviation of 386%,
+  a mean of 0.01% and the absolute deviation is only 0.04%."  That worked
+  example identifies the paper's absolute deviation as
+  ``percent_deviation / 100 * mean``, i.e. the plain standard deviation.
+
+We use the population standard deviation (``ddof=0``) throughout: the paper
+measures a complete population (all threads of a run), not a sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "mean",
+    "population_std",
+    "percent_deviation",
+    "absolute_deviation",
+    "Summary",
+    "summarize",
+]
+
+
+def _as_array(values: Iterable[float]) -> np.ndarray:
+    array = np.asarray(list(values) if not isinstance(values, np.ndarray) else values,
+                       dtype=float)
+    if array.ndim != 1:
+        raise ValueError(f"expected a 1-D sequence of values, got shape {array.shape}")
+    if array.size == 0:
+        raise ValueError("cannot summarize an empty sequence")
+    return array
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean of a non-empty sequence."""
+    return float(_as_array(values).mean())
+
+
+def population_std(values: Iterable[float]) -> float:
+    """Population standard deviation (ddof=0) of a non-empty sequence."""
+    return float(_as_array(values).std(ddof=0))
+
+
+def percent_deviation(values: Iterable[float]) -> float:
+    """Standard deviation as a percentage of the mean (the paper's "Dev(%)").
+
+    A zero mean with zero spread is reported as 0.0 (a perfectly uniform,
+    all-zero population); a zero mean with non-zero spread is undefined and
+    raises ``ZeroDivisionError`` to surface the modelling error loudly.
+    """
+    array = _as_array(values)
+    std = float(array.std(ddof=0))
+    mu = float(array.mean())
+    if mu == 0.0:
+        if std == 0.0:
+            return 0.0
+        raise ZeroDivisionError("percent deviation undefined: zero mean, non-zero spread")
+    return 100.0 * std / abs(mu)
+
+
+def absolute_deviation(values: Iterable[float]) -> float:
+    """The paper's "absolute deviation": the standard deviation in mean units.
+
+    Equivalent to ``percent_deviation(values) / 100 * mean(values)`` (see the
+    Vandermonde worked example in the paper's summary section).
+    """
+    return population_std(values)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / deviation summary of one measured characteristic.
+
+    Mirrors one (Mean, Dev%) column pair of the paper's Table 2.
+    """
+
+    mean: float
+    percent_dev: float
+    absolute_dev: float
+    count: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} (dev {self.percent_dev:.1f}%)"
+
+
+def summarize(values: Sequence[float] | np.ndarray) -> Summary:
+    """Summarize a population the way the paper's tables do."""
+    array = _as_array(values)
+    mu = float(array.mean())
+    std = float(array.std(ddof=0))
+    if mu == 0.0:
+        pct = 0.0 if std == 0.0 else float("inf")
+    else:
+        pct = 100.0 * std / abs(mu)
+    return Summary(mean=mu, percent_dev=pct, absolute_dev=std, count=int(array.size))

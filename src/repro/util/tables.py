@@ -1,0 +1,60 @@
+"""Minimal ASCII table rendering for experiment reports.
+
+The experiment harness prints the same rows the paper's tables report; this
+module owns the (purely cosmetic) alignment logic so the table builders in
+``repro.experiments`` stay focused on content.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table"]
+
+
+def _render_cell(value: object, float_format: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_format: str = ".2f",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    >>> print(format_table(["app", "time"], [["fft", 1.5]]))
+    app | time
+    ----+-----
+    fft | 1.50
+    """
+    if not headers:
+        raise ValueError("a table needs at least one column")
+    rendered = [[_render_cell(cell, float_format) for cell in row] for row in rows]
+    for i, row in enumerate(rendered):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for col, cell in enumerate(row):
+            widths[col] = max(widths[col], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(format_row(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(format_row(row) for row in rendered)
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Argument-validation helpers.
+
+Constructors across the package validate their inputs eagerly so that a bad
+architectural parameter or workload knob fails at configuration time with a
+named error, not deep inside a simulation with an index error.
+"""
+
+from __future__ import annotations
+
+from typing import Sized
+
+__all__ = [
+    "check_positive",
+    "check_non_empty",
+    "check_power_of_two",
+    "check_range",
+]
+
+
+def check_positive(name: str, value: float, *, allow_zero: bool = False) -> None:
+    """Raise ``ValueError`` unless ``value`` is positive (or >= 0 if allowed)."""
+    if allow_zero:
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value!r}")
+    elif value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def check_non_empty(name: str, value: Sized) -> None:
+    """Raise ``ValueError`` if a container is empty."""
+    if len(value) == 0:
+        raise ValueError(f"{name} must not be empty")
+
+
+def check_power_of_two(name: str, value: int) -> None:
+    """Raise ``ValueError`` unless ``value`` is a positive power of two.
+
+    Cache geometry (block size, number of sets) must be a power of two so
+    that set indexing can be done with shifts and masks.
+    """
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ValueError(f"{name} must be a positive power of two, got {value!r}")
+
+
+def check_range(name: str, value: float, low: float, high: float) -> None:
+    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")

@@ -1,0 +1,191 @@
+"""Calibration: does a generated application match its published targets?
+
+The synthetic suite substitutes for traces we cannot have (DESIGN.md); this
+module is the evidence the substitution is faithful.  For each application
+it compares the :class:`~repro.trace.analysis.TraceSetAnalysis` of the
+generated traces against the paper's Table 2 row and classifies each
+quantity as within tolerance or not.
+
+Tolerances are deliberately asymmetric in kind:
+
+* structural quantities (thread count) must match exactly;
+* first-order rates (% shared references, thread-length mean) must match
+  tightly — the paper's conclusions lean on them directly;
+* second-order shape quantities (references per shared address,
+  deviations) must land in the right *regime*: the paper's argument uses
+  them only qualitatively ("uniform" vs "skewed", "high locality" vs
+  "low"), and they span two orders of magnitude across the suite.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.trace.analysis import TraceSetAnalysis
+from repro.trace.stream import TraceSet
+from repro.workload.targets import AppTargets
+
+__all__ = [
+    "DeviationBand",
+    "CalibrationCheck",
+    "CalibrationReport",
+    "deviation_band",
+    "calibrate",
+]
+
+
+class DeviationBand(enum.Enum):
+    """Qualitative regime of a percent-deviation value."""
+
+    UNIFORM = "uniform"  # < 25%: the paper's "fairly uniform" sharing
+    MODERATE = "moderate"  # 25-75%
+    SKEWED = "skewed"  # > 75%: a few dominant pairs / very long threads
+
+
+def deviation_band(percent_dev: float) -> DeviationBand:
+    """Classify a Dev(%) value into its qualitative band."""
+    if percent_dev < 25.0:
+        return DeviationBand.UNIFORM
+    if percent_dev <= 75.0:
+        return DeviationBand.MODERATE
+    return DeviationBand.SKEWED
+
+
+@dataclass(frozen=True)
+class CalibrationCheck:
+    """One compared quantity."""
+
+    quantity: str
+    target: float
+    measured: float
+    ok: bool
+    note: str = ""
+
+    def __str__(self) -> str:
+        verdict = "ok" if self.ok else "MISS"
+        return (
+            f"{self.quantity}: target={self.target:.4g} measured={self.measured:.4g}"
+            f" [{verdict}]{' ' + self.note if self.note else ''}"
+        )
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """All checks for one generated application."""
+
+    app: str
+    scale: float
+    checks: tuple[CalibrationCheck, ...]
+
+    @property
+    def passed(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    @property
+    def failures(self) -> list[CalibrationCheck]:
+        return [c for c in self.checks if not c.ok]
+
+    def __str__(self) -> str:
+        lines = [f"calibration of {self.app} (scale={self.scale}):"]
+        lines += [f"  {check}" for check in self.checks]
+        return "\n".join(lines)
+
+
+def _ratio_check(name: str, target: float, measured: float, factor: float,
+                 note: str = "") -> CalibrationCheck:
+    if target <= 0:
+        ok = measured <= factor  # degenerate target: just require smallness
+    else:
+        ratio = measured / target
+        ok = (1.0 / factor) <= ratio <= factor
+    return CalibrationCheck(name, target, measured, ok, note)
+
+
+def calibrate(
+    trace_set: TraceSet,
+    targets: AppTargets,
+    scale: float,
+    *,
+    analysis: TraceSetAnalysis | None = None,
+) -> CalibrationReport:
+    """Compare a generated trace set against its Table 2 targets.
+
+    Args:
+        trace_set: The generated application.
+        targets: Its published characteristics.
+        scale: The thread-length scale the application was built with
+            (needed to compute the expected absolute thread length).
+        analysis: Optional pre-computed analysis to reuse.
+    """
+    analysis = analysis or TraceSetAnalysis(trace_set)
+    checks: list[CalibrationCheck] = []
+
+    checks.append(
+        CalibrationCheck(
+            "num_threads",
+            float(targets.num_threads),
+            float(trace_set.num_threads),
+            trace_set.num_threads == targets.num_threads,
+        )
+    )
+
+    expected_length = targets.thread_length_mean_k * 1000.0 * scale
+    measured_length = analysis.thread_lengths.mean
+    checks.append(
+        _ratio_check("thread_length_mean", expected_length, measured_length, 1.10,
+                     note="must track the Table 2 mean closely")
+    )
+
+    # Thread-length deviation: LOAD-BAL's entire effect hinges on it.  The
+    # affine shaping matches it before flooring; allow 15 points of drift.
+    measured_dev = analysis.thread_lengths.percent_dev
+    checks.append(
+        CalibrationCheck(
+            "thread_length_dev_pct",
+            targets.thread_length_dev_pct,
+            measured_dev,
+            abs(measured_dev - targets.thread_length_dev_pct)
+            <= max(15.0, 0.25 * targets.thread_length_dev_pct),
+        )
+    )
+
+    measured_shared_pct = analysis.percent_shared_refs.mean
+    checks.append(
+        CalibrationCheck(
+            "shared_refs_pct",
+            targets.shared_refs_pct,
+            measured_shared_pct,
+            abs(measured_shared_pct - targets.shared_refs_pct) <= 12.0,
+        )
+    )
+
+    checks.append(
+        _ratio_check(
+            "refs_per_shared_addr",
+            targets.refs_per_shared_addr,
+            analysis.refs_per_shared_address.mean,
+            2.5,
+            note="regime-level agreement (paper uses it qualitatively)",
+        )
+    )
+
+    target_band = deviation_band(targets.pairwise_sharing_dev_pct)
+    measured_band = deviation_band(analysis.pairwise_sharing.percent_dev)
+    adjacent = {
+        (DeviationBand.UNIFORM, DeviationBand.MODERATE),
+        (DeviationBand.MODERATE, DeviationBand.UNIFORM),
+        (DeviationBand.MODERATE, DeviationBand.SKEWED),
+        (DeviationBand.SKEWED, DeviationBand.MODERATE),
+    }
+    checks.append(
+        CalibrationCheck(
+            "pairwise_sharing_dev_band",
+            targets.pairwise_sharing_dev_pct,
+            analysis.pairwise_sharing.percent_dev,
+            measured_band is target_band or (target_band, measured_band) in adjacent,
+            note=f"target band {target_band.value}, measured {measured_band.value}",
+        )
+    )
+
+    return CalibrationReport(app=trace_set.name, scale=scale, checks=tuple(checks))

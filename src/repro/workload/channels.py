@@ -1,0 +1,84 @@
+"""Shared-data access channels.
+
+A *channel* is one stream of accesses a thread makes into a shared region:
+"my partition", "everyone's particle array", "the mailbox I write to thread
+7", and so on.  Every access pattern in :mod:`repro.workload.patterns` is a
+weighted composition of channels; the generator draws *runs* (not single
+references) from channels, which is what gives the synthetic traces the
+paper's sequential-sharing property — a thread references a shared datum
+many times before another thread contends for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workload.address_space import Region
+from repro.util.validate import check_positive, check_range
+
+__all__ = ["PoolChannel"]
+
+
+@dataclass(frozen=True)
+class PoolChannel:
+    """A weighted stream of sequential runs into one shared region.
+
+    Attributes:
+        region: Shared region the channel accesses.
+        weight: Relative share of the thread's shared references this
+            channel receives (normalized against sibling channels).
+        write_prob: Probability a reference (or, with ``run_level_writes``,
+            a whole run) writes.
+        mean_run: Mean sequential-run length (geometric).  This is the
+            dominant control of the measured "references per shared
+            address": a run of length *r* over a window of ``span``
+            addresses yields roughly ``r / span`` references per address.
+        span: Number of consecutive addresses a run cycles over.  ``span=1``
+            is a pure single-datum run; larger spans model small records
+            (a molecule, a matrix row slice).
+        run_level_writes: If True, a run is entirely writes or entirely
+            reads (decided once per run with ``write_prob``) — the paper's
+            migratory "write runs".  If False, each reference writes
+            independently with ``write_prob``.
+    """
+
+    region: Region
+    weight: float
+    write_prob: float
+    mean_run: float
+    span: int = 1
+    run_level_writes: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive("weight", self.weight)
+        check_range("write_prob", self.write_prob, 0.0, 1.0)
+        check_positive("mean_run", self.mean_run)
+        check_positive("span", self.span)
+        if self.span > self.region.size:
+            raise ValueError(
+                f"span {self.span} exceeds region size {self.region.size}"
+            )
+
+    def sample_run(
+        self, rng: np.random.Generator, max_len: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw one sequential run of at most ``max_len`` references.
+
+        Returns parallel (addresses, writes) arrays.  The run starts at a
+        uniformly random span-aligned window of the region and cycles over
+        ``span`` consecutive addresses.
+        """
+        check_positive("max_len", max_len)
+        length = min(int(rng.geometric(1.0 / max(self.mean_run, 1.0))), max_len,
+                     4 * int(self.mean_run) + 8)
+        base = int(rng.integers(0, self.region.size - self.span + 1))
+        offsets = base + (np.arange(length) % self.span)
+        addrs = self.region.addrs(offsets)
+        if self.run_level_writes:
+            is_write_run = rng.random() < self.write_prob
+            writes = np.full(length, is_write_run, dtype=bool)
+        else:
+            writes = rng.random(length) < self.write_prob
+        return addrs, writes

@@ -1,0 +1,245 @@
+"""Assembly of per-thread traces from access recipes.
+
+A :class:`ThreadRecipe` fully describes one synthetic thread: its length,
+how many of its instructions are data references, how those split between
+shared channels and the thread's private segment, and the run structure of
+each.  :func:`generate_thread` turns a recipe into a
+:class:`~repro.trace.stream.ThreadTrace`; :func:`generate_trace_set` builds
+a whole application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.trace.stream import ThreadTrace, TraceSet
+from repro.workload.address_space import Region
+from repro.workload.channels import PoolChannel
+from repro.workload.shaping import distribute_gaps
+from repro.util.validate import check_positive, check_range
+
+__all__ = ["ThreadRecipe", "generate_thread", "generate_trace_set"]
+
+# A single run never exceeds this many references; keeps pathological
+# geometric draws from serializing a whole thread into one run.
+_MAX_RUN = 8192
+
+
+@dataclass
+class ThreadRecipe:
+    """Everything needed to synthesize one thread's trace.
+
+    Attributes:
+        thread_id: Dense thread index.
+        length: Thread length in instructions (gaps + references).
+        data_ref_fraction: Fraction of instructions that are data references.
+        shared_fraction: Fraction of data references aimed at shared data
+            (the Table 2 "Shared Refs" percentage, as a fraction).
+        channels: Weighted shared channels (must be non-empty when
+            ``shared_fraction > 0``).
+        private_region: This thread's private segment.
+        private_reuse: Mean references per distinct private address; sizes
+            the private working set.
+        private_mean_run: Mean sequential-run length over private data.
+        private_write_prob: Write probability of private references.
+        phases: Barrier-phase count.  With more than one phase the
+            reference stream is organized into that many rounds, each of
+            which issues its read-only run segments first and its
+            write-containing segments at the end — the paper's barrier
+            structure ("different threads operate on the same piece of
+            data within a phase", updates at phase end).  Order-only: the
+            static per-thread characteristics are unchanged.
+        private_window: Granularity (words) of the working-set scatter —
+            normally the cache-block size, so the working set is a random
+            set of whole blocks spread across the private region rather
+            than one dense prefix.  Dense prefixes would make the cache
+            sets two co-scheduled threads collide on a deterministic
+            function of their thread ids — a placement lottery real
+            programs' scattered heaps do not play.
+    """
+
+    thread_id: int
+    length: int
+    data_ref_fraction: float = 0.3
+    shared_fraction: float = 0.6
+    channels: list[PoolChannel] = field(default_factory=list)
+    private_region: Region | None = None
+    private_reuse: float = 24.0
+    private_mean_run: float = 8.0
+    private_write_prob: float = 0.3
+    private_window: int = 4
+    phases: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive("length", self.length)
+        check_range("data_ref_fraction", self.data_ref_fraction, 0.0, 1.0)
+        check_range("shared_fraction", self.shared_fraction, 0.0, 1.0)
+        check_positive("private_reuse", self.private_reuse)
+        check_positive("private_mean_run", self.private_mean_run)
+        check_range("private_write_prob", self.private_write_prob, 0.0, 1.0)
+        check_positive("phases", self.phases)
+
+
+def _channel_quotas(channels: list[PoolChannel], total: int) -> np.ndarray:
+    """Split ``total`` references across channels proportionally to weight.
+
+    Largest-remainder apportionment: exact totals, and every channel gets
+    its deterministic share.  Deterministic shares (rather than a random
+    channel per run) matter for fidelity: they remove Poisson noise from
+    per-channel volumes, keeping inter-thread sharing as uniform as the
+    pattern's weights say it is — the paper's "uniform data sharing".
+    """
+    weights = np.array([c.weight for c in channels], dtype=float)
+    raw = total * weights / weights.sum()
+    quotas = np.floor(raw).astype(np.int64)
+    remainder = total - int(quotas.sum())
+    if remainder > 0:
+        order = np.argsort(-(raw - quotas))
+        quotas[order[:remainder]] += 1
+    return quotas
+
+
+def _sample_shared_segments(
+    rng: np.random.Generator, channels: list[PoolChannel], total: int
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Draw shared-run segments totalling exactly ``total`` references."""
+    if total == 0:
+        return []
+    if not channels:
+        raise ValueError("shared references requested but no channels supplied")
+    segments = []
+    for channel, quota in zip(channels, _channel_quotas(channels, total)):
+        remaining = int(quota)
+        while remaining > 0:
+            addrs, writes = channel.sample_run(rng, min(remaining, _MAX_RUN))
+            segments.append((addrs, writes))
+            remaining -= addrs.size
+    return segments
+
+
+def _private_working_set(
+    rng: np.random.Generator, recipe: "ThreadRecipe", total: int
+) -> np.ndarray:
+    """Choose the thread's private working set: scattered whole windows.
+
+    The working set (sized by ``private_reuse``) is a random selection of
+    block-granular windows across the private region, concatenated into a
+    virtual index space the runs cycle over.  Scattering decorrelates the
+    cache-set mapping of co-scheduled threads' private data.
+    """
+    region = recipe.private_region
+    window = max(1, min(recipe.private_window, region.size))
+    ws_words = int(min(region.size, max(window, round(total / recipe.private_reuse))))
+    n_windows = max(1, -(-ws_words // window))
+    available = region.size // window
+    chosen = rng.choice(available, size=min(n_windows, available), replace=False)
+    offsets = []
+    for start in np.sort(chosen):
+        offsets.extend(range(start * window, min((start + 1) * window, region.size)))
+    return region.addrs(np.array(offsets, dtype=np.int64))
+
+
+def _sample_private_segments(
+    rng: np.random.Generator, recipe: "ThreadRecipe", total: int
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Draw private-run segments totalling exactly ``total`` references.
+
+    The private stream is a scattered working set scanned in short
+    sequential runs starting at random offsets; reuse (and therefore the
+    private cache footprint) is set by ``private_reuse``.
+    """
+    if total == 0:
+        return []
+    if recipe.private_region is None:
+        raise ValueError("private references requested but no private region supplied")
+    working_set = _private_working_set(rng, recipe, total)
+    ws = int(working_set.size)
+    p = 1.0 / max(recipe.private_mean_run, 1.0)
+    segments = []
+    remaining = total
+    while remaining > 0:
+        run = min(int(rng.geometric(p)), remaining, _MAX_RUN)
+        base = int(rng.integers(0, ws))
+        offsets = (base + np.arange(run)) % ws
+        addrs = working_set[offsets]
+        writes = rng.random(run) < recipe.private_write_prob
+        segments.append((addrs, writes))
+        remaining -= run
+    return segments
+
+
+def _order_segments(
+    rng: np.random.Generator,
+    segments: list[tuple[np.ndarray, np.ndarray]],
+    phases: int,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Arrange run segments into the thread's final order.
+
+    One phase: a uniformly random shuffle (run boundaries preserved).
+    Several phases: segments are dealt randomly across phases; within a
+    phase, read-only segments come first and write-containing segments
+    last — the barrier structure of phase-parallel programs.
+    """
+    if not segments:
+        return []
+    order = rng.permutation(len(segments))
+    if phases <= 1:
+        return [segments[i] for i in order]
+    buckets: list[tuple[list, list]] = [([], []) for _ in range(phases)]
+    for position, index in enumerate(order):
+        segment = segments[index]
+        reads, writes = buckets[position % phases]
+        (writes if bool(segment[1].any()) else reads).append(segment)
+    ordered: list[tuple[np.ndarray, np.ndarray]] = []
+    for reads, writes in buckets:
+        ordered.extend(reads)
+        ordered.extend(writes)
+    return ordered
+
+
+def generate_thread(recipe: ThreadRecipe, rng: np.random.Generator) -> ThreadTrace:
+    """Synthesize one thread trace from its recipe.
+
+    The reference stream interleaves shared and private run segments in a
+    random order (run boundaries preserved — interleaving happens *between*
+    runs, never inside one, which is what keeps sharing sequential); the
+    non-memory instruction budget is spread across references as gaps so
+    the trace's total length equals ``recipe.length`` exactly.
+    """
+    n_refs = int(round(recipe.length * recipe.data_ref_fraction))
+    n_refs = max(1, min(n_refs, recipe.length))
+    n_shared = int(round(n_refs * recipe.shared_fraction))
+    if not recipe.channels:
+        n_shared = 0
+    n_private = n_refs - n_shared
+    if recipe.private_region is None:
+        n_shared, n_private = n_refs, 0
+
+    segments = _sample_shared_segments(rng, recipe.channels, n_shared)
+    segments += _sample_private_segments(rng, recipe, n_private)
+    ordered = _order_segments(rng, segments, recipe.phases)
+    addrs = (np.concatenate([s[0] for s in ordered])
+             if ordered else np.zeros(0, np.int64))
+    writes = (np.concatenate([s[1] for s in ordered])
+              if ordered else np.zeros(0, bool))
+
+    gaps = distribute_gaps(rng, addrs.size, recipe.length - addrs.size)
+    return ThreadTrace(recipe.thread_id, gaps, addrs.astype(np.int64), writes)
+
+
+def generate_trace_set(
+    name: str,
+    recipes: list[ThreadRecipe],
+    rng_for_thread,
+) -> TraceSet:
+    """Generate a whole application from per-thread recipes.
+
+    ``rng_for_thread(thread_id)`` must return an independent generator per
+    thread, so threads are reproducible individually and in any order.
+    """
+    threads = [
+        generate_thread(recipe, rng_for_thread(recipe.thread_id)) for recipe in recipes
+    ]
+    return TraceSet(name, threads)

@@ -1,0 +1,467 @@
+"""Access patterns: from qualitative sharing structure to thread recipes.
+
+The paper explains its negative result by the *structure* of sharing in its
+workload (§4.2): work is partitioned across the main shared data structures,
+phases are separated by barriers, shared elements are migratory, sharing is
+uniform across threads, and — critically — programs "widely read-shared but
+wrote locally".  Each pattern class here reconstructs one of those
+structures as a set of weighted :class:`~repro.workload.channels.PoolChannel`
+per thread; :mod:`repro.workload.applications` picks the pattern and knobs
+for each of the fourteen programs.
+
+Three structural rules all patterns obey:
+
+* **Footprint-driven sizing.**  Table 2 pins, per thread, the shared
+  reference count S and the references per shared address R; together they
+  pin the thread's shared footprint S / R.  For the uniformly-sharing
+  programs all threads overlap on essentially the same footprint, so
+  shared regions are sized to the per-toucher footprint.  Run lengths of
+  about R/2 per word land each thread's reuse on the Table 2 target while
+  keeping sharing *sequential*.
+* **Write locally.**  Writes to read-shared data go to block-aligned,
+  single-writer zones (or few-owner chunks/mailboxes), as in the paper's
+  programs, whose data was partitioned or restructured for locality.
+  Scattering writes from every thread over the shared pool would make each
+  write broadcast invalidations to every cache — traffic the paper's
+  measurements rule out.
+* **Block-spanning runs.**  A sequential run cycles a cache-block-sized
+  window, so one fetch amortizes over many references (the spatial
+  locality the paper's programs were optimized for), keeping compulsory
+  and coherence traffic per *block*, not per word.
+
+Because footprint coverage and run length interact stochastically, sizes
+and run lengths carry per-application multipliers (``pool_multiplier``,
+``run_multiplier``) that :func:`repro.workload.applications.build_application`
+tunes in a short deterministic fixed-point loop against the measured
+characteristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workload.address_space import AddressSpace, Region
+from repro.workload.channels import PoolChannel
+from repro.workload.generator import ThreadRecipe
+from repro.workload.targets import AppTargets
+from repro.util.validate import check_positive, check_range
+
+__all__ = [
+    "BuildContext",
+    "AccessPattern",
+    "PartitionedPattern",
+    "BarrierPhasePattern",
+    "MigratoryPattern",
+    "AllSharePattern",
+    "RandomCommPattern",
+]
+
+_DATA_REF_FRACTION = 0.3
+
+
+@dataclass
+class BuildContext:
+    """Inputs shared by every pattern build.
+
+    Attributes:
+        targets: The application's Table 1/2 calibration targets.
+        lengths: Per-thread instruction lengths (already shaped).
+        space: Address-space allocator for the application.
+        rng: Generator for structural randomness (partner graphs, chunk
+            ownership) — *not* for per-thread reference streams, which use
+            their own per-thread streams.
+        run_multiplier: Calibration multiplier on shared run lengths.
+        pool_multiplier: Calibration multiplier on shared region sizes.
+    """
+
+    targets: AppTargets
+    lengths: np.ndarray
+    space: AddressSpace
+    rng: np.random.Generator
+    run_multiplier: float = 1.0
+    pool_multiplier: float = 1.0
+
+    @property
+    def num_threads(self) -> int:
+        return int(self.lengths.size)
+
+    @property
+    def block_words(self) -> int:
+        return self.space.block_words
+
+    @property
+    def shared_fraction(self) -> float:
+        return self.targets.shared_refs_pct / 100.0
+
+    @property
+    def mean_shared_refs(self) -> float:
+        """Expected shared references of an average thread."""
+        return float(self.lengths.mean()) * _DATA_REF_FRACTION * self.shared_fraction
+
+    def mean_run_for(self, span: int) -> float:
+        """Run length targeting the Table 2 references-per-shared-address.
+
+        A run cycles a ``span``-word window; ~R/2 references per word means
+        each word collects a couple of same-thread runs — sequential
+        sharing with a little temporal spread, leaving room for another
+        thread's run between them at simulation time.
+        """
+        per_word = 0.5 * self.targets.refs_per_shared_addr * self.run_multiplier
+        run = per_word * span
+        return float(max(1.0, min(run, max(self.mean_shared_refs, 1.0))))
+
+    def footprint(self, refs_per_toucher: float) -> int:
+        """Region size (words) from the per-toucher reference budget.
+
+        ``refs / R`` distinct words give each toucher the Table 2 reuse R;
+        every toucher covers (nearly) the whole region, so all touchers
+        overlap — uniform sharing.
+        """
+        words = refs_per_toucher / max(self.targets.refs_per_shared_addr, 1.0)
+        return max(1, int(round(words * self.pool_multiplier)))
+
+    def span_for(self, region: Region) -> int:
+        """Run window: one cache block, capped by the region size."""
+        return min(self.block_words, region.size)
+
+
+def _base_recipe(ctx: BuildContext, thread_id: int, channels: list[PoolChannel],
+                 private_region: Region) -> ThreadRecipe:
+    return ThreadRecipe(
+        thread_id=thread_id,
+        length=int(ctx.lengths[thread_id]),
+        data_ref_fraction=_DATA_REF_FRACTION,
+        shared_fraction=ctx.shared_fraction,
+        channels=channels,
+        private_region=private_region,
+        private_window=ctx.block_words,
+    )
+
+
+def _private_regions(ctx: BuildContext) -> list[Region]:
+    """One private segment per thread, several times its working set.
+
+    The generator scatters the working set (private reuse 24) across the
+    region in block windows; a 3x region gives the scatter room, so two
+    co-scheduled threads' private blocks land on decorrelated cache sets.
+    """
+    regions = []
+    for tid in range(ctx.num_threads):
+        n_private = float(ctx.lengths[tid]) * _DATA_REF_FRACTION * (1 - ctx.shared_fraction)
+        words = max(2 * ctx.block_words, int(round(3.0 * n_private / 24.0)))
+        regions.append(ctx.space.allocate(f"private-{tid}", words))
+    return regions
+
+
+def _block_zones(ctx: BuildContext, pool: Region) -> list[Region]:
+    """Block-aligned single-writer zones of a shared pool.
+
+    Writers must never share a cache block (the paper's programs were
+    partitioned/restructured to eliminate false sharing), so zones are
+    whole blocks; a pool smaller than one block is a single zone.
+    """
+    block = ctx.block_words
+    if pool.size <= block:
+        return [pool]
+    n_zones = pool.size // block
+    return [
+        Region(pool.start + z * block,
+               block if z < n_zones - 1 else pool.size - (n_zones - 1) * block)
+        for z in range(n_zones)
+    ]
+
+
+def _dirichlet_weights(
+    rng: np.random.Generator, count: int, concentration: float | None
+) -> np.ndarray:
+    """Partner weights: uniform, or Dirichlet-skewed for affinity.
+
+    Low concentration produces strongly unequal pairwise sharing (the high
+    Dev(%) rows of Table 2); ``None`` gives exactly uniform sharing.
+    """
+    if count == 0:
+        return np.zeros(0)
+    if concentration is None:
+        return np.full(count, 1.0 / count)
+    check_positive("concentration", concentration)
+    weights = rng.dirichlet(np.full(count, concentration))
+    # Floor so no channel weight is exactly zero (PoolChannel requires > 0).
+    weights = np.maximum(weights, 1e-6)
+    return weights / weights.sum()
+
+
+class AccessPattern:
+    """Base class: build per-thread recipes for an application."""
+
+    def build(self, ctx: BuildContext) -> list[ThreadRecipe]:
+        """Produce one :class:`ThreadRecipe` per thread of the context."""
+        raise NotImplementedError
+
+
+class _ReadShareWriteLocal(AccessPattern):
+    """Shared skeleton: global read-sharing plus single-writer write zones.
+
+    One hot pool sized to the per-thread footprint; every thread read-shares
+    the whole pool, while writes go to block-aligned zones owned by exactly
+    one thread (zone owners round-robin; with more threads than zones the
+    extra threads are pure readers, with more zones than threads a thread
+    owns several).  Subclasses differ only in the split between read and
+    write traffic — which is exactly how the paper distinguishes these
+    programs' sharing (§4.2).
+    """
+
+    #: Fraction of a thread's shared references that go to its own zones.
+    write_weight: float = 0.3
+    #: Probability one of those zone runs is a write run (run-level).
+    write_run_prob: float = 0.6
+    #: Barrier phases (1 = unordered stream; see ThreadRecipe.phases).
+    phases: int = 1
+
+    def build(self, ctx: BuildContext) -> list[ThreadRecipe]:
+        t = ctx.num_threads
+        pool = ctx.space.allocate("shared-pool", ctx.footprint(ctx.mean_shared_refs))
+        zones = _block_zones(ctx, pool)
+        read_span = ctx.span_for(pool)
+        read_run = ctx.mean_run_for(read_span)
+        privates = _private_regions(ctx)
+
+        owned: dict[int, list[Region]] = {tid: [] for tid in range(t)}
+        for z, zone in enumerate(zones):
+            owned[z % t].append(zone)
+
+        recipes = []
+        for tid in range(t):
+            my_zones = owned[tid]
+            read_weight = 1.0 - (self.write_weight if my_zones else 0.0)
+            channels = [
+                PoolChannel(
+                    region=pool,
+                    weight=read_weight,
+                    write_prob=0.0,
+                    mean_run=read_run,
+                    span=read_span,
+                )
+            ]
+            for zone in my_zones:
+                span = ctx.span_for(zone)
+                channels.append(
+                    PoolChannel(
+                        region=zone,
+                        weight=self.write_weight / len(my_zones),
+                        write_prob=self.write_run_prob,
+                        mean_run=ctx.mean_run_for(span),
+                        span=span,
+                        run_level_writes=True,
+                    )
+                )
+            recipe = _base_recipe(ctx, tid, channels, privates[tid])
+            recipe.phases = self.phases
+            recipes.append(recipe)
+        return recipes
+
+
+class PartitionedPattern(_ReadShareWriteLocal):
+    """Work partitioned across the main shared data structures (§4.2).
+
+    Each thread works read-mostly over the whole shared hot set and
+    updates its own partition: LocusRoute, Water, MP3D, Cholesky, Pverify,
+    Topopt.
+
+    Args:
+        own_weight: Share of a thread's shared references that are
+            own-partition updates.
+        own_write_prob: Probability an own-partition run is a write run.
+    """
+
+    def __init__(self, own_weight: float = 0.35, own_write_prob: float = 0.6) -> None:
+        check_range("own_weight", own_weight, 0.0, 1.0)
+        check_range("own_write_prob", own_write_prob, 0.0, 1.0)
+        self.write_weight = own_weight
+        self.write_run_prob = own_write_prob
+
+
+class BarrierPhasePattern(_ReadShareWriteLocal):
+    """Barrier-separated phases: read widely, write locally (§4.2).
+
+    The Barnes-Hut structure: during the computation phase every thread
+    read-shares the particle array; at phase end each thread writes only
+    its own zone — reproduced temporally by organizing each thread's
+    stream into ``phases`` rounds with the write segments at round ends.
+    Barnes-Hut, Grav, Patch.
+
+    Args:
+        read_weight: Share of shared references that are global reads.
+        own_write_prob: Probability an own-zone run is a write run.
+        phases: Barrier phases per thread (write bursts per zone).
+    """
+
+    def __init__(self, read_weight: float = 0.75, own_write_prob: float = 0.85,
+                 phases: int = 4) -> None:
+        check_range("read_weight", read_weight, 0.0, 1.0)
+        check_range("own_write_prob", own_write_prob, 0.0, 1.0)
+        check_positive("phases", phases)
+        self.write_weight = 1.0 - read_weight
+        self.write_run_prob = own_write_prob
+        self.phases = phases
+
+
+class AllSharePattern(_ReadShareWriteLocal):
+    """Every thread shares the same data (§4.2's Gauss example).
+
+    Gaussian elimination: rows are read by everyone, each written by its
+    owner.  A thin write share keeps the pool read-dominated.
+
+    Args:
+        write_weight: Share of a zone owner's references that update it.
+        write_run_prob: Probability a zone run is a write run.
+    """
+
+    def __init__(self, write_weight: float = 0.1, write_run_prob: float = 0.5) -> None:
+        check_range("write_weight", write_weight, 0.0, 1.0)
+        check_range("write_run_prob", write_run_prob, 0.0, 1.0)
+        self.write_weight = write_weight
+        self.write_run_prob = write_run_prob
+
+
+class MigratoryPattern(AccessPattern):
+    """Migratory shared data: long write runs that move between threads.
+
+    The paper's FFT analysis: "73% of all shared elements are migratory,
+    i.e., accessed in long write runs".  The shared segment is carved into
+    chunks; each chunk is owned by a few threads that access it in
+    run-level write runs.  Reconstructs FFT and Vandermonde.
+
+    Args:
+        owners_per_chunk: Threads sharing each chunk (2 gives the sparsest,
+            highest-deviation pairwise sharing).
+        write_prob: Probability a run is a write run.
+    """
+
+    def __init__(self, owners_per_chunk: int = 3, write_prob: float = 0.7) -> None:
+        if owners_per_chunk < 2:
+            raise ValueError("owners_per_chunk must be >= 2 so chunks are shared")
+        self.owners_per_chunk = owners_per_chunk
+        self.write_prob = write_prob
+
+    def build(self, ctx: BuildContext) -> list[ThreadRecipe]:
+        """Carve chunk regions, assign owners, and build the recipes."""
+        t = ctx.num_threads
+        # A thread owns `owners_per_chunk` of the t chunks on average, so
+        # its per-chunk budget is its shared refs divided by that.
+        chunk_size = ctx.footprint(ctx.mean_shared_refs / self.owners_per_chunk)
+        chunks = [ctx.space.allocate(f"chunk-{c}", chunk_size) for c in range(t)]
+        span = ctx.span_for(chunks[0])
+        mean_run = ctx.mean_run_for(span)
+
+        # Ownership: chunk c's first owner is thread c (so every thread owns
+        # at least one chunk); the rest are random distinct threads.
+        owners: list[list[int]] = []
+        for c in range(t):
+            extra = [i for i in range(t) if i != c % t]
+            picks = ctx.rng.choice(len(extra), size=self.owners_per_chunk - 1,
+                                   replace=False)
+            owners.append([c % t] + [extra[int(p)] for p in picks])
+
+        privates = _private_regions(ctx)
+        recipes = []
+        for tid in range(t):
+            my_chunks = [c for c in range(t) if tid in owners[c]]
+            channels = [
+                PoolChannel(
+                    region=chunks[c],
+                    weight=1.0,
+                    write_prob=self.write_prob,
+                    mean_run=mean_run,
+                    span=span,
+                    run_level_writes=True,
+                )
+                for c in my_chunks
+            ]
+            recipes.append(_base_recipe(ctx, tid, channels, privates[tid]))
+        return recipes
+
+
+class RandomCommPattern(AccessPattern):
+    """Random pairwise communication through mailboxes (Fullconn, Health).
+
+    Each thread has a few partners and one mailbox region per partner pair;
+    both endpoints read and write the mailbox in run-level bursts (a
+    producer/consumer exchange is a write run followed by the partner's
+    read runs).  Dirichlet-skewed partner weights produce the large
+    pairwise-sharing deviations Table 2 reports for these programs.
+
+    Args:
+        partners: Partners per thread (undirected edges in the comm graph).
+            These programs' huge per-address reuse (Table 2: 493 and 854
+            references per shared address) forces *few* partners in the
+            scaled address space: a thread's whole shared footprint is only
+            a couple of words.
+        affinity: Dirichlet concentration over a thread's partner channels;
+            smaller values mean more skew.
+        write_prob: Probability a mailbox run is a write run.
+    """
+
+    def __init__(
+        self,
+        partners: int = 2,
+        affinity: float | None = 0.5,
+        write_prob: float = 0.5,
+    ) -> None:
+        check_positive("partners", partners)
+        self.partners = partners
+        self.affinity = affinity
+        self.write_prob = write_prob
+
+    def _partner_graph(self, ctx: BuildContext) -> list[set[int]]:
+        """Random undirected partner sets, at least one partner each."""
+        t = ctx.num_threads
+        neighbours: list[set[int]] = [set() for _ in range(t)]
+        for tid in range(t):
+            want = min(self.partners, t - 1)
+            while len(neighbours[tid]) < want:
+                other = int(ctx.rng.integers(0, t))
+                if other != tid:
+                    neighbours[tid].add(other)
+                    neighbours[other].add(tid)
+        return neighbours
+
+    def build(self, ctx: BuildContext) -> list[ThreadRecipe]:
+        """Build the partner graph and mailbox regions, then the recipes."""
+        t = ctx.num_threads
+        neighbours = self._partner_graph(ctx)
+        degree_mean = max(1.0, float(np.mean([len(n) for n in neighbours])))
+        box_size = ctx.footprint(ctx.mean_shared_refs / degree_mean)
+
+        mailboxes: dict[tuple[int, int], Region] = {}
+        for tid in range(t):
+            for other in sorted(neighbours[tid]):
+                key = (min(tid, other), max(tid, other))
+                if key not in mailboxes:
+                    mailboxes[key] = ctx.space.allocate(
+                        f"mbox-{key[0]}-{key[1]}", box_size
+                    )
+
+        privates = _private_regions(ctx)
+        recipes = []
+        for tid in range(t):
+            partners = sorted(neighbours[tid])
+            weights = _dirichlet_weights(ctx.rng, len(partners), self.affinity)
+            channels = []
+            for other, w in zip(partners, weights):
+                key = (min(tid, other), max(tid, other))
+                box = mailboxes[key]
+                span = ctx.span_for(box)
+                channels.append(
+                    PoolChannel(
+                        region=box,
+                        weight=max(float(w), 1e-9),
+                        write_prob=self.write_prob,
+                        mean_run=ctx.mean_run_for(span),
+                        span=span,
+                        run_level_writes=True,
+                    )
+                )
+            recipes.append(_base_recipe(ctx, tid, channels, privates[tid]))
+        return recipes

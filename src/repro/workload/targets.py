@@ -1,0 +1,264 @@
+"""Published characteristics of the paper's application suite.
+
+Tables 1 and 2 of the paper define the fourteen applications by their
+*measured* properties.  This module transcribes those properties as the
+calibration targets the synthetic workload generators aim for:
+
+* **Table 2 (verbatim)** — pairwise sharing mean/deviation, N-way sharing
+  mean/deviation, references per shared address mean/deviation, percentage
+  of shared references, and simulated thread length mean/deviation.
+* **Table 1 (reconstructed)** — the paper's Table 1 lists thread counts and
+  granularity; its cell values are not in the text we work from, so thread
+  counts are reconstructed from constraints stated in the prose: coarse-grain
+  programs have "fewer, but longer" threads, Gauss has 127 threads ("the
+  largest of any application"), medium-grain threads are "more numerous",
+  and the evaluation runs up to 16 processors with at least one thread per
+  processor (Table 5 uses 16 processors for Water, LocusRoute, Pverify,
+  Grav, FFT and Health).  For the applications whose thread
+  lengths are markedly uneven (LocusRoute, Pverify, FFT, ...), counts are
+  deliberately not divisible by every processor count: with t not divisible
+  by p, a thread-balanced placement (RANDOM and the sharing family) carries
+  an intrinsic instruction-load imbalance that LOAD-BAL does not — the
+  effect behind the paper's 13-56% LOAD-BAL wins at few threads per
+  processor.  The near-uniform applications (Water, MP3D, Cholesky,
+  Barnes-Hut, Topopt) get divisible counts, matching the paper's finding
+  that no algorithm beats any other on them.
+
+Thread lengths are stored in *paper units* (thousands of instructions); the
+application builders apply a global ``scale`` to bring simulation cost down
+while preserving every relative quantity (see DESIGN.md substitution table).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Grain", "SharingShape", "AppTargets", "PAPER_TARGETS", "target_for"]
+
+
+class Grain(enum.Enum):
+    """Application granularity class (paper §3.1)."""
+
+    COARSE = "coarse"
+    MEDIUM = "medium"
+
+
+class SharingShape(enum.Enum):
+    """Qualitative sharing structure the paper attributes to the program.
+
+    Drives which synthetic access pattern reconstructs the application:
+
+    * ``PARTITIONED`` — work partitioned across the main shared structures;
+      each thread owns a partition, with cross-partition read traffic.
+    * ``BARRIER_PHASE`` — barrier-separated phases: widely read-shared data
+      during computation, local writes at phase end (Barnes-Hut style).
+    * ``MIGRATORY`` — shared elements accessed in long single-thread write
+      runs that migrate between threads (FFT: "73% of all shared elements
+      are migratory").
+    * ``ALL_SHARE`` — every thread shares the same data (Gauss).
+    * ``RANDOM_COMM`` — threads communicate pairwise at random through
+      mailbox-like buffers (Fullconn, Health).
+    """
+
+    PARTITIONED = "partitioned"
+    BARRIER_PHASE = "barrier-phase"
+    MIGRATORY = "migratory"
+    ALL_SHARE = "all-share"
+    RANDOM_COMM = "random-comm"
+
+
+@dataclass(frozen=True)
+class AppTargets:
+    """Calibration targets for one application.
+
+    Attributes:
+        name: Application name as the paper spells it.
+        grain: Coarse or medium granularity.
+        domain: Problem domain (Table 1 prose).
+        num_threads: Thread count (reconstructed; see module docstring).
+        shape: Qualitative sharing structure.
+        pairwise_sharing_mean_k: Table 2 pairwise sharing mean, in thousands.
+        pairwise_sharing_dev_pct: Table 2 pairwise sharing Dev(%).
+        nway_sharing_mean_k: Table 2 N-way sharing mean, in thousands.
+        nway_sharing_dev_pct: Table 2 N-way sharing Dev(%).
+        refs_per_shared_addr: Table 2 references per shared address (mean).
+        refs_per_shared_addr_dev_pct: Table 2 same, Dev(%).
+        shared_refs_pct: Table 2 percentage of shared references.
+        thread_length_mean_k: Table 2 simulated thread length mean, in
+            thousands of instructions.
+        thread_length_dev_pct: Table 2 thread length Dev(%).
+    """
+
+    name: str
+    grain: Grain
+    domain: str
+    num_threads: int
+    shape: SharingShape
+    pairwise_sharing_mean_k: float
+    pairwise_sharing_dev_pct: float
+    nway_sharing_mean_k: float
+    nway_sharing_dev_pct: float
+    refs_per_shared_addr: float
+    refs_per_shared_addr_dev_pct: float
+    shared_refs_pct: float
+    thread_length_mean_k: float
+    thread_length_dev_pct: float
+
+    @property
+    def is_coarse(self) -> bool:
+        return self.grain is Grain.COARSE
+
+    @property
+    def thread_length_cv(self) -> float:
+        """Coefficient of variation of thread length (Dev% / 100)."""
+        return self.thread_length_dev_pct / 100.0
+
+
+# Table 2 of the paper, one row per application, coarse grain first.
+PAPER_TARGETS: tuple[AppTargets, ...] = (
+    AppTargets(
+        name="LocusRoute", grain=Grain.COARSE, domain="VLSI standard cell router",
+        num_threads=24, shape=SharingShape.PARTITIONED,
+        pairwise_sharing_mean_k=527, pairwise_sharing_dev_pct=14.0,
+        nway_sharing_mean_k=7911, nway_sharing_dev_pct=4.6,
+        refs_per_shared_addr=15, refs_per_shared_addr_dev_pct=22.5,
+        shared_refs_pct=57.4,
+        thread_length_mean_k=1055, thread_length_dev_pct=14.6,
+    ),
+    AppTargets(
+        name="Water", grain=Grain.COARSE, domain="water molecule dynamics",
+        num_threads=16, shape=SharingShape.PARTITIONED,
+        pairwise_sharing_mean_k=202, pairwise_sharing_dev_pct=13.9,
+        nway_sharing_mean_k=2986, nway_sharing_dev_pct=1.6,
+        refs_per_shared_addr=23, refs_per_shared_addr_dev_pct=2.8,
+        shared_refs_pct=71.7,
+        thread_length_mean_k=467, thread_length_dev_pct=2.4,
+    ),
+    AppTargets(
+        name="MP3D", grain=Grain.COARSE, domain="rarefied hypersonic flow",
+        num_threads=16, shape=SharingShape.PARTITIONED,
+        pairwise_sharing_mean_k=897, pairwise_sharing_dev_pct=0.8,
+        nway_sharing_mean_k=13473, nway_sharing_dev_pct=0.0,
+        refs_per_shared_addr=24, refs_per_shared_addr_dev_pct=0.0,
+        shared_refs_pct=82.6,
+        thread_length_mean_k=1674, thread_length_dev_pct=0.9,
+    ),
+    AppTargets(
+        name="Cholesky", grain=Grain.COARSE, domain="sparse Cholesky factorization",
+        num_threads=16, shape=SharingShape.PARTITIONED,
+        pairwise_sharing_mean_k=2008, pairwise_sharing_dev_pct=1.8,
+        nway_sharing_mean_k=42264, nway_sharing_dev_pct=0.2,
+        refs_per_shared_addr=24, refs_per_shared_addr_dev_pct=3.7,
+        shared_refs_pct=17.1,
+        thread_length_mean_k=2994, thread_length_dev_pct=0.0,
+    ),
+    AppTargets(
+        name="Barnes-Hut", grain=Grain.COARSE, domain="galaxy evolution (N-body)",
+        num_threads=16, shape=SharingShape.BARRIER_PHASE,
+        pairwise_sharing_mean_k=349, pairwise_sharing_dev_pct=6.9,
+        nway_sharing_mean_k=5236, nway_sharing_dev_pct=5.4,
+        refs_per_shared_addr=8, refs_per_shared_addr_dev_pct=0.0,
+        shared_refs_pct=58.6,
+        thread_length_mean_k=597, thread_length_dev_pct=7.0,
+    ),
+    AppTargets(
+        name="Pverify", grain=Grain.COARSE, domain="boolean circuit equivalence",
+        num_threads=24, shape=SharingShape.PARTITIONED,
+        pairwise_sharing_mean_k=700, pairwise_sharing_dev_pct=14.7,
+        nway_sharing_mean_k=10508, nway_sharing_dev_pct=2.7,
+        refs_per_shared_addr=98, refs_per_shared_addr_dev_pct=26.7,
+        shared_refs_pct=91.7,
+        thread_length_mean_k=1095, thread_length_dev_pct=22.8,
+    ),
+    AppTargets(
+        name="Topopt", grain=Grain.COARSE, domain="VLSI topological optimization",
+        num_threads=16, shape=SharingShape.PARTITIONED,
+        pairwise_sharing_mean_k=1238, pairwise_sharing_dev_pct=9.7,
+        nway_sharing_mean_k=9988, nway_sharing_dev_pct=31.5,
+        refs_per_shared_addr=611, refs_per_shared_addr_dev_pct=7.3,
+        shared_refs_pct=50.7,
+        thread_length_mean_k=2934, thread_length_dev_pct=0.0,
+    ),
+    AppTargets(
+        name="Fullconn", grain=Grain.MEDIUM, domain="fully connected random communication",
+        num_threads=36, shape=SharingShape.RANDOM_COMM,
+        pairwise_sharing_mean_k=63, pairwise_sharing_dev_pct=88.8,
+        nway_sharing_mean_k=5628, nway_sharing_dev_pct=1.2,
+        refs_per_shared_addr=493, refs_per_shared_addr_dev_pct=92.6,
+        shared_refs_pct=95.6,
+        thread_length_mean_k=974, thread_length_dev_pct=6.1,
+    ),
+    AppTargets(
+        name="Grav", grain=Grain.MEDIUM, domain="Barnes-Hut clustering (Presto)",
+        num_threads=40, shape=SharingShape.BARRIER_PHASE,
+        pairwise_sharing_mean_k=42, pairwise_sharing_dev_pct=47.0,
+        nway_sharing_mean_k=2353, nway_sharing_dev_pct=26.1,
+        refs_per_shared_addr=43, refs_per_shared_addr_dev_pct=35.4,
+        shared_refs_pct=98.2,
+        thread_length_mean_k=763, thread_length_dev_pct=38.9,
+    ),
+    AppTargets(
+        name="Health", grain=Grain.MEDIUM, domain="distributed health-care simulation",
+        num_threads=48, shape=SharingShape.RANDOM_COMM,
+        pairwise_sharing_mean_k=71, pairwise_sharing_dev_pct=133.7,
+        nway_sharing_mean_k=6479, nway_sharing_dev_pct=39.6,
+        refs_per_shared_addr=854, refs_per_shared_addr_dev_pct=189.7,
+        shared_refs_pct=93.5,
+        thread_length_mean_k=1208, thread_length_dev_pct=95.2,
+    ),
+    AppTargets(
+        name="Patch", grain=Grain.MEDIUM, domain="radiosity (graphics)",
+        num_threads=56, shape=SharingShape.BARRIER_PHASE,
+        pairwise_sharing_mean_k=12, pairwise_sharing_dev_pct=32.2,
+        nway_sharing_mean_k=9227, nway_sharing_dev_pct=0.8,
+        refs_per_shared_addr=73, refs_per_shared_addr_dev_pct=22.1,
+        shared_refs_pct=97.4,
+        thread_length_mean_k=488, thread_length_dev_pct=59.1,
+    ),
+    AppTargets(
+        name="Vandermonde", grain=Grain.MEDIUM, domain="matrix operation sequence",
+        num_threads=40, shape=SharingShape.MIGRATORY,
+        pairwise_sharing_mean_k=39, pairwise_sharing_dev_pct=242.6,
+        nway_sharing_mean_k=2422, nway_sharing_dev_pct=64.7,
+        refs_per_shared_addr=1647, refs_per_shared_addr_dev_pct=80.9,
+        shared_refs_pct=98.7,
+        thread_length_mean_k=1819, thread_length_dev_pct=80.3,
+    ),
+    AppTargets(
+        name="FFT", grain=Grain.MEDIUM, domain="fast Fourier transform",
+        num_threads=48, shape=SharingShape.MIGRATORY,
+        pairwise_sharing_mean_k=3, pairwise_sharing_dev_pct=84.5,
+        nway_sharing_mean_k=346, nway_sharing_dev_pct=3.3,
+        refs_per_shared_addr=42, refs_per_shared_addr_dev_pct=69.2,
+        shared_refs_pct=72.4,
+        thread_length_mean_k=191, thread_length_dev_pct=187.6,
+    ),
+    AppTargets(
+        name="Gauss", grain=Grain.MEDIUM, domain="gaussian elimination",
+        num_threads=127, shape=SharingShape.ALL_SHARE,
+        pairwise_sharing_mean_k=52, pairwise_sharing_dev_pct=41.2,
+        nway_sharing_mean_k=105072, nway_sharing_dev_pct=2.8,
+        refs_per_shared_addr=26, refs_per_shared_addr_dev_pct=10.5,
+        shared_refs_pct=95.0,
+        thread_length_mean_k=210, thread_length_dev_pct=84.6,
+    ),
+)
+
+_BY_NAME = {t.name.lower(): t for t in PAPER_TARGETS}
+
+
+def target_for(name: str) -> AppTargets:
+    """Look up the calibration targets of an application by name.
+
+    Matching is case-insensitive; the paper itself spells LocusRoute both
+    "LocusRoute" and "Locusroute"/"Locus".
+    """
+    key = name.lower()
+    if key == "locus":  # the paper's Table 5 shorthand
+        key = "locusroute"
+    try:
+        return _BY_NAME[key]
+    except KeyError:
+        known = ", ".join(t.name for t in PAPER_TARGETS)
+        raise KeyError(f"unknown application {name!r}; known: {known}") from None

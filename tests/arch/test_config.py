@@ -1,0 +1,78 @@
+"""Tests for the architectural configuration (Table 3)."""
+
+import pytest
+
+from repro.arch.config import ArchConfig
+
+
+def config(**overrides):
+    defaults = dict(num_processors=4, contexts_per_processor=4)
+    defaults.update(overrides)
+    return ArchConfig(**defaults)
+
+
+class TestValidation:
+    def test_defaults_match_table3(self):
+        cfg = config()
+        assert cfg.hit_cycles == 1
+        assert cfg.memory_latency_cycles == 50
+        assert cfg.context_switch_cycles == 6
+        assert cfg.associativity == 1
+
+    def test_zero_processors_rejected(self):
+        with pytest.raises(ValueError):
+            config(num_processors=0)
+
+    def test_non_power_of_two_block_rejected(self):
+        with pytest.raises(ValueError):
+            config(block_words=6)
+
+    def test_cache_not_multiple_of_set_rejected(self):
+        with pytest.raises(ValueError):
+            config(cache_words=1000, block_words=8)
+
+    def test_non_power_of_two_sets_rejected(self):
+        # 24 blocks of 8 words = 192 words -> 24 sets: not a power of two.
+        with pytest.raises(ValueError):
+            config(cache_words=192, block_words=8)
+
+    def test_zero_switch_cost_allowed(self):
+        assert config(context_switch_cycles=0).context_switch_cycles == 0
+
+    def test_associative_geometry(self):
+        cfg = config(cache_words=1024, block_words=8, associativity=4)
+        assert cfg.num_sets == 32
+
+
+class TestDerivedProperties:
+    def test_num_sets(self):
+        assert config(cache_words=1024, block_words=8).num_sets == 128
+
+    def test_block_bits(self):
+        assert config(block_words=8).block_bits == 3
+        assert config(block_words=1).block_bits == 0
+
+    def test_max_threads(self):
+        assert config(num_processors=4, contexts_per_processor=8).max_threads == 32
+
+    def test_infinite_cache_constant(self):
+        cfg = config(cache_words=ArchConfig.INFINITE_CACHE_WORDS)
+        assert cfg.num_sets == ArchConfig.INFINITE_CACHE_WORDS // cfg.block_words
+
+    def test_with_cache_words(self):
+        cfg = config(cache_words=256)
+        big = cfg.with_cache_words(2048)
+        assert big.cache_words == 2048
+        assert big.num_processors == cfg.num_processors
+        assert cfg.cache_words == 256  # original untouched
+
+    def test_describe_covers_table3_rows(self):
+        rows = dict(config().describe())
+        assert rows["Context switch policy"] == "round-robin"
+        assert rows["Memory latency"] == "50 cycles"
+        assert rows["Cache organization"] == "direct-mapped"
+        assert "directory" in rows["Coherence"]
+
+    def test_describe_set_associative(self):
+        rows = dict(config(associativity=2).describe())
+        assert rows["Cache organization"] == "2-way set associative"

@@ -1,0 +1,96 @@
+"""Tests for the fixed-point contention model."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import ArchConfig
+from repro.arch.contention import simulate_with_contention
+from repro.arch.simulator import simulate
+from repro.placement.base import PlacementMap
+from repro.trace.stream import ThreadTrace, TraceSet
+
+
+def traffic_heavy_app(num_threads=4, refs=300, seed=2):
+    """Threads with poor locality: every reference a fresh block."""
+    rng = np.random.default_rng(seed)
+    threads = []
+    for tid in range(num_threads):
+        addrs = (np.arange(refs) * 4 + tid * 100_000).astype(np.int64)
+        threads.append(
+            ThreadTrace(tid, rng.integers(0, 2, refs).astype(np.int64),
+                        addrs, np.zeros(refs, bool))
+        )
+    return TraceSet("hot", threads)
+
+
+def quiet_app():
+    """Two threads hammering one private block each: almost no traffic."""
+    threads = []
+    for tid in range(2):
+        addrs = np.full(200, tid * 1000, dtype=np.int64)
+        threads.append(
+            ThreadTrace(tid, np.zeros(200, np.int64), addrs,
+                        np.zeros(200, bool))
+        )
+    return TraceSet("quiet", threads)
+
+
+class TestFixedPoint:
+    def test_quiet_workload_keeps_base_latency(self):
+        app = quiet_app()
+        config = ArchConfig(2, 1, cache_words=256)
+        contended = simulate_with_contention(app, PlacementMap([0, 1], 2), config)
+        assert contended.converged
+        assert contended.effective_latency == pytest.approx(50, abs=2)
+        assert contended.utilization < 0.05
+
+    def test_heavy_traffic_inflates_latency(self):
+        app = traffic_heavy_app()
+        config = ArchConfig(4, 1, cache_words=64)
+        contended = simulate_with_contention(
+            app, PlacementMap([0, 1, 2, 3], 4), config, service_cycles=8.0
+        )
+        assert contended.effective_latency > 50
+        assert contended.utilization > 0.1
+
+    def test_contended_never_faster_than_uncontended(self):
+        app = traffic_heavy_app()
+        placement = PlacementMap([0, 1, 2, 3], 4)
+        config = ArchConfig(4, 1, cache_words=64)
+        base = simulate(app, placement, config)
+        contended = simulate_with_contention(app, placement, config,
+                                             service_cycles=8.0)
+        assert contended.result.execution_time >= base.execution_time
+
+    def test_utilization_capped(self):
+        app = traffic_heavy_app(refs=500)
+        config = ArchConfig(4, 1, cache_words=64, memory_latency_cycles=5)
+        contended = simulate_with_contention(
+            app, PlacementMap([0, 1, 2, 3], 4), config, service_cycles=50.0
+        )
+        assert contended.utilization <= 0.95
+
+    def test_iteration_budget_respected(self):
+        app = traffic_heavy_app()
+        config = ArchConfig(4, 1, cache_words=64)
+        contended = simulate_with_contention(
+            app, PlacementMap([0, 1, 2, 3], 4), config, max_passes=2,
+            service_cycles=8.0,
+        )
+        assert contended.iterations <= 2
+
+    def test_invalid_args(self):
+        app = quiet_app()
+        config = ArchConfig(2, 1, cache_words=64)
+        with pytest.raises(ValueError):
+            simulate_with_contention(app, PlacementMap([0, 1], 2), config,
+                                     service_cycles=0)
+
+
+class TestWithMemoryLatency:
+    def test_copy_semantics(self):
+        config = ArchConfig(2, 1, cache_words=64)
+        faster = config.with_memory_latency(10)
+        assert faster.memory_latency_cycles == 10
+        assert config.memory_latency_cycles == 50
+        assert faster.cache_words == config.cache_words

@@ -1,0 +1,73 @@
+"""Tests for the Markov-chain efficiency model."""
+
+import numpy as np
+import pytest
+
+from repro.arch.markov import MarkovEfficiencyModel
+from repro.arch.models import predicted_utilization
+
+
+def model(contexts=4, run_length=10.0, latency=50.0, switch_cost=6.0):
+    return MarkovEfficiencyModel(contexts, run_length, latency, switch_cost)
+
+
+class TestChainStructure:
+    def test_rows_are_distributions(self):
+        matrix = model().transition_matrix
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+        assert (matrix >= 0).all()
+
+    def test_stationary_is_distribution(self):
+        pi = model().stationary_distribution
+        assert pi.sum() == pytest.approx(1.0)
+        assert (pi >= 0).all()
+
+    def test_stationary_is_fixed_point(self):
+        m = model()
+        pi = m.stationary_distribution
+        assert np.allclose(pi @ m.transition_matrix, pi, atol=1e-8)
+
+    def test_single_context_chain(self):
+        m = model(contexts=1)
+        # Two states: running or stalled; busy fraction R/(R+L).
+        assert m.busy_probability == pytest.approx(10 / 60, rel=0.02)
+
+
+class TestPredictions:
+    def test_monotone_in_contexts(self):
+        utils = [model(contexts=n).utilization for n in (1, 2, 4, 8, 16)]
+        assert utils == sorted(utils)
+
+    def test_saturation_limit(self):
+        """With many contexts utilization approaches R/(R+C)."""
+        saturated = model(contexts=32).utilization
+        assert saturated == pytest.approx(10 / 16, rel=0.05)
+
+    def test_few_contexts_cannot_hide_long_latency(self):
+        """The Saavedra-Barrera conclusion quoted in the paper's §5."""
+        assert model(contexts=2, latency=500.0).utilization < 0.1
+
+    def test_tracks_closed_form_unsaturated(self):
+        """In the unsaturated regime the chain sits below the closed form
+        (geometric service loses the perfect self-scheduling deterministic
+        latencies get) but within the same small-utilization regime."""
+        markov = model(contexts=2, latency=200.0)
+        closed = predicted_utilization(2, 10.0, 200.0, 6.0)
+        assert markov.utilization <= closed
+        assert markov.utilization >= 0.4 * closed
+
+    def test_agrees_with_closed_form_saturated(self):
+        markov = model(contexts=16, latency=50.0)
+        closed = predicted_utilization(16, 10.0, 50.0, 6.0)
+        assert markov.utilization == pytest.approx(closed, rel=0.1)
+
+    def test_switch_cost_reduces_utilization(self):
+        free = model(switch_cost=0.0).utilization
+        costly = model(switch_cost=12.0).utilization
+        assert costly < free
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            MarkovEfficiencyModel(0, 10, 50)
+        with pytest.raises(ValueError):
+            MarkovEfficiencyModel(2, 10, 0)

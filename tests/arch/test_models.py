@@ -1,0 +1,109 @@
+"""Tests for the analytical efficiency model vs the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import ArchConfig
+from repro.arch.models import EfficiencyModel, measured_run_length, predicted_utilization
+from repro.arch.simulator import simulate
+from repro.placement.base import PlacementMap
+from repro.trace.stream import ThreadTrace, TraceSet
+
+
+class TestModelShape:
+    def test_single_context_formula(self):
+        model = EfficiencyModel(contexts=1, run_length=10, latency=50, switch_cost=6)
+        assert model.utilization == pytest.approx(10 / 60)
+        assert not model.saturated
+
+    def test_saturation_boundary(self):
+        # (n-1)(R+C) >= L: with R=10, C=6, L=48 -> n=4 saturates exactly.
+        assert not EfficiencyModel(3, 10, 48, 6).saturated
+        assert EfficiencyModel(4, 10, 48, 6).saturated
+
+    def test_saturated_utilization_independent_of_latency(self):
+        a = EfficiencyModel(8, 10, 50, 6).utilization
+        b = EfficiencyModel(8, 10, 100, 6).utilization
+        assert a == b == pytest.approx(10 / 16)
+
+    def test_monotone_in_contexts(self):
+        utils = [predicted_utilization(n, 10, 100, 6) for n in (1, 2, 4, 8)]
+        assert utils == sorted(utils)
+
+    def test_few_contexts_cannot_hide_long_latency(self):
+        """Saavedra-Barrera's conclusion in the paper's related work."""
+        assert predicted_utilization(2, 10, 500, 6) < 0.1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            EfficiencyModel(0, 10, 50, 6)
+        with pytest.raises(ValueError):
+            EfficiencyModel(2, 0, 50, 6)
+
+
+def synthetic_machine(contexts, refs_per_thread=400, miss_every=12, latency=50):
+    """One processor, `contexts` threads, deterministic miss pattern.
+
+    Each thread strides through its own block space so that exactly one
+    reference in `miss_every` misses (a new block), the rest hit.
+    """
+    threads = []
+    for tid in range(contexts):
+        addrs = []
+        base = tid * 100_000
+        for i in range(refs_per_thread):
+            block = i // miss_every
+            addrs.append(base + block * 4 + (i % 4))
+        trace = ThreadTrace(
+            tid,
+            np.zeros(refs_per_thread, np.int64),
+            np.array(addrs, np.int64),
+            np.zeros(refs_per_thread, bool),
+        )
+        threads.append(trace)
+    app = TraceSet("model", threads)
+    config = ArchConfig(
+        num_processors=1,
+        contexts_per_processor=contexts,
+        cache_words=ArchConfig.INFINITE_CACHE_WORDS,
+        memory_latency_cycles=latency,
+    )
+    return app, PlacementMap([0] * contexts, 1), config
+
+
+class TestModelVsSimulator:
+    @pytest.mark.parametrize("contexts", [1, 2, 4, 8])
+    def test_agreement_within_tolerance(self, contexts):
+        """The closed-form model predicts the simulator's utilization to
+        within ~15% across the context range."""
+        app, placement, config = synthetic_machine(contexts)
+        result = simulate(app, placement, config)
+        run_length = measured_run_length(result)
+        predicted = predicted_utilization(
+            contexts, run_length, config.memory_latency_cycles,
+            config.context_switch_cycles,
+        )
+        stats = result.processors[0]
+        measured = stats.utilization
+        assert measured == pytest.approx(predicted, rel=0.15), (
+            f"contexts={contexts}: model {predicted:.3f} vs "
+            f"simulator {measured:.3f}"
+        )
+
+    def test_measured_run_length(self):
+        app, placement, config = synthetic_machine(1, refs_per_thread=120,
+                                                   miss_every=12)
+        result = simulate(app, placement, config)
+        # 120 refs, one miss every 12 -> 10 misses, 12 busy cycles per miss.
+        assert measured_run_length(result) == pytest.approx(12.0, rel=0.05)
+
+    def test_no_misses_returns_total_busy(self):
+        trace = ThreadTrace(0, np.zeros(4, np.int64),
+                            np.array([0, 1, 2, 3], np.int64),
+                            np.zeros(4, bool))
+        app = TraceSet("m", [trace])
+        config = ArchConfig(1, 1, cache_words=ArchConfig.INFINITE_CACHE_WORDS)
+        result = simulate(app, PlacementMap([0], 1), config)
+        # One compulsory miss on the first block... all four addrs share
+        # block 0, so exactly one miss: run length = busy / 1.
+        assert measured_run_length(result) == result.processors[0].busy

@@ -1,0 +1,258 @@
+"""Tests for whole-system simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.config import ArchConfig
+from repro.arch.simulator import simulate
+from repro.arch.stats import MissKind
+from repro.placement.base import PlacementMap
+from repro.trace.stream import ThreadTrace, TraceSet
+
+
+def trace(tid, refs):
+    gaps = np.array([g for g, _, _ in refs], np.int64)
+    addrs = np.array([a for _, a, _ in refs], np.int64)
+    writes = np.array([w for _, _, w in refs], bool)
+    return ThreadTrace(tid, gaps, addrs, writes)
+
+
+def two_thread_app(shared=False):
+    """Two threads; optionally both touching block 0."""
+    base0 = 0
+    base1 = 0 if shared else 64
+    t0 = trace(0, [(0, base0, True), (0, base0 + 1, False)])
+    t1 = trace(1, [(0, base1, False), (0, base1 + 1, False)])
+    return TraceSet("app", [t0, t1])
+
+
+class TestValidation:
+    def test_thread_count_mismatch(self):
+        app = two_thread_app()
+        pm = PlacementMap([0], 1)
+        cfg = ArchConfig(1, 2, cache_words=64)
+        with pytest.raises(ValueError, match="placement covers"):
+            simulate(app, pm, cfg)
+
+    def test_processor_count_mismatch(self):
+        app = two_thread_app()
+        pm = PlacementMap([0, 1], 2)
+        cfg = ArchConfig(4, 1, cache_words=64)
+        with pytest.raises(ValueError, match="processors"):
+            simulate(app, pm, cfg)
+
+    def test_context_overflow(self):
+        app = two_thread_app()
+        pm = PlacementMap([0, 0], 1)
+        cfg = ArchConfig(1, 1, cache_words=64)
+        with pytest.raises(ValueError, match="hardware contexts"):
+            simulate(app, pm, cfg)
+
+    def test_bad_quantum(self):
+        app = two_thread_app()
+        pm = PlacementMap([0, 1], 2)
+        cfg = ArchConfig(2, 1, cache_words=64)
+        with pytest.raises(ValueError):
+            simulate(app, pm, cfg, quantum_refs=0)
+
+
+class TestBasicRuns:
+    def test_separate_processors_no_sharing(self):
+        app = two_thread_app(shared=False)
+        pm = PlacementMap([0, 1], 2)
+        result = simulate(app, pm, ArchConfig(2, 1, cache_words=64))
+        assert result.interconnect.invalidations_sent == 0
+        assert result.cache_totals.misses[MissKind.INVALIDATION] == 0
+        assert result.total_refs == 4
+        # Each processor: miss on its first ref, hit on its second.
+        assert result.cache_totals.hits == 2
+        assert result.cache_totals.misses[MissKind.COMPULSORY] == 2
+
+    def test_execution_time_is_max_processor(self):
+        # Thread 1 much longer than thread 0.
+        t0 = trace(0, [(0, 0, False)])
+        t1 = trace(1, [(1000, 64, False)])
+        app = TraceSet("app", [t0, t1])
+        result = simulate(app, PlacementMap([0, 1], 2), ArchConfig(2, 1, cache_words=64))
+        assert result.execution_time == max(
+            p.completion_time for p in result.processors
+        )
+        assert result.execution_time >= 1051
+
+    def test_write_sharing_generates_coherence(self):
+        # Thread 0 writes block 0; thread 1 on another processor reads it.
+        t0 = trace(0, [(0, 0, True), (0, 0, True), (0, 0, True)])
+        t1 = trace(1, [(5, 0, False), (200, 0, False)])
+        app = TraceSet("app", [t0, t1])
+        result = simulate(app, PlacementMap([0, 1], 2), ArchConfig(2, 1, cache_words=64))
+        assert result.interconnect.invalidations_sent >= 1
+        assert result.pairwise_coherence.sum() >= 1
+
+    def test_colocated_sharers_no_interconnect_coherence(self):
+        """Co-located threads sharing data produce no invalidations —
+        the mechanism the placement hypothesis wants to exploit."""
+        t0 = trace(0, [(0, 0, True), (0, 1, True)])
+        t1 = trace(1, [(0, 0, False), (0, 1, False)])
+        app = TraceSet("app", [t0, t1])
+        result = simulate(app, PlacementMap([0, 0], 1), ArchConfig(1, 2, cache_words=64))
+        assert result.interconnect.invalidations_sent == 0
+        assert result.cache_totals.misses[MissKind.INVALIDATION] == 0
+
+    def test_deterministic(self):
+        app = two_thread_app(shared=True)
+        pm = PlacementMap([0, 1], 2)
+        cfg = ArchConfig(2, 1, cache_words=64)
+        a = simulate(app, pm, cfg)
+        b = simulate(app, pm, cfg)
+        assert a.execution_time == b.execution_time
+        assert a.miss_breakdown() == b.miss_breakdown()
+
+    def test_quantum_does_not_change_single_processor_timing(self):
+        refs = [(i % 3, (i * 7) % 40, i % 5 == 0) for i in range(100)]
+        app = TraceSet("app", [trace(0, refs)])
+        pm = PlacementMap([0], 1)
+        cfg = ArchConfig(1, 1, cache_words=64)
+        small = simulate(app, pm, cfg, quantum_refs=3)
+        large = simulate(app, pm, cfg, quantum_refs=10_000)
+        assert small.execution_time == large.execution_time
+        assert small.miss_breakdown() == large.miss_breakdown()
+
+
+class TestInfiniteCache:
+    def test_only_compulsory_and_invalidation(self):
+        rng = np.random.default_rng(1)
+        threads = []
+        for tid in range(4):
+            refs = [
+                (int(rng.integers(0, 3)), int(rng.integers(0, 200)),
+                 bool(rng.random() < 0.3))
+                for _ in range(300)
+            ]
+            threads.append(trace(tid, refs))
+        app = TraceSet("app", threads)
+        pm = PlacementMap([0, 1, 0, 1], 2)
+        cfg = ArchConfig(2, 2, cache_words=ArchConfig.INFINITE_CACHE_WORDS)
+        result = simulate(app, pm, cfg)
+        breakdown = result.miss_breakdown()
+        assert breakdown[MissKind.INTRA_THREAD_CONFLICT] == 0
+        assert breakdown[MissKind.INTER_THREAD_CONFLICT] == 0
+        assert breakdown[MissKind.COMPULSORY] > 0
+
+
+class TestConservation:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_refs_conserved(self, seed):
+        """Hits + misses across all caches equals total references."""
+        rng = np.random.default_rng(seed)
+        threads = []
+        for tid in range(3):
+            n = int(rng.integers(1, 60))
+            refs = [
+                (int(rng.integers(0, 3)), int(rng.integers(0, 64)),
+                 bool(rng.random() < 0.4))
+                for _ in range(n)
+            ]
+            threads.append(trace(tid, refs))
+        app = TraceSet("app", threads)
+        pm = PlacementMap([0, 1, 0], 2)
+        cfg = ArchConfig(2, 2, cache_words=64)
+        result = simulate(app, pm, cfg)
+        assert result.cache_totals.total_accesses == app.total_refs
+        assert result.interconnect.memory_fetches == result.cache_totals.total_misses
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_cycle_accounting(self, seed):
+        """busy + switching + idle == completion time, per processor."""
+        rng = np.random.default_rng(seed)
+        threads = []
+        for tid in range(4):
+            n = int(rng.integers(1, 50))
+            refs = [
+                (int(rng.integers(0, 4)), int(rng.integers(0, 128)),
+                 bool(rng.random() < 0.3))
+                for _ in range(n)
+            ]
+            threads.append(trace(tid, refs))
+        app = TraceSet("app", threads)
+        pm = PlacementMap([0, 0, 1, 1], 2)
+        cfg = ArchConfig(2, 2, cache_words=64)
+        result = simulate(app, pm, cfg)
+        for stats in result.processors:
+            assert stats.completion_time == stats.busy + stats.switching + stats.idle
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_busy_cycles_equal_total_work(self, seed):
+        """Busy cycles are exactly instructions + one cycle per reference,
+        independent of placement."""
+        rng = np.random.default_rng(seed)
+        threads = []
+        for tid in range(4):
+            n = int(rng.integers(1, 40))
+            refs = [
+                (int(rng.integers(0, 5)), int(rng.integers(0, 64)), False)
+                for _ in range(n)
+            ]
+            threads.append(trace(tid, refs))
+        app = TraceSet("app", threads)
+        cfg = ArchConfig(2, 2, cache_words=64)
+        for assignment in ([0, 0, 1, 1], [0, 1, 0, 1]):
+            result = simulate(app, PlacementMap(assignment, 2), cfg)
+            total_busy = sum(p.busy for p in result.processors)
+            assert total_busy == app.total_length
+
+
+class TestWriteUpgradeStalls:
+    def _upgrade_app(self):
+        """Both processors read block 0, then thread 0 writes it.
+
+        By the time thread 0's write issues (after its 100-cycle gap),
+        thread 1 holds a copy, so the write is an upgrade hit: free with
+        the paper's write buffer, a full memory latency in
+        sequentially-consistent mode.
+        """
+        t0 = trace(0, [(0, 0, False), (100, 0, True)])
+        t1 = trace(1, [(10, 0, False)])
+        return TraceSet("upgrade", [t0, t1])
+
+    def test_stall_mode_charges_upgrade_latency(self):
+        app = self._upgrade_app()
+        pm = PlacementMap([0, 1], 2)
+        buffered = simulate(app, pm, ArchConfig(2, 1, cache_words=64))
+        stalling = simulate(
+            app, pm, ArchConfig(2, 1, cache_words=64, write_upgrade_stalls=True)
+        )
+        assert buffered.interconnect.invalidations_sent >= 1
+        assert stalling.execution_time >= buffered.execution_time + 50
+
+    def test_stall_mode_irrelevant_without_sharing(self):
+        app = two_thread_app(shared=False)
+        pm = PlacementMap([0, 1], 2)
+        buffered = simulate(app, pm, ArchConfig(2, 1, cache_words=64))
+        stalling = simulate(
+            app, pm, ArchConfig(2, 1, cache_words=64, write_upgrade_stalls=True)
+        )
+        assert stalling.execution_time == buffered.execution_time
+
+    def test_cycle_accounting_still_consistent(self):
+        app = self._upgrade_app()
+        pm = PlacementMap([0, 1], 2)
+        result = simulate(
+            app, pm, ArchConfig(2, 1, cache_words=64, write_upgrade_stalls=True)
+        )
+        for stats in result.processors:
+            assert stats.completion_time == stats.busy + stats.switching + stats.idle
+
+
+class TestDescribe:
+    def test_describe_renders_per_processor_rows(self):
+        app = two_thread_app(shared=True)
+        result = simulate(app, PlacementMap([0, 1], 2),
+                          ArchConfig(2, 1, cache_words=64))
+        text = result.describe()
+        assert "proc" in text
+        assert str(result.execution_time) in text
+        assert len(text.splitlines()) == 2 + 2 + 2  # title+rule, header+rule, rows

@@ -1,0 +1,77 @@
+"""Tests for the §4.1 thrashing detector."""
+
+import numpy as np
+import pytest
+
+from repro.arch.stats import (
+    CacheStats,
+    InterconnectStats,
+    MissKind,
+    ProcessorStats,
+    SimulationResult,
+)
+from repro.arch.thrashing import detect_thrashing
+
+
+def result_with_conflicts(conflicts: list[int]) -> SimulationResult:
+    caches = []
+    for count in conflicts:
+        stats = CacheStats()
+        stats.misses[MissKind.INTER_THREAD_CONFLICT] = count
+        caches.append(stats)
+    p = len(conflicts)
+    return SimulationResult(
+        execution_time=1000,
+        processors=[ProcessorStats() for _ in range(p)],
+        caches=caches,
+        interconnect=InterconnectStats(),
+        pairwise_coherence=np.zeros((p, p), dtype=np.int64),
+        total_refs=10_000,
+    )
+
+
+class TestDetectThrashing:
+    def test_order_of_magnitude_outlier_flagged(self):
+        result = result_with_conflicts([20, 25, 22, 300])
+        diagnoses = detect_thrashing(result)
+        assert len(diagnoses) == 1
+        assert diagnoses[0].processor == 3
+        assert diagnoses[0].inter_thread_conflicts == 300
+        assert diagnoses[0].ratio >= 10
+
+    def test_uniform_conflicts_not_flagged(self):
+        result = result_with_conflicts([100, 110, 95, 105])
+        assert detect_thrashing(result) == []
+
+    def test_small_absolute_counts_ignored(self):
+        # 40 is 40x the zero median but below the absolute floor.
+        result = result_with_conflicts([0, 0, 0, 40])
+        assert detect_thrashing(result, min_conflicts=50) == []
+        assert detect_thrashing(result, min_conflicts=10)
+
+    def test_multiple_thrashers_sorted_worst_first(self):
+        result = result_with_conflicts([10, 10, 500, 10, 2000, 10])
+        diagnoses = detect_thrashing(result)
+        assert [d.processor for d in diagnoses] == [4, 2]
+
+    def test_single_processor_never_thrashes(self):
+        result = result_with_conflicts([1000])
+        assert detect_thrashing(result) == []
+
+    def test_custom_factor(self):
+        result = result_with_conflicts([50, 50, 260])
+        assert detect_thrashing(result, factor=10.0) == []
+        assert detect_thrashing(result, factor=5.0)
+
+    def test_str_mentions_processor_and_ratio(self):
+        result = result_with_conflicts([10, 10, 10, 300])
+        text = str(detect_thrashing(result)[0])
+        assert "processor 3" in text
+        assert "inter-thread" in text
+
+    def test_invalid_args(self):
+        result = result_with_conflicts([1, 2])
+        with pytest.raises(ValueError):
+            detect_thrashing(result, factor=0)
+        with pytest.raises(ValueError):
+            detect_thrashing(result, min_conflicts=0)

@@ -1,0 +1,96 @@
+"""Tests for the ablation sweeps."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    sweep_associativity,
+    sweep_cache_size,
+    sweep_context_switch,
+    sweep_contexts,
+    sweep_memory_latency,
+    sweep_write_buffering,
+)
+from repro.experiments.runner import ExperimentSuite
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return ExperimentSuite(scale=0.002, seed=0, random_replicates=2)
+
+
+class TestSweepContextSwitch:
+    def test_monotone_execution_time(self, suite):
+        result = sweep_context_switch(suite, costs=(0, 6, 24))
+        times = result.execution_times()
+        assert times == sorted(times)
+
+    def test_switch_cycles_scale_with_cost(self, suite):
+        result = sweep_context_switch(suite, costs=(0, 6))
+        spent = [row[2] for row in result.rows]
+        assert spent[0] == 0
+        assert spent[1] > 0
+
+    def test_render(self, suite):
+        assert "switch" in sweep_context_switch(suite, costs=(0, 6)).render()
+
+
+class TestSweepMemoryLatency:
+    def test_monotone(self, suite):
+        result = sweep_memory_latency(suite, latencies=(10, 50, 200))
+        times = result.execution_times()
+        assert times[0] <= times[1] <= times[2]
+        assert times[0] < times[2]
+
+    def test_idle_grows_with_latency(self, suite):
+        result = sweep_memory_latency(suite, latencies=(10, 200))
+        idles = [row[2] for row in result.rows]
+        assert idles[1] >= idles[0]
+
+
+class TestSweepCacheSize:
+    def test_conflicts_vanish_at_infinite(self, suite):
+        result = sweep_cache_size(suite)
+        conflicts = [row[2] for row in result.rows]
+        assert conflicts[-1] == 0          # infinite cache
+        assert conflicts[0] >= conflicts[-1]
+
+    def test_compulsory_plus_invalidation_stable(self, suite):
+        """Capacity does not create or destroy compulsory misses."""
+        result = sweep_cache_size(suite)
+        ci = [row[3] for row in result.rows]
+        assert max(ci) - min(ci) <= max(5, 0.5 * min(ci))
+
+    def test_values_accessor(self, suite):
+        result = sweep_cache_size(suite, sizes=(128, 256))
+        assert result.values() == [128, 256]
+
+
+class TestSweepAssociativity:
+    def test_conflicts_non_increasing(self, suite):
+        result = sweep_associativity(suite, ways=(1, 2, 4))
+        conflicts = [row[2] for row in result.rows]
+        assert conflicts[0] >= conflicts[1] >= conflicts[2]
+
+
+class TestSweepContexts:
+    def test_utilization_improves(self, suite):
+        result = sweep_contexts(suite, context_counts=(1, 4))
+        utils = [row[2] for row in result.rows]
+        assert utils[1] > utils[0]
+
+    def test_context_counts_capped_at_threads(self, suite):
+        result = sweep_contexts(suite, "Water", context_counts=(64,))
+        assert result.rows[0][0] <= suite.traces("Water").num_threads
+
+
+class TestSweepWriteBuffering:
+    def test_stalling_never_faster(self, suite):
+        result = sweep_write_buffering(suite)
+        buffered, stalling = result.execution_times()
+        assert stalling >= buffered
+
+    def test_modes_labelled(self, suite):
+        result = sweep_write_buffering(suite)
+        labels = result.values()
+        assert any("write buffer" in str(v) for v in labels)
+        assert any("stall" in str(v) for v in labels)

@@ -1,0 +1,111 @@
+"""Tests for the persistent result store."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import ArchConfig
+from repro.arch.simulator import simulate
+from repro.arch.stats import MissKind
+from repro.experiments.cache import ResultStore, result_from_arrays, result_to_arrays
+from repro.experiments.runner import ExperimentSuite
+from repro.placement.base import PlacementMap
+from repro.trace.stream import ThreadTrace, TraceSet
+
+
+def small_result():
+    rng = np.random.default_rng(3)
+    threads = []
+    for tid in range(3):
+        n = 40
+        threads.append(
+            ThreadTrace(
+                tid,
+                rng.integers(0, 3, n).astype(np.int64),
+                rng.integers(0, 64, n).astype(np.int64),
+                rng.random(n) < 0.3,
+            )
+        )
+    app = TraceSet("t", threads)
+    return simulate(app, PlacementMap([0, 1, 0], 2), ArchConfig(2, 2, cache_words=64))
+
+
+class TestRoundTrip:
+    def test_arrays_round_trip(self):
+        result = small_result()
+        rebuilt = result_from_arrays(result_to_arrays(result))
+        assert rebuilt.execution_time == result.execution_time
+        assert rebuilt.total_refs == result.total_refs
+        assert rebuilt.miss_breakdown() == result.miss_breakdown()
+        assert rebuilt.cache_totals.hits == result.cache_totals.hits
+        assert np.array_equal(rebuilt.pairwise_coherence, result.pairwise_coherence)
+        for a, b in zip(rebuilt.processors, result.processors):
+            assert (a.busy, a.switching, a.idle, a.completion_time) == (
+                b.busy, b.switching, b.idle, b.completion_time
+            )
+
+    def test_version_guard(self):
+        arrays = result_to_arrays(small_result())
+        arrays["scalars"] = arrays["scalars"].copy()
+        arrays["scalars"][0] = 99
+        with pytest.raises(ValueError, match="version"):
+            result_from_arrays(arrays)
+
+
+class TestResultStore:
+    def test_store_and_load(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result = small_result()
+        store.store(("cell", 1), result)
+        loaded = store.load(("cell", 1))
+        assert loaded is not None
+        assert loaded.execution_time == result.execution_time
+        assert len(store) == 1
+
+    def test_miss_returns_none(self, tmp_path):
+        assert ResultStore(tmp_path).load(("nothing",)) is None
+
+    def test_distinct_keys_distinct_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result = small_result()
+        store.store(("a",), result)
+        store.store(("b",), result)
+        assert len(store) == 2
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store(("x",), small_result())
+        path = next(tmp_path.glob("*.npz"))
+        path.write_bytes(b"garbage")
+        assert store.load(("x",)) is None
+
+    def test_creates_directory(self, tmp_path):
+        nested = tmp_path / "a" / "b"
+        ResultStore(nested)
+        assert nested.is_dir()
+
+
+class TestSuiteIntegration:
+    def test_second_suite_reuses_results(self, tmp_path):
+        first = ExperimentSuite(scale=0.001, seed=0, cache_dir=str(tmp_path))
+        time_first = first.execution_time("Water", "LOAD-BAL", 2)
+        assert len(ResultStore(tmp_path)) >= 1
+
+        second = ExperimentSuite(scale=0.001, seed=0, cache_dir=str(tmp_path))
+        time_second = second.execution_time("Water", "LOAD-BAL", 2)
+        assert time_second == time_first
+
+    def test_different_scale_different_cells(self, tmp_path):
+        a = ExperimentSuite(scale=0.001, seed=0, cache_dir=str(tmp_path))
+        a.execution_time("Water", "LOAD-BAL", 2)
+        count_after_first = len(ResultStore(tmp_path))
+        b = ExperimentSuite(scale=0.002, seed=0, cache_dir=str(tmp_path))
+        b.execution_time("Water", "LOAD-BAL", 2)
+        assert len(ResultStore(tmp_path)) > count_after_first
+
+    def test_cached_result_preserves_miss_breakdown(self, tmp_path):
+        first = ExperimentSuite(scale=0.001, seed=0, cache_dir=str(tmp_path))
+        original = first.run("Water", "LOAD-BAL", 2).miss_breakdown()
+        second = ExperimentSuite(scale=0.001, seed=0, cache_dir=str(tmp_path))
+        cached = second.run("Water", "LOAD-BAL", 2).miss_breakdown()
+        assert cached == original
+        assert set(cached) == set(MissKind)

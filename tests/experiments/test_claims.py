@@ -1,0 +1,34 @@
+"""Tests for the claims verification engine."""
+
+import pytest
+
+from repro.experiments.claims import PAPER_CLAIMS, verify_claims
+from repro.experiments.cli import main
+from repro.experiments.runner import ExperimentSuite
+
+
+class TestClaimsRegistry:
+    def test_five_claims(self):
+        assert len(PAPER_CLAIMS) == 5
+        assert len({c.claim_id for c in PAPER_CLAIMS}) == 5
+
+    def test_statements_quote_paper(self):
+        statements = " ".join(c.paper_statement for c in PAPER_CLAIMS)
+        assert "fairly constant" in statements
+        assert "orders of magnitude" in statements
+
+
+@pytest.mark.slow
+@pytest.mark.integration
+class TestVerifyAtScale:
+    def test_all_claims_pass(self):
+        suite = ExperimentSuite(scale=0.004, seed=0)
+        results = verify_claims(suite)
+        failures = [r.render() for r in results if not r.passed]
+        assert not failures, "\n".join(failures)
+
+    def test_render_format(self):
+        suite = ExperimentSuite(scale=0.004, seed=0)
+        result = verify_claims(suite, claims=PAPER_CLAIMS[:1])[0]
+        assert result.render().startswith(("[PASS]", "[FAIL]"))
+        assert "invariance" in result.render()

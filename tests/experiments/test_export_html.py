@@ -1,0 +1,120 @@
+"""Tests for machine-readable export and the HTML report."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.experiments.export import export_csv_dir, export_json, section_to_dict
+from repro.experiments.figures import execution_time_figure, figure5
+from repro.experiments.html import render_html
+from repro.experiments.runner import ExperimentSuite
+from repro.experiments.tables import table3
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return ExperimentSuite(scale=0.001, seed=0, random_replicates=2)
+
+
+class TestSectionToDict:
+    def test_table(self, suite):
+        data = section_to_dict(table3(suite))
+        assert data["kind"] == "table"
+        assert data["headers"] == ["parameter", "value"]
+        assert any("round-robin" in str(cell) for row in data["rows"]
+                   for cell in row)
+
+    def test_figure(self, suite):
+        fig = execution_time_figure(suite, "Water",
+                                    algorithms=["LOAD-BAL", "RANDOM"])
+        data = section_to_dict(fig)
+        assert data["kind"] == "figure"
+        assert set(data["series"]) == {"LOAD-BAL", "RANDOM"}
+        assert len(data["machines"]) == len(data["series"]["RANDOM"])
+
+    def test_miss_components(self, suite):
+        data = section_to_dict(figure5(suite, "Water",
+                                       algorithms=["LOAD-BAL"]))
+        assert data["kind"] == "miss-components"
+        assert len(data["headers"]) == 7
+
+    def test_json_serializable(self, suite):
+        data = section_to_dict(table3(suite))
+        json.dumps(data)  # must not raise
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            section_to_dict(42)
+
+
+class TestExportJson:
+    def test_document_shape(self, suite, tmp_path):
+        path = tmp_path / "r.json"
+        doc = export_json(suite, path, sections=["table3"])
+        loaded = json.loads(path.read_text())
+        assert loaded == doc
+        assert loaded["scale"] == 0.001
+        assert "table3" in loaded["sections"]
+
+    def test_unknown_section(self, suite, tmp_path):
+        with pytest.raises(KeyError):
+            export_json(suite, tmp_path / "r.json", sections=["nope"])
+
+
+class TestExportCsv:
+    def test_table_csv(self, suite, tmp_path):
+        (path,) = export_csv_dir(suite, tmp_path, sections=["table3"])
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["parameter", "value"]
+        assert len(rows) > 5
+
+    def test_figure_csv_flattened(self, suite, tmp_path):
+        (path,) = export_csv_dir(suite, tmp_path, sections=["figure4"])
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["algorithm", "machine", "normalized_time"]
+        assert any(row[0] == "LOAD-BAL" for row in rows[1:])
+
+
+class TestHtml:
+    def test_document_structure(self, suite):
+        text = render_html(suite, sections=["table3", "figure4"])
+        assert text.startswith("<!DOCTYPE html>")
+        assert "<table>" in text
+        assert "<svg" in text
+        assert "baseline" in text  # the RANDOM=1.0 marker
+        assert "reproduction report" in text
+
+    def test_escaping(self, suite):
+        text = render_html(suite, sections=["table3"])
+        assert "<script" not in text
+
+    def test_unknown_section(self, suite):
+        with pytest.raises(KeyError):
+            render_html(suite, sections=["bogus"])
+
+
+class TestCliIntegration:
+    def test_json_flag(self, tmp_path):
+        out = tmp_path / "r.json"
+        code = main(["--sections", "table3", "--scale", "0.001",
+                     "--json", str(out)])
+        assert code == 0
+        assert "table3" in json.loads(out.read_text())["sections"]
+
+    def test_html_flag(self, tmp_path):
+        out = tmp_path / "r.html"
+        code = main(["--sections", "table3", "--scale", "0.001",
+                     "--html", str(out)])
+        assert code == 0
+        assert out.read_text().startswith("<!DOCTYPE html>")
+
+    def test_csv_flag(self, tmp_path):
+        out = tmp_path / "csvs"
+        code = main(["--sections", "table3", "--scale", "0.001",
+                     "--csv-dir", str(out)])
+        assert code == 0
+        assert (out / "table3.csv").exists()

@@ -1,0 +1,89 @@
+"""Tests for the figure regenerators."""
+
+import pytest
+
+from repro.experiments.figures import (
+    execution_time_figure,
+    figure5,
+)
+from repro.experiments.runner import ExperimentSuite
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return ExperimentSuite(scale=0.001, seed=0, random_replicates=2)
+
+
+# A cheap algorithm subset so figure tests stay fast at tiny scale.
+FAST_ALGOS = ["SHARE-REFS", "MIN-SHARE", "LOAD-BAL", "RANDOM"]
+
+
+class TestExecutionTimeFigure:
+    def test_series_shape(self, suite):
+        fig = execution_time_figure(suite, "Water", algorithms=FAST_ALGOS)
+        machines = suite.machine_specs("Water")
+        assert fig.machines == machines
+        assert set(fig.series) == set(FAST_ALGOS)
+        for values in fig.series.values():
+            assert len(values) == len(machines)
+
+    def test_baseline_row_is_one(self, suite):
+        fig = execution_time_figure(suite, "Water", algorithms=FAST_ALGOS)
+        assert all(v == pytest.approx(1.0) for v in fig.series["RANDOM"])
+
+    def test_render_contains_configs(self, suite):
+        fig = execution_time_figure(suite, "Water", algorithms=FAST_ALGOS)
+        text = fig.render()
+        assert "2p/8c" in text
+        assert "LOAD-BAL" in text
+
+    def test_best_algorithm(self, suite):
+        fig = execution_time_figure(suite, "Water", algorithms=FAST_ALGOS)
+        best = fig.best_algorithm(0)
+        assert fig.series[best][0] == min(v[0] for v in fig.series.values())
+
+    def test_alternate_baseline(self, suite):
+        fig = execution_time_figure(
+            suite, "Water", baseline="LOAD-BAL", algorithms=FAST_ALGOS
+        )
+        assert all(v == pytest.approx(1.0) for v in fig.series["LOAD-BAL"])
+
+
+class TestFigure5:
+    def test_rows_cover_grid(self, suite):
+        result = figure5(suite, "Water", algorithms=FAST_ALGOS)
+        machines = [str(m) for m in suite.machine_specs("Water")]
+        seen = {(m, a) for m, a, *_ in result.rows}
+        assert seen == {(m, a) for m in machines for a in FAST_ALGOS}
+
+    def test_totals_consistent(self, suite):
+        result = figure5(suite, "Water", algorithms=FAST_ALGOS)
+        for _, _, comp, intra, inter, inv, total in result.rows:
+            assert comp + intra + inter + inv == total
+
+    def test_single_context_has_no_inter_thread_conflicts(self, suite):
+        """At one thread per processor there is no other thread to evict
+        your blocks: inter-thread conflicts must be zero."""
+        result = figure5(suite, "Water", algorithms=FAST_ALGOS)
+        for machine, _, _, _, inter, _, _ in result.rows:
+            if machine.endswith("/1c"):
+                assert inter == 0
+
+    def test_compulsory_invariant_across_algorithms(self, suite):
+        """The paper's central claim at figure granularity."""
+        result = figure5(suite, "Water", algorithms=FAST_ALGOS)
+        by_machine: dict[str, list[int]] = {}
+        for machine, _, comp, *_ in result.rows:
+            by_machine.setdefault(machine, []).append(comp)
+        for machine, values in by_machine.items():
+            assert max(values) - min(values) <= max(2, 0.1 * max(values)), machine
+
+    def test_compulsory_plus_invalidation_helper(self, suite):
+        result = figure5(suite, "Water", algorithms=FAST_ALGOS)
+        ci = result.compulsory_plus_invalidation()
+        machine, algo, comp, _, _, inv, _ = result.rows[0]
+        assert ci[(machine, algo)] == comp + inv
+
+    def test_render(self, suite):
+        text = figure5(suite, "Water", algorithms=FAST_ALGOS).render()
+        assert "compulsory" in text

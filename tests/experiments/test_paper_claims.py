@@ -1,0 +1,142 @@
+"""Integration tests of the paper's claims (the DESIGN.md acceptance
+criteria), at the default workload scale.
+
+These are the tests that make the reproduction a reproduction: they assert
+the *shape* of the paper's results — the invariance of compulsory +
+invalidation misses, the dominance of load balancing, the static/dynamic
+sharing gap, and the infinite-cache conclusion — on the regenerated
+experiments themselves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.stats import MissKind
+from repro.experiments.figures import execution_time_figure, figure5
+from repro.experiments.runner import ExperimentSuite
+from repro.experiments.tables import best_static_sharing, table4
+
+pytestmark = [pytest.mark.slow, pytest.mark.integration]
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return ExperimentSuite(scale=0.004, seed=0)
+
+
+class TestInvarianceClaim:
+    """§4.2: "compulsory and invalidation misses remained fairly constant
+    across all placement algorithms, for all processor configurations"."""
+
+    @pytest.mark.parametrize("app", ["Water", "Barnes-Hut", "Gauss"])
+    def test_compulsory_plus_invalidation_invariant(self, suite, app):
+        result = figure5(suite, app)
+        by_machine: dict[str, list[int]] = {}
+        for machine, _, comp, _, _, inv, _ in result.rows:
+            by_machine.setdefault(machine, []).append(comp + inv)
+        for machine, values in by_machine.items():
+            spread = (max(values) - min(values)) / max(min(values), 1)
+            assert spread <= 0.30, (
+                f"{app} @ {machine}: comp+inv varies {spread:.0%} across "
+                f"placement algorithms — the paper found it fairly constant"
+            )
+
+    def test_infinite_cache_invariance(self, suite):
+        """§4.3: even with an infinite cache there is no variation in
+        compulsory and invalidation misses across placement algorithms."""
+        values = []
+        for algorithm in ("SHARE-REFS", "MIN-SHARE", "LOAD-BAL", "RANDOM"):
+            result = suite.run("Water", algorithm, 4, infinite=True)
+            values.append(result.compulsory_plus_invalidation)
+        spread = (max(values) - min(values)) / max(min(values), 1)
+        assert spread <= 0.30
+
+
+class TestLoadBalanceClaim:
+    """§4.1: load balancing is the key factor affecting execution time."""
+
+    def test_loadbal_wins_on_imbalanced_apps(self, suite):
+        """Apps with thread-length deviation >= 15% (LocusRoute, FFT):
+        LOAD-BAL beats RANDOM at the few-threads-per-processor end."""
+        for app in ("LocusRoute", "FFT"):
+            fig = execution_time_figure(
+                suite, app, algorithms=["LOAD-BAL", "RANDOM"]
+            )
+            few_threads = fig.series["LOAD-BAL"][-2:]  # 8 and 16 processors
+            assert min(few_threads) < 0.95, (
+                f"{app}: LOAD-BAL should clearly beat RANDOM at few "
+                f"threads/processor, got {few_threads}"
+            )
+
+    def test_loadbal_rarely_worse_than_random(self, suite):
+        """"[LOAD-BAL] very rarely performed worse than RANDOM ... even
+        then the difference was less than 1.6%".
+
+        The reproduction's margin is looser (8%): at 1/250 of the paper's
+        trace lengths a single placement's conflict-miss composition does
+        not self-average the way a multi-million-reference trace does, so
+        any one map carries a few percent of cache-mapping lottery noise.
+        """
+        for app in ("LocusRoute", "FFT", "Water", "Barnes-Hut"):
+            fig = execution_time_figure(
+                suite, app, algorithms=["LOAD-BAL", "RANDOM"]
+            )
+            assert max(fig.series["LOAD-BAL"]) <= 1.08, app
+
+    def test_uniform_app_no_algorithm_wins(self, suite):
+        """Figure 4's claim: for Barnes-Hut no placement algorithm does
+        appreciably better than any other."""
+        fig = execution_time_figure(suite, "Barnes-Hut")
+        values = [v for series in fig.series.values() for v in series]
+        assert max(values) <= 1.25
+        assert min(values) >= 0.80
+
+    def test_sharing_never_beats_loadbal_meaningfully(self, suite):
+        """Sharing-based placement "did not contribute to lowering
+        execution time" — it never beats LOAD-BAL by more than a few
+        percent anywhere."""
+        for app in ("LocusRoute", "FFT"):
+            for algorithm in ("SHARE-REFS", "MAX-WRITES", "MIN-PRIV"):
+                for processors in suite.processors_for(app):
+                    value = suite.normalized_time(
+                        app, algorithm, processors, baseline="LOAD-BAL"
+                    )
+                    assert value >= 0.90, (app, algorithm, processors, value)
+
+
+class TestSharingGapClaim:
+    """§4.2 / Table 4: static sharing counts overstate runtime coherence
+    traffic by 1-3 orders of magnitude."""
+
+    def test_gap_orders_of_magnitude(self, suite):
+        for row in table4(suite).rows:
+            name, gap = row[0], row[4]
+            assert 1.0 <= gap <= 4.5, f"{name}: {gap:.2f} orders"
+
+    def test_dynamic_traffic_small_fraction(self, suite):
+        """Paper: 0.01-3.3% of references (coarse), 0.01-0.4% (medium);
+        the scaled reproduction stays within single digits."""
+        for row in table4(suite).rows:
+            name, total_dynamic_pct = row[0], row[7]
+            assert total_dynamic_pct <= 8.0, (name, total_dynamic_pct)
+
+
+class TestInfiniteCacheClaim:
+    """§4.3 / Table 5: an infinite cache does not rescue sharing-based
+    placement — the best sharing algorithm lands near LOAD-BAL."""
+
+    @pytest.mark.parametrize("app", ["Water", "FFT"])
+    def test_best_static_near_loadbal(self, suite, app):
+        for processors in (2, 4, 8):
+            _, best = best_static_sharing(suite, app, processors)
+            assert 0.85 <= best <= 1.15, (app, processors, best)
+
+    def test_sharing_gains_marginal(self, suite):
+        """When sharing-based placement does beat LOAD-BAL under the
+        infinite cache, it is by a few percent (paper: at most ~2%)."""
+        gains = []
+        for app in ("Water", "FFT", "Grav"):
+            for processors in (2, 4, 8):
+                _, best = best_static_sharing(suite, app, processors)
+                gains.append(1.0 - best)
+        assert max(gains) <= 0.10

@@ -1,0 +1,99 @@
+"""Tests for the report assembler and the CLI."""
+
+import io
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+from repro.experiments.report import REPORT_SECTIONS, full_report, write_report
+from repro.experiments.runner import ExperimentSuite
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return ExperimentSuite(scale=0.001, seed=0, random_replicates=2)
+
+
+class TestReport:
+    def test_sections_registry_complete(self):
+        assert set(REPORT_SECTIONS) == {
+            "calibration",
+            "table1", "table2", "table3", "table4", "table5",
+            "figure2", "figure3", "figure4", "figure5",
+            "ablations",
+        }
+
+    def test_single_section(self, suite):
+        text = full_report(suite, sections=["table3"])
+        assert "Table 3" in text
+        assert "Table 1" not in text
+
+    def test_unknown_section_rejected(self, suite):
+        with pytest.raises(KeyError, match="unknown sections"):
+            full_report(suite, sections=["table9"])
+
+    def test_write_report_streams(self, suite):
+        buffer = io.StringIO()
+        write_report(suite, buffer, sections=["table3", "table1"])
+        text = buffer.getvalue()
+        assert "Table 3" in text and "Table 1" in text
+        assert "scale = 0.001" in text
+
+    def test_write_report_unknown_section(self, suite):
+        with pytest.raises(KeyError):
+            write_report(suite, io.StringIO(), sections=["nope"])
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.sections is None
+        assert args.seed == 0
+
+    def test_parser_rejects_unknown_section(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--sections", "tableX"])
+
+    def test_main_runs_one_section(self, tmp_path):
+        out = tmp_path / "report.txt"
+        code = main(["--sections", "table3", "--scale", "0.001",
+                     "--out", str(out)])
+        assert code == 0
+        assert "Table 3" in out.read_text()
+
+    def test_main_orders_sections_like_the_paper(self, tmp_path):
+        out = tmp_path / "report.txt"
+        main(["--sections", "table3", "table1", "--scale", "0.001",
+              "--out", str(out)])
+        text = out.read_text()
+        assert text.index("Table 1") < text.index("Table 3")
+
+
+class TestExtraSections:
+    def test_calibration_section(self, suite):
+        text = full_report(suite, sections=["calibration"])
+        assert "Workload calibration" in text
+        assert "Gauss" in text
+        assert "PASS" in text
+
+    def test_ablations_section(self, suite):
+        text = full_report(suite, sections=["ablations"])
+        assert "context-switch cost" in text
+        assert "memory latency" in text
+        assert "associativity" in text
+        assert "hardware contexts" in text
+
+
+class TestCharts:
+    def test_charts_flag_adds_bars(self, suite, tmp_path):
+        out = tmp_path / "r.txt"
+        main(["--sections", "figure4", "--scale", "0.001", "--charts",
+              "--out", str(out)])
+        text = out.read_text()
+        assert "#" in text            # bars
+        assert "| marks RANDOM" in text
+
+    def test_no_charts_by_default(self, suite, tmp_path):
+        out = tmp_path / "r.txt"
+        main(["--sections", "figure4", "--scale", "0.001", "--out", str(out)])
+        assert "| marks RANDOM" not in out.read_text()

@@ -1,0 +1,106 @@
+"""Tests for the memoized experiment suite."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import ExperimentSuite, MachineSpec
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return ExperimentSuite(scale=0.001, seed=0, random_replicates=2)
+
+
+class TestWorkloadAccess:
+    def test_traces_memoized(self, suite):
+        assert suite.traces("Water") is suite.traces("water")
+
+    def test_analysis_memoized(self, suite):
+        assert suite.analysis("Water") is suite.analysis("Water")
+
+    def test_coherence_matrix_shape(self, suite):
+        m = suite.coherence_matrix("Water")
+        t = suite.traces("Water").num_threads
+        assert m.shape == (t, t)
+        assert np.allclose(m, m.T)
+
+    def test_processors_for_small_app(self, suite):
+        assert suite.processors_for("Water") == [2, 4, 8, 16]
+
+    def test_machine_specs_contexts(self, suite):
+        specs = suite.machine_specs("LocusRoute")  # 24 threads
+        assert specs[0] == MachineSpec(2, 12)
+        assert specs[-1] == MachineSpec(16, 2)
+        assert str(specs[0]) == "2p/12c"
+
+
+class TestPlacements:
+    def test_memoized(self, suite):
+        a = suite.placement("Water", "SHARE-REFS", 4)
+        b = suite.placement("Water", "share-refs", 4)
+        assert a is b
+
+    def test_random_replicates_differ(self, suite):
+        a = suite.placement("Water", "RANDOM", 4, replicate=0)
+        b = suite.placement("Water", "RANDOM", 4, replicate=1)
+        assert a != b
+
+    def test_coherence_traffic_placement_works(self, suite):
+        pm = suite.placement("Water", "COHERENCE-TRAFFIC", 4)
+        assert pm.num_processors == 4
+
+
+class TestRuns:
+    def test_run_memoized(self, suite):
+        a = suite.run("Water", "LOAD-BAL", 2)
+        b = suite.run("Water", "LOAD-BAL", 2)
+        assert a is b
+
+    def test_loadbal_capacity_overflow_handled(self, suite):
+        """LOAD-BAL on Gauss (127 threads) may pack more than ceil(t/p)
+        threads on one processor; the machine must absorb it."""
+        result = suite.run("Gauss", "LOAD-BAL", 4)
+        assert result.execution_time > 0
+
+    def test_infinite_cache_has_no_conflicts(self, suite):
+        from repro.arch.stats import MissKind
+
+        result = suite.run("Water", "LOAD-BAL", 4, infinite=True)
+        breakdown = result.miss_breakdown()
+        assert breakdown[MissKind.INTRA_THREAD_CONFLICT] == 0
+        assert breakdown[MissKind.INTER_THREAD_CONFLICT] == 0
+
+    def test_cache_words_override(self, suite):
+        small = suite.run("Water", "LOAD-BAL", 2, cache_words=64)
+        default = suite.run("Water", "LOAD-BAL", 2)
+        assert small.cache_totals.total_misses >= default.cache_totals.total_misses
+
+    def test_associativity_option(self, suite):
+        result = suite.run("Water", "LOAD-BAL", 2, associativity=2)
+        assert result.execution_time > 0
+
+
+class TestNormalization:
+    def test_random_normalized_to_itself_is_one(self, suite):
+        assert suite.normalized_time("Water", "RANDOM", 2) == pytest.approx(1.0)
+
+    def test_baseline_loadbal(self, suite):
+        value = suite.normalized_time("Water", "SHARE-REFS", 2, baseline="LOAD-BAL")
+        assert 0.3 < value < 3.0
+
+    def test_random_execution_time_is_mean(self, suite):
+        times = [
+            suite.run("Water", "RANDOM", 2, replicate=r).execution_time
+            for r in range(suite.random_replicates)
+        ]
+        assert suite.execution_time("Water", "RANDOM", 2) == pytest.approx(
+            float(np.mean(times))
+        )
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSuite(scale=0.0)
+
+    def test_invalid_replicates_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSuite(random_replicates=0)

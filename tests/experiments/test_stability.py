@@ -1,0 +1,37 @@
+"""Tests for the seed-stability analysis."""
+
+import pytest
+
+from repro.experiments.stability import algorithm_stability, invariance_stability
+
+
+class TestAlgorithmStability:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return algorithm_stability("Water", "LOAD-BAL", 2, seeds=(0, 1),
+                                   scale=0.001)
+
+    def test_one_value_per_seed(self, result):
+        assert result.seeds == (0, 1)
+        assert len(result.values) == 2
+
+    def test_values_near_one_for_uniform_app(self, result):
+        assert all(0.7 < v < 1.3 for v in result.values)
+
+    def test_render_includes_summary(self, result):
+        text = result.render()
+        assert "mean" in text
+        assert "dev%" in text
+
+    def test_summary_consistent(self, result):
+        assert result.summary.count == 2
+
+
+class TestInvarianceStability:
+    def test_spread_small_on_each_seed(self):
+        result = invariance_stability(
+            "Water", 2, seeds=(0, 1), scale=0.001,
+            algorithms=["SHARE-REFS", "MIN-SHARE", "LOAD-BAL"],
+        )
+        assert len(result.values) == 2
+        assert all(v <= 0.5 for v in result.values)

@@ -1,0 +1,221 @@
+"""Tests for the concrete placement algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.placement.algorithms import (
+    CoherenceTraffic,
+    LoadBal,
+    MaxWrites,
+    MinShare,
+    Random,
+    ShareRefs,
+    algorithm_by_name,
+    all_algorithms,
+    static_sharing_algorithms,
+)
+from repro.placement.base import PlacementInputs
+from repro.trace.analysis import TraceSetAnalysis
+from repro.trace.stream import ThreadTrace, TraceSet
+from repro.workload import build_application
+
+
+def make_analysis(lengths, sharing_pairs=None):
+    """Threads with given lengths; optional dict {(i,j): n_common_refs}."""
+    sharing_pairs = sharing_pairs or {}
+    num_threads = len(lengths)
+    next_shared_addr = 1000
+    per_thread_refs = {tid: [] for tid in range(num_threads)}
+    for (i, j), count in sharing_pairs.items():
+        for _ in range(count):
+            per_thread_refs[i].append((next_shared_addr, False))
+            per_thread_refs[j].append((next_shared_addr, True))
+        next_shared_addr += 1
+    threads = []
+    for tid in range(num_threads):
+        refs = per_thread_refs[tid] or [(tid, False)]
+        n = len(refs)
+        total_gap = max(lengths[tid] - n, 0)
+        gaps = np.zeros(n, np.int64)
+        gaps[0] = total_gap
+        addrs = np.array([a for a, _ in refs], np.int64)
+        writes = np.array([w for _, w in refs], bool)
+        threads.append(ThreadTrace(tid, gaps, addrs, writes))
+    return TraceSetAnalysis(TraceSet("synthetic", threads))
+
+
+def inputs_for(analysis, p, seed=0, coherence=None):
+    return PlacementInputs(
+        analysis, p, rng=np.random.default_rng(seed), coherence_matrix=coherence
+    )
+
+
+class TestRegistry:
+    def test_fourteen_static(self):
+        names = [a.name for a in all_algorithms()]
+        assert len(names) == 14
+        assert len(set(names)) == 14
+        assert "SHARE-REFS" in names
+        assert "SHARE-REFS+LB" in names
+        assert "LOAD-BAL" in names
+        assert "RANDOM" in names
+
+    def test_fifteen_with_dynamic(self):
+        names = [a.name for a in all_algorithms(include_dynamic=True)]
+        assert len(names) == 15
+        assert "COHERENCE-TRAFFIC" in names
+
+    def test_static_sharing_six(self):
+        assert len(static_sharing_algorithms()) == 6
+        lb = static_sharing_algorithms(load_balanced=True)
+        assert all(a.name.endswith("+LB") for a in lb)
+
+    def test_algorithm_by_name(self):
+        assert algorithm_by_name("share-refs").name == "SHARE-REFS"
+        assert algorithm_by_name("MIN-SHARE+LB").name == "MIN-SHARE+LB"
+        with pytest.raises(KeyError):
+            algorithm_by_name("BOGUS")
+
+
+class TestLoadBal:
+    def test_perfectly_balanceable(self):
+        analysis = make_analysis([40, 30, 30, 20, 10, 30])  # total 160, p=2
+        pm = LoadBal().place(inputs_for(analysis, 2))
+        loads = pm.loads(analysis.trace_set.thread_lengths)
+        assert abs(int(loads[0]) - int(loads[1])) <= 10
+
+    def test_beats_naive_on_skewed_lengths(self):
+        lengths = [100, 10, 10, 10, 10, 10, 10, 10]
+        analysis = make_analysis(lengths)
+        pm = LoadBal().place(inputs_for(analysis, 2))
+        # The long thread must be alone-ish: its processor's load should be
+        # near the ideal of 85.
+        assert pm.load_imbalance(lengths) <= 100 / 85 + 0.01
+
+    def test_deterministic(self):
+        analysis = make_analysis([5, 4, 3, 2, 1, 6])
+        a = LoadBal().place(inputs_for(analysis, 3))
+        b = LoadBal().place(inputs_for(analysis, 3))
+        assert a == b
+
+
+class TestRandom:
+    def test_thread_balanced(self):
+        analysis = make_analysis([10] * 10)
+        pm = Random().place(inputs_for(analysis, 4, seed=7))
+        assert pm.is_thread_balanced()
+
+    def test_seed_dependent(self):
+        analysis = make_analysis([10] * 12)
+        a = Random().place(inputs_for(analysis, 4, seed=1))
+        b = Random().place(inputs_for(analysis, 4, seed=2))
+        assert a != b
+
+    def test_same_seed_same_map(self):
+        analysis = make_analysis([10] * 12)
+        a = Random().place(inputs_for(analysis, 4, seed=3))
+        b = Random().place(inputs_for(analysis, 4, seed=3))
+        assert a == b
+
+
+class TestShareRefs:
+    def test_colocates_heavy_sharers(self):
+        # Pairs (0,1) and (2,3) share heavily; cross pairs share nothing.
+        analysis = make_analysis(
+            [100] * 4, sharing_pairs={(0, 1): 50, (2, 3): 50}
+        )
+        pm = ShareRefs().place(inputs_for(analysis, 2))
+        clusters = {frozenset(c) for c in pm.clusters()}
+        assert clusters == {frozenset({0, 1}), frozenset({2, 3})}
+
+    def test_thread_balanced_output(self):
+        analysis = make_analysis([10] * 9, sharing_pairs={(0, 1): 5})
+        pm = ShareRefs().place(inputs_for(analysis, 2))
+        assert pm.is_thread_balanced()
+
+
+class TestMinShare:
+    def test_separates_heavy_sharers(self):
+        analysis = make_analysis(
+            [100] * 4, sharing_pairs={(0, 1): 50, (2, 3): 50}
+        )
+        pm = MinShare().place(inputs_for(analysis, 2))
+        clusters = {frozenset(c) for c in pm.clusters()}
+        assert frozenset({0, 1}) not in clusters
+        assert frozenset({2, 3}) not in clusters
+
+
+class TestMaxWrites:
+    def test_prefers_write_shared_pairs(self):
+        # (0,1) write-share; (2,3) share the same volume but ... in this
+        # builder all sharing is write-shared, so instead verify the metric
+        # separates sharers from non-sharers.
+        analysis = make_analysis([100] * 4, sharing_pairs={(0, 1): 50})
+        pm = MaxWrites().place(inputs_for(analysis, 2))
+        clusters = {frozenset(c) for c in pm.clusters()}
+        assert frozenset({0, 1}) in clusters
+
+
+class TestLoadBalancedVariants:
+    def test_lb_variant_respects_load(self):
+        # Two heavy sharers are also the two longest threads: plain
+        # SHARE-REFS must co-locate them; the +LB version must not.
+        lengths = [100, 100, 10, 10]
+        analysis = make_analysis(lengths, sharing_pairs={(0, 1): 50})
+        plain = ShareRefs().place(inputs_for(analysis, 2))
+        lb = ShareRefs(load_balanced=True).place(inputs_for(analysis, 2))
+        assert frozenset({0, 1}) in {frozenset(c) for c in plain.clusters()}
+        assert frozenset({0, 1}) not in {frozenset(c) for c in lb.clusters()}
+
+    def test_lb_name(self):
+        assert ShareRefs(load_balanced=True).name == "SHARE-REFS+LB"
+
+
+class TestCoherenceTraffic:
+    def test_requires_matrix(self):
+        analysis = make_analysis([10] * 4)
+        with pytest.raises(ValueError, match="coherence_matrix"):
+            CoherenceTraffic().place(inputs_for(analysis, 2))
+
+    def test_uses_matrix(self):
+        analysis = make_analysis([10] * 4)
+        matrix = np.zeros((4, 4))
+        matrix[0, 2] = matrix[2, 0] = 9.0
+        matrix[1, 3] = matrix[3, 1] = 9.0
+        pm = CoherenceTraffic().place(inputs_for(analysis, 2, coherence=matrix))
+        clusters = {frozenset(c) for c in pm.clusters()}
+        assert clusters == {frozenset({0, 2}), frozenset({1, 3})}
+
+    def test_shape_mismatch(self):
+        analysis = make_analysis([10] * 4)
+        with pytest.raises(ValueError, match="shape"):
+            CoherenceTraffic().place(
+                inputs_for(analysis, 2, coherence=np.zeros((3, 3)))
+            )
+
+
+@pytest.mark.integration
+class TestOnRealWorkload:
+    """All algorithms on a real (small) generated application."""
+
+    @pytest.fixture(scope="class")
+    def analysis(self):
+        return TraceSetAnalysis(build_application("Water", scale=0.001, seed=0))
+
+    @pytest.mark.parametrize(
+        "algorithm", all_algorithms(), ids=lambda a: a.name
+    )
+    def test_valid_partition(self, analysis, algorithm):
+        pm = algorithm.place(inputs_for(analysis, 4))
+        assert pm.num_threads == 16
+        assert set(pm.assignment.tolist()) == {0, 1, 2, 3}
+
+    def test_load_bal_best_imbalance(self, analysis):
+        lengths = analysis.trace_set.thread_lengths
+        lb = LoadBal().place(inputs_for(analysis, 4)).load_imbalance(lengths)
+        others = [
+            a.place(inputs_for(analysis, 4)).load_imbalance(lengths)
+            for a in all_algorithms()
+            if a.name not in ("LOAD-BAL",)
+        ]
+        assert all(lb <= x + 1e-9 for x in others)

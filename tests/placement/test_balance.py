@@ -1,0 +1,121 @@
+"""Tests for balance policies and thread-balance feasibility."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.placement.balance import (
+    LoadBalance,
+    ThreadBalance,
+    Unconstrained,
+    balanced_cluster_sizes,
+    thread_balance_feasible,
+)
+
+
+class TestBalancedClusterSizes:
+    def test_even(self):
+        assert balanced_cluster_sizes(8, 4) == [2, 2, 2, 2]
+
+    def test_uneven(self):
+        assert balanced_cluster_sizes(10, 4) == [3, 3, 2, 2]
+
+    def test_one_per_processor(self):
+        assert balanced_cluster_sizes(4, 4) == [1, 1, 1, 1]
+
+    def test_too_many_processors(self):
+        with pytest.raises(ValueError):
+            balanced_cluster_sizes(3, 4)
+
+    @given(st.integers(1, 60), st.integers(1, 20))
+    def test_property(self, t, p):
+        if p > t:
+            return
+        sizes = balanced_cluster_sizes(t, p)
+        assert sum(sizes) == t
+        assert len(sizes) == p
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestThreadBalanceFeasible:
+    def test_initial_singletons_always_feasible(self):
+        assert thread_balance_feasible([1] * 10, 10, 4)
+
+    def test_final_exact_partition(self):
+        assert thread_balance_feasible([3, 3, 2, 2], 10, 4)
+
+    def test_oversized_cluster_infeasible(self):
+        # ceil(10/4) = 3; a size-4 cluster can never fit.
+        assert not thread_balance_feasible([4, 3, 2, 1], 10, 4)
+
+    def test_stranded_configuration(self):
+        # t=10, p=3 -> targets [4,3,3]. Sizes [3,3,2,2]: the two 2s can
+        # only merge together (4) leaving [4,3,3]: feasible.
+        assert thread_balance_feasible([3, 3, 2, 2], 10, 3)
+        # Sizes [3,3,3,1]: 3+1=4, leaves [4,3,3]: feasible.
+        assert thread_balance_feasible([3, 3, 3, 1], 10, 3)
+
+    def test_infeasible_merge_combo(self):
+        # t=8, p=2 -> targets [4,4]. Sizes [3,3,2]: 3+3=6>4, 3+2=5>4 - any
+        # merge overshoots; cannot reach [4,4] with 3 clusters either.
+        assert not thread_balance_feasible([3, 3, 2], 8, 2)
+
+    def test_fewer_clusters_than_processors(self):
+        assert not thread_balance_feasible([5], 5, 2)
+
+    def test_sum_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            thread_balance_feasible([2, 2], 5, 2)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(2, 16), st.integers(1, 5))
+    def test_exact_target_multiset_always_feasible(self, t, p):
+        if p > t:
+            return
+        sizes = balanced_cluster_sizes(t, p)
+        assert thread_balance_feasible(sizes, t, p)
+
+
+def _policy_args(cluster_a, cluster_b, sizes, lengths, t, p):
+    return cluster_a, cluster_b, sizes, np.asarray(lengths, np.int64), t, p
+
+
+class TestThreadBalancePolicy:
+    def test_allows_feasible_merge(self):
+        policy = ThreadBalance()
+        # 4 singletons, t=4, p=2: merging any two leaves [2,1,1] -> [2,2].
+        assert policy.allows(*_policy_args([0], [1], [2, 1, 1], [1] * 4, 4, 2))
+
+    def test_rejects_oversized(self):
+        policy = ThreadBalance()
+        # ceil(4/2)=2: a 3-merge violates immediately.
+        assert not policy.allows(
+            *_policy_args([0, 1], [2], [3, 1], [1] * 4, 4, 2)
+        )
+
+
+class TestLoadBalancePolicy:
+    def test_allows_within_tolerance(self):
+        policy = LoadBalance(tolerance=0.10)
+        lengths = [50, 50, 50, 50]  # ideal per-proc = 100 at p=2
+        assert policy.allows(*_policy_args([0], [1], [2, 1, 1], lengths, 4, 2))
+
+    def test_rejects_overload(self):
+        policy = LoadBalance(tolerance=0.10)
+        lengths = [80, 80, 20, 20]  # ideal = 100; 160 > 110
+        assert not policy.allows(*_policy_args([0], [1], [2, 1, 1], lengths, 4, 2))
+
+    def test_tolerance_boundary(self):
+        policy = LoadBalance(tolerance=0.10)
+        lengths = [55, 55, 45, 45]  # merged 110 == 1.1 * 100: allowed
+        assert policy.allows(*_policy_args([0], [1], [2, 1, 1], lengths, 4, 2))
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            LoadBalance(tolerance=1.5)
+
+
+class TestUnconstrained:
+    def test_always_allows(self):
+        policy = Unconstrained()
+        assert policy.allows(*_policy_args([0, 1, 2], [3], [4], [1] * 4, 4, 1))

@@ -1,0 +1,122 @@
+"""Tests for exhaustive optimal placement."""
+
+import numpy as np
+import pytest
+
+from repro.placement.base import PlacementInputs
+from repro.placement.algorithms import ShareRefs
+from repro.placement.exhaustive import (
+    count_balanced_partitions,
+    enumerate_balanced_partitions,
+    optimal_sharing_placement,
+)
+from repro.trace.analysis import TraceSetAnalysis
+from repro.trace.stream import ThreadTrace, TraceSet
+from repro.trace.transform import select_threads
+from repro.workload import build_application
+
+
+def analysis_from_pairs(num_threads, sharing_pairs):
+    next_addr = 100
+    refs = {tid: [] for tid in range(num_threads)}
+    for (i, j), count in sharing_pairs.items():
+        for _ in range(count):
+            refs[i].append((next_addr, False))
+            refs[j].append((next_addr, True))
+        next_addr += 1
+    threads = []
+    for tid in range(num_threads):
+        rows = refs[tid] or [(tid, False)]
+        threads.append(
+            ThreadTrace(
+                tid,
+                np.zeros(len(rows), np.int64),
+                np.array([a for a, _ in rows], np.int64),
+                np.array([w for _, w in rows], bool),
+            )
+        )
+    return TraceSetAnalysis(TraceSet("t", threads))
+
+
+class TestCounting:
+    @pytest.mark.parametrize(
+        "t,p,expected",
+        [
+            (4, 2, 3),      # {12|34},{13|24},{14|23}
+            (6, 2, 10),     # C(6,3)/2
+            (6, 3, 15),     # 6!/(2^3 * 3!)
+            (5, 2, 10),     # sizes (3,2): C(5,3)
+            (4, 4, 1),
+            (4, 1, 1),
+        ],
+    )
+    def test_known_counts(self, t, p, expected):
+        assert count_balanced_partitions(t, p) == expected
+
+    @pytest.mark.parametrize("t,p", [(4, 2), (5, 2), (6, 3), (7, 3), (8, 4)])
+    def test_enumeration_matches_count(self, t, p):
+        partitions = list(enumerate_balanced_partitions(t, p))
+        assert len(partitions) == count_balanced_partitions(t, p)
+
+    @pytest.mark.parametrize("t,p", [(6, 2), (6, 3), (7, 2)])
+    def test_enumeration_unique_and_exact(self, t, p):
+        seen = set()
+        for clusters in enumerate_balanced_partitions(t, p):
+            key = frozenset(frozenset(c) for c in clusters)
+            assert key not in seen
+            seen.add(key)
+            assert sorted(x for c in clusters for x in c) == list(range(t))
+
+
+class TestOptimalPlacement:
+    def test_finds_planted_optimum(self):
+        """Two cliques: the optimum must recover them."""
+        analysis = analysis_from_pairs(6, {
+            (0, 1): 10, (1, 2): 10, (0, 2): 10,
+            (3, 4): 10, (4, 5): 10, (3, 5): 10,
+            (2, 3): 1,
+        })
+        placement, score = optimal_sharing_placement(analysis, 2)
+        clusters = {frozenset(c) for c in placement.clusters()}
+        assert clusters == {frozenset({0, 1, 2}), frozenset({3, 4, 5})}
+        # 3 pairs per clique, 20 shared refs per pair, two cliques.
+        assert score == pytest.approx(2 * 3 * 20.0)
+
+    def test_optimum_at_least_greedy(self):
+        """The exhaustive optimum never scores below greedy SHARE-REFS."""
+        analysis = TraceSetAnalysis(
+            select_threads(build_application("Water", scale=0.001, seed=0),
+                           list(range(8)))
+        )
+        optimal, best_score = optimal_sharing_placement(analysis, 2)
+        greedy = ShareRefs().place(PlacementInputs(analysis, 2))
+
+        matrix = analysis.shared_refs_matrix
+
+        def captured(placement):
+            total = 0.0
+            for cluster in placement.clusters():
+                total += float(matrix[np.ix_(cluster, cluster)].sum()) / 2
+            return total
+
+        assert best_score >= captured(greedy) - 1e-9
+        assert best_score == pytest.approx(captured(optimal))
+
+    def test_custom_matrix(self):
+        analysis = analysis_from_pairs(4, {(0, 1): 1})
+        matrix = np.zeros((4, 4))
+        matrix[0, 2] = matrix[2, 0] = 100.0
+        placement, _ = optimal_sharing_placement(analysis, 2, matrix=matrix)
+        assert {frozenset(c) for c in placement.clusters()} == {
+            frozenset({0, 2}), frozenset({1, 3})
+        }
+
+    def test_limit_enforced(self):
+        analysis = analysis_from_pairs(12, {(0, 1): 1})
+        with pytest.raises(ValueError, match="exceeds the limit"):
+            optimal_sharing_placement(analysis, 6, partition_limit=10)
+
+    def test_thread_balanced_output(self):
+        analysis = analysis_from_pairs(7, {(0, 1): 3})
+        placement, _ = optimal_sharing_placement(analysis, 3)
+        assert placement.is_thread_balanced()

@@ -1,0 +1,58 @@
+"""Tests for placement-map serialization."""
+
+import pytest
+
+from repro.placement.base import PlacementMap
+from repro.placement.io import (
+    load_placement,
+    placement_from_json,
+    placement_to_json,
+    save_placement,
+)
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self):
+        original = PlacementMap([0, 1, 0, 2], 3)
+        text = placement_to_json(original, algorithm="SHARE-REFS", app="Water")
+        loaded, metadata = placement_from_json(text)
+        assert loaded == original
+        assert metadata == {"algorithm": "SHARE-REFS", "app": "Water"}
+
+    def test_file_round_trip(self, tmp_path):
+        original = PlacementMap([1, 0], 2)
+        path = tmp_path / "map.json"
+        save_placement(original, path, algorithm="LOAD-BAL")
+        loaded, metadata = load_placement(path)
+        assert loaded == original
+        assert metadata["algorithm"] == "LOAD-BAL"
+
+    def test_provenance_optional(self):
+        loaded, metadata = placement_from_json(
+            placement_to_json(PlacementMap([0], 1))
+        )
+        assert metadata == {"algorithm": "", "app": ""}
+
+
+class TestValidation:
+    def test_not_json(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            placement_from_json("{{{")
+
+    def test_wrong_format_marker(self):
+        with pytest.raises(ValueError, match="not a repro-placement-map"):
+            placement_from_json('{"format": "something-else"}')
+
+    def test_wrong_version(self):
+        text = placement_to_json(PlacementMap([0], 1)).replace(
+            '"version": 1', '"version": 99'
+        )
+        with pytest.raises(ValueError, match="version"):
+            placement_from_json(text)
+
+    def test_invalid_assignment_rejected(self):
+        text = placement_to_json(PlacementMap([0, 1], 2)).replace(
+            "[\n    0,\n    1\n  ]", "[0, 7]"
+        )
+        with pytest.raises(ValueError):
+            placement_from_json(text)

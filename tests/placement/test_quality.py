@@ -1,0 +1,94 @@
+"""Tests for placement-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.placement.base import PlacementMap
+from repro.placement.quality import evaluate_placement
+from repro.trace.analysis import TraceSetAnalysis
+from repro.trace.stream import ThreadTrace, TraceSet
+
+
+def trace_from(tid, refs, pad_gap=0):
+    gaps = np.zeros(len(refs), np.int64)
+    if refs and pad_gap:
+        gaps[0] = pad_gap
+    addrs = np.array([a for a, _ in refs], np.int64)
+    writes = np.array([w for _, w in refs], bool)
+    return ThreadTrace(tid, gaps, addrs, writes)
+
+
+@pytest.fixture
+def clique_analysis():
+    """Threads 0,1 write-share addr 1; threads 2,3 write-share addr 2;
+    each thread has one private address."""
+    return TraceSetAnalysis(
+        TraceSet(
+            "cliques",
+            [
+                trace_from(0, [(1, True), (1, False), (10, False)]),
+                trace_from(1, [(1, False), (1, False), (11, False)]),
+                trace_from(2, [(2, True), (2, False), (12, False)]),
+                trace_from(3, [(2, False), (2, False), (13, False)]),
+            ],
+        )
+    )
+
+
+class TestEvaluatePlacement:
+    def test_perfect_clustering(self, clique_analysis):
+        pm = PlacementMap([0, 0, 1, 1], 2)
+        quality = evaluate_placement(pm, clique_analysis)
+        assert quality.captured_sharing == pytest.approx(1.0)
+        assert quality.cross_write_sharing == pytest.approx(0.0)
+        assert quality.thread_balanced
+
+    def test_worst_clustering(self, clique_analysis):
+        pm = PlacementMap([0, 1, 0, 1], 2)
+        quality = evaluate_placement(pm, clique_analysis)
+        assert quality.captured_sharing == pytest.approx(0.0)
+        assert quality.cross_write_sharing == pytest.approx(1.0)
+
+    def test_private_footprint(self, clique_analysis):
+        pm = PlacementMap([0, 0, 1, 1], 2)
+        quality = evaluate_placement(pm, clique_analysis)
+        # Each thread owns exactly one private address.
+        assert quality.private_addresses_max == 2
+        assert quality.private_addresses_mean == pytest.approx(2.0)
+
+    def test_load_imbalance(self):
+        analysis = TraceSetAnalysis(
+            TraceSet(
+                "uneven",
+                [
+                    trace_from(0, [(1, False)], pad_gap=99),   # length 100
+                    trace_from(1, [(1, False)]),               # length 1
+                    trace_from(2, [(2, False)]),
+                    trace_from(3, [(2, False)]),
+                ],
+            )
+        )
+        lopsided = PlacementMap([0, 0, 1, 1], 2)
+        quality = evaluate_placement(lopsided, analysis)
+        assert quality.load_imbalance > 1.5
+
+    def test_no_sharing_at_all(self):
+        analysis = TraceSetAnalysis(
+            TraceSet(
+                "private-only",
+                [trace_from(0, [(10, False)]), trace_from(1, [(11, True)])],
+            )
+        )
+        quality = evaluate_placement(PlacementMap([0, 1], 2), analysis)
+        assert quality.captured_sharing == 0.0
+        assert quality.cross_write_sharing == 0.0
+
+    def test_mismatched_sizes_rejected(self, clique_analysis):
+        with pytest.raises(ValueError, match="threads"):
+            evaluate_placement(PlacementMap([0, 1], 2), clique_analysis)
+
+    def test_str_readable(self, clique_analysis):
+        quality = evaluate_placement(PlacementMap([0, 0, 1, 1], 2), clique_analysis)
+        text = str(quality)
+        assert "captured sharing" in text
+        assert "load imbalance" in text

@@ -1,0 +1,139 @@
+"""Tests for the repro-workload / repro-place / repro-simulate toolchain."""
+
+import json
+
+import pytest
+
+from repro.placement.io import load_placement
+from repro.tools.place_cli import main as place_main
+from repro.tools.simulate_cli import main as simulate_main
+from repro.tools.workload_cli import main as workload_main
+from repro.trace.io import load_trace_set, load_trace_set_text
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("pipeline") / "water.npz"
+    code = workload_main([
+        "--app", "Water", "--scale", "0.001", "--out", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestWorkloadCli:
+    def test_npz_output(self, trace_file):
+        traces = load_trace_set(trace_file)
+        assert traces.name == "Water"
+        assert traces.num_threads == 16
+
+    def test_text_output(self, tmp_path):
+        path = tmp_path / "w.trace"
+        workload_main(["--app", "Water", "--scale", "0.001",
+                       "--format", "text", "--out", str(path)])
+        assert load_trace_set_text(path).num_threads == 16
+
+    def test_list(self, capsys):
+        assert workload_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "Gauss" in out and "coarse" in out and "medium" in out
+
+    def test_custom_workload(self, tmp_path):
+        path = tmp_path / "c.npz"
+        workload_main([
+            "--custom", "--name", "mini", "--threads", "6",
+            "--mean-length", "800", "--shared-pct", "70", "--out", str(path),
+        ])
+        traces = load_trace_set(path)
+        assert traces.name == "mini"
+        assert traces.num_threads == 6
+
+    def test_missing_out_errors(self):
+        with pytest.raises(SystemExit):
+            workload_main(["--app", "Water"])
+
+    def test_missing_app_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            workload_main(["--out", str(tmp_path / "x.npz")])
+
+
+class TestPlaceCli:
+    def test_share_refs_map(self, trace_file, tmp_path):
+        out = tmp_path / "map.json"
+        code = place_main([
+            "--traces", str(trace_file), "--algorithm", "SHARE-REFS",
+            "-p", "4", "--out", str(out),
+        ])
+        assert code == 0
+        placement, metadata = load_placement(out)
+        assert placement.num_processors == 4
+        assert placement.num_threads == 16
+        assert metadata["algorithm"] == "SHARE-REFS"
+        assert metadata["app"] == "Water"
+
+    def test_coherence_traffic_map(self, trace_file, tmp_path):
+        out = tmp_path / "ct.json"
+        code = place_main([
+            "--traces", str(trace_file), "--algorithm", "COHERENCE-TRAFFIC",
+            "-p", "2", "--out", str(out),
+        ])
+        assert code == 0
+        placement, _ = load_placement(out)
+        assert placement.is_thread_balanced()
+
+    def test_list(self, capsys):
+        assert place_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "SHARE-REFS+LB" in out
+        assert "COHERENCE-TRAFFIC" in out
+
+    def test_missing_args(self):
+        with pytest.raises(SystemExit):
+            place_main(["--traces", "x.npz"])
+
+
+class TestSimulateCli:
+    @pytest.fixture(scope="class")
+    def map_file(self, trace_file, tmp_path_factory):
+        out = tmp_path_factory.mktemp("maps") / "map.json"
+        place_main([
+            "--traces", str(trace_file), "--algorithm", "LOAD-BAL",
+            "-p", "4", "--out", str(out),
+        ])
+        return out
+
+    def test_full_output(self, trace_file, map_file, capsys):
+        code = simulate_main([
+            "--traces", str(trace_file), "--map", str(map_file),
+            "--cache-words", "256",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LOAD-BAL" in out
+        assert "miss components" in out
+        assert "coherence traffic" in out
+
+    def test_quiet_prints_only_time(self, trace_file, map_file, capsys):
+        code = simulate_main([
+            "--traces", str(trace_file), "--map", str(map_file), "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out.strip()
+        assert out.isdigit()
+
+    def test_infinite_flag(self, trace_file, map_file, capsys):
+        simulate_main([
+            "--traces", str(trace_file), "--map", str(map_file),
+            "--infinite",
+        ])
+        out = capsys.readouterr().out
+        assert "intra=0 inter=0" in out
+
+    def test_deterministic_across_invocations(self, trace_file, map_file,
+                                               capsys):
+        simulate_main(["--traces", str(trace_file), "--map", str(map_file),
+                       "--quiet"])
+        first = capsys.readouterr().out
+        simulate_main(["--traces", str(trace_file), "--map", str(map_file),
+                       "--quiet"])
+        assert capsys.readouterr().out == first

@@ -1,0 +1,228 @@
+"""Tests for static trace analysis (the placement algorithms' inputs)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.analysis import (
+    ThreadProfile,
+    TraceSetAnalysis,
+    group_shared_references,
+    pairwise_matrix,
+    shared_addresses,
+    shared_references,
+    write_shared_references,
+)
+from repro.trace.stream import ThreadTrace, TraceSet
+
+
+def trace_from(thread_id, refs):
+    """refs: list of (addr, is_write)."""
+    gaps = np.zeros(len(refs), dtype=np.int64)
+    addrs = np.array([a for a, _ in refs], dtype=np.int64)
+    writes = np.array([w for _, w in refs], dtype=bool)
+    return ThreadTrace(thread_id, gaps, addrs, writes)
+
+
+@pytest.fixture
+def simple_set():
+    """Three threads:
+
+    t0: reads 1,1,2   writes 3
+    t1: reads 1       writes 2,2
+    t2: reads 9,9     (touches nothing shared with others)
+    """
+    return TraceSet(
+        "simple",
+        [
+            trace_from(0, [(1, False), (1, False), (2, False), (3, True)]),
+            trace_from(1, [(1, False), (2, True), (2, True)]),
+            trace_from(2, [(9, False), (9, False)]),
+        ],
+    )
+
+
+class TestThreadProfile:
+    def test_aggregation(self):
+        profile = ThreadProfile.from_trace(
+            trace_from(0, [(5, False), (5, True), (5, False), (7, True)])
+        )
+        assert list(profile.addrs) == [5, 7]
+        assert list(profile.reads) == [2, 0]
+        assert list(profile.writes) == [1, 1]
+        assert profile.total_refs == 4
+        assert profile.num_addresses == 2
+
+    def test_empty_trace(self):
+        profile = ThreadProfile.from_trace(trace_from(0, []))
+        assert profile.num_addresses == 0
+        assert profile.total_refs == 0
+
+    def test_written_addrs(self):
+        profile = ThreadProfile.from_trace(trace_from(0, [(1, False), (2, True)]))
+        assert list(profile.written_addrs) == [2]
+
+    def test_refs_to(self):
+        profile = ThreadProfile.from_trace(
+            trace_from(0, [(1, False), (1, False), (2, True)])
+        )
+        assert profile.refs_to(np.array([1])) == 2
+        assert profile.refs_to(np.array([1, 2])) == 3
+        assert profile.refs_to(np.array([42])) == 0
+
+    def test_length_carried(self):
+        trace = ThreadTrace(
+            0,
+            np.array([4, 4], np.int64),
+            np.array([1, 2], np.int64),
+            np.array([False, False], bool),
+        )
+        assert ThreadProfile.from_trace(trace).length == trace.length == 10
+
+
+class TestPairwiseMetrics:
+    def test_shared_references(self, simple_set):
+        profiles = [ThreadProfile.from_trace(t) for t in simple_set]
+        # Common addrs of t0, t1: {1, 2}. t0 refs: 2+1=3, t1 refs: 1+2=3.
+        assert shared_references(profiles[0], profiles[1]) == 6
+        assert shared_references(profiles[0], profiles[2]) == 0
+
+    def test_shared_addresses(self, simple_set):
+        profiles = [ThreadProfile.from_trace(t) for t in simple_set]
+        assert shared_addresses(profiles[0], profiles[1]) == 2
+        assert shared_addresses(profiles[1], profiles[2]) == 0
+
+    def test_write_shared_references(self, simple_set):
+        profiles = [ThreadProfile.from_trace(t) for t in simple_set]
+        # Of common addrs {1, 2}, only 2 is written (by t1).
+        # Refs to 2: t0 has 1, t1 has 2 -> 3.
+        assert write_shared_references(profiles[0], profiles[1]) == 3
+
+    def test_symmetry(self, simple_set):
+        profiles = [ThreadProfile.from_trace(t) for t in simple_set]
+        for metric in (shared_references, shared_addresses, write_shared_references):
+            assert metric(profiles[0], profiles[1]) == metric(profiles[1], profiles[0])
+
+    def test_pairwise_matrix(self, simple_set):
+        profiles = [ThreadProfile.from_trace(t) for t in simple_set]
+        matrix = pairwise_matrix(profiles, shared_references)
+        assert matrix.shape == (3, 3)
+        assert np.allclose(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0)
+        assert matrix[0, 1] == 6
+
+
+class TestGroupSharing:
+    def test_single_thread_is_zero(self, simple_set):
+        profiles = [ThreadProfile.from_trace(t) for t in simple_set]
+        assert group_shared_references(profiles[:1]) == 0
+
+    def test_pair_matches_pairwise(self, simple_set):
+        profiles = [ThreadProfile.from_trace(t) for t in simple_set]
+        assert group_shared_references(profiles[:2]) == shared_references(
+            profiles[0], profiles[1]
+        )
+
+    def test_three_way(self, simple_set):
+        profiles = [ThreadProfile.from_trace(t) for t in simple_set]
+        # Within the whole group, shared addrs are {1, 2}; t2 contributes 0.
+        assert group_shared_references(profiles) == 6
+
+    def test_superset_of_pairwise(self):
+        """Group sharing counts refs to any address >= 2 members touch."""
+        profiles = [
+            ThreadProfile.from_trace(trace_from(0, [(1, False)])),
+            ThreadProfile.from_trace(trace_from(1, [(1, False), (2, False)])),
+            ThreadProfile.from_trace(trace_from(2, [(2, False)])),
+        ]
+        assert group_shared_references(profiles) == 4
+
+
+class TestTraceSetAnalysis:
+    def test_shared_and_private_spaces(self, simple_set):
+        analysis = TraceSetAnalysis(simple_set)
+        assert list(analysis.shared_address_space) == [1, 2]
+        assert list(analysis.private_address_space) == [3, 9]
+
+    def test_shared_refs_per_thread(self, simple_set):
+        analysis = TraceSetAnalysis(simple_set)
+        assert list(analysis.shared_refs_per_thread) == [3, 3, 0]
+
+    def test_private_addresses_per_thread(self, simple_set):
+        analysis = TraceSetAnalysis(simple_set)
+        assert list(analysis.private_addresses_per_thread) == [1, 0, 1]
+
+    def test_percent_shared_refs(self, simple_set):
+        analysis = TraceSetAnalysis(simple_set)
+        # t0: 3/4, t1: 3/3, t2: 0/2 -> mean of (75, 100, 0)
+        assert analysis.percent_shared_refs.mean == pytest.approx((75 + 100 + 0) / 3)
+
+    def test_refs_per_shared_address(self, simple_set):
+        analysis = TraceSetAnalysis(simple_set)
+        # t0 touches shared {1,2} with 3 refs -> 1.5; t1 likewise 1.5; t2 0.
+        assert analysis.refs_per_shared_address.mean == pytest.approx(1.0)
+
+    def test_matrices_cached_and_consistent(self, simple_set):
+        analysis = TraceSetAnalysis(simple_set)
+        assert analysis.shared_refs_matrix is analysis.shared_refs_matrix
+        assert analysis.shared_refs_matrix[0, 1] == 6
+        assert analysis.write_shared_refs_matrix[0, 1] == 3
+        assert analysis.shared_addrs_matrix[0, 1] == 2
+
+    def test_pairwise_summary(self, simple_set):
+        analysis = TraceSetAnalysis(simple_set)
+        # Pairs: (0,1)=6, (0,2)=0, (1,2)=0.
+        assert analysis.pairwise_sharing.mean == pytest.approx(2.0)
+
+    def test_n_way_sharing_validates_group_size(self, simple_set):
+        analysis = TraceSetAnalysis(simple_set)
+        with pytest.raises(ValueError):
+            analysis.n_way_sharing(1)
+        with pytest.raises(ValueError):
+            analysis.n_way_sharing(4)
+
+    def test_n_way_sharing_deterministic(self, simple_set):
+        analysis = TraceSetAnalysis(simple_set)
+        a = analysis.n_way_sharing(2, samples=8, seed=3)
+        b = analysis.n_way_sharing(2, samples=8, seed=3)
+        assert a == b
+
+    def test_thread_lengths(self, simple_set):
+        analysis = TraceSetAnalysis(simple_set)
+        assert analysis.thread_lengths.mean == pytest.approx((4 + 3 + 2) / 3)
+
+
+@st.composite
+def profile_pairs(draw):
+    def one(tid):
+        n = draw(st.integers(min_value=0, max_value=30))
+        refs = draw(
+            st.lists(
+                st.tuples(st.integers(0, 15), st.booleans()),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        return ThreadProfile.from_trace(trace_from(tid, refs))
+
+    return one(0), one(1)
+
+
+class TestMetricProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(profile_pairs())
+    def test_write_shared_bounded_by_shared(self, pair):
+        a, b = pair
+        assert 0 <= write_shared_references(a, b) <= shared_references(a, b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(profile_pairs())
+    def test_shared_refs_bounded_by_total(self, pair):
+        a, b = pair
+        assert shared_references(a, b) <= a.total_refs + b.total_refs
+
+    @settings(max_examples=60, deadline=None)
+    @given(profile_pairs())
+    def test_group_of_two_equals_pairwise(self, pair):
+        a, b = pair
+        assert group_shared_references([a, b]) == shared_references(a, b)

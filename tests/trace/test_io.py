@@ -1,0 +1,125 @@
+"""Tests for trace serialization (binary npz and text formats)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.io import (
+    load_trace_set,
+    load_trace_set_text,
+    save_trace_set,
+    save_trace_set_text,
+    trace_set_from_text,
+    trace_set_to_text,
+)
+from repro.trace.stream import ThreadTrace, TraceSet
+
+
+def small_trace_set():
+    t0 = ThreadTrace(
+        0,
+        np.array([0, 3], dtype=np.int64),
+        np.array([8, 64], dtype=np.int64),
+        np.array([False, True], dtype=bool),
+    )
+    t1 = ThreadTrace(
+        1,
+        np.array([2], dtype=np.int64),
+        np.array([8], dtype=np.int64),
+        np.array([False], dtype=bool),
+    )
+    return TraceSet("tiny", [t0, t1])
+
+
+class TestBinaryFormat:
+    def test_round_trip(self, tmp_path):
+        original = small_trace_set()
+        path = tmp_path / "tiny.npz"
+        save_trace_set(original, path)
+        assert load_trace_set(path) == original
+
+    def test_preserves_empty_thread(self, tmp_path):
+        empty = ThreadTrace(0, np.array([], np.int64), np.array([], np.int64),
+                            np.array([], bool))
+        ts = TraceSet("empty", [empty])
+        path = tmp_path / "e.npz"
+        save_trace_set(ts, path)
+        loaded = load_trace_set(path)
+        assert loaded.num_threads == 1
+        assert loaded[0].num_refs == 0
+
+
+class TestTextFormat:
+    def test_round_trip(self, tmp_path):
+        original = small_trace_set()
+        path = tmp_path / "tiny.trace"
+        save_trace_set_text(original, path)
+        assert load_trace_set_text(path) == original
+
+    def test_string_round_trip(self):
+        original = small_trace_set()
+        assert trace_set_from_text(trace_set_to_text(original)) == original
+
+    def test_format_is_line_per_record(self):
+        text = trace_set_to_text(small_trace_set())
+        lines = text.splitlines()
+        assert lines[0].startswith("# repro-trace")
+        assert "0 0 R 8" in lines
+        assert "0 3 W 64" in lines
+        assert "1 2 R 8" in lines
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            trace_set_from_text("garbage\n")
+
+    def test_malformed_record_rejected(self):
+        text = trace_set_to_text(small_trace_set()) + "not a record line\n"
+        with pytest.raises(ValueError, match="malformed"):
+            trace_set_from_text(text)
+
+    def test_unknown_thread_rejected(self):
+        text = trace_set_to_text(small_trace_set()) + "7 0 R 8\n"
+        with pytest.raises(ValueError, match="unknown thread"):
+            trace_set_from_text(text)
+
+    def test_comments_and_blanks_ignored(self):
+        text = trace_set_to_text(small_trace_set()) + "\n# trailing comment\n"
+        assert trace_set_from_text(text) == small_trace_set()
+
+
+@st.composite
+def trace_sets(draw):
+    num_threads = draw(st.integers(min_value=1, max_value=4))
+    threads = []
+    for tid in range(num_threads):
+        n = draw(st.integers(min_value=0, max_value=20))
+        gaps = draw(st.lists(st.integers(0, 50), min_size=n, max_size=n))
+        addrs = draw(st.lists(st.integers(0, 2**30), min_size=n, max_size=n))
+        writes = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+        threads.append(
+            ThreadTrace(
+                tid,
+                np.array(gaps, np.int64),
+                np.array(addrs, np.int64),
+                np.array(writes, bool),
+            )
+        )
+    return TraceSet("prop", threads)
+
+
+class TestPropertyRoundTrips:
+    @settings(max_examples=30, deadline=None)
+    @given(trace_sets())
+    def test_text_round_trip(self, ts):
+        assert trace_set_from_text(trace_set_to_text(ts)) == ts
+
+    @settings(max_examples=15, deadline=None)
+    @given(trace_sets())
+    def test_binary_round_trip(self, ts):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "t.npz"
+            save_trace_set(ts, path)
+            assert load_trace_set(path) == ts

@@ -1,0 +1,52 @@
+"""Tests for the trace-record model."""
+
+import pytest
+
+from repro.trace.record import AccessType, TraceRecord
+
+
+class TestAccessType:
+    def test_from_flag(self):
+        assert AccessType.from_flag(True) is AccessType.WRITE
+        assert AccessType.from_flag(False) is AccessType.READ
+
+    def test_is_write(self):
+        assert AccessType.WRITE.is_write
+        assert not AccessType.READ.is_write
+
+    def test_values_match_text_format(self):
+        assert AccessType.READ.value == "R"
+        assert AccessType.WRITE.value == "W"
+
+
+class TestTraceRecord:
+    def test_fields(self):
+        record = TraceRecord(gap=3, addr=0x40, access=AccessType.WRITE)
+        assert record.gap == 3
+        assert record.addr == 0x40
+        assert record.is_write
+
+    def test_cost(self):
+        assert TraceRecord(0, 1, AccessType.READ).cost_in_instructions == 1
+        assert TraceRecord(9, 1, AccessType.READ).cost_in_instructions == 10
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError, match="gap"):
+            TraceRecord(-1, 0, AccessType.READ)
+
+    def test_negative_addr_rejected(self):
+        with pytest.raises(ValueError, match="addr"):
+            TraceRecord(0, -5, AccessType.READ)
+
+    def test_frozen(self):
+        record = TraceRecord(0, 0, AccessType.READ)
+        with pytest.raises(AttributeError):
+            record.gap = 5
+
+    def test_str(self):
+        assert str(TraceRecord(2, 16, AccessType.WRITE)) == "2 W 0x10"
+
+    def test_equality(self):
+        a = TraceRecord(1, 2, AccessType.READ)
+        b = TraceRecord(1, 2, AccessType.READ)
+        assert a == b

@@ -1,0 +1,113 @@
+"""Tests for ThreadTrace and TraceSet."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.trace.record import AccessType, TraceRecord
+from repro.trace.stream import ThreadTrace, TraceSet
+
+
+def make_trace(thread_id=0, gaps=(0, 2, 1), addrs=(8, 16, 8), writes=(False, True, False)):
+    return ThreadTrace(
+        thread_id,
+        np.array(gaps, dtype=np.int64),
+        np.array(addrs, dtype=np.int64),
+        np.array(writes, dtype=bool),
+    )
+
+
+class TestThreadTrace:
+    def test_basic_properties(self):
+        trace = make_trace()
+        assert trace.num_refs == 3
+        assert trace.length == 0 + 2 + 1 + 3  # gaps + one per ref
+        assert trace.num_writes == 1
+        assert trace.num_reads == 2
+
+    def test_empty_trace(self):
+        trace = make_trace(gaps=(), addrs=(), writes=())
+        assert trace.num_refs == 0
+        assert trace.length == 0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            ThreadTrace(0, np.zeros(2, np.int64), np.zeros(3, np.int64), np.zeros(3, bool))
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError, match="gaps"):
+            make_trace(gaps=(-1, 0, 0))
+
+    def test_negative_addr_rejected(self):
+        with pytest.raises(ValueError, match="addrs"):
+            make_trace(addrs=(-8, 16, 8))
+
+    def test_negative_thread_id_rejected(self):
+        with pytest.raises(ValueError, match="thread_id"):
+            make_trace(thread_id=-1)
+
+    def test_records_round_trip(self):
+        trace = make_trace()
+        rebuilt = ThreadTrace.from_records(trace.thread_id, trace.records())
+        assert rebuilt == trace
+
+    def test_from_records(self):
+        records = [
+            TraceRecord(0, 4, AccessType.READ),
+            TraceRecord(5, 8, AccessType.WRITE),
+        ]
+        trace = ThreadTrace.from_records(1, records)
+        assert trace.thread_id == 1
+        assert list(trace.addrs) == [4, 8]
+        assert list(trace.writes) == [False, True]
+
+    def test_len(self):
+        assert len(make_trace()) == 3
+
+    def test_equality_requires_same_data(self):
+        assert make_trace() == make_trace()
+        assert make_trace() != make_trace(writes=(True, True, False))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=100),
+                st.integers(min_value=0, max_value=2**40),
+                st.booleans(),
+            ),
+            max_size=50,
+        )
+    )
+    def test_length_is_sum_of_costs(self, rows):
+        records = [TraceRecord(g, a, AccessType.from_flag(w)) for g, a, w in rows]
+        trace = ThreadTrace.from_records(0, records)
+        assert trace.length == sum(r.cost_in_instructions for r in records)
+
+
+class TestTraceSet:
+    def test_dense_ids_enforced(self):
+        with pytest.raises(ValueError, match="dense"):
+            TraceSet("app", [make_trace(thread_id=1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TraceSet("app", [])
+
+    def test_aggregates(self):
+        ts = TraceSet("app", [make_trace(0), make_trace(1, gaps=(1, 1, 1))])
+        assert ts.num_threads == 2
+        assert ts.total_refs == 6
+        assert list(ts.thread_lengths) == [6, 6]
+        assert ts.total_length == 12
+
+    def test_indexing_and_iteration(self):
+        ts = TraceSet("app", [make_trace(0), make_trace(1)])
+        assert ts[1].thread_id == 1
+        assert [t.thread_id for t in ts] == [0, 1]
+        assert len(ts) == 2
+
+    def test_equality(self):
+        a = TraceSet("app", [make_trace(0)])
+        b = TraceSet("app", [make_trace(0)])
+        assert a == b
+        assert a != TraceSet("other", [make_trace(0)])

@@ -1,0 +1,72 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.util.ascii_chart import horizontal_bars, stacked_bars
+
+
+class TestHorizontalBars:
+    def test_proportional_lengths(self):
+        text = horizontal_bars({"full": 1.0, "half": 0.5}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_values_printed(self):
+        text = horizontal_bars({"a": 0.123}, value_format=".2f")
+        assert "0.12" in text
+
+    def test_reference_tick_visible_on_short_bars(self):
+        text = horizontal_bars({"short": 0.5, "long": 2.0}, width=10,
+                               reference=1.0)
+        short_line = text.splitlines()[0]
+        assert "|" in short_line.split("| ", 1)[1]  # tick inside the bar area
+
+    def test_labels_aligned(self):
+        text = horizontal_bars({"a": 1.0, "longer": 1.0})
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_zero_values_ok(self):
+        text = horizontal_bars({"a": 0.0, "b": 0.0})
+        assert "0.000" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            horizontal_bars({})
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ValueError):
+            horizontal_bars({"a": 1.0}, width=2)
+
+
+class TestStackedBars:
+    def test_segments_and_legend(self):
+        text = stacked_bars({"x": [2, 2]}, ["alpha", "beta"], width=8)
+        assert "alpha=1" in text
+        assert "beta=2" in text
+        row = text.splitlines()[1]
+        assert row.count("1") >= 4 - 1  # ~half the bar
+        assert "(total 4)" in row
+
+    def test_rows_scaled_to_peak(self):
+        text = stacked_bars({"big": [8, 0], "small": [2, 0]}, ["a", "b"],
+                            width=8)
+        big, small = text.splitlines()[1:3]
+        assert big.count("1") > small.count("1")
+
+    def test_segment_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="segments"):
+            stacked_bars({"x": [1]}, ["a", "b"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            stacked_bars({}, ["a"])
+
+    def test_too_many_segments_rejected(self):
+        with pytest.raises(ValueError):
+            stacked_bars({"x": list(range(12))}, [str(i) for i in range(12)])
+
+    def test_all_zero_rows_ok(self):
+        text = stacked_bars({"x": [0, 0]}, ["a", "b"])
+        assert "(total 0)" in text

@@ -1,0 +1,100 @@
+"""Tests for the paper-definition statistics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import (
+    absolute_deviation,
+    mean,
+    percent_deviation,
+    population_std,
+    summarize,
+)
+
+
+class TestMean:
+    def test_simple(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_single_value(self):
+        assert mean([5.0]) == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            mean(np.zeros((2, 2)))
+
+
+class TestPopulationStd:
+    def test_constant_population_is_zero(self):
+        assert population_std([4, 4, 4]) == 0.0
+
+    def test_known_value(self):
+        # Population std of [2, 4] is 1.
+        assert population_std([2, 4]) == 1.0
+
+
+class TestPercentDeviation:
+    def test_uniform_is_zero(self):
+        assert percent_deviation([10, 10, 10]) == 0.0
+
+    def test_known_value(self):
+        # mean 3, std 1 -> 33.33%
+        assert percent_deviation([2, 4]) == pytest.approx(100.0 / 3)
+
+    def test_all_zero_is_zero(self):
+        assert percent_deviation([0, 0]) == 0.0
+
+    def test_zero_mean_nonzero_spread_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            percent_deviation([-1, 1])
+
+
+class TestAbsoluteDeviation:
+    def test_matches_paper_worked_example(self):
+        """Vandermonde: dev 386%, mean ~0.01% -> absolute deviation ~0.04%."""
+        values = [0.01] * 20
+        values[0] = 0.2  # one outlier producing a huge percent deviation
+        pct = percent_deviation(values)
+        mu = mean(values)
+        assert absolute_deviation(values) == pytest.approx(pct / 100 * mu)
+
+    def test_equals_population_std(self):
+        values = [1.0, 2.0, 3.5, 7.25]
+        assert absolute_deviation(values) == population_std(values)
+
+
+class TestSummarize:
+    def test_fields(self):
+        summary = summarize([2, 4])
+        assert summary.mean == 3.0
+        assert summary.absolute_dev == 1.0
+        assert summary.percent_dev == pytest.approx(100.0 / 3)
+        assert summary.count == 2
+
+    def test_zero_mean_inf_percent(self):
+        summary = summarize([-1, 1])
+        assert summary.mean == 0.0
+        assert math.isinf(summary.percent_dev)
+
+    def test_str_contains_mean(self):
+        assert "3" in str(summarize([3, 3]))
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+    def test_consistency_property(self, values):
+        """percent_dev/100 * mean == absolute_dev, whenever both defined."""
+        summary = summarize(values)
+        if summary.mean > 0 and math.isfinite(summary.percent_dev):
+            assert summary.percent_dev / 100 * summary.mean == pytest.approx(
+                summary.absolute_dev, abs=1e-6, rel=1e-6
+            )
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    def test_std_nonnegative(self, values):
+        assert summarize(values).absolute_dev >= 0.0

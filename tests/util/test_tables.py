@@ -1,0 +1,45 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.util.tables import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "x"], [["fft", 1.0], ["gauss", 22.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "gauss" in lines[3]
+        # All rows share the same column boundary.
+        assert lines[0].index("|") == lines[2].index("|") == lines[3].index("|")
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="Table 9")
+        assert text.splitlines()[0] == "Table 9"
+        assert text.splitlines()[1] == "=" * len("Table 9")
+
+    def test_float_format(self):
+        text = format_table(["v"], [[1.23456]], float_format=".3f")
+        assert "1.235" in text
+
+    def test_bool_rendering(self):
+        text = format_table(["flag"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_ragged_row_raises(self):
+        with pytest.raises(ValueError, match="row 0"):
+            format_table(["a", "b"], [[1]])
+
+    def test_no_headers_raises(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+    def test_wide_cell_expands_column(self):
+        text = format_table(["a"], [["a-very-long-cell"]])
+        header, rule, row = text.splitlines()
+        assert len(rule) >= len("a-very-long-cell")

@@ -1,0 +1,54 @@
+"""Tests for validation helpers."""
+
+import pytest
+
+from repro.util.validate import (
+    check_non_empty,
+    check_positive,
+    check_power_of_two,
+    check_range,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 3)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+
+    def test_allow_zero(self):
+        check_positive("x", 0, allow_zero=True)
+        with pytest.raises(ValueError):
+            check_positive("x", -1, allow_zero=True)
+
+
+class TestCheckNonEmpty:
+    def test_accepts_non_empty(self):
+        check_non_empty("xs", [1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="xs"):
+            check_non_empty("xs", [])
+
+
+class TestCheckPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 1024, 2**20])
+    def test_accepts_powers(self, value):
+        check_power_of_two("x", value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 1000])
+    def test_rejects_non_powers(self, value):
+        with pytest.raises(ValueError):
+            check_power_of_two("x", value)
+
+
+class TestCheckRange:
+    def test_accepts_bounds(self):
+        check_range("x", 0.0, 0.0, 1.0)
+        check_range("x", 1.0, 0.0, 1.0)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError, match="x"):
+            check_range("x", 1.5, 0.0, 1.0)

@@ -1,0 +1,108 @@
+"""Tests for the region allocator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workload.address_space import AddressSpace, Region
+
+
+class TestRegion:
+    def test_contains(self):
+        region = Region(8, 4)
+        assert 8 in region
+        assert 11 in region
+        assert 12 not in region
+        assert 7 not in region
+
+    def test_addr(self):
+        region = Region(16, 4)
+        assert region.addr(0) == 16
+        assert region.addr(3) == 19
+
+    def test_addr_bounds(self):
+        region = Region(16, 4)
+        with pytest.raises(IndexError):
+            region.addr(4)
+        with pytest.raises(IndexError):
+            region.addr(-1)
+
+    def test_addrs_vectorized(self):
+        region = Region(16, 4)
+        assert list(region.addrs(np.array([0, 2]))) == [16, 18]
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            Region(-1, 4)
+        with pytest.raises(ValueError):
+            Region(0, 0)
+
+    def test_split_even(self):
+        parts = Region(0, 12).split(3)
+        assert [p.size for p in parts] == [4, 4, 4]
+        assert parts[0].start == 0
+        assert parts[2].end == 12
+
+    def test_split_uneven_covers_whole(self):
+        parts = Region(0, 10).split(3)
+        assert sum(p.size for p in parts) == 10
+        assert parts[0].start == 0
+        assert parts[-1].end == 10
+        # Contiguous, non-overlapping.
+        for a, b in zip(parts, parts[1:]):
+            assert a.end == b.start
+
+    def test_split_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            Region(0, 2).split(3)
+
+    @given(st.integers(1, 200), st.integers(1, 20))
+    def test_split_property(self, size, parts):
+        if size < parts:
+            with pytest.raises(ValueError):
+                Region(0, size).split(parts)
+        else:
+            pieces = Region(0, size).split(parts)
+            assert len(pieces) == parts
+            assert all(p.size >= 1 for p in pieces)
+            assert sum(p.size for p in pieces) == size
+
+
+class TestAddressSpace:
+    def test_block_aligned_starts(self):
+        space = AddressSpace(block_words=8)
+        a = space.allocate("a", 3)
+        b = space.allocate("b", 9)
+        c = space.allocate("c", 1)
+        assert a.start % 8 == 0
+        assert b.start % 8 == 0
+        assert c.start % 8 == 0
+
+    def test_exact_requested_size(self):
+        space = AddressSpace(block_words=8)
+        assert space.allocate("a", 3).size == 3
+
+    def test_regions_disjoint_blocks(self):
+        """No two regions may share a cache block (no false sharing)."""
+        space = AddressSpace(block_words=8)
+        regions = [space.allocate(str(i), 5) for i in range(10)]
+        blocks = set()
+        for region in regions:
+            mine = {addr // 8 for addr in range(region.start, region.end)}
+            assert not (mine & blocks)
+            blocks |= mine
+
+    def test_total_words_and_labels(self):
+        space = AddressSpace(block_words=4)
+        space.allocate("x", 2)
+        space.allocate("y", 5)
+        assert space.total_words == 4 + 8
+        assert [label for label, _ in space.regions] == ["x", "y"]
+
+    def test_invalid_block_words(self):
+        with pytest.raises(ValueError):
+            AddressSpace(block_words=6)
+
+    def test_zero_words_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace().allocate("a", 0)

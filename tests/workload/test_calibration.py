@@ -1,0 +1,78 @@
+"""Tests for the calibration checker itself."""
+
+import numpy as np
+import pytest
+
+from repro.trace.stream import ThreadTrace, TraceSet
+from repro.workload.calibration import (
+    CalibrationCheck,
+    DeviationBand,
+    calibrate,
+    deviation_band,
+)
+from repro.workload.targets import target_for
+
+
+def synthetic_trace_set(num_threads=4, refs=100):
+    threads = []
+    for tid in range(num_threads):
+        gaps = np.zeros(refs, dtype=np.int64)
+        addrs = np.arange(refs, dtype=np.int64) % 10  # all threads share 0..9
+        writes = np.zeros(refs, dtype=bool)
+        threads.append(ThreadTrace(tid, gaps, addrs, writes))
+    return TraceSet("synthetic", threads)
+
+
+class TestDeviationBand:
+    @pytest.mark.parametrize(
+        "value,band",
+        [
+            (0.0, DeviationBand.UNIFORM),
+            (24.9, DeviationBand.UNIFORM),
+            (25.0, DeviationBand.MODERATE),
+            (75.0, DeviationBand.MODERATE),
+            (75.1, DeviationBand.SKEWED),
+            (400.0, DeviationBand.SKEWED),
+        ],
+    )
+    def test_bands(self, value, band):
+        assert deviation_band(value) is band
+
+
+class TestCalibrationCheck:
+    def test_str_shows_verdict(self):
+        ok = CalibrationCheck("x", 1.0, 1.0, True)
+        bad = CalibrationCheck("x", 1.0, 9.0, False)
+        assert "[ok]" in str(ok)
+        assert "[MISS]" in str(bad)
+
+
+class TestCalibrate:
+    def test_wrong_thread_count_fails(self):
+        ts = synthetic_trace_set(num_threads=4)
+        targets = target_for("Water")  # wants 16 threads
+        report = calibrate(ts, targets, scale=1.0)
+        check = next(c for c in report.checks if c.quantity == "num_threads")
+        assert not check.ok
+        assert not report.passed
+        assert check in report.failures
+
+    def test_report_str_lists_all_checks(self):
+        ts = synthetic_trace_set()
+        report = calibrate(ts, target_for("Water"), scale=1.0)
+        text = str(report)
+        for check in report.checks:
+            assert check.quantity in text
+
+    def test_check_quantities_stable(self):
+        ts = synthetic_trace_set()
+        report = calibrate(ts, target_for("Water"), scale=1.0)
+        names = {c.quantity for c in report.checks}
+        assert names == {
+            "num_threads",
+            "thread_length_mean",
+            "thread_length_dev_pct",
+            "shared_refs_pct",
+            "refs_per_shared_addr",
+            "pairwise_sharing_dev_band",
+        }

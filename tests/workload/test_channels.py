@@ -1,0 +1,100 @@
+"""Tests for shared-access channels."""
+
+import numpy as np
+import pytest
+
+from repro.workload.address_space import Region
+from repro.workload.channels import PoolChannel
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def channel(**overrides):
+    defaults = dict(
+        region=Region(64, 16),
+        weight=1.0,
+        write_prob=0.5,
+        mean_run=8.0,
+        span=1,
+        run_level_writes=False,
+    )
+    defaults.update(overrides)
+    return PoolChannel(**defaults)
+
+
+class TestValidation:
+    def test_zero_weight_rejected(self):
+        with pytest.raises(ValueError):
+            channel(weight=0.0)
+
+    def test_bad_write_prob_rejected(self):
+        with pytest.raises(ValueError):
+            channel(write_prob=1.5)
+
+    def test_span_exceeding_region_rejected(self):
+        with pytest.raises(ValueError):
+            channel(span=17)
+
+    def test_single_word_region_ok(self):
+        c = channel(region=Region(0, 1), span=1)
+        addrs, _ = c.sample_run(rng(), 10)
+        assert set(addrs) == {0}
+
+
+class TestSampleRun:
+    def test_addresses_inside_region(self):
+        c = channel()
+        for seed in range(20):
+            addrs, writes = c.sample_run(rng(seed), 100)
+            assert addrs.min() >= 64
+            assert addrs.max() < 80
+            assert addrs.size == writes.size
+
+    def test_max_len_respected(self):
+        c = channel(mean_run=1000.0)
+        addrs, _ = c.sample_run(rng(), 5)
+        assert addrs.size <= 5
+
+    def test_span_one_single_address(self):
+        c = channel(span=1)
+        addrs, _ = c.sample_run(rng(3), 50)
+        assert len(set(addrs.tolist())) == 1
+
+    def test_span_window_cycles(self):
+        c = channel(span=4, mean_run=40.0)
+        addrs, _ = c.sample_run(rng(5), 40)
+        distinct = set(addrs.tolist())
+        assert len(distinct) <= 4
+        # Consecutive addresses within a window.
+        assert max(distinct) - min(distinct) <= 3
+
+    def test_run_level_writes_all_or_nothing(self):
+        c = channel(run_level_writes=True, write_prob=0.5, mean_run=20.0)
+        for seed in range(20):
+            _, writes = c.sample_run(rng(seed), 100)
+            assert writes.all() or not writes.any()
+
+    def test_write_prob_zero_never_writes(self):
+        c = channel(write_prob=0.0)
+        for seed in range(10):
+            _, writes = c.sample_run(rng(seed), 100)
+            assert not writes.any()
+
+    def test_write_prob_one_always_writes(self):
+        c = channel(write_prob=1.0)
+        _, writes = c.sample_run(rng(), 100)
+        assert writes.all()
+
+    def test_run_length_bounded_by_mean_multiple(self):
+        """Pathological geometric draws are capped near 4x the mean."""
+        c = channel(mean_run=5.0)
+        for seed in range(50):
+            addrs, _ = c.sample_run(rng(seed), 10_000)
+            assert addrs.size <= 4 * 5 + 8
+
+    def test_mean_run_approx(self):
+        c = channel(mean_run=10.0)
+        sizes = [c.sample_run(rng(s), 10_000)[0].size for s in range(500)]
+        assert np.mean(sizes) == pytest.approx(10.0, rel=0.25)

@@ -1,0 +1,78 @@
+"""Tests for user-defined workloads."""
+
+import pytest
+
+from repro.trace.analysis import TraceSetAnalysis
+from repro.workload.custom import CustomWorkloadSpec, build_custom_workload
+from repro.workload.patterns import MigratoryPattern
+
+
+def spec(**overrides):
+    defaults = dict(
+        name="my-app",
+        num_threads=8,
+        mean_thread_length=3000,
+        thread_length_dev_pct=25.0,
+        shared_refs_pct=70.0,
+        refs_per_shared_addr=20.0,
+    )
+    defaults.update(overrides)
+    return CustomWorkloadSpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_single_thread_rejected(self):
+        with pytest.raises(ValueError, match="partners"):
+            spec(num_threads=1)
+
+    def test_bad_shared_pct(self):
+        with pytest.raises(ValueError):
+            spec(shared_refs_pct=150.0)
+
+    def test_negative_length(self):
+        with pytest.raises(ValueError):
+            spec(mean_thread_length=-1)
+
+    def test_to_targets_round_trips_fields(self):
+        targets = spec().to_targets()
+        assert targets.num_threads == 8
+        assert targets.shared_refs_pct == 70.0
+        assert targets.thread_length_mean_k == pytest.approx(3.0)
+
+
+class TestBuildCustomWorkload:
+    def test_calibrated_output(self):
+        traces = build_custom_workload(spec(), seed=0)
+        assert traces.name == "my-app"
+        assert traces.num_threads == 8
+        analysis = TraceSetAnalysis(traces)
+        assert analysis.percent_shared_refs.mean == pytest.approx(70.0, abs=10.0)
+        ratio = analysis.refs_per_shared_address.mean / 20.0
+        assert 0.4 <= ratio <= 2.5
+
+    def test_length_targets_hit(self):
+        traces = build_custom_workload(spec(), seed=0)
+        analysis = TraceSetAnalysis(traces)
+        assert analysis.thread_lengths.mean == pytest.approx(3000, rel=0.05)
+        assert analysis.thread_lengths.percent_dev == pytest.approx(25.0, abs=8.0)
+
+    def test_deterministic(self):
+        assert build_custom_workload(spec(), seed=3) == build_custom_workload(
+            spec(), seed=3
+        )
+
+    def test_seed_sensitivity(self):
+        assert build_custom_workload(spec(), seed=3) != build_custom_workload(
+            spec(), seed=4
+        )
+
+    def test_custom_pattern(self):
+        traces = build_custom_workload(
+            spec(pattern=MigratoryPattern(owners_per_chunk=2)), seed=0
+        )
+        assert traces.num_threads == 8
+
+    def test_uniform_lengths(self):
+        traces = build_custom_workload(spec(thread_length_dev_pct=0.0), seed=0)
+        lengths = {t.length for t in traces}
+        assert len(lengths) == 1

@@ -1,0 +1,172 @@
+"""Tests for thread-trace assembly from recipes."""
+
+import numpy as np
+import pytest
+
+from repro.workload.address_space import Region
+from repro.workload.channels import PoolChannel
+from repro.workload.generator import (
+    ThreadRecipe,
+    _channel_quotas,
+    generate_thread,
+    generate_trace_set,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def recipe(**overrides):
+    shared = Region(0, 8)
+    private = Region(64, 32)
+    defaults = dict(
+        thread_id=0,
+        length=1000,
+        data_ref_fraction=0.3,
+        shared_fraction=0.5,
+        channels=[PoolChannel(region=shared, weight=1.0, write_prob=0.3, mean_run=6.0)],
+        private_region=private,
+    )
+    defaults.update(overrides)
+    return ThreadRecipe(**defaults)
+
+
+class TestChannelQuotas:
+    def test_exact_total(self):
+        channels = [
+            PoolChannel(region=Region(0, 4), weight=w, write_prob=0, mean_run=2)
+            for w in (0.5, 0.3, 0.2)
+        ]
+        quotas = _channel_quotas(channels, 100)
+        assert quotas.sum() == 100
+        assert list(quotas) == [50, 30, 20]
+
+    def test_largest_remainder(self):
+        channels = [
+            PoolChannel(region=Region(0, 4), weight=1.0, write_prob=0, mean_run=2)
+            for _ in range(3)
+        ]
+        quotas = _channel_quotas(channels, 10)
+        assert quotas.sum() == 10
+        assert sorted(quotas) == [3, 3, 4]
+
+
+class TestGenerateThread:
+    def test_length_exact(self):
+        trace = generate_thread(recipe(length=777), rng())
+        assert trace.length == 777
+
+    def test_ref_count_matches_fraction(self):
+        trace = generate_thread(recipe(length=1000, data_ref_fraction=0.3), rng())
+        assert trace.num_refs == 300
+
+    def test_shared_private_split(self):
+        r = recipe(length=1000, shared_fraction=0.5)
+        trace = generate_thread(r, rng())
+        shared_refs = int((trace.addrs < 8).sum())
+        private_refs = int((trace.addrs >= 64).sum())
+        assert shared_refs == 150
+        assert private_refs == 150
+
+    def test_addresses_stay_in_regions(self):
+        trace = generate_thread(recipe(), rng())
+        in_shared = (trace.addrs >= 0) & (trace.addrs < 8)
+        in_private = (trace.addrs >= 64) & (trace.addrs < 96)
+        assert np.all(in_shared | in_private)
+
+    def test_no_channels_all_private(self):
+        trace = generate_thread(recipe(channels=[], shared_fraction=0.9), rng())
+        assert np.all(trace.addrs >= 64)
+
+    def test_no_private_region_all_shared(self):
+        trace = generate_thread(
+            recipe(private_region=None, shared_fraction=0.2), rng()
+        )
+        assert np.all(trace.addrs < 8)
+
+    def test_no_channels_and_shared_requested_is_consistent(self):
+        """Without channels the shared quota silently becomes private."""
+        trace = generate_thread(recipe(channels=[], shared_fraction=1.0), rng())
+        assert trace.num_refs == 300
+
+    def test_minimum_one_ref(self):
+        trace = generate_thread(recipe(length=1, data_ref_fraction=0.0), rng())
+        assert trace.num_refs == 1
+        assert trace.length == 1
+
+    def test_deterministic(self):
+        a = generate_thread(recipe(), rng(5))
+        b = generate_thread(recipe(), rng(5))
+        assert a == b
+
+    def test_private_reuse_controls_working_set(self):
+        deep = generate_thread(recipe(private_reuse=64.0, shared_fraction=0.0), rng(1))
+        shallow = generate_thread(recipe(private_reuse=2.0, shared_fraction=0.0), rng(1))
+        assert len(set(deep.addrs.tolist())) < len(set(shallow.addrs.tolist()))
+
+    def test_invalid_recipe_rejected(self):
+        with pytest.raises(ValueError):
+            recipe(length=0)
+        with pytest.raises(ValueError):
+            recipe(shared_fraction=1.5)
+
+
+class TestGenerateTraceSet:
+    def test_builds_all_threads(self):
+        recipes = [recipe(thread_id=i) for i in range(4)]
+        ts = generate_trace_set("app", recipes, lambda tid: rng(tid))
+        assert ts.num_threads == 4
+        assert ts.name == "app"
+
+    def test_threads_independent_of_order(self):
+        recipes = [recipe(thread_id=i, length=500 + i) for i in range(3)]
+        ts1 = generate_trace_set("app", recipes, lambda tid: rng(tid))
+        ts2 = generate_trace_set("app", recipes, lambda tid: rng(tid))
+        assert ts1 == ts2
+
+
+class TestPhases:
+    def _recipe_with_writes(self, phases):
+        shared = Region(0, 8)
+        private = Region(64, 32)
+        return ThreadRecipe(
+            thread_id=0,
+            length=2000,
+            data_ref_fraction=0.3,
+            shared_fraction=0.5,
+            channels=[
+                PoolChannel(region=shared, weight=0.5, write_prob=0.0,
+                            mean_run=6.0),
+                PoolChannel(region=shared, weight=0.5, write_prob=1.0,
+                            mean_run=6.0, run_level_writes=True),
+            ],
+            private_region=private,
+            private_write_prob=0.0,
+            phases=phases,
+        )
+
+    def test_phase_ordering_clusters_writes(self):
+        """With phases, writes arrive in bursts at round ends rather than
+        scattered: the number of read->write transitions drops."""
+        def transitions(trace):
+            w = trace.writes
+            return int((w[1:] != w[:-1]).sum())
+
+        scattered = generate_thread(self._recipe_with_writes(1), rng(3))
+        phased = generate_thread(self._recipe_with_writes(4), rng(3))
+        assert transitions(phased) < transitions(scattered)
+
+    def test_phases_preserve_static_content(self):
+        """Phase ordering permutes run segments only: same multiset of
+        (address, write) references."""
+        a = generate_thread(self._recipe_with_writes(1), rng(7))
+        b = generate_thread(self._recipe_with_writes(4), rng(7))
+        assert sorted(zip(a.addrs.tolist(), a.writes.tolist())) == sorted(
+            zip(b.addrs.tolist(), b.writes.tolist())
+        )
+        assert a.length == b.length
+
+    def test_invalid_phases_rejected(self):
+        with pytest.raises(ValueError):
+            self._recipe_with_writes(0)

@@ -1,0 +1,252 @@
+"""Tests for the access-pattern builders."""
+
+import numpy as np
+import pytest
+
+from repro.trace.analysis import TraceSetAnalysis
+from repro.workload.address_space import AddressSpace
+from repro.workload.generator import generate_trace_set
+from repro.workload.patterns import (
+    AllSharePattern,
+    BarrierPhasePattern,
+    BuildContext,
+    MigratoryPattern,
+    PartitionedPattern,
+    RandomCommPattern,
+    _block_zones,
+)
+from repro.workload.targets import target_for
+
+
+def make_ctx(name="Water", num_threads=8, length=2000):
+    targets = target_for(name)
+    return BuildContext(
+        targets=targets,
+        lengths=np.full(num_threads, length, dtype=np.int64),
+        space=AddressSpace(),
+        rng=np.random.default_rng(1),
+    )
+
+
+def build_traces(pattern, ctx):
+    recipes = pattern.build(ctx)
+    return generate_trace_set(
+        "test", recipes, lambda tid: np.random.default_rng(100 + tid)
+    )
+
+
+ALL_PATTERNS = [
+    PartitionedPattern(),
+    BarrierPhasePattern(),
+    MigratoryPattern(),
+    AllSharePattern(),
+    RandomCommPattern(),
+]
+
+
+class TestBlockZones:
+    def test_small_pool_single_zone(self):
+        ctx = make_ctx()
+        pool = ctx.space.allocate("p", 3)
+        zones = _block_zones(ctx, pool)
+        assert len(zones) == 1
+        assert zones[0].size == 3
+
+    def test_zones_are_blocks(self):
+        ctx = make_ctx()
+        pool = ctx.space.allocate("p", 12)  # 3 blocks of 4
+        zones = _block_zones(ctx, pool)
+        assert [z.size for z in zones] == [4, 4, 4]
+        assert all(z.start % ctx.block_words == 0 for z in zones)
+
+    def test_remainder_joins_last_zone(self):
+        ctx = make_ctx()
+        pool = ctx.space.allocate("p", 10)  # 2 blocks + 2 words
+        zones = _block_zones(ctx, pool)
+        assert [z.size for z in zones] == [4, 6]
+        assert sum(z.size for z in zones) == 10
+
+    def test_zones_cover_pool_disjointly(self):
+        ctx = make_ctx()
+        pool = ctx.space.allocate("p", 50)
+        zones = _block_zones(ctx, pool)
+        covered = []
+        for z in zones:
+            covered.extend(range(z.start, z.end))
+        assert covered == list(range(pool.start, pool.end))
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("pattern", ALL_PATTERNS, ids=lambda p: type(p).__name__)
+    def test_one_recipe_per_thread(self, pattern):
+        ctx = make_ctx()
+        recipes = pattern.build(ctx)
+        assert [r.thread_id for r in recipes] == list(range(8))
+
+    @pytest.mark.parametrize("pattern", ALL_PATTERNS, ids=lambda p: type(p).__name__)
+    def test_every_thread_has_channels_and_private(self, pattern):
+        recipes = pattern.build(make_ctx())
+        for recipe in recipes:
+            assert recipe.channels, "thread must reach shared data"
+            assert recipe.private_region is not None
+
+    @pytest.mark.parametrize("pattern", ALL_PATTERNS, ids=lambda p: type(p).__name__)
+    def test_generated_addresses_multi_touched(self, pattern):
+        """Most shared-aimed references must land on multi-thread addresses."""
+        ctx = make_ctx()
+        ts = build_traces(pattern, ctx)
+        analysis = TraceSetAnalysis(ts)
+        expected_pct = ctx.targets.shared_refs_pct
+        assert analysis.percent_shared_refs.mean >= 0.6 * expected_pct
+
+    @pytest.mark.parametrize("pattern", ALL_PATTERNS, ids=lambda p: type(p).__name__)
+    def test_deterministic_given_rng(self, pattern):
+        a = pattern.build(make_ctx())
+        b = pattern.build(make_ctx())
+        assert len(a) == len(b)
+        for ra, rb in zip(a, b):
+            assert ra.length == rb.length
+            assert len(ra.channels) == len(rb.channels)
+
+
+class TestReadShareWriteLocal:
+    """The shared skeleton of Partitioned/BarrierPhase/AllShare."""
+
+    @pytest.mark.parametrize(
+        "pattern",
+        [PartitionedPattern(), BarrierPhasePattern(), AllSharePattern()],
+        ids=lambda p: type(p).__name__,
+    )
+    def test_read_channel_never_writes(self, pattern):
+        recipes = pattern.build(make_ctx(num_threads=4, length=20000))
+        for recipe in recipes:
+            assert recipe.channels[0].write_prob == 0.0
+
+    @pytest.mark.parametrize(
+        "pattern",
+        [PartitionedPattern(), BarrierPhasePattern(), AllSharePattern()],
+        ids=lambda p: type(p).__name__,
+    )
+    def test_write_zones_single_writer(self, pattern):
+        """Each write zone must belong to exactly one thread — the paper's
+        "wrote locally" property, which keeps invalidation traffic low."""
+        recipes = pattern.build(make_ctx(num_threads=4, length=20000))
+        zone_writers = {}
+        for recipe in recipes:
+            for channel in recipe.channels[1:]:
+                zone_writers.setdefault(channel.region.start, set()).add(
+                    recipe.thread_id
+                )
+        assert zone_writers, "expected at least one write zone"
+        assert all(len(writers) == 1 for writers in zone_writers.values())
+
+    def test_write_zones_run_level(self):
+        recipes = PartitionedPattern().build(make_ctx(num_threads=4, length=20000))
+        for recipe in recipes:
+            for channel in recipe.channels[1:]:
+                assert channel.run_level_writes
+
+    def test_zones_inside_pool(self):
+        ctx = make_ctx(num_threads=4, length=20000)
+        recipes = BarrierPhasePattern().build(ctx)
+        pool = recipes[0].channels[0].region
+        for recipe in recipes:
+            for channel in recipe.channels[1:]:
+                assert channel.region.start >= pool.start
+                assert channel.region.end <= pool.end
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            PartitionedPattern(own_weight=1.5)
+        with pytest.raises(ValueError):
+            BarrierPhasePattern(read_weight=-0.1)
+        with pytest.raises(ValueError):
+            AllSharePattern(write_weight=2.0)
+
+
+class TestMigratoryPattern:
+    def test_every_chunk_multiply_owned(self):
+        ctx = make_ctx("FFT", num_threads=8)
+        recipes = MigratoryPattern(owners_per_chunk=3).build(ctx)
+        region_owners = {}
+        for recipe in recipes:
+            for channel in recipe.channels:
+                region_owners.setdefault(channel.region.start, set()).add(
+                    recipe.thread_id
+                )
+        assert all(len(owners) == 3 for owners in region_owners.values())
+
+    def test_run_level_writes(self):
+        ctx = make_ctx("FFT", num_threads=8)
+        recipes = MigratoryPattern().build(ctx)
+        assert all(c.run_level_writes for r in recipes for c in r.channels)
+
+    def test_single_owner_rejected(self):
+        with pytest.raises(ValueError):
+            MigratoryPattern(owners_per_chunk=1)
+
+
+class TestRandomCommPattern:
+    def test_mailboxes_shared_by_exactly_two(self):
+        ctx = make_ctx("Fullconn", num_threads=8)
+        recipes = RandomCommPattern(partners=2).build(ctx)
+        box_users = {}
+        for recipe in recipes:
+            for channel in recipe.channels:
+                box_users.setdefault(channel.region.start, set()).add(recipe.thread_id)
+        assert all(len(users) == 2 for users in box_users.values())
+
+    def test_every_thread_has_partner(self):
+        ctx = make_ctx("Health", num_threads=8)
+        recipes = RandomCommPattern(partners=2).build(ctx)
+        assert all(len(r.channels) >= 1 for r in recipes)
+
+    def test_skewed_affinity_increases_deviation(self):
+        uniform_ctx = make_ctx("Fullconn", num_threads=16, length=4000)
+        skew_ctx = make_ctx("Fullconn", num_threads=16, length=4000)
+        uniform = build_traces(RandomCommPattern(partners=4, affinity=None), uniform_ctx)
+        skewed = build_traces(RandomCommPattern(partners=4, affinity=0.2), skew_ctx)
+        dev_uniform = TraceSetAnalysis(uniform).pairwise_sharing.percent_dev
+        dev_skewed = TraceSetAnalysis(skewed).pairwise_sharing.percent_dev
+        assert dev_skewed > dev_uniform
+
+
+class TestUniformityShape:
+    def test_all_share_uniform_pairwise_sharing(self):
+        ctx = make_ctx("Gauss", num_threads=8, length=4000)
+        ts = build_traces(AllSharePattern(), ctx)
+        analysis = TraceSetAnalysis(ts)
+        # Equal-length threads on one pool: pairwise sharing must be tight.
+        assert analysis.pairwise_sharing.percent_dev < 30.0
+
+
+class TestBuildContextKnobs:
+    def test_run_multiplier_scales_runs(self):
+        base = make_ctx()
+        boosted = make_ctx()
+        boosted.run_multiplier = 2.0
+        assert boosted.mean_run_for(1) >= base.mean_run_for(1)
+
+    def test_pool_multiplier_scales_footprint(self):
+        base = make_ctx()
+        shrunk = make_ctx()
+        shrunk.pool_multiplier = 0.5
+        assert shrunk.footprint(1000) <= base.footprint(1000)
+
+    def test_footprint_floor_is_one_word(self):
+        ctx = make_ctx()
+        assert ctx.footprint(0.001) == 1
+
+    def test_mean_run_capped_by_budget(self):
+        """Run length never exceeds the thread's whole shared budget."""
+        ctx = make_ctx("Vandermonde", num_threads=4, length=64)
+        assert ctx.mean_run_for(1) <= max(ctx.mean_shared_refs, 1.0)
+
+    def test_span_capped_by_region(self):
+        ctx = make_ctx()
+        tiny = ctx.space.allocate("tiny", 2)
+        assert ctx.span_for(tiny) == 2
+
+    def test_barrier_phase_recipes_carry_phases(self):
+        recipes = BarrierPhasePattern(phases=3).build(make_ctx(num_threads=4))
+        assert all(r.phases == 3 for r in recipes)

@@ -1,0 +1,92 @@
+"""Tests for the published calibration targets (Tables 1-2 transcription)."""
+
+import pytest
+
+from repro.workload.targets import (
+    Grain,
+    PAPER_TARGETS,
+    SharingShape,
+    target_for,
+)
+
+
+class TestPaperTargets:
+    def test_fourteen_applications(self):
+        assert len(PAPER_TARGETS) == 14
+
+    def test_seven_coarse_seven_medium(self):
+        coarse = [t for t in PAPER_TARGETS if t.grain is Grain.COARSE]
+        medium = [t for t in PAPER_TARGETS if t.grain is Grain.MEDIUM]
+        assert len(coarse) == 7
+        assert len(medium) == 7
+
+    def test_names_unique(self):
+        names = [t.name for t in PAPER_TARGETS]
+        assert len(set(names)) == 14
+
+    def test_gauss_has_most_threads(self):
+        """The paper: Gauss has 127 threads, the largest of any application."""
+        gauss = target_for("Gauss")
+        assert gauss.num_threads == 127
+        assert all(t.num_threads <= 127 for t in PAPER_TARGETS)
+
+    def test_fft_has_largest_length_deviation(self):
+        """The paper: FFT has the largest deviation of any application."""
+        fft = target_for("FFT")
+        assert fft.thread_length_dev_pct == 187.6
+        assert all(t.thread_length_dev_pct <= 187.6 for t in PAPER_TARGETS)
+
+    def test_coarse_threads_fewer_than_medium(self):
+        """Coarse-grain programs have fewer threads (paper §3.1)."""
+        max_coarse = max(t.num_threads for t in PAPER_TARGETS if t.is_coarse)
+        min_medium = min(t.num_threads for t in PAPER_TARGETS if not t.is_coarse)
+        assert max_coarse <= min_medium
+
+    def test_coarse_threads_longer_than_medium(self):
+        """Coarse threads average 6.4M instructions vs 0.8M (paper §3.1)."""
+        import statistics
+
+        coarse = statistics.mean(
+            t.thread_length_mean_k for t in PAPER_TARGETS if t.is_coarse
+        )
+        medium = statistics.mean(
+            t.thread_length_mean_k for t in PAPER_TARGETS if not t.is_coarse
+        )
+        assert coarse > medium
+
+    def test_table2_spot_values(self):
+        """Spot-check transcription against the paper's Table 2."""
+        water = target_for("Water")
+        assert water.pairwise_sharing_mean_k == 202
+        assert water.shared_refs_pct == 71.7
+        vandermonde = target_for("Vandermonde")
+        assert vandermonde.refs_per_shared_addr == 1647
+        assert vandermonde.pairwise_sharing_dev_pct == 242.6
+
+    def test_every_target_positive(self):
+        for t in PAPER_TARGETS:
+            assert t.num_threads >= 2
+            assert t.thread_length_mean_k > 0
+            assert 0 < t.shared_refs_pct <= 100
+            assert t.refs_per_shared_addr > 0
+
+    def test_cv_property(self):
+        assert target_for("FFT").thread_length_cv == pytest.approx(1.876)
+
+
+class TestTargetFor:
+    def test_case_insensitive(self):
+        assert target_for("water") is target_for("Water")
+
+    def test_locus_shorthand(self):
+        """Table 5 of the paper abbreviates LocusRoute as 'Locus'."""
+        assert target_for("Locus") is target_for("LocusRoute")
+
+    def test_unknown_raises_with_catalog(self):
+        with pytest.raises(KeyError, match="Gauss"):
+            target_for("nonesuch")
+
+    def test_shapes_assigned(self):
+        assert target_for("FFT").shape is SharingShape.MIGRATORY
+        assert target_for("Gauss").shape is SharingShape.ALL_SHARE
+        assert target_for("Barnes-Hut").shape is SharingShape.BARRIER_PHASE
