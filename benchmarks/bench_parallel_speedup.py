@@ -1,0 +1,50 @@
+"""Benchmark: execution-engine scaling from 1 to N workers.
+
+Runs the Figure 4 sweep (every algorithm x machine cell for Barnes-Hut)
+through the :mod:`repro.exec` engine at increasing worker counts, with no
+persistent store so every run simulates from scratch, and prints the
+wall-clock, throughput and speedup ladder.  The last column sanity-checks
+determinism: every worker count must produce the identical execution time
+for the first planned cell.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_parallel_speedup.py -s``.
+"""
+
+import os
+import time
+
+from conftest import BENCH_SCALE
+
+from repro.exec import ExecutionEngine, plan_sections
+
+#: Worker counts to ladder through (capped by available cores).
+WORKER_LADDER = (1, 2, 4, 8)
+
+
+def test_parallel_speedup():
+    specs = plan_sections(["figure4"], scale=BENCH_SCALE, seed=0)
+    cores = os.cpu_count() or 1
+    ladder = [w for w in WORKER_LADDER if w <= max(cores, 2)]
+    rows = []
+    reference_time = None
+    for workers in ladder:
+        engine = ExecutionEngine(workers=workers)
+        start = time.perf_counter()
+        report = engine.run(specs)
+        wall = time.perf_counter() - start
+        assert report.ok, report.failures
+        assert report.summary.executed == len(specs)
+        first = report.result_for(specs[0]).execution_time
+        if reference_time is None:
+            reference_time = first
+        assert first == reference_time, "parallel run diverged from workers=1"
+        rows.append((workers, wall, len(specs) / wall))
+
+    base_wall = rows[0][1]
+    print()
+    print(f"Engine scaling on the Figure 4 sweep "
+          f"({len(specs)} jobs, scale={BENCH_SCALE}, {cores} cores)")
+    print(f"{'workers':>8} {'wall (s)':>10} {'jobs/s':>8} {'speedup':>8}")
+    for workers, wall, throughput in rows:
+        print(f"{workers:>8} {wall:>10.2f} {throughput:>8.2f} "
+              f"{base_wall / wall:>7.2f}x")

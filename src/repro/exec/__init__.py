@@ -1,0 +1,44 @@
+"""Parallel experiment execution: jobs, engine, journal, summary.
+
+The evaluation grid (every application x placement algorithm x machine
+cell) is embarrassingly parallel; this package plans it as
+content-addressed jobs (:mod:`repro.exec.jobs`), fans them out over worker
+processes with per-job timeouts, retries and crash isolation
+(:mod:`repro.exec.engine`), records every transition in a JSONL run
+journal (:mod:`repro.exec.journal`) and aggregates the run into throughput
+and latency statistics (:mod:`repro.exec.summary`).
+
+Entry points: ``ExperimentSuite.prefetch`` for library use, and the
+``repro-experiments --jobs N [--timeout S] [--journal PATH] [--resume]``
+flags for the CLI.
+"""
+
+from repro.exec.engine import (
+    ExecutionEngine,
+    JobFailure,
+    JobTimeout,
+    RunReport,
+    simulate_cell,
+)
+from repro.exec.jobs import (
+    SIMULATED_SECTIONS,
+    JobSpec,
+    plan_full_grid,
+    plan_sections,
+)
+from repro.exec.journal import RunJournal
+from repro.exec.summary import RunSummary
+
+__all__ = [
+    "ExecutionEngine",
+    "JobFailure",
+    "JobSpec",
+    "JobTimeout",
+    "RunJournal",
+    "RunReport",
+    "RunSummary",
+    "SIMULATED_SECTIONS",
+    "plan_full_grid",
+    "plan_sections",
+    "simulate_cell",
+]

@@ -1,0 +1,432 @@
+"""The job execution engine: fan-out, hardening, journaling, resume.
+
+:class:`ExecutionEngine` takes a planned list of
+:class:`~repro.exec.jobs.JobSpec`s and completes each one exactly once:
+
+* **Cache first.**  A cell already in the persistent
+  :class:`~repro.experiments.cache.ResultStore` is a ``cache-hit``; with
+  ``resume=True``, cells a previous run's journal confirms complete are
+  ``resumed`` without even decoding them eagerly.
+* **Fan-out.**  Remaining jobs run on a ``ProcessPoolExecutor`` with a
+  configurable worker count (``workers=1`` executes inline, same code
+  path, no pool).  Workers rebuild their own
+  :class:`~repro.experiments.runner.ExperimentSuite` from the job's
+  (scale, seed, quantum) parameters — results are deterministic by named
+  RNG-stream derivation, so parallel and sequential runs are identical.
+* **Hardening.**  Each attempt is bounded by a per-job timeout (SIGALRM
+  inside the worker, so a runaway job cannot wedge the pool), failed
+  attempts are retried with exponential backoff, and a job that exhausts
+  its retries degrades to a reported gap — one bad cell never aborts the
+  sweep.  A worker process dying outright (``BrokenProcessPool``) causes
+  the pool to be rebuilt and in-flight innocents resubmitted.
+* **Observability.**  Every transition is recorded in the
+  :class:`~repro.exec.journal.RunJournal` and folded into a
+  :class:`~repro.exec.summary.RunSummary`.
+
+The default per-process suite cache is keyed by (scale, seed, quantum), so
+a worker serving many jobs builds each application's traces once — but
+never inherits a parent process's memoized ``TraceSet``s: the default
+``spawn`` start method gives workers a fresh interpreter.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import signal
+import threading
+import time
+import traceback
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.exec.jobs import JobSpec
+from repro.exec.journal import RunJournal
+from repro.exec.summary import RunSummary
+from repro.experiments.cache import ResultStore, result_from_arrays, result_to_arrays
+from repro.util.validate import check_positive
+
+__all__ = ["ExecutionEngine", "JobFailure", "RunReport", "JobTimeout",
+           "simulate_cell"]
+
+
+class JobTimeout(Exception):
+    """Raised inside a worker when a job exceeds its time budget."""
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+#: Per-process suite cache: (scale, seed, quantum_refs) -> ExperimentSuite.
+#: Lives in the worker process; each worker rebuilds traces from the spec
+#: once and reuses them across the jobs it serves.
+_SUITES: dict[tuple, object] = {}
+
+
+def _suite_for(scale: float, seed: int, quantum_refs: int):
+    from repro.experiments.runner import ExperimentSuite
+
+    key = (scale, seed, quantum_refs)
+    if key not in _SUITES:
+        _SUITES[key] = ExperimentSuite(scale=scale, seed=seed,
+                                       quantum_refs=quantum_refs)
+    return _SUITES[key]
+
+
+def simulate_cell(payload: dict) -> dict:
+    """The default job runner: simulate one cell, return flattened arrays.
+
+    Returns :func:`~repro.experiments.cache.result_to_arrays` output (plain
+    numpy arrays) rather than a rich object, matching the store's explicit
+    no-pickle serialization discipline.
+    """
+    spec = JobSpec.from_payload(payload["spec"])
+    suite = _suite_for(spec.scale, spec.seed, spec.quantum_refs)
+    result = suite.run(
+        spec.app, spec.algorithm, spec.processors,
+        infinite=spec.infinite, associativity=spec.associativity,
+        cache_words=spec.cache_words, replicate=spec.replicate,
+    )
+    return result_to_arrays(result)
+
+
+def _alarm_supported() -> bool:
+    return (hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread())
+
+
+def _invoke(runner: Callable[[dict], object], payload: dict) -> dict:
+    """Run one attempt under the crash/timeout harness (in the worker).
+
+    Never raises: any outcome — success, timeout, exception — comes back
+    as a structured dict, so only a hard interpreter death can break the
+    pool.
+    """
+    delay = payload.get("delay") or 0.0
+    if delay:
+        time.sleep(delay)
+    timeout = payload.get("timeout")
+    use_alarm = bool(timeout) and _alarm_supported()
+    out = {
+        "job": payload["job"],
+        "worker": os.getpid(),
+        "attempt": payload["attempt"],
+    }
+    start = time.perf_counter()
+    previous = None
+    try:
+        if use_alarm:
+            def _on_alarm(signum, frame):
+                raise JobTimeout(f"job exceeded {timeout:g}s")
+
+            previous = signal.signal(signal.SIGALRM, _on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, timeout)
+        try:
+            value = runner(payload)
+        finally:
+            if use_alarm:
+                signal.setitimer(signal.ITIMER_REAL, 0.0)
+                signal.signal(signal.SIGALRM, previous)
+        out.update(ok=True, value=value)
+    except JobTimeout as exc:
+        out.update(ok=False, kind="timeout", error=str(exc))
+    except Exception as exc:
+        out.update(
+            ok=False,
+            kind="error",
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback.format_exc(limit=20),
+        )
+    out["duration"] = round(time.perf_counter() - start, 6)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """One job that exhausted its retries — a gap in the sweep."""
+
+    job_id: str
+    label: str
+    error: str
+    kind: str
+    attempts: int
+
+    def __str__(self) -> str:
+        return (f"{self.label} failed after {self.attempts} attempt(s) "
+                f"[{self.kind}]: {self.error}")
+
+
+@dataclass
+class RunReport:
+    """Everything one engine run produced."""
+
+    results: dict[str, object]          #: job id -> materialized result
+    failures: list[JobFailure] = field(default_factory=list)
+    summary: RunSummary | None = None
+    events: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def result_for(self, spec: JobSpec):
+        """The result of one planned job, or None if it failed."""
+        return self.results.get(spec.job_id)
+
+
+class ExecutionEngine:
+    """Plan-in, results-out parallel executor for simulation cells.
+
+    Args:
+        workers: Worker processes; 1 executes inline (no pool).
+        timeout: Per-job attempt budget in seconds (None = unbounded).
+        max_retries: Re-submissions allowed after a failed attempt.
+        backoff: Base delay before retry ``n`` (``backoff * 2**(n-1)`` s).
+        store: Persistent :class:`ResultStore`; enables cache-hits,
+            resume, and persisting every computed cell.  Requires the
+            default runner (it writes ``SimulationResult``s).
+        journal_path: JSONL journal file (None = in-memory events only).
+        resume: Skip jobs a previous journal at ``journal_path`` confirms
+            complete *and* whose result is still in the store.
+        job_runner: Override the work done per job (tests, other sweeps).
+            Receives the payload dict, returns any picklable value.
+        mp_context: Multiprocessing start method.  The default ``spawn``
+            guarantees workers share nothing with the parent by fork —
+            they rebuild all state from the job spec.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        timeout: float | None = None,
+        max_retries: int = 2,
+        backoff: float = 0.5,
+        store: ResultStore | None = None,
+        journal_path=None,
+        resume: bool = False,
+        job_runner: Callable[[dict], object] | None = None,
+        mp_context: str = "spawn",
+    ) -> None:
+        check_positive("workers", workers)
+        if timeout is not None:
+            check_positive("timeout", timeout)
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {backoff}")
+        if job_runner is not None and store is not None:
+            raise ValueError(
+                "a persistent store requires the default simulation runner"
+            )
+        self.workers = int(workers)
+        self.timeout = timeout
+        self.max_retries = int(max_retries)
+        self.backoff = float(backoff)
+        self.store = store
+        self.journal_path = journal_path
+        self.resume = bool(resume)
+        if job_runner is None:
+            self.job_runner: Callable[[dict], object] = simulate_cell
+            self._materialize: Callable = result_from_arrays
+        else:
+            self.job_runner = job_runner
+            self._materialize = lambda value: value
+        self.mp_context = mp_context
+
+    # -- planning phase -------------------------------------------------
+
+    def run(self, specs: Sequence[JobSpec]) -> RunReport:
+        """Complete every job exactly once; never raises per-job errors."""
+        start = time.perf_counter()
+        journal = RunJournal(self.journal_path)
+        journal.record(
+            "run-start",
+            jobs=len(specs),
+            workers=self.workers,
+            timeout=self.timeout,
+            resume=self.resume or None,
+        )
+        prior = (
+            RunJournal.completed_jobs(self.journal_path)
+            if self.resume and self.journal_path is not None
+            else set()
+        )
+        results: dict[str, object] = {}
+        failures: list[JobFailure] = []
+        pending: list[JobSpec] = []
+        seen: set[str] = set()
+        for spec in specs:
+            job_id = spec.job_id
+            if job_id in seen:
+                continue  # planner dedups; guard against caller duplicates
+            seen.add(job_id)
+            described = dict(app=spec.app, algorithm=spec.algorithm,
+                             processors=spec.processors)
+            if self.store is not None and job_id in prior:
+                stored = self.store.load(spec.store_key)
+                if stored is not None:
+                    results[job_id] = stored
+                    journal.record("resumed", job_id, **described)
+                    continue
+                # Journal said complete but the store entry is gone or
+                # corrupt (and now evicted): fall through and recompute.
+            if self.store is not None:
+                stored = self.store.load(spec.store_key)
+                if stored is not None:
+                    results[job_id] = stored
+                    journal.record("cache-hit", job_id, **described)
+                    continue
+            journal.record("queued", job_id, **described)
+            pending.append(spec)
+
+        if pending:
+            if self.workers == 1:
+                self._run_inline(pending, journal, results, failures)
+            else:
+                self._run_pool(pending, journal, results, failures)
+
+        wall = time.perf_counter() - start
+        summary = RunSummary.from_events(
+            journal.events, total_jobs=len(results) + len(failures),
+            workers=self.workers, wall_seconds=wall,
+        )
+        journal.record(
+            "run-end",
+            executed=summary.executed,
+            failed=summary.failed,
+            cache_hits=summary.cache_hits,
+            resumed=summary.resumed,
+            wall_seconds=round(wall, 3),
+        )
+        journal.close()
+        return RunReport(results=results, failures=failures, summary=summary,
+                         events=journal.events)
+
+    # -- execution phase ------------------------------------------------
+
+    def _payload(self, spec: JobSpec, attempt: int, delay: float = 0.0) -> dict:
+        return {
+            "job": spec.job_id,
+            "spec": spec.to_payload(),
+            "label": spec.describe(),
+            "timeout": self.timeout,
+            "attempt": attempt,
+            "delay": delay,
+        }
+
+    def _handle(self, out, payload, journal, results, failures, retry_queue):
+        """Fold one attempt's outcome into results/failures/retries."""
+        job_id = payload["job"]
+        attempt = payload["attempt"]
+        if out.get("ok"):
+            value = self._materialize(out["value"])
+            if self.store is not None:
+                spec = JobSpec.from_payload(payload["spec"])
+                self.store.store(spec.store_key, value)
+            results[job_id] = value
+            journal.record(
+                "finished", job_id,
+                worker=out.get("worker"), attempt=attempt,
+                duration=out.get("duration"),
+            )
+        elif attempt <= self.max_retries:
+            delay = self.backoff * (2 ** (attempt - 1))
+            journal.record(
+                "retrying", job_id,
+                attempt=attempt, kind=out.get("kind"),
+                error=out.get("error"), delay=round(delay, 3),
+            )
+            retry_queue.append(
+                {**payload, "attempt": attempt + 1, "delay": delay}
+            )
+        else:
+            journal.record(
+                "failed", job_id,
+                attempt=attempt, kind=out.get("kind"),
+                error=out.get("error"), duration=out.get("duration"),
+            )
+            failures.append(JobFailure(
+                job_id=job_id, label=payload["label"],
+                error=out.get("error", "unknown error"),
+                kind=out.get("kind", "error"), attempts=attempt,
+            ))
+
+    def _run_inline(self, pending, journal, results, failures) -> None:
+        """workers=1: same lifecycle, executed in-process."""
+        queue = deque(self._payload(spec, 1) for spec in pending)
+        while queue:
+            payload = queue.popleft()
+            journal.record("started", payload["job"],
+                           attempt=payload["attempt"])
+            out = _invoke(self.job_runner, payload)
+            self._handle(out, payload, journal, results, failures, queue)
+
+    def _run_pool(self, pending, journal, results, failures) -> None:
+        context = mp.get_context(self.mp_context)
+        max_workers = min(self.workers, len(pending))
+
+        def make_executor() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(max_workers=max_workers,
+                                       mp_context=context)
+
+        executor = make_executor()
+        inflight: dict = {}
+
+        def submit(payload: dict) -> None:
+            journal.record("started", payload["job"],
+                           attempt=payload["attempt"])
+            future = executor.submit(_invoke, self.job_runner, payload)
+            inflight[future] = payload
+
+        try:
+            for spec in pending:
+                submit(self._payload(spec, 1))
+            while inflight:
+                done, _ = wait(set(inflight), return_when=FIRST_COMPLETED)
+                retry_queue: deque = deque()
+                crashed = False
+                for future in done:
+                    payload = inflight.pop(future)
+                    try:
+                        out = future.result()
+                    except BrokenProcessPool:
+                        crashed = True
+                        out = {
+                            "job": payload["job"], "ok": False,
+                            "kind": "crash", "attempt": payload["attempt"],
+                            "error": "worker process died unexpectedly",
+                            "duration": 0.0,
+                        }
+                    except Exception as exc:  # pragma: no cover - defensive
+                        out = {
+                            "job": payload["job"], "ok": False,
+                            "kind": "error", "attempt": payload["attempt"],
+                            "error": f"{type(exc).__name__}: {exc}",
+                            "duration": 0.0,
+                        }
+                    self._handle(out, payload, journal, results, failures,
+                                 retry_queue)
+                if crashed:
+                    # The pool is unusable: rebuild it, then resubmit the
+                    # in-flight innocents without burning one of their
+                    # attempts.
+                    victims = list(inflight.values())
+                    inflight.clear()
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = make_executor()
+                    for payload in victims:
+                        submit(payload)
+                for payload in retry_queue:
+                    submit(payload)
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)

@@ -1,0 +1,104 @@
+"""The run journal: an append-only JSONL log of engine events.
+
+Every job transition the engine observes — queued, started, cache-hit,
+resumed, retrying, finished, failed — is one JSON object per line, flushed
+immediately, so a run can be watched with ``tail -f`` and a killed run
+leaves a readable prefix.  :meth:`RunJournal.completed_jobs` reads that
+prefix back to drive ``--resume``: jobs whose completion the journal
+confirms are skipped on the next run.
+
+The journal is written only by the coordinating process (workers report
+back over the pool's result channel), so lines never interleave.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+__all__ = ["RunJournal", "COMPLETED_EVENTS"]
+
+#: Events that mark a job as done (its result exists in the store/memo).
+COMPLETED_EVENTS = frozenset({"finished", "cache-hit", "resumed"})
+
+
+class RunJournal:
+    """Collects engine events in memory and, optionally, appends them to a
+    JSONL file.
+
+    Args:
+        path: Journal file to append to, or None for in-memory only (the
+            event list still feeds the
+            :class:`~repro.exec.summary.RunSummary`).
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.events: list[dict] = []
+        self._stream = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = self.path.open("a", encoding="utf-8")
+
+    def record(self, event: str, job_id: str | None = None, **fields) -> dict:
+        """Append one event (None-valued fields are dropped)."""
+        entry: dict = {"event": event, "time": round(time.time(), 6)}
+        if job_id is not None:
+            entry["job"] = job_id
+        entry.update((k, v) for k, v in fields.items() if v is not None)
+        self.events.append(entry)
+        if self._stream is not None:
+            self._stream.write(json.dumps(entry, sort_keys=True) + "\n")
+            self._stream.flush()
+        return entry
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Reading a (possibly interrupted) journal back
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def read(path: str | Path) -> list[dict]:
+        """All parseable events in a journal file.
+
+        A run killed mid-write leaves a truncated final line; malformed
+        lines are skipped rather than raised, so resuming from a crashed
+        run always works.
+        """
+        events = []
+        with Path(path).open("r", encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(entry, dict) and "event" in entry:
+                    events.append(entry)
+        return events
+
+    @classmethod
+    def completed_jobs(cls, path: str | Path) -> set[str]:
+        """Job ids the journal confirms complete (finished, cache-hit or
+        resumed in any earlier run).  Missing journals yield the empty set."""
+        path = Path(path)
+        if not path.exists():
+            return set()
+        return {
+            entry["job"]
+            for entry in cls.read(path)
+            if entry["event"] in COMPLETED_EVENTS and "job" in entry
+        }

@@ -1,0 +1,143 @@
+"""Aggregate statistics of one engine run, derived from journal events.
+
+:class:`RunSummary` turns the event stream into the numbers an operator
+cares about: how many cells ran, hit the cache or resumed; how many retries
+and failures; throughput and the p50/p95 per-job latency.  It is computed
+from the same events the journal persists, so a summary can be rebuilt
+from a journal file after the fact (:meth:`RunSummary.from_journal`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exec.journal import RunJournal
+
+__all__ = ["RunSummary", "percentile"]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The q-th percentile (0-100) by linear interpolation; 0.0 if empty."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return float(ordered[low] * (1.0 - frac) + ordered[high] * frac)
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """What one engine run did, in aggregate."""
+
+    total_jobs: int           #: planned jobs (after dedup)
+    executed: int             #: simulated to completion this run
+    failed: int               #: exhausted retries (reported as gaps)
+    cache_hits: int           #: served from the persistent store
+    resumed: int              #: skipped as journal-confirmed complete
+    retries: int              #: re-submissions after a failed attempt
+    workers: int              #: worker processes configured
+    wall_seconds: float       #: whole-run wall clock
+    p50_seconds: float        #: median per-job execution latency
+    p95_seconds: float        #: tail per-job execution latency
+    per_worker: dict = field(default_factory=dict)  #: worker pid -> jobs finished
+
+    @property
+    def completed(self) -> int:
+        """Jobs whose result is available (any of the three ways)."""
+        return self.executed + self.cache_hits + self.resumed
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of planned jobs served without simulating."""
+        if not self.total_jobs:
+            return 0.0
+        return (self.cache_hits + self.resumed) / self.total_jobs
+
+    @property
+    def throughput(self) -> float:
+        """Completed jobs per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.completed / self.wall_seconds
+
+    @classmethod
+    def from_events(
+        cls,
+        events: list[dict],
+        *,
+        total_jobs: int,
+        workers: int,
+        wall_seconds: float,
+    ) -> "RunSummary":
+        """Fold an event stream into a summary."""
+        counts = {"finished": 0, "failed": 0, "cache-hit": 0, "resumed": 0,
+                  "retrying": 0}
+        durations: list[float] = []
+        per_worker: dict[str, int] = {}
+        for entry in events:
+            kind = entry["event"]
+            if kind in counts:
+                counts[kind] += 1
+            if kind == "finished":
+                if "duration" in entry:
+                    durations.append(float(entry["duration"]))
+                worker = str(entry.get("worker", "?"))
+                per_worker[worker] = per_worker.get(worker, 0) + 1
+        return cls(
+            total_jobs=total_jobs,
+            executed=counts["finished"],
+            failed=counts["failed"],
+            cache_hits=counts["cache-hit"],
+            resumed=counts["resumed"],
+            retries=counts["retrying"],
+            workers=workers,
+            wall_seconds=wall_seconds,
+            p50_seconds=percentile(durations, 50),
+            p95_seconds=percentile(durations, 95),
+            per_worker=dict(sorted(per_worker.items())),
+        )
+
+    @classmethod
+    def from_journal(cls, path: str | Path, *, workers: int = 0) -> "RunSummary":
+        """Rebuild a summary from a journal file (e.g. after a crash).
+
+        Wall time is the span between the first and last event; the job
+        total is every distinct job the journal mentions.
+        """
+        events = RunJournal.read(path)
+        times = [e["time"] for e in events if "time" in e]
+        wall = max(times) - min(times) if len(times) > 1 else 0.0
+        jobs = {e["job"] for e in events if "job" in e}
+        return cls.from_events(events, total_jobs=len(jobs), workers=workers,
+                               wall_seconds=wall)
+
+    def render(self) -> str:
+        """The summary as aligned text (the CLI prints this to stderr)."""
+        lines = [
+            "Run summary",
+            "===========",
+            f"jobs planned        {self.total_jobs}",
+            f"  executed          {self.executed}",
+            f"  cache hits        {self.cache_hits}",
+            f"  resumed           {self.resumed}",
+            f"  failed (gaps)     {self.failed}",
+            f"retries             {self.retries}",
+            f"workers             {self.workers}",
+            f"wall time           {self.wall_seconds:.2f} s",
+            f"throughput          {self.throughput:.2f} jobs/s",
+            f"cache-hit rate      {self.cache_hit_rate * 100:.1f}%",
+            f"job latency p50     {self.p50_seconds:.3f} s",
+            f"job latency p95     {self.p95_seconds:.3f} s",
+        ]
+        if self.per_worker:
+            shares = ", ".join(
+                f"{worker}:{count}" for worker, count in self.per_worker.items()
+            )
+            lines.append(f"jobs per worker     {shares}")
+        return "\n".join(lines)

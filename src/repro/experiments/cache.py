@@ -14,6 +14,8 @@ application, algorithm, machine).
 from __future__ import annotations
 
 import hashlib
+import logging
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -26,7 +28,20 @@ from repro.arch.stats import (
     SimulationResult,
 )
 
-__all__ = ["ResultStore", "result_to_arrays", "result_from_arrays"]
+__all__ = [
+    "ResultStore",
+    "cell_store_key",
+    "store_digest",
+    "result_to_arrays",
+    "result_from_arrays",
+]
+
+log = logging.getLogger(__name__)
+
+#: Everything a damaged or stale ``.npz`` can raise while being opened and
+#: decoded: filesystem errors, truncated zip containers, missing arrays and
+#: malformed/stale-format payloads.
+_LOAD_ERRORS = (OSError, EOFError, KeyError, ValueError, zipfile.BadZipFile)
 
 # Fixed field order for the per-cache miss matrix.
 _MISS_ORDER: tuple[MissKind, ...] = (
@@ -37,6 +52,45 @@ _MISS_ORDER: tuple[MissKind, ...] = (
 )
 
 _FORMAT_VERSION = 1
+
+#: Leading tag of every store key; bump together with ``_FORMAT_VERSION``.
+STORE_KEY_TAG = "v1"
+
+
+def cell_store_key(
+    *,
+    scale: float,
+    seed: int,
+    quantum_refs: int,
+    app: str,
+    algorithm: str,
+    processors: int,
+    infinite: bool,
+    associativity: int,
+    cache_words: int | None,
+    replicate: int,
+) -> tuple:
+    """The canonical store key of one simulation cell.
+
+    This is the single definition shared by the sequential
+    :class:`~repro.experiments.runner.ExperimentSuite` and the parallel
+    :mod:`repro.exec` engine, so both address the same ``.npz`` entries.
+    ``app`` and ``algorithm`` must already be canonical (paper spelling).
+    """
+    return (
+        STORE_KEY_TAG, scale, seed, quantum_refs,
+        app, algorithm.upper(), processors,
+        infinite, associativity, cache_words, replicate,
+    )
+
+
+def store_digest(key: tuple) -> str:
+    """The SHA-256 content address of a store key (32 hex chars).
+
+    The digest doubles as the engine's job id, so a journal entry, a store
+    filename and a planned job all name the same cell.
+    """
+    return hashlib.sha256(repr(key).encode()).hexdigest()[:32]
 
 
 def result_to_arrays(result: SimulationResult) -> dict[str, np.ndarray]:
@@ -114,14 +168,19 @@ class ResultStore:
         self.directory.mkdir(parents=True, exist_ok=True)
 
     def _path(self, key: tuple) -> Path:
-        digest = hashlib.sha256(repr(key).encode()).hexdigest()[:32]
-        return self.directory / f"{digest}.npz"
+        return self.directory / f"{store_digest(key)}.npz"
+
+    def contains(self, key: tuple) -> bool:
+        """Whether an entry exists for ``key`` (without decoding it)."""
+        return self._path(key).exists()
 
     def load(self, key: tuple) -> SimulationResult | None:
         """The stored result for ``key``, or None.
 
-        Unreadable or stale-format files are treated as misses (and left
-        for the next ``store`` to overwrite).
+        Corrupt, truncated or stale-format files are treated as misses:
+        they are logged and evicted so the caller recomputes the cell and
+        the next ``store`` writes a clean entry — a damaged cache never
+        aborts a report.
         """
         path = self._path(key)
         if not path.exists():
@@ -129,7 +188,15 @@ class ResultStore:
         try:
             with np.load(path, allow_pickle=False) as arrays:
                 return result_from_arrays(arrays)
-        except (OSError, ValueError, KeyError):
+        except _LOAD_ERRORS as exc:
+            log.warning(
+                "evicting unreadable result %s (%s: %s); the cell will be "
+                "recomputed", path.name, type(exc).__name__, exc,
+            )
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent eviction
+                pass
             return None
 
     def store(self, key: tuple, result: SimulationResult) -> None:

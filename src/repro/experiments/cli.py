@@ -5,6 +5,15 @@ Regenerates the paper's tables and figures::
     repro-experiments                       # everything, default scale
     repro-experiments --sections table4 figure2
     repro-experiments --scale 0.002 --seed 1 --out report.txt
+
+The simulation sweep behind the figures/Table 5 can be fanned out over
+worker processes — the rendered report is byte-identical to a sequential
+run on the same seed/scale::
+
+    repro-experiments --jobs 4                          # 4 workers
+    repro-experiments --jobs 4 --journal run.jsonl      # + JSONL journal
+    repro-experiments --jobs 4 --journal run.jsonl --resume   # skip done
+    repro-experiments --jobs 4 --cache-dir .repro-cache # persist results
 """
 
 from __future__ import annotations
@@ -44,6 +53,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="root seed")
     parser.add_argument(
+        "--quantum-refs",
+        type=int,
+        default=256,
+        metavar="N",
+        help="simulator scheduling quantum in references (default 256)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="precompute the sections' simulation sweep on N worker "
+             "processes before rendering (default 1: sequential)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job time budget; a cell exceeding it is retried, then "
+             "reported as a gap",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retry attempts per failed/timed-out job (default 2)",
+    )
+    parser.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="append engine events (queued/started/finished/failed/"
+             "cache-hit, JSONL) to this run journal",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells the --journal confirms complete and that are "
+             "still in --cache-dir (requires both)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent result store; repeated runs reuse each other's "
+             "simulations",
+    )
+    parser.add_argument(
         "--charts",
         action="store_true",
         help="also render each figure as ASCII bar charts",
@@ -81,8 +138,32 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """Console entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
-    suite = ExperimentSuite(scale=args.scale, seed=args.seed)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.resume and not (args.journal and args.cache_dir):
+        parser.error("--resume requires both --journal and --cache-dir")
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    suite = ExperimentSuite(
+        scale=args.scale, seed=args.seed, quantum_refs=args.quantum_refs,
+        cache_dir=args.cache_dir,
+    )
+    # Preserve the paper's presentation order regardless of CLI order.
+    sections = (
+        [s for s in REPORT_SECTIONS if s in set(args.sections)]
+        if args.sections
+        else None
+    )
+    if args.jobs > 1 or args.journal or args.resume:
+        run = suite.prefetch(
+            sections, jobs=args.jobs, timeout=args.timeout,
+            journal=args.journal, resume=args.resume,
+            max_retries=args.retries,
+        )
+        sys.stderr.write(run.summary.render() + "\n")
+        for failure in run.failures:
+            sys.stderr.write(f"[gap] {failure}\n")
+        sys.stderr.flush()
     if args.verify:
         from repro.experiments.claims import verify_claims
 
@@ -90,12 +171,6 @@ def main(argv: list[str] | None = None) -> int:
         for result in results:
             args.out.write(result.render() + "\n")
         return 0 if all(r.passed for r in results) else 1
-    # Preserve the paper's presentation order regardless of CLI order.
-    sections = (
-        [s for s in REPORT_SECTIONS if s in set(args.sections)]
-        if args.sections
-        else None
-    )
     if args.json:
         from repro.experiments.export import export_json
 

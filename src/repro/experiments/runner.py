@@ -4,7 +4,9 @@ Every table and figure in the paper's evaluation is a view over the same
 underlying grid of simulations.  :class:`ExperimentSuite` owns that grid:
 it builds each application once, analyzes it once, computes each placement
 once and simulates each (application, algorithm, processors, cache) cell
-once, memoizing everything in process.
+once, memoizing everything in process.  :meth:`ExperimentSuite.prefetch`
+delegates the whole grid to the :mod:`repro.exec` engine, which computes
+the same cells on worker processes and seeds this memo with the results.
 
 Machine sizing follows the paper: contexts per processor are nominally
 ⌈t/p⌉ ("all threads have been loaded into the hardware contexts"); when an
@@ -23,6 +25,7 @@ import numpy as np
 from repro.arch.config import ArchConfig
 from repro.arch.simulator import simulate
 from repro.arch.stats import SimulationResult
+from repro.experiments.cache import ResultStore, cell_store_key
 from repro.placement.algorithms import algorithm_by_name
 from repro.placement.base import PlacementInputs, PlacementMap
 from repro.placement.dynamic import measure_coherence_matrix
@@ -77,17 +80,33 @@ class ExperimentSuite:
         self.seed = seed
         self.quantum_refs = quantum_refs
         self.random_replicates = random_replicates
-        self._store = None
-        if cache_dir is not None:
-            from repro.experiments.cache import ResultStore
-
-            self._store = ResultStore(cache_dir)
+        self.cache_dir = cache_dir
+        self._store = ResultStore(cache_dir) if cache_dir is not None else None
         self._streams = RngStreams(seed).child("experiments")
         self._traces: dict[str, TraceSet] = {}
         self._analyses: dict[str, TraceSetAnalysis] = {}
         self._coherence: dict[str, np.ndarray] = {}
         self._placements: dict[tuple[str, str, int], PlacementMap] = {}
         self._results: dict[tuple, SimulationResult] = {}
+
+    @property
+    def store(self) -> ResultStore | None:
+        """The persistent result store, if a cache_dir was configured."""
+        return self._store
+
+    def __reduce__(self):
+        """Pickle as construction parameters only.
+
+        A suite crossing a process boundary (engine workers, pools) must
+        rebuild traces, analyses and placements from the spec in the
+        receiving process — memoized ``TraceSet``s and results are
+        per-process state and are never shipped or fork-shared.
+        """
+        return (
+            _rebuild_suite,
+            (self.scale, self.seed, self.quantum_refs,
+             self.random_replicates, self.cache_dir),
+        )
 
     # ------------------------------------------------------------------
     # Workload access
@@ -208,7 +227,13 @@ class ExperimentSuite:
         key = (name, algorithm.upper(), processors, infinite, associativity,
                cache_words, replicate)
         if key not in self._results:
-            store_key = ("v1", self.scale, self.seed, self.quantum_refs) + key
+            store_key = cell_store_key(
+                scale=self.scale, seed=self.seed,
+                quantum_refs=self.quantum_refs,
+                app=name, algorithm=algorithm, processors=processors,
+                infinite=infinite, associativity=associativity,
+                cache_words=cache_words, replicate=replicate,
+            )
             stored = self._store.load(store_key) if self._store is not None else None
             if stored is not None:
                 self._results[key] = stored
@@ -227,6 +252,56 @@ class ExperimentSuite:
                     self._store.store(store_key, result)
                 self._results[key] = result
         return self._results[key]
+
+    def prefetch(
+        self,
+        sections: list[str] | None = None,
+        *,
+        jobs: int = 1,
+        timeout: float | None = None,
+        journal: str | None = None,
+        resume: bool = False,
+        max_retries: int = 2,
+        backoff: float = 0.5,
+        mp_context: str = "spawn",
+    ):
+        """Precompute every cell the chosen sections need, in parallel.
+
+        Delegates the sweep to the :mod:`repro.exec` engine: the cells are
+        planned as content-addressed jobs, fanned out over ``jobs`` worker
+        processes (with per-job ``timeout``, bounded retries and crash
+        isolation), journaled to ``journal`` and — with ``resume`` — the
+        journal-confirmed-complete cells of a killed run are skipped.
+        Successful results are inserted into this suite's memo, so
+        subsequent :meth:`run` calls (and any report rendered from this
+        suite) never simulate; a failed cell is reported in the returned
+        :class:`~repro.exec.engine.RunReport` and simply falls back to the
+        sequential path if later requested.
+
+        Returns:
+            The engine's :class:`~repro.exec.engine.RunReport` (results,
+            failures, journal events and the aggregate
+            :class:`~repro.exec.summary.RunSummary`).
+        """
+        from repro.exec import ExecutionEngine, plan_sections
+
+        specs = plan_sections(
+            sections,
+            scale=self.scale, seed=self.seed,
+            quantum_refs=self.quantum_refs,
+            random_replicates=self.random_replicates,
+        )
+        engine = ExecutionEngine(
+            workers=jobs, timeout=timeout, max_retries=max_retries,
+            backoff=backoff, store=self._store, journal_path=journal,
+            resume=resume, mp_context=mp_context,
+        )
+        report = engine.run(specs)
+        for spec in specs:
+            result = report.results.get(spec.job_id)
+            if result is not None:
+                self._results[spec.cell] = result
+        return report
 
     def execution_time(self, app: str, algorithm: str, processors: int,
                        **kwargs) -> float:
@@ -254,3 +329,11 @@ class ExperimentSuite:
         ours = self.execution_time(app, algorithm, processors, **kwargs)
         reference = self.execution_time(app, baseline, processors, **kwargs)
         return ours / reference if reference else float("inf")
+
+
+def _rebuild_suite(scale, seed, quantum_refs, random_replicates, cache_dir):
+    """Unpickling target for :meth:`ExperimentSuite.__reduce__`."""
+    return ExperimentSuite(
+        scale=scale, seed=seed, quantum_refs=quantum_refs,
+        random_replicates=random_replicates, cache_dir=cache_dir,
+    )

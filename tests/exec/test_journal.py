@@ -1,0 +1,85 @@
+"""Tests for the JSONL run journal."""
+
+import json
+
+from repro.exec.journal import RunJournal
+
+
+class TestRecording:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.record("run-start", jobs=2, workers=1)
+            journal.record("queued", "abc", app="Water")
+            journal.record("finished", "abc", duration=0.5, worker=123)
+        events = RunJournal.read(path)
+        assert [e["event"] for e in events] == ["run-start", "queued",
+                                                "finished"]
+        assert events[1]["job"] == "abc"
+        assert events[2]["duration"] == 0.5
+
+    def test_none_fields_dropped(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        entry = journal.record("queued", "abc", error=None, attempt=1)
+        journal.close()
+        assert "error" not in entry
+        assert entry["attempt"] == 1
+
+    def test_in_memory_mode_keeps_events(self):
+        journal = RunJournal(None)
+        journal.record("queued", "abc")
+        journal.close()
+        assert journal.events[0]["job"] == "abc"
+
+    def test_appends_across_runs(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.record("finished", "a")
+        with RunJournal(path) as journal:
+            journal.record("finished", "b")
+        assert len(RunJournal.read(path)) == 2
+
+    def test_creates_parent_directory(self, tmp_path):
+        path = tmp_path / "deep" / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.record("run-start")
+        assert path.exists()
+
+    def test_lines_are_valid_json(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.record("queued", "abc", app="Water")
+        for line in path.read_text().splitlines():
+            assert json.loads(line)["event"] == "queued"
+
+
+class TestReadingInterruptedJournals:
+    def test_truncated_last_line_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.record("finished", "a")
+        with path.open("a") as stream:
+            stream.write('{"event": "fini')  # killed mid-write
+        events = RunJournal.read(path)
+        assert len(events) == 1
+
+    def test_blank_and_garbage_lines_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('\n{"event": "finished", "job": "a"}\nnot json\n42\n')
+        assert [e["job"] for e in RunJournal.read(path)] == ["a"]
+
+
+class TestCompletedJobs:
+    def test_completion_events_counted(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.record("queued", "a")
+            journal.record("finished", "a")
+            journal.record("cache-hit", "b")
+            journal.record("resumed", "c")
+            journal.record("failed", "d")
+            journal.record("retrying", "e")
+        assert RunJournal.completed_jobs(path) == {"a", "b", "c"}
+
+    def test_missing_journal_is_empty(self, tmp_path):
+        assert RunJournal.completed_jobs(tmp_path / "nope.jsonl") == set()

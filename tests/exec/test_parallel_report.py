@@ -1,0 +1,134 @@
+"""End-to-end: the parallel CLI path reproduces the sequential report.
+
+The acceptance bar for the engine: ``repro-experiments --jobs N`` writes a
+byte-identical report for the same seed/scale, the journal records every
+cell, and a re-run with ``--resume`` completes without recomputing
+finished cells.
+"""
+
+import json
+
+import pytest
+
+from repro.exec import RunJournal
+from repro.experiments.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    """One sequential and one 2-worker journaled run of figure4."""
+    root = tmp_path_factory.mktemp("parallel-report")
+    base = ["--sections", "figure4", "--scale", "0.001"]
+    sequential = root / "sequential.txt"
+    parallel = root / "parallel.txt"
+    journal = root / "run.jsonl"
+    cache = root / "cache"
+    assert main(base + ["--out", str(sequential)]) == 0
+    assert main(base + ["--jobs", "2", "--journal", str(journal),
+                        "--cache-dir", str(cache),
+                        "--out", str(parallel)]) == 0
+    return {"root": root, "base": base, "sequential": sequential,
+            "parallel": parallel, "journal": journal, "cache": cache}
+
+
+class TestByteIdenticalReport:
+    def test_parallel_report_matches_sequential(self, workspace):
+        assert workspace["parallel"].read_bytes() == \
+            workspace["sequential"].read_bytes()
+
+    def test_journal_records_every_cell(self, workspace):
+        events = RunJournal.read(workspace["journal"])
+        queued = {e["job"] for e in events if e["event"] == "queued"}
+        finished = {e["job"] for e in events if e["event"] == "finished"}
+        assert queued and queued == finished
+        run_end = [e for e in events if e["event"] == "run-end"][-1]
+        assert run_end["executed"] == len(finished)
+        assert run_end["failed"] == 0
+
+    def test_journal_lines_carry_latency_and_worker(self, workspace):
+        events = RunJournal.read(workspace["journal"])
+        for entry in events:
+            if entry["event"] == "finished":
+                assert entry["duration"] >= 0
+                assert "worker" in entry
+
+    def test_store_holds_every_cell(self, workspace):
+        events = RunJournal.read(workspace["journal"])
+        finished = {e["job"] for e in events if e["event"] == "finished"}
+        stored = {p.stem for p in workspace["cache"].glob("*.npz")}
+        assert finished <= stored
+
+
+class TestResume:
+    def test_resume_recomputes_nothing_and_matches(self, workspace):
+        out = workspace["root"] / "resumed.txt"
+        code = main(workspace["base"] + [
+            "--jobs", "2", "--journal", str(workspace["journal"]),
+            "--cache-dir", str(workspace["cache"]), "--resume",
+            "--out", str(out),
+        ])
+        assert code == 0
+        assert out.read_bytes() == workspace["sequential"].read_bytes()
+        events = RunJournal.read(workspace["journal"])
+        last_start = max(
+            i for i, e in enumerate(events) if e["event"] == "run-start"
+        )
+        this_run = [e["event"] for e in events[last_start:]]
+        assert "resumed" in this_run
+        assert "finished" not in this_run
+        assert "queued" not in this_run
+
+
+class TestCliValidation:
+    def test_engine_flags_parsed(self):
+        args = build_parser().parse_args([
+            "--jobs", "4", "--timeout", "30", "--retries", "1",
+            "--journal", "run.jsonl", "--cache-dir", "cache",
+            "--quantum-refs", "128", "--resume",
+        ])
+        assert args.jobs == 4
+        assert args.timeout == 30.0
+        assert args.retries == 1
+        assert args.journal == "run.jsonl"
+        assert args.cache_dir == "cache"
+        assert args.quantum_refs == 128
+        assert args.resume
+
+    def test_engine_flag_defaults_stay_sequential(self):
+        args = build_parser().parse_args([])
+        assert args.jobs == 1
+        assert args.timeout is None
+        assert args.journal is None
+        assert not args.resume
+        assert args.quantum_refs == 256
+
+    def test_resume_requires_journal_and_cache(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["--resume", "--out", str(tmp_path / "r.txt")])
+        assert "--resume requires" in capsys.readouterr().err
+
+    def test_jobs_must_be_positive(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["--jobs", "0", "--out", str(tmp_path / "r.txt")])
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_summary_printed_to_stderr(self, tmp_path, capsys):
+        out = tmp_path / "report.txt"
+        main(["--sections", "table3", "--scale", "0.001", "--jobs", "1",
+              "--journal", str(tmp_path / "j.jsonl"), "--out", str(out)])
+        err = capsys.readouterr().err
+        assert "Run summary" in err
+        assert "throughput" in err
+        # table3 needs no simulations: an empty, all-skipped plan.
+        assert "Table 3" in out.read_text()
+
+    def test_journal_alone_enables_engine(self, tmp_path):
+        """--journal without --jobs still journals (inline engine)."""
+        journal = tmp_path / "j.jsonl"
+        out = tmp_path / "report.txt"
+        code = main(["--sections", "table3", "--scale", "0.001",
+                     "--journal", str(journal), "--out", str(out)])
+        assert code == 0
+        events = RunJournal.read(journal)
+        assert events[0]["event"] == "run-start"
+        assert json.loads(journal.read_text().splitlines()[0])

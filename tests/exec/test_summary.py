@@ -1,0 +1,99 @@
+"""Tests for the aggregate run summary."""
+
+import pytest
+
+from repro.exec.journal import RunJournal
+from repro.exec.summary import RunSummary, percentile
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 50) == 0.0
+
+    def test_single_value(self):
+        assert percentile([3.0], 95) == 3.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+
+    def test_p95_of_uniform(self):
+        values = [float(v) for v in range(101)]
+        assert percentile(values, 95) == pytest.approx(95.0)
+
+
+def _events():
+    return [
+        {"event": "run-start", "time": 0.0},
+        {"event": "queued", "job": "a", "time": 0.0},
+        {"event": "started", "job": "a", "time": 0.0, "attempt": 1},
+        {"event": "cache-hit", "job": "b", "time": 0.0},
+        {"event": "resumed", "job": "c", "time": 0.0},
+        {"event": "retrying", "job": "a", "time": 0.1, "attempt": 1},
+        {"event": "finished", "job": "a", "time": 0.5, "duration": 0.4,
+         "worker": 11},
+        {"event": "finished", "job": "d", "time": 0.6, "duration": 0.2,
+         "worker": 12},
+        {"event": "failed", "job": "e", "time": 0.7, "attempt": 3},
+    ]
+
+
+class TestFromEvents:
+    def test_counts(self):
+        summary = RunSummary.from_events(_events(), total_jobs=5, workers=2,
+                                         wall_seconds=2.0)
+        assert summary.executed == 2
+        assert summary.cache_hits == 1
+        assert summary.resumed == 1
+        assert summary.failed == 1
+        assert summary.retries == 1
+        assert summary.completed == 4
+
+    def test_rates(self):
+        summary = RunSummary.from_events(_events(), total_jobs=5, workers=2,
+                                         wall_seconds=2.0)
+        assert summary.cache_hit_rate == pytest.approx(0.4)
+        assert summary.throughput == pytest.approx(2.0)
+
+    def test_latency_percentiles(self):
+        summary = RunSummary.from_events(_events(), total_jobs=5, workers=2,
+                                         wall_seconds=2.0)
+        assert summary.p50_seconds == pytest.approx(0.3)
+        assert summary.p95_seconds == pytest.approx(0.39)
+
+    def test_per_worker_shares(self):
+        summary = RunSummary.from_events(_events(), total_jobs=5, workers=2,
+                                         wall_seconds=2.0)
+        assert summary.per_worker == {"11": 1, "12": 1}
+
+    def test_zero_division_guards(self):
+        summary = RunSummary.from_events([], total_jobs=0, workers=1,
+                                         wall_seconds=0.0)
+        assert summary.cache_hit_rate == 0.0
+        assert summary.throughput == 0.0
+
+
+class TestFromJournal:
+    def test_rebuild_from_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            for entry in _events():
+                journal.record(entry["event"], entry.get("job"),
+                               **{k: v for k, v in entry.items()
+                                  if k not in ("event", "job", "time")})
+        summary = RunSummary.from_journal(path, workers=2)
+        assert summary.executed == 2
+        assert summary.failed == 1
+        assert summary.total_jobs == 5  # distinct job ids mentioned
+
+
+class TestRender:
+    def test_mentions_every_headline_number(self):
+        summary = RunSummary.from_events(_events(), total_jobs=5, workers=2,
+                                         wall_seconds=2.0)
+        text = summary.render()
+        assert "jobs planned        5" in text
+        assert "executed          2" in text
+        assert "failed (gaps)     1" in text
+        assert "cache-hit rate" in text
+        assert "p50" in text and "p95" in text
+        assert "jobs per worker" in text

@@ -78,6 +78,55 @@ class TestResultStore:
         path.write_bytes(b"garbage")
         assert store.load(("x",)) is None
 
+    def test_corrupt_file_is_evicted_and_logged(self, tmp_path, caplog):
+        store = ResultStore(tmp_path)
+        store.store(("x",), small_result())
+        path = next(tmp_path.glob("*.npz"))
+        path.write_bytes(b"garbage")
+        with caplog.at_level("WARNING", logger="repro.experiments.cache"):
+            assert store.load(("x",)) is None
+        assert not path.exists()
+        assert "evicting" in caplog.text
+        # A recompute-and-store writes a clean entry again.
+        store.store(("x",), small_result())
+        assert store.load(("x",)) is not None
+
+    def test_truncated_file_is_evicted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store(("x",), small_result())
+        path = next(tmp_path.glob("*.npz"))
+        path.write_bytes(path.read_bytes()[:20])  # valid zip magic, cut off
+        assert store.load(("x",)) is None
+        assert not path.exists()
+
+    def test_stale_format_version_is_evicted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store(("x",), small_result())
+        path = next(tmp_path.glob("*.npz"))
+        arrays = dict(np.load(path))
+        arrays["scalars"] = arrays["scalars"].copy()
+        arrays["scalars"][0] = 99  # future format version
+        np.savez_compressed(path, **arrays)
+        assert store.load(("x",)) is None
+        assert not path.exists()
+
+    def test_missing_array_is_evicted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store(("x",), small_result())
+        path = next(tmp_path.glob("*.npz"))
+        arrays = dict(np.load(path))
+        del arrays["hits"]
+        np.savez_compressed(path, **arrays)
+        assert store.load(("x",)) is None
+        assert not path.exists()
+
+    def test_contains(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert not store.contains(("x",))
+        store.store(("x",), small_result())
+        assert store.contains(("x",))
+        assert not store.contains(("y",))
+
     def test_creates_directory(self, tmp_path):
         nested = tmp_path / "a" / "b"
         ResultStore(nested)

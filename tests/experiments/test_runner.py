@@ -1,5 +1,7 @@
 """Tests for the memoized experiment suite."""
 
+import pickle
+
 import numpy as np
 import pytest
 
@@ -104,3 +106,43 @@ class TestNormalization:
     def test_invalid_replicates_rejected(self):
         with pytest.raises(ValueError):
             ExperimentSuite(random_replicates=0)
+
+
+class TestProcessTransport:
+    """A suite crossing a process boundary must rebuild, not inherit."""
+
+    def test_pickle_ships_parameters_not_memoized_state(self, suite):
+        suite.traces("Water")  # populate the memo
+        rebuilt = pickle.loads(pickle.dumps(suite))
+        assert (rebuilt.scale, rebuilt.seed) == (suite.scale, suite.seed)
+        assert rebuilt.quantum_refs == suite.quantum_refs
+        assert rebuilt.random_replicates == suite.random_replicates
+        assert rebuilt._traces == {}
+        assert rebuilt._results == {}
+        assert rebuilt._placements == {}
+
+    def test_rebuilt_suite_reproduces_results(self, suite):
+        rebuilt = pickle.loads(pickle.dumps(suite))
+        ours = rebuilt.run("Water", "LOAD-BAL", 2)
+        theirs = suite.run("Water", "LOAD-BAL", 2)
+        assert ours is not theirs
+        assert ours.execution_time == theirs.execution_time
+
+    def test_cache_dir_survives_transport(self, tmp_path):
+        original = ExperimentSuite(scale=0.001, cache_dir=str(tmp_path))
+        rebuilt = pickle.loads(pickle.dumps(original))
+        assert rebuilt.cache_dir == str(tmp_path)
+        assert rebuilt.store is not None
+
+
+class TestPrefetch:
+    def test_prefetch_seeds_the_memo(self):
+        suite = ExperimentSuite(scale=0.001, seed=0, random_replicates=2)
+        report = suite.prefetch(["table5"], jobs=1)
+        assert report.ok
+        assert report.summary.executed == len(report.results)
+        # A Table 5 cell is now memoized: re-running it is a dict hit.
+        cell = ("Water", "LOAD-BAL", 2, True, 1, None, 0)
+        assert cell in suite._results
+        assert suite.run("Water", "LOAD-BAL", 2, infinite=True) \
+            is suite._results[cell]
