@@ -1,0 +1,61 @@
+"""Benchmark: the cost of correctness checking.
+
+Measures the production simulator against (a) itself with the runtime
+invariant checker enabled and (b) the deliberately slow reference
+interpreter, on a real paper workload.  Two properties are pinned:
+
+* ``--check-invariants`` is cheap enough to leave on in any non-hot-path
+  run (the checker is a few dict/set operations per replayed reference);
+* the reference interpreter, which exists to be obviously correct rather
+  than fast, still completes the workload in sane time — it is usable as
+  a differential oracle on paper-scale traces, not just micro-cases.
+
+Both variants are also asserted equivalent to the plain run, so the
+benchmark doubles as one more end-to-end differential check.
+"""
+
+from conftest import BENCH_SCALE
+
+from repro.arch.simulator import simulate
+from repro.experiments.runner import ExperimentSuite
+from repro.oracle import assert_equivalent, reference_simulate
+
+APP = "Water"
+ALGORITHM = "SHARE-REFS"
+PROCESSORS = 4
+
+
+def _cell():
+    suite = ExperimentSuite(scale=BENCH_SCALE, seed=0)
+    traces = suite.traces(APP)
+    placement = suite.placement(APP, ALGORITHM, PROCESSORS)
+    config = suite._machine(APP, placement, infinite=False, associativity=1,
+                            cache_words=None)
+    return traces, placement, config, suite.quantum_refs
+
+
+def test_invariant_checking_overhead(benchmark):
+    traces, placement, config, quantum = _cell()
+    baseline = simulate(traces, placement, config, quantum_refs=quantum)
+
+    def checked():
+        return simulate(traces, placement, config, quantum_refs=quantum,
+                        check_invariants=True)
+
+    result = benchmark.pedantic(checked, rounds=3, iterations=1)
+    print(f"\n{APP}: {result.total_refs} refs audited, "
+          f"execution time {result.execution_time}")
+    assert_equivalent(result, baseline,
+                      actual_name="checked", expected_name="unchecked")
+
+
+def test_reference_interpreter_throughput(benchmark):
+    traces, placement, config, quantum = _cell()
+    baseline = simulate(traces, placement, config, quantum_refs=quantum)
+
+    def reference():
+        return reference_simulate(traces, placement, config,
+                                  quantum_refs=quantum)
+
+    result = benchmark.pedantic(reference, rounds=1, iterations=1)
+    assert_equivalent(baseline, result)

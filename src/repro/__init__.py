@@ -14,6 +14,9 @@ Public API layers (see DESIGN.md for the full inventory):
   (multi-context processors, direct-mapped/set-associative caches with
   four-way miss classification, directory-based write-invalidate
   coherence, fixed-latency interconnect);
+* :mod:`repro.oracle` — the simulator's correctness net: a slow
+  reference interpreter, runtime invariant checking, and exact result
+  comparison for the differential test suite;
 * :mod:`repro.experiments` — regeneration of every table and figure in
   the paper's evaluation.
 """

@@ -38,6 +38,7 @@ def simulate(
     config: ArchConfig,
     *,
     quantum_refs: int = 256,
+    check_invariants: bool = False,
 ) -> SimulationResult:
     """Simulate one application under one placement and configuration.
 
@@ -49,6 +50,11 @@ def simulate(
         quantum_refs: Scheduling quantum in references; bounds the timing
             skew between processors.  The default keeps skew far below the
             phase lengths of any workload in the suite.
+        check_invariants: Audit the run with the
+            :class:`~repro.oracle.invariants.InvariantChecker`
+            (conservation laws after every quantum and at completion; see
+            ``docs/VALIDATION.md``).  Off by default — the default path
+            pays no checking cost.
 
     Returns:
         The run's :class:`~repro.arch.stats.SimulationResult`.
@@ -57,6 +63,8 @@ def simulate(
         ValueError: On any placement/configuration mismatch (wrong thread
             count, wrong processor count, more threads on a processor than
             hardware contexts).
+        repro.oracle.invariants.InvariantViolation: When
+            ``check_invariants`` is set and a conservation law fails.
     """
     check_positive("quantum_refs", quantum_refs)
     if placement.num_threads != trace_set.num_threads:
@@ -85,6 +93,13 @@ def simulate(
         for pid in range(p)
     ]
 
+    checker = None
+    if check_invariants:
+        # Imported lazily: the oracle depends on arch types, not vice versa.
+        from repro.oracle.invariants import InvariantChecker
+
+        checker = InvariantChecker(processors, caches, directory)
+
     # Min-time scheduling over processors with runnable work.
     heap: list[tuple[int, int]] = [
         (proc.time, proc.pid) for proc in processors if not proc.finished
@@ -93,10 +108,12 @@ def simulate(
     while heap:
         _, pid = heapq.heappop(heap)
         next_time = processors[pid].advance(quantum_refs)
+        if checker is not None:
+            checker.after_quantum(pid)
         if next_time is not None:
             heapq.heappush(heap, (next_time, pid))
 
-    return SimulationResult(
+    result = SimulationResult(
         execution_time=max(proc.stats.completion_time for proc in processors),
         processors=[proc.stats for proc in processors],
         caches=[cache.stats for cache in caches],
@@ -104,3 +121,6 @@ def simulate(
         pairwise_coherence=pairwise,
         total_refs=trace_set.total_refs,
     )
+    if checker is not None:
+        checker.at_completion(result)
+    return result

@@ -101,6 +101,13 @@ def build_parser() -> argparse.ArgumentParser:
              "simulations",
     )
     parser.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="audit every simulation with the oracle's runtime conservation "
+             "laws (cycle accounting, miss bookkeeping, directory/cache "
+             "sync); results are unchanged, violations abort the run",
+    )
+    parser.add_argument(
         "--charts",
         action="store_true",
         help="also render each figure as ASCII bar charts",
@@ -146,7 +153,7 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--jobs must be >= 1")
     suite = ExperimentSuite(
         scale=args.scale, seed=args.seed, quantum_refs=args.quantum_refs,
-        cache_dir=args.cache_dir,
+        cache_dir=args.cache_dir, check_invariants=args.check_invariants,
     )
     # Preserve the paper's presentation order regardless of CLI order.
     sections = (

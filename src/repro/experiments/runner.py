@@ -63,6 +63,11 @@ class ExperimentSuite:
         cache_dir: Optional directory for a persistent
             :class:`~repro.experiments.cache.ResultStore`, making repeated
             report/benchmark runs reuse each other's simulations.
+        check_invariants: Audit every in-process simulation with the
+            oracle's :class:`~repro.oracle.invariants.InvariantChecker`
+            (``--check-invariants`` on the CLI).  Results are unchanged;
+            cells served from a persistent store or by engine workers were
+            not simulated here and are not re-audited.
     """
 
     def __init__(
@@ -73,6 +78,7 @@ class ExperimentSuite:
         quantum_refs: int = 256,
         random_replicates: int = 3,
         cache_dir: str | None = None,
+        check_invariants: bool = False,
     ) -> None:
         check_positive("scale", scale)
         check_positive("random_replicates", random_replicates)
@@ -81,6 +87,7 @@ class ExperimentSuite:
         self.quantum_refs = quantum_refs
         self.random_replicates = random_replicates
         self.cache_dir = cache_dir
+        self.check_invariants = bool(check_invariants)
         self._store = ResultStore(cache_dir) if cache_dir is not None else None
         self._streams = RngStreams(seed).child("experiments")
         self._traces: dict[str, TraceSet] = {}
@@ -105,7 +112,7 @@ class ExperimentSuite:
         return (
             _rebuild_suite,
             (self.scale, self.seed, self.quantum_refs,
-             self.random_replicates, self.cache_dir),
+             self.random_replicates, self.cache_dir, self.check_invariants),
         )
 
     # ------------------------------------------------------------------
@@ -247,6 +254,7 @@ class ExperimentSuite:
                 result = simulate(
                     self.traces(name), placement, config,
                     quantum_refs=self.quantum_refs,
+                    check_invariants=self.check_invariants,
                 )
                 if self._store is not None:
                     self._store.store(store_key, result)
@@ -331,9 +339,11 @@ class ExperimentSuite:
         return ours / reference if reference else float("inf")
 
 
-def _rebuild_suite(scale, seed, quantum_refs, random_replicates, cache_dir):
+def _rebuild_suite(scale, seed, quantum_refs, random_replicates, cache_dir,
+                   check_invariants=False):
     """Unpickling target for :meth:`ExperimentSuite.__reduce__`."""
     return ExperimentSuite(
         scale=scale, seed=seed, quantum_refs=quantum_refs,
         random_replicates=random_replicates, cache_dir=cache_dir,
+        check_invariants=check_invariants,
     )

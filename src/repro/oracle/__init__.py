@@ -1,0 +1,37 @@
+"""Correctness oracle for the trace-driven simulator.
+
+The production simulator (:mod:`repro.arch.simulator`) is optimized for
+throughput: columnar traces flattened to lists, a tight per-quantum replay
+loop, incremental cache departure records.  This package is its
+independent check:
+
+* :mod:`repro.oracle.reference` — a deliberately slow, obviously-correct
+  **reference interpreter** that recomputes every metric (execution time,
+  the four-way miss decomposition, interconnect traffic, the pairwise
+  coherence matrix) from first principles: a single global clock, one
+  reference replayed at a time, dict-based caches and directory, and
+  classification recomputed from the full access history.
+* :mod:`repro.oracle.invariants` — a **runtime invariant checker** that
+  audits conservation laws (cycle accounting, miss bookkeeping,
+  directory/cache synchronization) after every scheduling quantum and at
+  completion, enabled via ``simulate(..., check_invariants=True)``.
+* :mod:`repro.oracle.compare` — exact structural comparison of two
+  :class:`~repro.arch.stats.SimulationResult`\\ s, used by the
+  differential test suite (``tests/oracle/``) and the CLI ``--oracle``
+  cross-check.
+
+See ``docs/VALIDATION.md`` for the invariant list and how to run the
+differential suite.
+"""
+
+from repro.oracle.compare import assert_equivalent, diff_results
+from repro.oracle.invariants import InvariantChecker, InvariantViolation
+from repro.oracle.reference import reference_simulate
+
+__all__ = [
+    "reference_simulate",
+    "diff_results",
+    "assert_equivalent",
+    "InvariantChecker",
+    "InvariantViolation",
+]

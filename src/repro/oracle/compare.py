@@ -1,0 +1,83 @@
+"""Exact structural comparison of two simulation results.
+
+The differential suite requires the production simulator and the
+reference interpreter to agree *exactly* — no tolerances — on every
+metric a :class:`~repro.arch.stats.SimulationResult` carries.
+:func:`diff_results` reports every field that differs (empty list means
+equivalent); :func:`assert_equivalent` turns that into one readable
+assertion failure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.stats import MissKind, SimulationResult
+
+__all__ = ["diff_results", "assert_equivalent"]
+
+
+def diff_results(
+    actual: SimulationResult,
+    expected: SimulationResult,
+    *,
+    actual_name: str = "simulator",
+    expected_name: str = "oracle",
+) -> list[str]:
+    """Every metric on which two results disagree, as readable lines."""
+    diffs: list[str] = []
+
+    def check(path: str, a, b) -> None:
+        if a != b:
+            diffs.append(f"{path}: {actual_name}={a!r} {expected_name}={b!r}")
+
+    check("execution_time", actual.execution_time, expected.execution_time)
+    check("total_refs", actual.total_refs, expected.total_refs)
+    check("num_processors", actual.num_processors, expected.num_processors)
+
+    for pid, (a, b) in enumerate(zip(actual.processors, expected.processors)):
+        check(f"processors[{pid}].busy", a.busy, b.busy)
+        check(f"processors[{pid}].switching", a.switching, b.switching)
+        check(f"processors[{pid}].idle", a.idle, b.idle)
+        check(f"processors[{pid}].completion_time",
+              a.completion_time, b.completion_time)
+
+    for pid, (a, b) in enumerate(zip(actual.caches, expected.caches)):
+        check(f"caches[{pid}].hits", a.hits, b.hits)
+        for kind in MissKind:
+            check(f"caches[{pid}].misses[{kind.value}]",
+                  a.misses[kind], b.misses[kind])
+
+    check("interconnect.memory_fetches",
+          actual.interconnect.memory_fetches,
+          expected.interconnect.memory_fetches)
+    check("interconnect.invalidations_sent",
+          actual.interconnect.invalidations_sent,
+          expected.interconnect.invalidations_sent)
+
+    if not np.array_equal(actual.pairwise_coherence, expected.pairwise_coherence):
+        diffs.append(
+            "pairwise_coherence:\n"
+            f"  {actual_name}=\n{actual.pairwise_coherence}\n"
+            f"  {expected_name}=\n{expected.pairwise_coherence}"
+        )
+    return diffs
+
+
+def assert_equivalent(
+    actual: SimulationResult,
+    expected: SimulationResult,
+    *,
+    actual_name: str = "simulator",
+    expected_name: str = "oracle",
+    context: str = "",
+) -> None:
+    """Raise ``AssertionError`` listing every differing metric."""
+    diffs = diff_results(actual, expected,
+                         actual_name=actual_name, expected_name=expected_name)
+    if diffs:
+        where = f" ({context})" if context else ""
+        raise AssertionError(
+            f"{actual_name} and {expected_name} disagree{where} on "
+            f"{len(diffs)} metric(s):\n  " + "\n  ".join(diffs)
+        )

@@ -45,6 +45,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--contexts", type=int, default=None,
                         help="hardware contexts per processor "
                              "(default: the map's largest cluster)")
+    parser.add_argument("--check-invariants", action="store_true",
+                        help="audit the run with the oracle's conservation "
+                             "laws (cycle accounting, miss bookkeeping, "
+                             "directory/cache sync); see docs/VALIDATION.md")
+    parser.add_argument("--oracle", action="store_true",
+                        help="also replay the run on the slow reference "
+                             "interpreter and fail unless every metric "
+                             "matches exactly")
     parser.add_argument("--quiet", action="store_true",
                         help="print only the execution time")
     return parser
@@ -71,7 +79,19 @@ def main(argv: list[str] | None = None) -> int:
         memory_latency_cycles=args.latency,
         context_switch_cycles=args.switch_cost,
     )
-    result = simulate(traces, placement, config)
+    result = simulate(traces, placement, config,
+                      check_invariants=args.check_invariants)
+    if args.oracle:
+        from repro.oracle import assert_equivalent, reference_simulate
+
+        expected = reference_simulate(traces, placement, config)
+        try:
+            assert_equivalent(result, expected, context=traces.name)
+        except AssertionError as exc:
+            print(f"ORACLE MISMATCH: {exc}", file=sys.stderr)
+            return 1
+        if not args.quiet:
+            print("oracle: reference interpreter agrees on every metric")
 
     if args.quiet:
         print(result.execution_time)

@@ -18,7 +18,14 @@ __all__ = [
 
 
 def check_positive(name: str, value: float, *, allow_zero: bool = False) -> None:
-    """Raise ``ValueError`` unless ``value`` is positive (or >= 0 if allowed)."""
+    """Raise ``ValueError`` unless ``value`` is positive (or >= 0 if allowed).
+
+    NaN is rejected explicitly: every ordered comparison against NaN is
+    false, so the sign checks alone would silently accept it and the bad
+    value would surface far from the parameter that carried it.
+    """
+    if value != value:  # NaN is the only value unequal to itself
+        raise ValueError(f"{name} must be a number, got {value!r}")
     if allow_zero:
         if value < 0:
             raise ValueError(f"{name} must be >= 0, got {value!r}")
@@ -43,6 +50,14 @@ def check_power_of_two(name: str, value: int) -> None:
 
 
 def check_range(name: str, value: float, low: float, high: float) -> None:
-    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    """Raise ``ValueError`` unless ``low <= value <= high``.
+
+    An inverted bound is a bug at the *call site*, not bad user input, and
+    is reported as such rather than as an unsatisfiable value error.
+    """
+    if low > high:
+        raise ValueError(
+            f"invalid bounds for {name}: low {low!r} exceeds high {high!r}"
+        )
     if not (low <= value <= high):
         raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")

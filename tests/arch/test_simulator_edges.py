@@ -1,0 +1,133 @@
+"""Edge-of-the-envelope coverage for :func:`repro.arch.simulator.simulate`.
+
+The degenerate shapes a sweep can produce — a single thread, threads with
+no references at all, a machine saturated to exactly one thread per
+hardware context, everything piled on one processor — must either run to
+a clean, fully-accounted result or fail eagerly with a named
+``ValueError``, never hang or corrupt statistics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import ArchConfig
+from repro.arch.simulator import simulate
+from repro.arch.stats import MissKind
+from repro.placement.base import PlacementMap
+from repro.trace.stream import ThreadTrace, TraceSet
+
+
+def trace(tid, refs):
+    gaps = np.array([g for g, _, _ in refs], np.int64)
+    addrs = np.array([a for _, a, _ in refs], np.int64)
+    writes = np.array([w for _, _, w in refs], bool)
+    return ThreadTrace(tid, gaps, addrs, writes)
+
+
+def empty_thread(tid):
+    return trace(tid, [])
+
+
+class TestSingleThread:
+    def test_single_thread_single_processor(self):
+        app = TraceSet("solo", [trace(0, [(0, 0, False), (2, 8, True),
+                                          (1, 0, False)])])
+        result = simulate(app, PlacementMap([0], 1),
+                          ArchConfig(1, 1, cache_words=64))
+        assert result.total_refs == 3
+        proc = result.processors[0]
+        assert result.execution_time == proc.completion_time
+        assert proc.busy + proc.switching + proc.idle == proc.completion_time
+        # One context: nothing to switch to.
+        assert proc.switching == 0
+        assert result.caches[0].total_accesses == 3
+
+    def test_single_thread_leaves_other_processors_untouched(self):
+        """A 4-processor machine running one thread: the three empty
+        processors finish instantly with zeroed statistics."""
+        app = TraceSet("solo", [trace(0, [(0, 0, False), (0, 8, False)])])
+        result = simulate(app, PlacementMap([2], 4),
+                          ArchConfig(4, 1, cache_words=64))
+        for pid, proc in enumerate(result.processors):
+            if pid != 2:
+                assert (proc.busy, proc.switching, proc.idle,
+                        proc.completion_time) == (0, 0, 0, 0)
+                assert result.caches[pid].total_accesses == 0
+        assert result.execution_time == result.processors[2].completion_time
+        assert result.interconnect.invalidations_sent == 0
+        assert not result.pairwise_coherence.any()
+
+
+class TestEmptyTraces:
+    def test_all_threads_empty(self):
+        """A trace stream with zero references is a legal (instantly
+        finished) simulation, not an error."""
+        app = TraceSet("nothing", [empty_thread(0), empty_thread(1)])
+        result = simulate(app, PlacementMap([0, 1], 2),
+                          ArchConfig(2, 1, cache_words=64))
+        assert result.execution_time == 0
+        assert result.total_refs == 0
+        assert result.cache_totals.total_accesses == 0
+        assert result.interconnect.total_operations == 0
+        for proc in result.processors:
+            assert (proc.busy, proc.switching, proc.idle) == (0, 0, 0)
+
+    def test_empty_thread_among_busy_ones(self):
+        """An empty thread occupies a context but contributes no work."""
+        app = TraceSet("mixed", [empty_thread(0),
+                                 trace(1, [(0, 0, False), (0, 4, False)])])
+        result = simulate(app, PlacementMap([0, 0], 1),
+                          ArchConfig(1, 2, cache_words=64))
+        assert result.total_refs == 2
+        assert result.caches[0].total_accesses == 2
+        proc = result.processors[0]
+        assert proc.busy + proc.switching + proc.idle == proc.completion_time
+
+    def test_empty_trace_set_is_rejected(self):
+        with pytest.raises(ValueError, match="threads must not be empty"):
+            TraceSet("none", [])
+
+
+class TestContextSaturation:
+    def test_threads_equal_contexts_runs_clean(self):
+        """Exactly one thread per hardware context — the paper's loaded
+        machine — is legal and fully accounted."""
+        threads = [trace(t, [(0, 16 * t, False), (1, 16 * t + 4, True)])
+                   for t in range(4)]
+        app = TraceSet("full", threads)
+        result = simulate(app, PlacementMap([0, 0, 0, 0], 1),
+                          ArchConfig(1, 4, cache_words=64))
+        assert result.total_refs == 8
+        proc = result.processors[0]
+        assert proc.busy + proc.switching + proc.idle == proc.completion_time
+
+    def test_one_thread_over_contexts_is_rejected(self):
+        threads = [trace(t, [(0, 16 * t, False)]) for t in range(5)]
+        app = TraceSet("overfull", threads)
+        with pytest.raises(ValueError, match="hardware contexts"):
+            simulate(app, PlacementMap([0] * 5, 1),
+                     ArchConfig(1, 4, cache_words=64))
+
+
+class TestOneProcessorPlacement:
+    def test_no_interconnect_traffic_on_one_processor(self):
+        """Write sharing on a single processor is resolved entirely in
+        the local cache: zero invalidations, zero pairwise coherence."""
+        threads = [trace(0, [(0, 0, True), (0, 4, False)]),
+                   trace(1, [(0, 0, False), (0, 4, True)])]
+        app = TraceSet("colocated", threads)
+        result = simulate(app, PlacementMap([0, 0], 1),
+                          ArchConfig(1, 2, cache_words=64))
+        assert result.interconnect.invalidations_sent == 0
+        assert result.caches[0].misses[MissKind.INVALIDATION] == 0
+        assert not result.pairwise_coherence.any()
+        # Every miss still fetches from memory exactly once.
+        assert result.interconnect.memory_fetches == \
+            result.caches[0].total_misses
+
+    def test_one_processor_equals_its_own_completion(self):
+        threads = [trace(0, [(3, 0, False)]), trace(1, [(0, 32, True)])]
+        app = TraceSet("pair", threads)
+        result = simulate(app, PlacementMap([0, 0], 1),
+                          ArchConfig(1, 2, cache_words=64))
+        assert result.execution_time == result.processors[0].completion_time

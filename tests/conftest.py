@@ -1,0 +1,26 @@
+"""Top-level test configuration.
+
+Hypothesis settings profiles must be registered here — the plugin resolves
+``--hypothesis-profile`` at session start, before per-directory conftests
+load.  The default profile keeps local runs fast and exploratory; CI runs
+the oracle marker suite under ``oracle-ci``
+(``pytest -m oracle --hypothesis-profile=oracle-ci``): derandomized — a
+fixed seed, so a red build is reproducible — with no per-example deadline
+so a loaded CI worker cannot flake the suite.
+
+Hypothesis ships with the test extras, not the runtime dependencies, so
+its absence only disables the profiles (the oracle suite itself is skipped
+by ``tests/oracle/conftest.py``).
+"""
+
+try:
+    from hypothesis import HealthCheck, settings
+except ImportError:  # pragma: no cover - test extras not installed
+    pass
+else:
+    settings.register_profile(
+        "oracle-ci",
+        derandomize=True,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )

@@ -1,0 +1,112 @@
+"""A worker crash mid-grid must leave a journal a resume can trust.
+
+The scenario: a four-cell grid on a two-worker pool; the worker serving
+one mid-grid cell dies outright (``os._exit`` — no exception, no cleanup,
+exactly what an OOM kill looks like) on that cell's first attempt.  The
+engine must
+
+* detect the broken pool, rebuild it, and retry the victim cell —
+  recorded in the journal as a ``crash``-kind retry;
+* finish every cell exactly once despite the crash;
+* leave a journal whose completed-set matches the store, so a second run
+  with ``resume=True`` replays *nothing* and returns identical results.
+
+The crash is injected by wrapping the default runner at the module level
+and running the pool under the ``fork`` start method, so the wrapped
+module state propagates into workers.  A sentinel file (path passed
+through the environment, which forked workers inherit) restricts the
+crash to the first attempt; the retry then runs the real simulation.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+import repro.exec.engine as engine_module
+from repro.exec import ExecutionEngine, JobSpec, RunJournal
+from repro.exec.engine import simulate_cell
+from repro.experiments.cache import ResultStore
+from repro.oracle import diff_results
+
+_SENTINEL_VAR = "REPRO_TEST_CRASH_SENTINEL"
+_CRASH_REPLICATE = 1  # mid-grid: neither the first nor the last cell
+
+
+def _crash_once_cell(payload):
+    """Default runner, except one cell hard-kills its worker once."""
+    sentinel = Path(os.environ[_SENTINEL_VAR])
+    if payload["spec"]["replicate"] == _CRASH_REPLICATE and not sentinel.exists():
+        sentinel.touch()
+        os._exit(1)  # simulated hard worker death: no exception, no cleanup
+    return simulate_cell(payload)
+
+
+def _grid(n=4):
+    return [
+        JobSpec(app="Water", algorithm="RANDOM", processors=2,
+                scale=0.001, replicate=r)
+        for r in range(n)
+    ]
+
+
+def _events(journal_path):
+    with open(journal_path) as stream:
+        return [json.loads(line) for line in stream if line.strip()]
+
+
+@pytest.mark.integration
+def test_worker_crash_mid_grid_yields_journal_consistent_resume(
+    tmp_path, monkeypatch
+):
+    monkeypatch.setenv(_SENTINEL_VAR, str(tmp_path / "crashed-once"))
+    # The engine binds the module's `simulate_cell` at construction; the
+    # wrapper keeps the store-compatible default-runner path intact.
+    monkeypatch.setattr(engine_module, "simulate_cell", _crash_once_cell)
+
+    store = ResultStore(tmp_path / "store")
+    journal_path = tmp_path / "journal.jsonl"
+    specs = _grid()
+
+    first = ExecutionEngine(
+        workers=2, mp_context="fork", max_retries=2, backoff=0.0,
+        store=store, journal_path=journal_path,
+    ).run(specs)
+
+    # The crash really happened and was survived.
+    assert (tmp_path / "crashed-once").exists()
+    assert first.ok, [str(f) for f in first.failures]
+    assert set(first.results) == {spec.job_id for spec in specs}
+    events = _events(journal_path)
+    crash_retries = [e for e in events
+                     if e["event"] == "retrying" and e.get("kind") == "crash"]
+    assert crash_retries, "the worker death must be journaled as a crash retry"
+    # Every cell finished exactly once — the rebuilt pool neither lost nor
+    # duplicated work.
+    finished = [e["job"] for e in events if e["event"] == "finished"]
+    assert sorted(finished) == sorted(spec.job_id for spec in specs)
+
+    # The journal's completed-set agrees with the store: that is the
+    # contract resume relies on.
+    completed = RunJournal.completed_jobs(journal_path)
+    assert completed == set(first.results)
+    for spec in specs:
+        assert store.load(spec.store_key) is not None
+
+    second = ExecutionEngine(
+        workers=1, store=store, journal_path=journal_path, resume=True,
+    ).run(specs)
+
+    assert second.ok
+    assert second.summary.resumed == len(specs)
+    assert second.summary.executed == 0
+    resumed_events = [e for e in _events(journal_path)
+                      if e["event"] == "resumed"]
+    assert len(resumed_events) >= len(specs)
+    for spec in specs:
+        mismatch = diff_results(
+            second.result_for(spec), first.result_for(spec),
+            actual_name="resumed", expected_name="crash-run",
+        )
+        assert not mismatch, mismatch

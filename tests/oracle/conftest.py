@@ -1,0 +1,10 @@
+"""The oracle suite requires Hypothesis (a test-extra, not a runtime dep).
+
+Skipping here skips the whole directory when it is missing; the settings
+profiles live in the top-level ``tests/conftest.py`` because the plugin
+resolves ``--hypothesis-profile`` before per-directory conftests load.
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")

@@ -1,0 +1,165 @@
+"""Hypothesis strategies for simulator/oracle differential testing.
+
+The generated universe is deliberately tiny — a handful of threads, a few
+dozen references, a small block space — so that the address space is
+*dense*: random threads collide in cache sets, share blocks, write-share
+blocks and invalidate each other constantly.  Small worlds find
+classification and coherence bugs orders of magnitude faster than
+realistic workloads, where interesting interleavings are rare.
+
+Configurations intentionally include the degenerate corners: a one-set
+cache (every block conflicts), zero-cost context switches, a one-reference
+scheduling quantum (maximum interleaving), sequentially-consistent
+write-upgrade stalls, and placements that leave processors empty.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.arch.config import ArchConfig
+from repro.placement.base import PlacementMap
+from repro.trace.stream import ThreadTrace, TraceSet
+
+__all__ = [
+    "make_trace_set",
+    "thread_traces",
+    "trace_sets",
+    "placements_for",
+    "arch_configs_for",
+    "simulation_cases",
+    "partitioned_cases",
+    "QUANTA",
+]
+
+#: Scheduling quanta under test, from maximal interleaving to "one shot".
+QUANTA = (1, 3, 17, 256)
+
+#: Word-address universe.  With 4-word blocks this is at most 24 blocks,
+#: so a 4-16 set cache thrashes and threads share heavily.
+MAX_ADDR = 95
+
+
+def make_trace_set(threads, name: str = "hand-written") -> TraceSet:
+    """A TraceSet from ``[(gaps, addrs, writes), ...]`` literals."""
+    return TraceSet(name, [
+        ThreadTrace(
+            tid,
+            np.asarray(gaps, dtype=np.int64),
+            np.asarray(addrs, dtype=np.int64),
+            np.asarray(writes, dtype=bool),
+        )
+        for tid, (gaps, addrs, writes) in enumerate(threads)
+    ])
+
+
+@st.composite
+def thread_traces(draw, thread_id: int, max_refs: int = 30) -> ThreadTrace:
+    """One thread: up to ``max_refs`` references over a dense block space."""
+    n = draw(st.integers(min_value=0, max_value=max_refs))
+    gaps = draw(st.lists(st.integers(0, 5), min_size=n, max_size=n))
+    addrs = draw(st.lists(st.integers(0, MAX_ADDR), min_size=n, max_size=n))
+    writes = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    return ThreadTrace(
+        thread_id,
+        np.asarray(gaps, dtype=np.int64),
+        np.asarray(addrs, dtype=np.int64),
+        np.asarray(writes, dtype=bool),
+    )
+
+
+@st.composite
+def trace_sets(draw, max_threads: int = 5, max_refs: int = 30) -> TraceSet:
+    """A small application: 1-``max_threads`` threads, possibly empty."""
+    num_threads = draw(st.integers(min_value=1, max_value=max_threads))
+    return TraceSet(
+        "generated",
+        [draw(thread_traces(tid, max_refs=max_refs)) for tid in range(num_threads)],
+    )
+
+
+@st.composite
+def placements_for(draw, trace_set: TraceSet, max_processors: int = 4) -> PlacementMap:
+    """Any thread->processor map, including ones with empty processors."""
+    p = draw(st.integers(min_value=1, max_value=max_processors))
+    assignment = draw(
+        st.lists(
+            st.integers(0, p - 1),
+            min_size=trace_set.num_threads,
+            max_size=trace_set.num_threads,
+        )
+    )
+    return PlacementMap(assignment, p)
+
+
+@st.composite
+def arch_configs_for(draw, placement: PlacementMap) -> ArchConfig:
+    """A legal machine for the placement, spanning the geometry corners."""
+    num_sets = draw(st.sampled_from([1, 2, 4, 8, 16]))
+    block_words = draw(st.sampled_from([1, 2, 4]))
+    associativity = draw(st.sampled_from([1, 1, 1, 2]))  # bias: paper's DM
+    return ArchConfig(
+        num_processors=placement.num_processors,
+        contexts_per_processor=max(1, int(placement.cluster_sizes().max())),
+        cache_words=num_sets * block_words * associativity,
+        block_words=block_words,
+        associativity=associativity,
+        hit_cycles=draw(st.sampled_from([1, 2])),
+        memory_latency_cycles=draw(st.sampled_from([3, 11, 50])),
+        context_switch_cycles=draw(st.sampled_from([0, 2, 6])),
+        # ~25% sequentially-consistent machines; the paper's baseline is
+        # the write-buffered (non-stalling) upgrade.
+        write_upgrade_stalls=draw(st.booleans()) and draw(st.booleans()),
+    )
+
+
+@st.composite
+def simulation_cases(draw, max_threads: int = 5, max_refs: int = 30):
+    """One full differential case: (trace_set, placement, config, quantum)."""
+    traces = draw(trace_sets(max_threads=max_threads, max_refs=max_refs))
+    placement = draw(placements_for(traces))
+    config = draw(arch_configs_for(placement))
+    quantum = draw(st.sampled_from(QUANTA))
+    return traces, placement, config, quantum
+
+
+@st.composite
+def partitioned_cases(
+    draw, max_threads: int = 5, max_processors: int = 3, max_refs: int = 25
+):
+    """A case whose processors cannot interact through coherence.
+
+    Each thread draws its addresses from a window private to its assigned
+    processor, so no block is ever resident in two caches, the directory
+    never sends an invalidation, and every processor's timeline is
+    independent of the others.  Several metamorphic relations (processor
+    relabeling, quantum-size changes) are *exact* theorems only in this
+    regime — the global quantum interleaving breaks ties by processor id,
+    which coherence-coupled runs can observe.
+    """
+    num_threads = draw(st.integers(min_value=1, max_value=max_threads))
+    p = draw(st.integers(min_value=1, max_value=max_processors))
+    assignment = draw(
+        st.lists(st.integers(0, p - 1), min_size=num_threads, max_size=num_threads)
+    )
+    threads = []
+    for tid in range(num_threads):
+        base = assignment[tid] * 4096  # disjoint per-processor address window
+        n = draw(st.integers(min_value=0, max_value=max_refs))
+        gaps = draw(st.lists(st.integers(0, 5), min_size=n, max_size=n))
+        addrs = draw(
+            st.lists(st.integers(base, base + MAX_ADDR), min_size=n, max_size=n)
+        )
+        writes = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+        threads.append(ThreadTrace(
+            tid,
+            np.asarray(gaps, dtype=np.int64),
+            np.asarray(addrs, dtype=np.int64),
+            np.asarray(writes, dtype=bool),
+        ))
+    traces = TraceSet("partitioned", threads)
+    placement = PlacementMap(assignment, p)
+    config = draw(arch_configs_for(placement))
+    quantum = draw(st.sampled_from(QUANTA))
+    return traces, placement, config, quantum

@@ -1,0 +1,67 @@
+"""The oracle's core guarantee: simulator ≡ reference interpreter.
+
+Every generated (trace set, placement, configuration, quantum) case is
+replayed by both the production simulator and the slow reference
+interpreter, and the two must agree *exactly* — execution time, the
+four-way miss decomposition, per-processor cycle accounting, interconnect
+traffic and the pairwise coherence matrix.  Across the tests in this
+module well over 200 cases are generated per run, the floor the
+reproduction's acceptance criteria pin.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.arch.simulator import simulate
+from repro.oracle import assert_equivalent, diff_results, reference_simulate
+
+from tests.oracle.strategies import simulation_cases
+
+pytestmark = pytest.mark.oracle
+
+
+class TestDifferential:
+    @settings(max_examples=200, deadline=None)
+    @given(case=simulation_cases())
+    def test_simulator_matches_oracle_exactly(self, case):
+        traces, placement, config, quantum = case
+        production = simulate(traces, placement, config, quantum_refs=quantum)
+        reference = reference_simulate(traces, placement, config,
+                                       quantum_refs=quantum)
+        assert_equivalent(
+            production, reference,
+            context=f"{traces.num_threads}t/{placement.num_processors}p/"
+                    f"q{quantum}/{config.num_sets}s",
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(case=simulation_cases(max_threads=6, max_refs=50))
+    def test_differential_with_invariants_enabled(self, case):
+        """The invariant checker never fires on a valid run, and checking
+        does not perturb the result."""
+        traces, placement, config, quantum = case
+        checked = simulate(traces, placement, config, quantum_refs=quantum,
+                           check_invariants=True)
+        unchecked = simulate(traces, placement, config, quantum_refs=quantum)
+        assert not diff_results(checked, unchecked,
+                                actual_name="checked", expected_name="unchecked")
+        reference = reference_simulate(traces, placement, config,
+                                       quantum_refs=quantum)
+        assert_equivalent(checked, reference)
+
+
+class TestDifferentialDerivedMetrics:
+    @settings(max_examples=40, deadline=None)
+    @given(case=simulation_cases())
+    def test_derived_metrics_agree(self, case):
+        """The report-facing derived quantities match too (they are pure
+        functions of the raw metrics, so this guards the accessors)."""
+        traces, placement, config, quantum = case
+        production = simulate(traces, placement, config, quantum_refs=quantum)
+        reference = reference_simulate(traces, placement, config,
+                                       quantum_refs=quantum)
+        assert production.miss_breakdown() == reference.miss_breakdown()
+        assert production.compulsory_plus_invalidation == \
+            reference.compulsory_plus_invalidation
+        assert production.coherence_traffic == reference.coherence_traffic
+        assert production.cache_totals.hits == reference.cache_totals.hits

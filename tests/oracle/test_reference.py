@@ -1,0 +1,187 @@
+"""Hand-computed executions pin the reference interpreter to the paper.
+
+The differential suite proves simulator ≡ oracle; these tests anchor the
+*pair* to ground truth.  Each scenario is small enough to replay with
+pencil and paper, and the expected numbers in the assertions were derived
+that way — from the architectural rules (§3.2: cost = gap + hit cycles
+charged before the cache access; a miss stalls the context for the memory
+latency; a context switch drains the pipeline only when the processor
+actually changes context) — not by running either implementation.
+"""
+
+import pytest
+
+from repro.arch.config import ArchConfig
+from repro.arch.simulator import simulate
+from repro.arch.stats import MissKind
+from repro.oracle import assert_equivalent, reference_simulate
+from repro.placement.base import PlacementMap
+from tests.oracle.strategies import make_trace_set
+
+pytestmark = pytest.mark.oracle
+
+#: Both engines replay each scenario; every assertion runs against both.
+ENGINES = [simulate, reference_simulate]
+
+
+@pytest.mark.parametrize("run", ENGINES, ids=["simulator", "oracle"])
+class TestSingleThread:
+    def test_miss_hit_timeline(self, run):
+        """One thread, three references, final reference hits.
+
+        4-word direct-mapped cache (1-word blocks), hit=1, latency=5:
+
+        * ref 0, block 0: busy 1 cycle (t=1), compulsory miss, memory
+          returns at t=6 — the only context, so 5 idle cycles;
+        * ref 1, block 1: busy 1 (t=7), compulsory miss, idle 5 (t=12);
+        * ref 2, block 0: busy 1 (t=13), hit (block 0 still cached —
+          blocks 0 and 1 map to different sets), thread done.
+        """
+        traces = make_trace_set([([0, 0, 0], [0, 1, 0], [False] * 3)])
+        config = ArchConfig(
+            num_processors=1, contexts_per_processor=1,
+            cache_words=4, block_words=1,
+            hit_cycles=1, memory_latency_cycles=5, context_switch_cycles=2,
+        )
+        result = run(traces, PlacementMap([0], 1), config)
+        assert result.execution_time == 13
+        proc = result.processors[0]
+        assert (proc.busy, proc.switching, proc.idle) == (3, 0, 10)
+        assert proc.completion_time == 13
+        cache = result.caches[0]
+        assert cache.hits == 1
+        assert cache.misses[MissKind.COMPULSORY] == 2
+        assert result.interconnect.memory_fetches == 2
+        assert result.interconnect.invalidations_sent == 0
+
+    def test_intra_thread_conflict_and_final_ref_stall(self, run):
+        """A one-set cache turns a revisit into an intra-thread conflict
+        miss, and a thread whose *last* reference misses completes only
+        when memory returns.
+
+        Blocks 0, 4, 0 all map to the single set: ref 0 compulsory
+        (t=1, idle to 6), ref 1 compulsory + evicts block 0 (t=7, idle
+        to 12), ref 2 intra-thread conflict (t=13) — the context stalls
+        on its final reference and finishes when the line arrives at 18.
+        """
+        traces = make_trace_set([([0, 0, 0], [0, 4, 0], [False] * 3)])
+        config = ArchConfig(
+            num_processors=1, contexts_per_processor=1,
+            cache_words=1, block_words=1,
+            hit_cycles=1, memory_latency_cycles=5, context_switch_cycles=2,
+        )
+        result = run(traces, PlacementMap([0], 1), config)
+        assert result.execution_time == 18
+        proc = result.processors[0]
+        assert (proc.busy, proc.switching, proc.idle) == (3, 0, 15)
+        cache = result.caches[0]
+        assert cache.hits == 0
+        assert cache.misses[MissKind.COMPULSORY] == 2
+        assert cache.misses[MissKind.INTRA_THREAD_CONFLICT] == 1
+
+
+@pytest.mark.parametrize("run", ENGINES, ids=["simulator", "oracle"])
+class TestContextSwitching:
+    def test_two_contexts_interleave(self, run):
+        """Multithreading hides latency by switching, paying the drain.
+
+        Two one-reference threads on one 2-context processor; blocks 0
+        and 1 do not conflict; switch=2, latency=5:
+
+        * ctx 0: busy 1 (t=1), compulsory miss, ready at 6; ctx 1 is
+          runnable, so switch (t=3);
+        * ctx 1: busy 1 (t=4), compulsory miss, ready at 9; ctx 0 not
+          ready until 6 — idle 2 (t=6), switch back (t=8);
+        * ctx 0 resumed past its final reference: done;
+        * ctx 1 ready at 9 — idle 1, switch (t=11), done.
+
+        Every cycle is accounted: 2 busy + 6 switching + 3 idle = 11.
+        """
+        traces = make_trace_set([([0], [0], [False]), ([0], [1], [False])])
+        config = ArchConfig(
+            num_processors=1, contexts_per_processor=2,
+            cache_words=4, block_words=1,
+            hit_cycles=1, memory_latency_cycles=5, context_switch_cycles=2,
+        )
+        result = run(traces, PlacementMap([0, 0], 1), config)
+        assert result.execution_time == 11
+        proc = result.processors[0]
+        assert (proc.busy, proc.switching, proc.idle) == (2, 6, 3)
+        cache = result.caches[0]
+        assert cache.hits == 0
+        assert cache.misses[MissKind.COMPULSORY] == 2
+
+
+@pytest.mark.parametrize("run", ENGINES, ids=["simulator", "oracle"])
+class TestCoherence:
+    def test_write_invalidation_across_processors(self, run):
+        """A remote write invalidates, and the later re-read is an
+        invalidation miss (the paper's sharing-miss mechanism, §3.2).
+
+        Thread 0 (processor 0) reads block 0 at t=1, then re-reads it
+        much later; thread 1 (processor 1) writes block 0 at its t=1 —
+        after processor 0's first read in the global order (equal-time
+        scheduling runs the lower processor id first), so:
+
+        * t0 ref 0: compulsory miss;
+        * t1 ref 0: compulsory miss; the write invalidates processor 0's
+          copy (1 invalidation sent, attributed pairwise 1 -> 0);
+        * t0 ref 1: invalidation miss — its line was invalidated — and
+          the re-fetch is sourced from the writer's cache;
+        * t1 ref 1: hit (its line is the valid, exclusive copy).
+        """
+        traces = make_trace_set([
+            ([0, 20], [0, 0], [False, False]),
+            ([0, 0], [0, 0], [True, False]),
+        ])
+        config = ArchConfig(
+            num_processors=2, contexts_per_processor=1,
+            cache_words=4, block_words=1,
+            hit_cycles=1, memory_latency_cycles=3, context_switch_cycles=2,
+        )
+        result = run(traces, PlacementMap([0, 1], 2), config,
+                     quantum_refs=1)
+        breakdown = result.miss_breakdown()
+        assert breakdown[MissKind.COMPULSORY] == 2
+        assert breakdown[MissKind.INVALIDATION] == 1
+        assert breakdown[MissKind.INTRA_THREAD_CONFLICT] == 0
+        assert breakdown[MissKind.INTER_THREAD_CONFLICT] == 0
+        assert result.cache_totals.hits == 1
+        assert result.interconnect.invalidations_sent == 1
+        assert result.interconnect.memory_fetches == 3
+        # Coherence events are attributed to processor pairs, never to a
+        # processor and itself.
+        assert result.pairwise_coherence[1, 0] >= 1
+        assert result.pairwise_coherence[0, 1] >= 1
+        assert result.pairwise_coherence[0, 0] == 0
+        assert result.pairwise_coherence[1, 1] == 0
+
+
+def test_engines_agree_on_every_scenario():
+    """The two engines agree bit-for-bit on all hand-computed scenarios
+    (belt and braces: each scenario already asserts both separately)."""
+    cases = [
+        (make_trace_set([([0, 0, 0], [0, 1, 0], [False] * 3)]),
+         PlacementMap([0], 1),
+         ArchConfig(num_processors=1, contexts_per_processor=1,
+                    cache_words=4, block_words=1, hit_cycles=1,
+                    memory_latency_cycles=5, context_switch_cycles=2), 256),
+        (make_trace_set([([0], [0], [False]), ([0], [1], [False])]),
+         PlacementMap([0, 0], 1),
+         ArchConfig(num_processors=1, contexts_per_processor=2,
+                    cache_words=4, block_words=1, hit_cycles=1,
+                    memory_latency_cycles=5, context_switch_cycles=2), 256),
+        (make_trace_set([([0, 20], [0, 0], [False, False]),
+                         ([0, 0], [0, 0], [True, False])]),
+         PlacementMap([0, 1], 2),
+         ArchConfig(num_processors=2, contexts_per_processor=1,
+                    cache_words=4, block_words=1, hit_cycles=1,
+                    memory_latency_cycles=3, context_switch_cycles=2), 1),
+    ]
+    for traces, placement, config, quantum in cases:
+        assert_equivalent(
+            simulate(traces, placement, config, quantum_refs=quantum),
+            reference_simulate(traces, placement, config,
+                               quantum_refs=quantum),
+            context=traces.name,
+        )

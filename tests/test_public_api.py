@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.workload",
     "repro.placement",
     "repro.arch",
+    "repro.oracle",
     "repro.experiments",
     "repro.tools",
 ]
@@ -40,6 +41,8 @@ MODULES = [
     "repro.arch.directory", "repro.arch.processor", "repro.arch.simulator",
     "repro.arch.thrashing", "repro.arch.models", "repro.arch.markov",
     "repro.arch.contention",
+    "repro.oracle.reference", "repro.oracle.invariants",
+    "repro.oracle.compare",
     "repro.experiments.runner", "repro.experiments.tables",
     "repro.experiments.figures", "repro.experiments.report",
     "repro.experiments.ablations", "repro.experiments.stability",

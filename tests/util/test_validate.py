@@ -1,4 +1,12 @@
-"""Tests for validation helpers."""
+"""Tests for validation helpers.
+
+Every validator is covered for: acceptance of legal values (including the
+boundary), rejection of illegal ones, and — because these errors are what
+a user actually sees when a config is wrong — the *message*, which must
+name the offending parameter and echo the offending value.
+"""
+
+import math
 
 import pytest
 
@@ -11,26 +19,47 @@ from repro.util.validate import (
 
 
 class TestCheckPositive:
-    def test_accepts_positive(self):
-        check_positive("x", 3)
+    @pytest.mark.parametrize("value", [1, 3, 0.25, 1e-9, math.inf])
+    def test_accepts_positive(self, value):
+        check_positive("x", value)
 
     def test_rejects_zero(self):
         with pytest.raises(ValueError, match="x"):
             check_positive("x", 0)
+
+    @pytest.mark.parametrize("value", [-1, -0.5, -math.inf])
+    def test_rejects_negative(self, value):
+        with pytest.raises(ValueError):
+            check_positive("x", value)
 
     def test_allow_zero(self):
         check_positive("x", 0, allow_zero=True)
         with pytest.raises(ValueError):
             check_positive("x", -1, allow_zero=True)
 
+    def test_message_names_parameter_and_value(self):
+        with pytest.raises(ValueError, match=r"quantum_refs must be > 0, got -3"):
+            check_positive("quantum_refs", -3)
+        with pytest.raises(ValueError, match=r"scale must be >= 0, got -0\.5"):
+            check_positive("scale", -0.5, allow_zero=True)
+
+    @pytest.mark.parametrize("allow_zero", [False, True])
+    def test_rejects_nan(self, allow_zero):
+        # NaN compares false against everything, so a sign test alone
+        # would silently accept it; it must be rejected by name.
+        with pytest.raises(ValueError, match="latency.*nan"):
+            check_positive("latency", math.nan, allow_zero=allow_zero)
+
 
 class TestCheckNonEmpty:
-    def test_accepts_non_empty(self):
-        check_non_empty("xs", [1])
+    @pytest.mark.parametrize("value", [[1], (0,), "a", {"k": 1}, {3}])
+    def test_accepts_non_empty(self, value):
+        check_non_empty("xs", value)
 
-    def test_rejects_empty(self):
-        with pytest.raises(ValueError, match="xs"):
-            check_non_empty("xs", [])
+    @pytest.mark.parametrize("value", [[], (), "", {}, set()])
+    def test_rejects_empty(self, value):
+        with pytest.raises(ValueError, match="xs must not be empty"):
+            check_non_empty("xs", value)
 
 
 class TestCheckPowerOfTwo:
@@ -38,17 +67,39 @@ class TestCheckPowerOfTwo:
     def test_accepts_powers(self, value):
         check_power_of_two("x", value)
 
-    @pytest.mark.parametrize("value", [0, -2, 3, 6, 1000])
+    @pytest.mark.parametrize("value", [0, -2, -4, 3, 6, 12, 1000])
     def test_rejects_non_powers(self, value):
         with pytest.raises(ValueError):
             check_power_of_two("x", value)
 
+    def test_message_names_parameter_and_value(self):
+        with pytest.raises(
+            ValueError, match=r"num_sets must be a positive power of two, got 48"
+        ):
+            check_power_of_two("num_sets", 48)
+
 
 class TestCheckRange:
-    def test_accepts_bounds(self):
+    def test_accepts_bounds_inclusive(self):
         check_range("x", 0.0, 0.0, 1.0)
+        check_range("x", 0.5, 0.0, 1.0)
         check_range("x", 1.0, 0.0, 1.0)
 
-    def test_rejects_outside(self):
+    @pytest.mark.parametrize("value", [-0.01, 1.5, math.inf, -math.inf])
+    def test_rejects_outside(self, value):
         with pytest.raises(ValueError, match="x"):
-            check_range("x", 1.5, 0.0, 1.0)
+            check_range("x", value, 0.0, 1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="nan"):
+            check_range("x", math.nan, 0.0, 1.0)
+
+    def test_message_names_parameter_value_and_bounds(self):
+        with pytest.raises(
+            ValueError, match=r"tolerance must be in \[0\.0, 1\.0\], got 2\.5"
+        ):
+            check_range("tolerance", 2.5, 0.0, 1.0)
+
+    def test_inverted_bounds_are_a_caller_bug(self):
+        with pytest.raises(ValueError, match="invalid bounds for x"):
+            check_range("x", 0.5, 1.0, 0.0)
