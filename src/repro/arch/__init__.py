@@ -17,8 +17,13 @@ from repro.arch.cache import DirectMappedCache, SetAssociativeCache, make_cache
 from repro.arch.config import ArchConfig
 from repro.arch.contention import ContentionResult, simulate_with_contention
 from repro.arch.directory import Directory
+from repro.arch.kernel import (
+    ArrayDirectMappedCache,
+    FastProcessor,
+    make_fast_cache,
+)
 from repro.arch.processor import HardwareContext, Processor
-from repro.arch.simulator import simulate
+from repro.arch.simulator import ENGINES, simulate
 from repro.arch.markov import MarkovEfficiencyModel
 from repro.arch.models import (
     EfficiencyModel,
@@ -37,6 +42,10 @@ from repro.arch.stats import (
 __all__ = [
     "ArchConfig",
     "simulate",
+    "ENGINES",
+    "FastProcessor",
+    "ArrayDirectMappedCache",
+    "make_fast_cache",
     "MissKind",
     "CacheStats",
     "ProcessorStats",

@@ -39,7 +39,6 @@ class DirectMappedCache:
         self.num_sets = config.num_sets
         self._mask = self.num_sets - 1
         self._line_block: list[int] = [-1] * self.num_sets
-        self._line_thread: list[int] = [-1] * self.num_sets
         self._seen: set[int] = set()
         self._invalidated_by: dict[int, int] = {}
         self._evicted_by: dict[int, int] = {}
@@ -86,7 +85,6 @@ class DirectMappedCache:
         if evicted != -1:
             self._evicted_by[evicted] = thread_id
         self._line_block[index] = block
-        self._line_thread[index] = thread_id
         return kind, (evicted if evicted != -1 else None), invalidator
 
     def invalidate(self, block: int, by_processor: int) -> bool:
@@ -95,7 +93,6 @@ class DirectMappedCache:
         if self._line_block[index] != block:
             return False
         self._line_block[index] = -1
-        self._line_thread[index] = -1
         self._invalidated_by[block] = by_processor
         return True
 
@@ -115,8 +112,10 @@ class SetAssociativeCache:
         self.num_sets = config.num_sets
         self.ways = config.associativity
         self._mask = self.num_sets - 1
-        # Per set: list of (block, thread) tuples, MRU first.
-        self._sets: list[list[tuple[int, int]]] = [[] for _ in range(self.num_sets)]
+        # Per set: list of resident block numbers, MRU first.  (The
+        # classifier needs the *evicting* thread, recorded in
+        # ``_evicted_by`` at eviction time — no per-line thread slot.)
+        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
         self._seen: set[int] = set()
         self._invalidated_by: dict[int, int] = {}
         self._evicted_by: dict[int, int] = {}
@@ -124,14 +123,14 @@ class SetAssociativeCache:
 
     def contains(self, block: int) -> bool:
         """Whether the block is currently resident."""
-        return any(b == block for b, _ in self._sets[block & self._mask])
+        return block in self._sets[block & self._mask]
 
     def access(
         self, block: int, thread_id: int
     ) -> tuple[MissKind | None, int | None, int | None]:
         """One reference; see :meth:`DirectMappedCache.access`."""
         lines = self._sets[block & self._mask]
-        for position, (resident, _) in enumerate(lines):
+        for position, resident in enumerate(lines):
             if resident == block:
                 # LRU update: move to MRU position.
                 lines.insert(0, lines.pop(position))
@@ -156,15 +155,15 @@ class SetAssociativeCache:
 
         evicted = None
         if len(lines) >= self.ways:
-            evicted, _ = lines.pop()
+            evicted = lines.pop()
             self._evicted_by[evicted] = thread_id
-        lines.insert(0, (block, thread_id))
+        lines.insert(0, block)
         return kind, evicted, invalidator
 
     def invalidate(self, block: int, by_processor: int) -> bool:
         """Coherence invalidation; True if the block was resident."""
         lines = self._sets[block & self._mask]
-        for position, (resident, _) in enumerate(lines):
+        for position, resident in enumerate(lines):
             if resident == block:
                 lines.pop(position)
                 self._invalidated_by[block] = by_processor
@@ -177,7 +176,7 @@ class SetAssociativeCache:
 
     def resident_blocks(self) -> set[int]:
         """All blocks currently resident (for invariant checks)."""
-        return {b for lines in self._sets for b, _ in lines}
+        return {b for lines in self._sets for b in lines}
 
 
 def make_cache(config: ArchConfig):

@@ -83,10 +83,19 @@ class Directory:
         return sent
 
     def evict(self, block: int, processor: int) -> None:
-        """A cache silently dropped its copy."""
+        """A cache silently dropped its copy.
+
+        Entries whose sharer set empties are pruned outright: long sweeps
+        over large address spaces would otherwise grow the directory by
+        one empty set per distinct block ever cached.  ``sharers_of`` and
+        ``check_invariants`` treat a missing entry and an empty set
+        identically, so pruning is unobservable.
+        """
         sharers = self._sharers.get(block)
         if sharers is not None:
             sharers.discard(processor)
+            if not sharers:
+                del self._sharers[block]
 
     def _invalidate_others(self, block: int, writer: int, sharers: set[int]) -> None:
         for holder in sharers:

@@ -29,7 +29,11 @@ from repro.placement.base import PlacementMap
 from repro.trace.stream import TraceSet
 from repro.util.validate import check_positive
 
-__all__ = ["simulate"]
+__all__ = ["simulate", "ENGINES"]
+
+
+#: Replay engines :func:`simulate` can dispatch to.
+ENGINES = ("classic", "fast")
 
 
 def simulate(
@@ -39,6 +43,7 @@ def simulate(
     *,
     quantum_refs: int = 256,
     check_invariants: bool = False,
+    engine: str = "classic",
 ) -> SimulationResult:
     """Simulate one application under one placement and configuration.
 
@@ -55,6 +60,11 @@ def simulate(
             (conservation laws after every quantum and at completion; see
             ``docs/VALIDATION.md``).  Off by default — the default path
             pays no checking cost.
+        engine: ``"classic"`` replays one reference at a time;
+            ``"fast"`` uses the run-length-compressed kernel in
+            :mod:`repro.arch.kernel`.  The two are bit-for-bit
+            equivalent on every metric (enforced by ``tests/oracle/``);
+            see ``docs/PERFORMANCE.md``.
 
     Returns:
         The run's :class:`~repro.arch.stats.SimulationResult`.
@@ -62,11 +72,15 @@ def simulate(
     Raises:
         ValueError: On any placement/configuration mismatch (wrong thread
             count, wrong processor count, more threads on a processor than
-            hardware contexts).
+            hardware contexts) or an unknown ``engine``.
         repro.oracle.invariants.InvariantViolation: When
             ``check_invariants`` is set and a conservation law fails.
     """
     check_positive("quantum_refs", quantum_refs)
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}: expected one of {ENGINES}"
+        )
     if placement.num_threads != trace_set.num_threads:
         raise ValueError(
             f"placement covers {placement.num_threads} threads, trace set has "
@@ -80,10 +94,22 @@ def simulate(
 
     p = config.num_processors
     pairwise = np.zeros((p, p), dtype=np.int64)
-    caches = [make_cache(config) for _ in range(p)]
+    if engine == "fast":
+        from repro.arch.kernel import (
+            FastProcessor,
+            make_fast_cache,
+            max_block_of,
+        )
+
+        max_block = max_block_of(trace_set, config.block_bits)
+        caches = [make_fast_cache(config, max_block) for _ in range(p)]
+        processor_cls = FastProcessor
+    else:
+        caches = [make_cache(config) for _ in range(p)]
+        processor_cls = Processor
     directory = Directory(caches, pairwise)
     processors = [
-        Processor(
+        processor_cls(
             pid,
             config,
             caches[pid],

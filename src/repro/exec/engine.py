@@ -31,6 +31,7 @@ never inherits a parent process's memoized ``TraceSet``s: the default
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing as mp
 import os
 import signal
@@ -67,13 +68,15 @@ class JobTimeout(Exception):
 _SUITES: dict[tuple, object] = {}
 
 
-def _suite_for(scale: float, seed: int, quantum_refs: int):
+def _suite_for(scale: float, seed: int, quantum_refs: int,
+               engine: str = "classic"):
     from repro.experiments.runner import ExperimentSuite
 
-    key = (scale, seed, quantum_refs)
+    key = (scale, seed, quantum_refs, engine)
     if key not in _SUITES:
         _SUITES[key] = ExperimentSuite(scale=scale, seed=seed,
-                                       quantum_refs=quantum_refs)
+                                       quantum_refs=quantum_refs,
+                                       engine=engine)
     return _SUITES[key]
 
 
@@ -85,7 +88,7 @@ def simulate_cell(payload: dict) -> dict:
     no-pickle serialization discipline.
     """
     spec = JobSpec.from_payload(payload["spec"])
-    suite = _suite_for(spec.scale, spec.seed, spec.quantum_refs)
+    suite = _suite_for(spec.scale, spec.seed, spec.quantum_refs, spec.engine)
     result = suite.run(
         spec.app, spec.algorithm, spec.processors,
         infinite=spec.infinite, associativity=spec.associativity,
@@ -190,7 +193,12 @@ class ExecutionEngine:
         workers: Worker processes; 1 executes inline (no pool).
         timeout: Per-job attempt budget in seconds (None = unbounded).
         max_retries: Re-submissions allowed after a failed attempt.
-        backoff: Base delay before retry ``n`` (``backoff * 2**(n-1)`` s).
+        backoff: Base delay before retry ``n`` (``backoff * 2**(n-1)`` s,
+            capped at ``max_backoff`` and jittered ±25%; see
+            :meth:`_retry_delay`).
+        max_backoff: Hard ceiling on any single retry delay in seconds —
+            without it the exponential grows unboundedly with
+            ``max_retries``.
         store: Persistent :class:`ResultStore`; enables cache-hits,
             resume, and persisting every computed cell.  Requires the
             default runner (it writes ``SimulationResult``s).
@@ -211,6 +219,7 @@ class ExecutionEngine:
         timeout: float | None = None,
         max_retries: int = 2,
         backoff: float = 0.5,
+        max_backoff: float = 30.0,
         store: ResultStore | None = None,
         journal_path=None,
         resume: bool = False,
@@ -224,6 +233,8 @@ class ExecutionEngine:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         if backoff < 0:
             raise ValueError(f"backoff must be >= 0, got {backoff}")
+        if max_backoff < 0:
+            raise ValueError(f"max_backoff must be >= 0, got {max_backoff}")
         if job_runner is not None and store is not None:
             raise ValueError(
                 "a persistent store requires the default simulation runner"
@@ -232,6 +243,7 @@ class ExecutionEngine:
         self.timeout = timeout
         self.max_retries = int(max_retries)
         self.backoff = float(backoff)
+        self.max_backoff = float(max_backoff)
         self.store = store
         self.journal_path = journal_path
         self.resume = bool(resume)
@@ -324,6 +336,25 @@ class ExecutionEngine:
             "delay": delay,
         }
 
+    def _retry_delay(self, job_id: str, attempt: int) -> float:
+        """Delay before re-submitting ``job_id`` after failed ``attempt``.
+
+        Exponential in the attempt number, hard-capped at ``max_backoff``,
+        then jittered to 75–125% of the capped value.  The jitter is
+        deterministic — keyed by (job, attempt) — so retry schedules are
+        reproducible run to run, while a cohort of jobs failing together
+        (a wedged worker, a full disk) still de-synchronizes instead of
+        hammering the pool again in lockstep.
+        """
+        delay = self.backoff * (2 ** (attempt - 1))
+        if delay > self.max_backoff:
+            delay = self.max_backoff
+        if delay <= 0:
+            return 0.0
+        digest = hashlib.sha256(f"{job_id}:{attempt}".encode()).digest()
+        fraction = int.from_bytes(digest[:8], "big") / 2**64
+        return delay * (0.75 + 0.5 * fraction)
+
     def _handle(self, out, payload, journal, results, failures, retry_queue):
         """Fold one attempt's outcome into results/failures/retries."""
         job_id = payload["job"]
@@ -340,7 +371,7 @@ class ExecutionEngine:
                 duration=out.get("duration"),
             )
         elif attempt <= self.max_retries:
-            delay = self.backoff * (2 ** (attempt - 1))
+            delay = self._retry_delay(job_id, attempt)
             journal.record(
                 "retrying", job_id,
                 attempt=attempt, kind=out.get("kind"),

@@ -54,6 +54,12 @@ class JobSpec:
 
     ``app`` and ``algorithm`` are canonicalized on construction (paper
     spelling), so equal cells always compare — and hash — equal.
+
+    ``engine`` selects the replay kernel the worker uses.  It is
+    deliberately *not* part of :attr:`store_key`/:attr:`job_id`: the
+    engines are bit-for-bit equivalent (see ``docs/PERFORMANCE.md``), so a
+    cell computed by either engine is the same result and caches under the
+    same content address.
     """
 
     app: str
@@ -66,10 +72,15 @@ class JobSpec:
     scale: float = DEFAULT_SCALE
     seed: int = 0
     quantum_refs: int = 256
+    engine: str = "classic"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "app", spec_for(self.app).name)
         object.__setattr__(self, "algorithm", self.algorithm.upper())
+        if self.engine not in ("classic", "fast"):
+            raise ValueError(
+                f"unknown engine {self.engine!r}: expected 'classic' or 'fast'"
+            )
 
     @property
     def cell(self) -> tuple:
@@ -173,6 +184,7 @@ def plan_sections(
     seed: int = 0,
     quantum_refs: int = 256,
     random_replicates: int = 3,
+    engine: str = "classic",
 ) -> list[JobSpec]:
     """The deduplicated, deterministically ordered jobs the chosen report
     sections will need (default: all sections).
@@ -180,7 +192,8 @@ def plan_sections(
     Section names outside :data:`SIMULATED_SECTIONS` plan no jobs — their
     cells (if any) are computed sequentially at render time.
     """
-    params = dict(scale=scale, seed=seed, quantum_refs=quantum_refs)
+    params = dict(scale=scale, seed=seed, quantum_refs=quantum_refs,
+                  engine=engine)
     chosen = set(sections) if sections is not None else set(SIMULATED_SECTIONS)
     jobs: list[JobSpec] = []
     for section, app in _FIGURE_APPS.items():
@@ -198,11 +211,13 @@ def plan_full_grid(
     seed: int = 0,
     quantum_refs: int = 256,
     random_replicates: int = 3,
+    engine: str = "classic",
 ) -> list[JobSpec]:
     """The paper's full evaluation universe: every application x algorithm
     x machine cell (plus RANDOM replicates and the Table 5 infinite-cache
     cells) — ~900 simulations at default replication."""
-    params = dict(scale=scale, seed=seed, quantum_refs=quantum_refs)
+    params = dict(scale=scale, seed=seed, quantum_refs=quantum_refs,
+                  engine=engine)
     jobs: list[JobSpec] = []
     for app in application_names():
         jobs += _figure_jobs(app, random_replicates=random_replicates,

@@ -21,6 +21,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.arch.simulator import ENGINES
 from repro.experiments.report import REPORT_SECTIONS, write_report
 from repro.experiments.runner import ExperimentSuite
 from repro.workload.applications import DEFAULT_SCALE
@@ -101,6 +102,13 @@ def build_parser() -> argparse.ArgumentParser:
              "simulations",
     )
     parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="classic",
+        help="replay engine: 'fast' uses the run-length-compressed kernel "
+             "(bit-for-bit identical results; see docs/PERFORMANCE.md)",
+    )
+    parser.add_argument(
         "--check-invariants",
         action="store_true",
         help="audit every simulation with the oracle's runtime conservation "
@@ -154,6 +162,7 @@ def main(argv: list[str] | None = None) -> int:
     suite = ExperimentSuite(
         scale=args.scale, seed=args.seed, quantum_refs=args.quantum_refs,
         cache_dir=args.cache_dir, check_invariants=args.check_invariants,
+        engine=args.engine,
     )
     # Preserve the paper's presentation order regardless of CLI order.
     sections = (

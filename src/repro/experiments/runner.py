@@ -23,7 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.arch.config import ArchConfig
-from repro.arch.simulator import simulate
+from repro.arch.simulator import ENGINES, simulate
 from repro.arch.stats import SimulationResult
 from repro.experiments.cache import ResultStore, cell_store_key
 from repro.placement.algorithms import algorithm_by_name
@@ -68,6 +68,11 @@ class ExperimentSuite:
             (``--check-invariants`` on the CLI).  Results are unchanged;
             cells served from a persistent store or by engine workers were
             not simulated here and are not re-audited.
+        engine: Replay engine for every simulation —
+            ``"classic"`` or ``"fast"`` (see
+            :func:`repro.arch.simulator.simulate`).  The engines are
+            bit-for-bit equivalent, so results, memo keys and the
+            persistent store are engine-agnostic.
     """
 
     def __init__(
@@ -79,15 +84,21 @@ class ExperimentSuite:
         random_replicates: int = 3,
         cache_dir: str | None = None,
         check_invariants: bool = False,
+        engine: str = "classic",
     ) -> None:
         check_positive("scale", scale)
         check_positive("random_replicates", random_replicates)
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}: expected one of {ENGINES}"
+            )
         self.scale = scale
         self.seed = seed
         self.quantum_refs = quantum_refs
         self.random_replicates = random_replicates
         self.cache_dir = cache_dir
         self.check_invariants = bool(check_invariants)
+        self.engine = engine
         self._store = ResultStore(cache_dir) if cache_dir is not None else None
         self._streams = RngStreams(seed).child("experiments")
         self._traces: dict[str, TraceSet] = {}
@@ -112,7 +123,8 @@ class ExperimentSuite:
         return (
             _rebuild_suite,
             (self.scale, self.seed, self.quantum_refs,
-             self.random_replicates, self.cache_dir, self.check_invariants),
+             self.random_replicates, self.cache_dir, self.check_invariants,
+             self.engine),
         )
 
     # ------------------------------------------------------------------
@@ -255,6 +267,7 @@ class ExperimentSuite:
                     self.traces(name), placement, config,
                     quantum_refs=self.quantum_refs,
                     check_invariants=self.check_invariants,
+                    engine=self.engine,
                 )
                 if self._store is not None:
                     self._store.store(store_key, result)
@@ -298,6 +311,7 @@ class ExperimentSuite:
             scale=self.scale, seed=self.seed,
             quantum_refs=self.quantum_refs,
             random_replicates=self.random_replicates,
+            engine=self.engine,
         )
         engine = ExecutionEngine(
             workers=jobs, timeout=timeout, max_retries=max_retries,
@@ -340,10 +354,10 @@ class ExperimentSuite:
 
 
 def _rebuild_suite(scale, seed, quantum_refs, random_replicates, cache_dir,
-                   check_invariants=False):
+                   check_invariants=False, engine="classic"):
     """Unpickling target for :meth:`ExperimentSuite.__reduce__`."""
     return ExperimentSuite(
         scale=scale, seed=seed, quantum_refs=quantum_refs,
         random_replicates=random_replicates, cache_dir=cache_dir,
-        check_invariants=check_invariants,
+        check_invariants=check_invariants, engine=engine,
     )

@@ -8,12 +8,15 @@ reproduction:
 * :mod:`repro.trace.stream` — per-thread traces and whole-application
   trace sets (columnar, numpy-backed);
 * :mod:`repro.trace.io` — text and binary serialization;
+* :mod:`repro.trace.runs` — run-length compression of the block stream
+  (the fast replay engine's input form);
 * :mod:`repro.trace.analysis` — the *static* per-thread analysis the
   paper's placement algorithms consume (address profiles, pairwise and
   N-way sharing, write-shared references, private address counts).
 """
 
 from repro.trace.record import AccessType, TraceRecord
+from repro.trace.runs import CompressedTrace, compress_trace, run_length_stats
 from repro.trace.stream import ThreadTrace, TraceSet
 from repro.trace.io import (
     load_trace_set,
@@ -45,6 +48,9 @@ __all__ = [
     "TraceRecord",
     "ThreadTrace",
     "TraceSet",
+    "CompressedTrace",
+    "compress_trace",
+    "run_length_stats",
     "save_trace_set",
     "load_trace_set",
     "save_trace_set_text",

@@ -1,0 +1,171 @@
+"""Run-length compression of thread traces for the fast replay kernel.
+
+The paper's own result (§4.2) is that sharing is *sequential*: a thread
+makes long runs of references to the same cache block between coherence
+events.  A replay loop that touches the cache once per *reference* wastes
+almost all of its work re-confirming hits inside those runs; a loop that
+touches it once per *block run* does the same simulation in a fraction of
+the time.
+
+:func:`compress_trace` precomputes, per thread, everything the kernel in
+:mod:`repro.arch.kernel` needs to replay a run in O(1):
+
+* ``blocks`` — the per-reference block numbers (``addrs >> block_bits``);
+* ``run_end[i]`` — the exclusive end of the maximal same-block run
+  containing reference ``i``;
+* ``next_write[i]`` — the first reference at or after ``i`` that is a
+  write (``num_refs`` when none remains), so the kernel can find the one
+  write per run segment that needs a real directory upgrade;
+* ``prefix_gaps[i]`` — the sum of instruction gaps before reference
+  ``i``, so the cycles of any hit span ``[i, j)`` are the closed form
+  ``prefix_gaps[j] - prefix_gaps[i] + (j - i) * hit_cycles``.
+
+The compression is *exact*, not approximate: a repeated same-block hit
+mutates no classification state in the direct-mapped cache and leaves the
+block at MRU in a set-associative one, so replaying a hit span as one
+arithmetic step is bit-for-bit equivalent to stepping it (the argument is
+spelled out in ``docs/PERFORMANCE.md`` and enforced by the differential
+suite in ``tests/oracle/``).
+
+Arrays are exposed as plain Python lists: the kernel indexes them
+elementwise, where lists beat numpy scalar access severalfold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.trace.stream import ThreadTrace, TraceSet
+
+__all__ = ["CompressedTrace", "compress_trace", "run_length_stats"]
+
+
+@dataclass
+class CompressedTrace:
+    """One thread's trace plus its precomputed run structure.
+
+    All sequences are Python lists for fast scalar indexing; ``blocks``,
+    ``gaps`` and ``writes`` are parallel to the original references,
+    ``prefix_gaps`` has ``num_refs + 1`` entries.
+    """
+
+    thread_id: int
+    gaps: list[int]
+    blocks: list[int]
+    writes: list[bool]
+    run_end: list[int]
+    next_write: list[int]
+    prefix_gaps: list[int]
+    num_refs: int
+    num_runs: int
+    blocks_np: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64),
+        repr=False, compare=False,
+    )
+    _charge_cache: dict = field(default_factory=dict, repr=False, compare=False)
+    _index_cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def charge_prefix(self, hit_cycles: int) -> list[int]:
+        """``C[i] = prefix_gaps[i] + i * hit_cycles``, memoized.
+
+        Folds the per-reference hit cost into the gap prefix sum, so the
+        kernel charges any hit span ``[i, j)`` as the two-lookup form
+        ``C[j] - C[i]`` with no multiply.
+        """
+        got = self._charge_cache.get(hit_cycles)
+        if got is None:
+            n = self.num_refs
+            got = (
+                np.asarray(self.prefix_gaps, dtype=np.int64)
+                + hit_cycles * np.arange(n + 1, dtype=np.int64)
+            ).tolist()
+            self._charge_cache[hit_cycles] = got
+        return got
+
+    def block_index(self, mask: int) -> np.ndarray:
+        """``blocks_np & mask`` (each reference's cache-set index),
+        memoized per mask for the kernel's vectorized hit scan."""
+        got = self._index_cache.get(mask)
+        if got is None:
+            got = self._index_cache[mask] = self.blocks_np & mask
+        return got
+
+
+def compress_trace(trace: ThreadTrace, block_bits: int) -> CompressedTrace:
+    """Precompute the run structure of one thread's trace.
+
+    Pure numpy sweeps — O(n) total, no per-reference Python work.  The
+    result is memoized on the trace (keyed by ``block_bits``): traces are
+    immutable once they reach the simulator — every transform in
+    :mod:`repro.trace.transform` returns new ``ThreadTrace`` objects — so
+    repeated cells in an experiment grid pay the compression cost once.
+    """
+    cache = trace._replay_cache
+    if cache is None:
+        cache = trace._replay_cache = {}
+    cached = cache.get(block_bits)
+    if cached is not None:
+        return cached
+    compressed = _compress(trace, block_bits)
+    cache[block_bits] = compressed
+    return compressed
+
+
+def _compress(trace: ThreadTrace, block_bits: int) -> CompressedTrace:
+    n = trace.num_refs
+    blocks = trace.addrs >> block_bits
+    if n == 0:
+        return CompressedTrace(
+            thread_id=trace.thread_id, gaps=[], blocks=[], writes=[],
+            run_end=[], next_write=[], prefix_gaps=[0], num_refs=0, num_runs=0,
+        )
+
+    # Maximal same-block runs: boundaries where the block number changes.
+    starts = np.flatnonzero(np.diff(blocks)) + 1
+    ends = np.concatenate([starts, [n]])
+    lengths = np.diff(np.concatenate([[0], ends]))
+    run_end = np.repeat(ends, lengths)
+
+    # First write at or after each position (n when no write remains).
+    next_write = np.full(n, n, dtype=np.int64)
+    write_idx = np.flatnonzero(trace.writes)
+    next_write[write_idx] = write_idx
+    next_write = np.minimum.accumulate(next_write[::-1])[::-1]
+
+    prefix_gaps = np.concatenate([[0], np.cumsum(trace.gaps)])
+
+    return CompressedTrace(
+        thread_id=trace.thread_id,
+        gaps=trace.gaps.tolist(),
+        blocks=blocks.tolist(),
+        writes=trace.writes.tolist(),
+        run_end=run_end.tolist(),
+        next_write=next_write.tolist(),
+        prefix_gaps=prefix_gaps.tolist(),
+        num_refs=n,
+        num_runs=len(ends),
+        blocks_np=np.ascontiguousarray(blocks, dtype=np.int64),
+    )
+
+
+def run_length_stats(trace_set: TraceSet, block_bits: int = 2) -> dict:
+    """Compression diagnostics for a whole application.
+
+    Returns total references, total block runs, and the mean run length
+    (references per run) — the factor bounding the kernel's advantage.
+    """
+    refs = 0
+    runs = 0
+    for trace in trace_set:
+        n = trace.num_refs
+        refs += n
+        if n:
+            blocks = trace.addrs >> block_bits
+            runs += 1 + int(np.count_nonzero(np.diff(blocks)))
+    return {
+        "total_refs": refs,
+        "total_runs": runs,
+        "mean_run_length": refs / runs if runs else 0.0,
+    }

@@ -30,7 +30,7 @@ class ThreadTrace:
         writes: bool array; True where the reference is a write.
     """
 
-    __slots__ = ("thread_id", "gaps", "addrs", "writes")
+    __slots__ = ("thread_id", "gaps", "addrs", "writes", "_replay_cache")
 
     def __init__(
         self,
@@ -57,6 +57,9 @@ class ThreadTrace:
         self.gaps = gaps
         self.addrs = addrs
         self.writes = writes
+        # Memoized run-compression (see repro.trace.runs), keyed by
+        # block_bits.  Derived data only — never serialized or compared.
+        self._replay_cache: dict | None = None
 
     @classmethod
     def from_records(cls, thread_id: int, records: Iterable[TraceRecord]) -> "ThreadTrace":

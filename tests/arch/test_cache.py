@@ -90,6 +90,25 @@ class TestClassification:
         assert kind is MissKind.INVALIDATION
         assert inv == 2
 
+    def test_evictor_attribution_survives_foreign_hits(self):
+        """Classification needs only the *evicting* thread, recorded at
+        eviction time — hits by other threads in between must not perturb
+        it (pins the removal of the caches' per-line thread slots)."""
+        cache = dm_cache()
+        cache.access(0, 0)   # thread 0 fills block 0
+        cache.access(0, 1)   # foreign hit: no bookkeeping change
+        cache.access(8, 0)   # thread 0 evicts block 0
+        kind, _, _ = cache.access(0, 1)
+        assert kind is MissKind.INTER_THREAD_CONFLICT
+
+    def test_intra_thread_attribution_after_foreign_hit(self):
+        cache = dm_cache()
+        cache.access(0, 1)
+        cache.access(0, 0)   # foreign hit
+        cache.access(8, 1)   # thread 1 evicts its own earlier fill
+        kind, _, _ = cache.access(0, 1)
+        assert kind is MissKind.INTRA_THREAD_CONFLICT
+
     def test_contains(self):
         cache = dm_cache()
         assert not cache.contains(4)
@@ -152,6 +171,17 @@ class TestSetAssociative:
         kind, _, inv = cache.access(3, 0)
         assert kind is MissKind.INVALIDATION
         assert inv == 5
+
+    def test_evictor_attribution_survives_foreign_hits(self):
+        """Same pin as the direct-mapped version: the set holds bare block
+        ids; the evicting thread is recorded only at eviction time."""
+        cache = sa_cache(cache_words=16, ways=2, block_words=8)  # 1 set
+        cache.access(0, 0)
+        cache.access(1, 0)
+        cache.access(1, 1)   # foreign hit keeps 1 most-recently-used
+        cache.access(2, 1)   # thread 1 evicts LRU block 0
+        kind, _, _ = cache.access(0, 0)
+        assert kind is MissKind.INTER_THREAD_CONFLICT
 
     def test_associativity_reduces_conflicts(self):
         """The §4.1 claim: associativity addresses thrashing."""

@@ -106,6 +106,35 @@ class TestEvict:
         _, directory, _ = machine()
         directory.evict(99, 0)  # must not raise
 
+    def test_emptied_entry_is_pruned(self):
+        """An entry whose sharer set empties is removed outright; the
+        observable surface (sharers_of, check_invariants) is unchanged."""
+        caches, directory, _ = machine()
+        load(caches[0], directory, 5, 0)
+        directory.evict(5, 0)
+        assert 5 not in directory._sharers
+        assert directory.sharers_of(5) == set()
+        directory.check_invariants()
+
+    def test_pruned_entry_rebuilds_on_refetch(self):
+        caches, directory, _ = machine()
+        load(caches[0], directory, 5, 0)
+        directory.evict(5, 0)
+        caches[0].invalidate(5, by_processor=0)  # drop the stale copy
+        load(caches[1], directory, 5, 1)
+        assert directory.sharers_of(5) == {1}
+        directory.check_invariants()
+
+    def test_no_empty_entries_accumulate_over_sweep(self):
+        """A long sweep through a small cache must not grow the directory
+        by one dead entry per block ever cached: live entries are bounded
+        by total cache residency."""
+        caches, directory, _ = machine(num_procs=1, cache_words=64)
+        for block in range(200):
+            load(caches[0], directory, block, 0)
+        assert len(directory._sharers) == len(caches[0].resident_blocks())
+        directory.check_invariants()
+
 
 class TestInvariants:
     def test_check_invariants_passes_on_consistent_state(self):

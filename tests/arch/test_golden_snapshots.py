@@ -23,6 +23,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.arch.simulator import ENGINES
 from repro.arch.stats import MissKind, SimulationResult
 from repro.experiments.runner import ExperimentSuite
 
@@ -68,27 +69,31 @@ def snapshot_dict(result: SimulationResult) -> dict:
     }
 
 
-def compute(app: str, algorithm: str, processors: int, infinite: bool) -> dict:
-    suite = ExperimentSuite(scale=SCALE, seed=SEED)
+def compute(app: str, algorithm: str, processors: int, infinite: bool,
+            engine: str = "classic") -> dict:
+    suite = ExperimentSuite(scale=SCALE, seed=SEED, engine=engine)
     return snapshot_dict(suite.run(app, algorithm, processors,
                                    infinite=infinite))
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("slug,app,algorithm,processors,infinite",
                          CASES, ids=[c[0] for c in CASES])
 def test_simulation_matches_golden_snapshot(slug, app, algorithm, processors,
-                                            infinite):
+                                            infinite, engine):
+    """Both replay engines must reproduce the *same* snapshot — the golden
+    files are engine-agnostic on purpose (bit-for-bit equivalence)."""
     path = DATA_DIR / f"golden_{slug}.json"
     assert path.exists(), (
         f"missing snapshot {path}; regenerate with "
         f"`PYTHONPATH=src python tests/arch/test_golden_snapshots.py`"
     )
     expected = json.loads(path.read_text())
-    actual = compute(app, algorithm, processors, infinite)
+    actual = compute(app, algorithm, processors, infinite, engine)
     assert actual == expected, (
-        f"{slug}: simulation diverged from its golden snapshot; if the "
-        f"change is intentional, regenerate tests/data/ snapshots and "
-        f"review the diff"
+        f"{slug} [{engine}]: simulation diverged from its golden snapshot; "
+        f"if the change is intentional, regenerate tests/data/ snapshots "
+        f"and review the diff"
     )
 
 

@@ -63,6 +63,50 @@ class TestValidation:
             ExecutionEngine(store=ResultStore(tmp_path),
                             job_runner=_echo_runner)
 
+    def test_backoff_non_negative(self):
+        with pytest.raises(ValueError):
+            ExecutionEngine(backoff=-0.1)
+
+    def test_max_backoff_non_negative(self):
+        with pytest.raises(ValueError):
+            ExecutionEngine(max_backoff=-1)
+
+
+class TestRetryDelay:
+    """The retry schedule: exponential, hard-capped, deterministic jitter."""
+
+    def test_exponential_below_the_cap(self):
+        engine = ExecutionEngine(backoff=1.0, max_backoff=1000.0)
+        delays = [engine._retry_delay("job", n) for n in (1, 2, 3, 4)]
+        # Jitter is a factor in [0.75, 1.25), so the exponential base
+        # shows through the ratio of consecutive *same-job* attempts
+        # only approximately — pin the envelope instead.
+        for attempt, delay in zip((1, 2, 3, 4), delays):
+            base = 1.0 * 2 ** (attempt - 1)
+            assert 0.75 * base <= delay < 1.25 * base
+
+    def test_cap_applies_before_jitter(self):
+        """The ceiling bounds the *base*, so a jittered delay can exceed
+        ``max_backoff`` by at most the +25% jitter factor — never by the
+        uncapped exponential."""
+        engine = ExecutionEngine(backoff=1.0, max_backoff=4.0)
+        for attempt in (10, 20, 40):
+            delay = engine._retry_delay("job", attempt)
+            assert 0.75 * 4.0 <= delay < 1.25 * 4.0
+
+    def test_deterministic_per_job_and_attempt(self):
+        engine = ExecutionEngine(backoff=0.5, max_backoff=30.0)
+        assert engine._retry_delay("a", 2) == engine._retry_delay("a", 2)
+        # Distinct jobs (and distinct attempts) de-synchronize: equal
+        # delays would mean retry thundering herds.
+        assert engine._retry_delay("a", 2) != engine._retry_delay("b", 2)
+        assert engine._retry_delay("a", 2) != engine._retry_delay("a", 3)
+
+    def test_zero_backoff_means_no_delay(self):
+        engine = ExecutionEngine(backoff=0.0)
+        assert engine._retry_delay("job", 1) == 0.0
+        assert engine._retry_delay("job", 7) == 0.0
+
 
 class TestInlineLifecycle:
     def test_success_and_events(self):

@@ -31,7 +31,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.arch.config import ArchConfig
-from repro.arch.simulator import simulate
+from repro.arch.simulator import ENGINES, simulate
 from repro.arch.stats import MissKind
 from repro.oracle import diff_results
 from repro.placement.base import PlacementMap
@@ -45,6 +45,10 @@ from tests.oracle.strategies import (
 )
 
 pytestmark = pytest.mark.oracle
+
+#: Every theorem below must hold in each replay engine independently
+#: (both sides of a relation always use the same engine).
+both_engines = pytest.mark.parametrize("engine", ENGINES)
 
 
 def _relabel(placement: PlacementMap, perm: list[int]) -> PlacementMap:
@@ -63,14 +67,16 @@ def relabeling_cases(draw, case_strategy):
 
 
 class TestProcessorRelabeling:
-    @settings(max_examples=60, deadline=None)
+    @both_engines
+    @settings(max_examples=40, deadline=None)
     @given(case=relabeling_cases(partitioned_cases()))
-    def test_partitioned_runs_are_fully_equivariant(self, case):
+    def test_partitioned_runs_are_fully_equivariant(self, case, engine):
         """No coherence coupling -> relabeling permutes *everything*."""
         traces, placement, perm, config, quantum = case
-        base = simulate(traces, placement, config, quantum_refs=quantum)
+        base = simulate(traces, placement, config, quantum_refs=quantum,
+                        engine=engine)
         relabeled = simulate(traces, _relabel(placement, perm), config,
-                             quantum_refs=quantum)
+                             quantum_refs=quantum, engine=engine)
         assert relabeled.execution_time == base.execution_time
         assert relabeled.total_refs == base.total_refs
         for pid in range(placement.num_processors):
@@ -85,18 +91,20 @@ class TestProcessorRelabeling:
         assert not base.pairwise_coherence.any()
         assert not relabeled.pairwise_coherence.any()
 
-    @settings(max_examples=60, deadline=None)
+    @both_engines
+    @settings(max_examples=40, deadline=None)
     @given(case=relabeling_cases(simulation_cases()))
-    def test_label_independent_metrics_always_permute(self, case):
+    def test_label_independent_metrics_always_permute(self, case, engine):
         """Even with coherence coupling (where equal-time scheduling ties
         are broken by processor id, so miss *classification* may shift),
         metrics determined by the thread-to-processor clustering alone
         must permute exactly: busy cycles, cache accesses, and compulsory
         misses (= distinct blocks the processor's threads touch)."""
         traces, placement, perm, config, quantum = case
-        base = simulate(traces, placement, config, quantum_refs=quantum)
+        base = simulate(traces, placement, config, quantum_refs=quantum,
+                        engine=engine)
         relabeled = simulate(traces, _relabel(placement, perm), config,
-                             quantum_refs=quantum)
+                             quantum_refs=quantum, engine=engine)
         for pid in range(placement.num_processors):
             assert base.processors[pid].busy == \
                 relabeled.processors[perm[pid]].busy
@@ -148,14 +156,15 @@ class TestInfiniteCachePlacementInvariance:
     paper-workload version is asserted in ``test_paper_suite.py``.)
     """
 
-    @settings(max_examples=50, deadline=None)
+    @both_engines
+    @settings(max_examples=40, deadline=None)
     @given(case=bijection_pairs(read_only=False))
-    def test_compulsory_invariant_across_bijections(self, case):
+    def test_compulsory_invariant_across_bijections(self, case, engine):
         traces, first, second, quantum = case
         config = _effectively_infinite_config(traces.num_threads)
         results = [
             simulate(traces, PlacementMap(assignment, traces.num_threads),
-                     config, quantum_refs=quantum)
+                     config, quantum_refs=quantum, engine=engine)
             for assignment in (first, second)
         ]
         expected = sum(
@@ -169,15 +178,17 @@ class TestInfiniteCachePlacementInvariance:
             assert breakdown[MissKind.INTRA_THREAD_CONFLICT] == 0
             assert breakdown[MissKind.INTER_THREAD_CONFLICT] == 0
 
-    @settings(max_examples=50, deadline=None)
+    @both_engines
+    @settings(max_examples=40, deadline=None)
     @given(case=bijection_pairs(read_only=True))
-    def test_compulsory_plus_invalidation_invariant_read_only(self, case):
+    def test_compulsory_plus_invalidation_invariant_read_only(self, case,
+                                                              engine):
         traces, first, second, quantum = case
         config = _effectively_infinite_config(traces.num_threads)
         totals = []
         for assignment in (first, second):
             result = simulate(traces, PlacementMap(assignment, traces.num_threads),
-                              config, quantum_refs=quantum)
+                              config, quantum_refs=quantum, engine=engine)
             breakdown = result.miss_breakdown()
             assert breakdown[MissKind.INVALIDATION] == 0
             assert result.interconnect.invalidations_sent == 0
@@ -185,14 +196,15 @@ class TestInfiniteCachePlacementInvariance:
                           + breakdown[MissKind.INVALIDATION])
         assert totals[0] == totals[1]
 
-    @settings(max_examples=30, deadline=None)
+    @both_engines
+    @settings(max_examples=25, deadline=None)
     @given(case=bijection_pairs(read_only=False))
-    def test_per_processor_compulsory_follows_its_thread(self, case):
+    def test_per_processor_compulsory_follows_its_thread(self, case, engine):
         traces, first, second, quantum = case
         config = _effectively_infinite_config(traces.num_threads)
         for assignment in (first, second):
             result = simulate(traces, PlacementMap(assignment, traces.num_threads),
-                              config, quantum_refs=quantum)
+                              config, quantum_refs=quantum, engine=engine)
             for tid, proc in enumerate(assignment):
                 distinct = len(set(
                     (traces[tid].addrs >> config.block_bits).tolist()
@@ -201,26 +213,33 @@ class TestInfiniteCachePlacementInvariance:
 
 
 class TestQuantumSize:
-    @settings(max_examples=40, deadline=None)
+    @both_engines
+    @settings(max_examples=30, deadline=None)
     @given(case=partitioned_cases(), other_quantum=st.sampled_from(QUANTA))
-    def test_decoupled_runs_are_quantum_independent(self, case, other_quantum):
+    def test_decoupled_runs_are_quantum_independent(self, case, other_quantum,
+                                                    engine):
         """Without coherence coupling the quantum is unobservable: results
         are bit-identical under any quantum size."""
         traces, placement, config, quantum = case
-        a = simulate(traces, placement, config, quantum_refs=quantum)
-        b = simulate(traces, placement, config, quantum_refs=other_quantum)
+        a = simulate(traces, placement, config, quantum_refs=quantum,
+                     engine=engine)
+        b = simulate(traces, placement, config, quantum_refs=other_quantum,
+                     engine=engine)
         assert not diff_results(a, b, actual_name=f"q{quantum}",
                                 expected_name=f"q{other_quantum}")
 
-    @settings(max_examples=40, deadline=None)
+    @both_engines
+    @settings(max_examples=30, deadline=None)
     @given(case=simulation_cases(), other_quantum=st.sampled_from(QUANTA))
-    def test_quantum_invariant_totals(self, case, other_quantum):
+    def test_quantum_invariant_totals(self, case, other_quantum, engine):
         """For coupled runs the quantum shifts which processor's coherence
         actions land first at equal times — classification may move between
         kinds — but clustering-determined totals cannot change."""
         traces, placement, config, quantum = case
-        a = simulate(traces, placement, config, quantum_refs=quantum)
-        b = simulate(traces, placement, config, quantum_refs=other_quantum)
+        a = simulate(traces, placement, config, quantum_refs=quantum,
+                     engine=engine)
+        b = simulate(traces, placement, config, quantum_refs=other_quantum,
+                     engine=engine)
         assert a.total_refs == b.total_refs
         for pid in range(placement.num_processors):
             assert a.processors[pid].busy == b.processors[pid].busy

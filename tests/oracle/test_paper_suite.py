@@ -22,7 +22,7 @@ import pytest
 
 from repro.arch.simulator import simulate
 from repro.experiments.runner import ExperimentSuite
-from repro.oracle import assert_equivalent, reference_simulate
+from repro.oracle import assert_equivalent, diff_results, reference_simulate
 from repro.workload.applications import application_names
 
 pytestmark = pytest.mark.oracle
@@ -70,6 +70,29 @@ class TestOracleOnPaperWorkloads:
                                        quantum_refs=audited_suite.quantum_refs)
         assert_equivalent(production, reference,
                           context=f"{app}/{algorithm}/4p")
+
+
+class TestFastEngineOnPaperSuite:
+    """Tentpole acceptance: the fast kernel agrees with the classic
+    simulator bit-for-bit on every real paper workload, not just on
+    generated micro-traces."""
+
+    @pytest.mark.parametrize("app", application_names())
+    def test_fast_matches_classic(self, audited_suite, app):
+        traces = audited_suite.traces(app)
+        placement = audited_suite.placement(app, "SHARE-REFS", 4)
+        config = audited_suite._machine(
+            app, placement, infinite=False, associativity=1, cache_words=None,
+        )
+        classic = simulate(traces, placement, config,
+                           quantum_refs=audited_suite.quantum_refs,
+                           engine="classic")
+        fast = simulate(traces, placement, config,
+                        quantum_refs=audited_suite.quantum_refs,
+                        engine="fast")
+        mismatches = diff_results(fast, classic, actual_name="fast",
+                                  expected_name="classic")
+        assert not mismatches, f"{app}: {mismatches}"
 
 
 class TestFigure4Claim:
