@@ -18,10 +18,23 @@
   attempts are retried with exponential backoff, and a job that exhausts
   its retries degrades to a reported gap — one bad cell never aborts the
   sweep.  A worker process dying outright (``BrokenProcessPool``) causes
-  the pool to be rebuilt and in-flight innocents resubmitted.
+  the pool to be rebuilt and in-flight innocents resubmitted.  With
+  ``hang_timeout`` set, a coordinator-side **watchdog** additionally
+  patrols worker heartbeats and SIGKILLs a worker whose current job has
+  outlived the budget — catching hangs SIGALRM cannot (a wedged
+  extension, a sleep with the alarm unavailable) — after which the
+  normal crash recovery requeues the work.
+* **Clean shutdown.**  SIGINT/SIGTERM interrupt the run cooperatively:
+  in-flight jobs are journaled as ``interrupted``, the journal is
+  flushed and closed (so ``--resume`` retries exactly those cells), and
+  ``KeyboardInterrupt`` propagates to the caller.
 * **Observability.**  Every transition is recorded in the
   :class:`~repro.exec.journal.RunJournal` and folded into a
   :class:`~repro.exec.summary.RunSummary`.
+
+The worker's job execution, the store's writes and the journal's appends
+carry :mod:`repro.faults` injection points, so the chaos suite can strike
+any of them deterministically and assert the recovery paths above.
 
 The default per-process suite cache is keyed by (scale, seed, quantum), so
 a worker serving many jobs builds each application's traces once — but
@@ -32,9 +45,12 @@ never inherits a parent process's memoized ``TraceSet``s: the default
 from __future__ import annotations
 
 import hashlib
+import json
 import multiprocessing as mp
 import os
+import shutil
 import signal
+import tempfile
 import threading
 import time
 import traceback
@@ -42,8 +58,10 @@ from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Sequence
 
+from repro import faults
 from repro.exec.jobs import JobSpec
 from repro.exec.journal import RunJournal
 from repro.exec.summary import RunSummary
@@ -102,6 +120,28 @@ def _alarm_supported() -> bool:
             and threading.current_thread() is threading.main_thread())
 
 
+def _write_heartbeat(payload: dict) -> Path | None:
+    """Announce the job this process is starting (for the watchdog).
+
+    One file per worker pid: ``{"job", "pid", "started"}``.  The watchdog
+    compares ``started`` against its hang budget; the file is removed when
+    the attempt ends, so a missing file means the worker is idle.
+    """
+    directory = payload.get("heartbeat_dir")
+    if not directory:
+        return None
+    beat = Path(directory) / f"hb-{os.getpid()}.json"
+    try:
+        beat.write_text(json.dumps({
+            "job": payload["job"],
+            "pid": os.getpid(),
+            "started": time.time(),
+        }), encoding="ascii")
+    except OSError:  # heartbeat is best-effort; the job still runs
+        return None
+    return beat
+
+
 def _invoke(runner: Callable[[dict], object], payload: dict) -> dict:
     """Run one attempt under the crash/timeout harness (in the worker).
 
@@ -119,6 +159,7 @@ def _invoke(runner: Callable[[dict], object], payload: dict) -> dict:
         "worker": os.getpid(),
         "attempt": payload["attempt"],
     }
+    heartbeat = _write_heartbeat(payload)
     start = time.perf_counter()
     previous = None
     try:
@@ -129,6 +170,8 @@ def _invoke(runner: Callable[[dict], object], payload: dict) -> dict:
             previous = signal.signal(signal.SIGALRM, _on_alarm)
             signal.setitimer(signal.ITIMER_REAL, timeout)
         try:
+            faults.fire("worker",
+                        context=payload.get("label") or payload["job"])
             value = runner(payload)
         finally:
             if use_alarm:
@@ -144,6 +187,14 @@ def _invoke(runner: Callable[[dict], object], payload: dict) -> dict:
             error=f"{type(exc).__name__}: {exc}",
             traceback=traceback.format_exc(limit=20),
         )
+    finally:
+        # An injected crash (os._exit) skips this; the stale heartbeat is
+        # then cleaned up by the watchdog's liveness check.
+        if heartbeat is not None:
+            try:
+                heartbeat.unlink()
+            except OSError:
+                pass
     out["duration"] = round(time.perf_counter() - start, 6)
     return out
 
@@ -151,6 +202,88 @@ def _invoke(runner: Callable[[dict], object], payload: dict) -> dict:
 # ----------------------------------------------------------------------
 # Coordinator side
 # ----------------------------------------------------------------------
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:  # e.g. EPERM: exists but owned by someone else
+        return True
+    return True
+
+
+class _Watchdog:
+    """Coordinator thread that SIGKILLs workers whose job outlived the
+    hang budget.
+
+    SIGALRM catches most runaway jobs from inside the worker, but not a
+    worker wedged where Python signal delivery cannot run (a blocking C
+    call, a platform without SIGALRM).  This watchdog needs no
+    cooperation from the victim: each worker writes a heartbeat file when
+    it picks up a job; the watchdog patrols those files and kills any pid
+    whose current job is older than ``patience`` seconds.  The kill
+    surfaces as ``BrokenProcessPool`` and flows through the engine's
+    normal crash recovery — rebuild the pool, resubmit the innocents,
+    retry (or fail) the victim, which :meth:`ExecutionEngine._run_pool`
+    attributes as kind ``hang`` via :attr:`killed`.
+    """
+
+    def __init__(self, directory: Path, patience: float,
+                 journal: RunJournal) -> None:
+        self.directory = Path(directory)
+        self.patience = float(patience)
+        self.journal = journal
+        self.killed: set[str] = set()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._patrol, name="repro-watchdog", daemon=True)
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    def _patrol(self) -> None:
+        poll = max(0.05, min(self.patience / 4.0, 1.0))
+        while not self._stop.wait(poll):
+            self.sweep()
+
+    def sweep(self) -> None:
+        """One patrol pass (separated from the loop for direct testing)."""
+        now = time.time()
+        for beat in sorted(self.directory.glob("hb-*.json")):
+            try:
+                info = json.loads(beat.read_text(encoding="ascii"))
+                pid = int(info["pid"])
+                job = str(info["job"])
+                started = float(info["started"])
+            except (OSError, ValueError, KeyError, TypeError):
+                continue  # torn or foreign file; re-examined next pass
+            if now - started <= self.patience:
+                continue
+            if not _pid_alive(pid):
+                # The worker died on its own (e.g. an injected crash)
+                # without unlinking its heartbeat; just clean up.
+                try:
+                    beat.unlink()
+                except OSError:
+                    pass
+                continue
+            self.killed.add(job)
+            self.journal.record("watchdog-kill", job, pid=pid,
+                                age=round(now - started, 3))
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except OSError:  # pragma: no cover - raced with worker exit
+                pass
+            try:
+                beat.unlink()
+            except OSError:
+                pass
 
 
 @dataclass(frozen=True)
@@ -199,6 +332,13 @@ class ExecutionEngine:
         max_backoff: Hard ceiling on any single retry delay in seconds —
             without it the exponential grows unboundedly with
             ``max_retries``.
+        hang_timeout: Seconds a worker's current job may run before the
+            coordinator-side watchdog SIGKILLs the worker (None, the
+            default, disables the watchdog).  Unlike ``timeout`` — which
+            relies on signal delivery *inside* the worker — this catches
+            a worker wedged beyond cooperation.  Pool mode only (inline
+            execution has no worker to kill) and requires ``SIGKILL``
+            (POSIX).
         store: Persistent :class:`ResultStore`; enables cache-hits,
             resume, and persisting every computed cell.  Requires the
             default runner (it writes ``SimulationResult``s).
@@ -217,6 +357,7 @@ class ExecutionEngine:
         *,
         workers: int = 1,
         timeout: float | None = None,
+        hang_timeout: float | None = None,
         max_retries: int = 2,
         backoff: float = 0.5,
         max_backoff: float = 30.0,
@@ -229,6 +370,8 @@ class ExecutionEngine:
         check_positive("workers", workers)
         if timeout is not None:
             check_positive("timeout", timeout)
+        if hang_timeout is not None:
+            check_positive("hang_timeout", hang_timeout)
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         if backoff < 0:
@@ -241,6 +384,7 @@ class ExecutionEngine:
             )
         self.workers = int(workers)
         self.timeout = timeout
+        self.hang_timeout = hang_timeout
         self.max_retries = int(max_retries)
         self.backoff = float(backoff)
         self.max_backoff = float(max_backoff)
@@ -302,10 +446,24 @@ class ExecutionEngine:
             pending.append(spec)
 
         if pending:
-            if self.workers == 1:
-                self._run_inline(pending, journal, results, failures)
-            else:
-                self._run_pool(pending, journal, results, failures)
+            restore = self._install_signal_handlers()
+            try:
+                if self.workers == 1:
+                    self._run_inline(pending, journal, results, failures)
+                else:
+                    self._run_pool(pending, journal, results, failures)
+            except KeyboardInterrupt:
+                # _run_inline/_run_pool already journaled the in-flight
+                # jobs as "interrupted"; seal the journal so --resume
+                # sees a clean, complete prefix, then let the caller
+                # (e.g. the CLI's exit-130 path) see the interrupt.
+                journal.record("run-interrupted",
+                               completed=len(results),
+                               failed=len(failures))
+                journal.close()
+                raise
+            finally:
+                restore()
 
         wall = time.perf_counter() - start
         summary = RunSummary.from_events(
@@ -325,6 +483,41 @@ class ExecutionEngine:
                          events=journal.events)
 
     # -- execution phase ------------------------------------------------
+
+    @staticmethod
+    def _install_signal_handlers() -> Callable[[], None]:
+        """Route SIGINT/SIGTERM into ``KeyboardInterrupt`` for the run.
+
+        SIGINT already raises it; SIGTERM (the polite kill sent by
+        schedulers and ``timeout(1)``) would otherwise die without
+        flushing the journal.  Returns a restorer for the previous
+        handlers; a no-op off the main thread (where handlers cannot be
+        installed — the run is then only as interruptible as its host).
+        """
+        if threading.current_thread() is not threading.main_thread():
+            return lambda: None
+
+        def _on_signal(signum, frame):
+            raise KeyboardInterrupt(f"received signal {signum}")
+
+        installed: list[tuple[int, object]] = []
+        for name in ("SIGINT", "SIGTERM"):
+            signum = getattr(signal, name, None)
+            if signum is None:
+                continue
+            try:
+                installed.append((signum, signal.signal(signum, _on_signal)))
+            except (ValueError, OSError):  # pragma: no cover - exotic host
+                pass
+
+        def restore() -> None:
+            for signum, previous in installed:
+                try:
+                    signal.signal(signum, previous)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
+
+        return restore
 
     def _payload(self, spec: JobSpec, attempt: int, delay: float = 0.0) -> dict:
         return {
@@ -363,7 +556,11 @@ class ExecutionEngine:
             value = self._materialize(out["value"])
             if self.store is not None:
                 spec = JobSpec.from_payload(payload["spec"])
-                self.store.store(spec.store_key, value)
+                if not self.store.store(spec.store_key, value):
+                    # Disk trouble: the in-memory result still counts;
+                    # the journal records that this cell is NOT durable
+                    # (resume recomputes it when the store entry is gone).
+                    journal.record("store-failed", job_id, attempt=attempt)
             results[job_id] = value
             journal.record(
                 "finished", job_id,
@@ -395,12 +592,23 @@ class ExecutionEngine:
     def _run_inline(self, pending, journal, results, failures) -> None:
         """workers=1: same lifecycle, executed in-process."""
         queue = deque(self._payload(spec, 1) for spec in pending)
-        while queue:
-            payload = queue.popleft()
-            journal.record("started", payload["job"],
-                           attempt=payload["attempt"])
-            out = _invoke(self.job_runner, payload)
-            self._handle(out, payload, journal, results, failures, queue)
+        payload = None
+        try:
+            while queue:
+                payload = queue.popleft()
+                journal.record("started", payload["job"],
+                               attempt=payload["attempt"])
+                out = _invoke(self.job_runner, payload)
+                self._handle(out, payload, journal, results, failures, queue)
+                payload = None
+        except KeyboardInterrupt:
+            if payload is not None:
+                journal.record("interrupted", payload["job"],
+                               attempt=payload["attempt"])
+            for waiting in queue:
+                journal.record("interrupted", waiting["job"],
+                               attempt=waiting["attempt"])
+            raise
 
     def _run_pool(self, pending, journal, results, failures) -> None:
         context = mp.get_context(self.mp_context)
@@ -410,10 +618,19 @@ class ExecutionEngine:
             return ProcessPoolExecutor(max_workers=max_workers,
                                        mp_context=context)
 
+        heartbeat_dir: Path | None = None
+        watchdog: _Watchdog | None = None
+        if self.hang_timeout is not None and hasattr(signal, "SIGKILL"):
+            heartbeat_dir = Path(tempfile.mkdtemp(prefix="repro-heartbeat-"))
+            watchdog = _Watchdog(heartbeat_dir, self.hang_timeout, journal)
+            watchdog.start()
+
         executor = make_executor()
         inflight: dict = {}
 
         def submit(payload: dict) -> None:
+            if heartbeat_dir is not None:
+                payload["heartbeat_dir"] = str(heartbeat_dir)
             journal.record("started", payload["job"],
                            attempt=payload["attempt"])
             future = executor.submit(_invoke, self.job_runner, payload)
@@ -432,10 +649,18 @@ class ExecutionEngine:
                         out = future.result()
                     except BrokenProcessPool:
                         crashed = True
+                        job_id = payload["job"]
+                        if watchdog is not None and job_id in watchdog.killed:
+                            kind = "hang"
+                            error = ("hung worker killed by the watchdog "
+                                     f"after exceeding {self.hang_timeout:g}s")
+                        else:
+                            kind = "crash"
+                            error = "worker process died unexpectedly"
                         out = {
-                            "job": payload["job"], "ok": False,
-                            "kind": "crash", "attempt": payload["attempt"],
-                            "error": "worker process died unexpectedly",
+                            "job": job_id, "ok": False,
+                            "kind": kind, "attempt": payload["attempt"],
+                            "error": error,
                             "duration": 0.0,
                         }
                     except Exception as exc:  # pragma: no cover - defensive
@@ -459,5 +684,14 @@ class ExecutionEngine:
                         submit(payload)
                 for payload in retry_queue:
                     submit(payload)
+        except KeyboardInterrupt:
+            for payload in inflight.values():
+                journal.record("interrupted", payload["job"],
+                               attempt=payload["attempt"])
+            raise
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
+            if watchdog is not None:
+                watchdog.stop()
+            if heartbeat_dir is not None:
+                shutil.rmtree(heartbeat_dir, ignore_errors=True)

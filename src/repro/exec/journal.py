@@ -1,21 +1,35 @@
 """The run journal: an append-only JSONL log of engine events.
 
 Every job transition the engine observes — queued, started, cache-hit,
-resumed, retrying, finished, failed — is one JSON object per line, flushed
-immediately, so a run can be watched with ``tail -f`` and a killed run
-leaves a readable prefix.  :meth:`RunJournal.completed_jobs` reads that
-prefix back to drive ``--resume``: jobs whose completion the journal
-confirms are skipped on the next run.
+resumed, retrying, finished, failed, interrupted — is one JSON object per
+line, flushed immediately, so a run can be watched with ``tail -f`` and a
+killed run leaves a readable prefix.  :meth:`RunJournal.completed_jobs`
+reads that prefix back to drive ``--resume``: jobs whose completion the
+journal confirms are skipped on the next run.
 
-The journal is written only by the coordinating process (workers report
-back over the pool's result channel), so lines never interleave.
+Crash-safety is two-layered:
+
+* **On open**, a journal being appended to is first healed: a process
+  killed mid-write leaves a torn final line (no trailing newline), which
+  is truncated away so the file returns to a clean line boundary before
+  new events land after it (:meth:`RunJournal.recover_torn_tail`).
+* **On read**, any malformed line that survives anyway (e.g. garbage
+  appended by a third party) is skipped rather than raised, so resuming
+  from a damaged journal always works.
+
+The journal is written by the coordinating process (workers report back
+over the pool's result channel); the engine's watchdog thread also
+records events, so appends are serialized under a lock.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
 from pathlib import Path
+
+from repro import faults
 
 __all__ = ["RunJournal", "COMPLETED_EVENTS"]
 
@@ -37,26 +51,52 @@ class RunJournal:
         self.path = Path(path) if path is not None else None
         self.events: list[dict] = []
         self._stream = None
+        self._lock = threading.Lock()
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.recover_torn_tail(self.path)
             self._stream = self.path.open("a", encoding="utf-8")
 
+    @staticmethod
+    def recover_torn_tail(path: str | Path) -> int:
+        """Truncate a torn final line; returns the bytes dropped.
+
+        A coordinator killed mid-append leaves a partial JSON object with
+        no trailing newline.  Cutting the file back to its last newline
+        (or to empty, if no complete line exists) restores the invariant
+        every append relies on: the journal is a whole number of lines.
+        """
+        path = Path(path)
+        if not path.exists():
+            return 0
+        data = path.read_bytes()
+        if not data or data.endswith(b"\n"):
+            return 0
+        keep = data.rfind(b"\n") + 1
+        with open(path, "rb+") as stream:
+            stream.truncate(keep)
+        return len(data) - keep
+
     def record(self, event: str, job_id: str | None = None, **fields) -> dict:
-        """Append one event (None-valued fields are dropped)."""
+        """Append one event (None-valued fields are dropped); thread-safe."""
         entry: dict = {"event": event, "time": round(time.time(), 6)}
         if job_id is not None:
             entry["job"] = job_id
         entry.update((k, v) for k, v in fields.items() if v is not None)
-        self.events.append(entry)
-        if self._stream is not None:
-            self._stream.write(json.dumps(entry, sort_keys=True) + "\n")
-            self._stream.flush()
+        with self._lock:
+            self.events.append(entry)
+            if self._stream is not None:
+                line = json.dumps(entry, sort_keys=True) + "\n"
+                faults.tear("journal", line, self._stream)
+                self._stream.write(line)
+                self._stream.flush()
         return entry
 
     def close(self) -> None:
-        if self._stream is not None:
-            self._stream.close()
-            self._stream = None
+        with self._lock:
+            if self._stream is not None:
+                self._stream.close()
+                self._stream = None
 
     def __enter__(self) -> "RunJournal":
         return self
@@ -77,7 +117,7 @@ class RunJournal:
         run always works.
         """
         events = []
-        with Path(path).open("r", encoding="utf-8") as stream:
+        with Path(path).open("r", encoding="utf-8", errors="replace") as stream:
             for line in stream:
                 line = line.strip()
                 if not line:

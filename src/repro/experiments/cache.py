@@ -14,12 +14,15 @@ application, algorithm, machine).
 from __future__ import annotations
 
 import hashlib
+import io
 import logging
+import os
 import zipfile
 from pathlib import Path
 
 import numpy as np
 
+from repro import faults
 from repro.arch.stats import (
     CacheStats,
     InterconnectStats,
@@ -27,6 +30,7 @@ from repro.arch.stats import (
     ProcessorStats,
     SimulationResult,
 )
+from repro.util.atomicio import atomic_write_text, fsync_directory, sha256_hex
 
 __all__ = [
     "ResultStore",
@@ -161,14 +165,42 @@ def result_from_arrays(arrays) -> SimulationResult:
 
 
 class ResultStore:
-    """Content-addressed store of simulation results under one directory."""
+    """Content-addressed store of simulation results under one directory.
 
-    def __init__(self, directory: str | Path) -> None:
+    Crash-safe: entries are committed by write-tmp → fsync → rename, so a
+    killed writer leaves either no entry or a complete one, never a torn
+    ``.npz``.  Each entry carries a ``.npz.sha256`` sidecar, verified on
+    load; an entry whose bytes no longer match (bit rot, a torn write
+    from an unhardened writer, an injected ``corrupt``/``truncate``
+    fault) is evicted and recomputed, never returned.
+
+    Args:
+        directory: Store root (created if missing).
+        checksum: Write and verify sha256 sidecars (on by default; the
+            overhead benchmark turns it off to measure the cost).
+        fsync: Sync entry bytes and renames to disk (on by default).
+    """
+
+    def __init__(self, directory: str | Path, *, checksum: bool = True,
+                 fsync: bool = True) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.checksum = bool(checksum)
+        self.fsync = bool(fsync)
 
     def _path(self, key: tuple) -> Path:
         return self.directory / f"{store_digest(key)}.npz"
+
+    @staticmethod
+    def _sidecar(path: Path) -> Path:
+        return path.with_name(path.name + ".sha256")
+
+    def _evict(self, path: Path) -> None:
+        for victim in (path, self._sidecar(path)):
+            try:
+                victim.unlink()
+            except OSError:  # pragma: no cover - concurrent eviction
+                pass
 
     def contains(self, key: tuple) -> bool:
         """Whether an entry exists for ``key`` (without decoding it)."""
@@ -177,34 +209,83 @@ class ResultStore:
     def load(self, key: tuple) -> SimulationResult | None:
         """The stored result for ``key``, or None.
 
-        Corrupt, truncated or stale-format files are treated as misses:
-        they are logged and evicted so the caller recomputes the cell and
-        the next ``store`` writes a clean entry — a damaged cache never
-        aborts a report.
+        Checksum-failing, corrupt, truncated or stale-format files are
+        treated as misses: they are logged and evicted (entry and
+        sidecar) so the caller recomputes the cell and the next ``store``
+        writes a clean entry — a damaged cache never aborts a report.
         """
         path = self._path(key)
         if not path.exists():
             return None
         try:
-            with np.load(path, allow_pickle=False) as arrays:
+            data = path.read_bytes()
+            sidecar = self._sidecar(path)
+            if self.checksum and sidecar.exists():
+                expected = sidecar.read_text(encoding="ascii").strip()
+                actual = sha256_hex(data)
+                if actual != expected:
+                    raise ValueError(
+                        f"checksum mismatch (expected {expected[:12]}…, "
+                        f"got {actual[:12]}…)"
+                    )
+            with np.load(io.BytesIO(data), allow_pickle=False) as arrays:
                 return result_from_arrays(arrays)
         except _LOAD_ERRORS as exc:
             log.warning(
                 "evicting unreadable result %s (%s: %s); the cell will be "
                 "recomputed", path.name, type(exc).__name__, exc,
             )
-            try:
-                path.unlink()
-            except OSError:  # pragma: no cover - concurrent eviction
-                pass
+            self._evict(path)
             return None
 
-    def store(self, key: tuple, result: SimulationResult) -> None:
-        """Persist ``result`` under ``key`` (atomic via rename)."""
+    def store(self, key: tuple, result: SimulationResult) -> bool:
+        """Persist ``result`` under ``key``; True if it was committed.
+
+        The commit point is the final rename: a crash at any earlier
+        moment leaves only a temporary file (cleaned up on the next
+        attempt's failure path) and possibly a stale sidecar, both
+        invisible to :meth:`load`.  A filesystem error (disk full,
+        permissions) degrades to a logged warning and False — the caller
+        still holds the in-memory result, so a sick disk never aborts a
+        sweep; the cell is simply recomputed next run.
+        """
         path = self._path(key)
-        temporary = path.with_suffix(".tmp.npz")
-        np.savez_compressed(temporary, **result_to_arrays(result))
-        temporary.replace(path)
+        temporary = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        try:
+            faults.fire("store", context=path.name)
+            with open(temporary, "wb") as stream:
+                np.savez_compressed(stream, **result_to_arrays(result))
+                stream.flush()
+                if self.fsync:
+                    os.fsync(stream.fileno())
+            if self.checksum:
+                atomic_write_text(
+                    self._sidecar(path),
+                    sha256_hex(temporary.read_bytes()) + "\n",
+                    encoding="ascii", fsync=self.fsync, fault_site=None,
+                )
+            os.replace(temporary, path)
+            if self.fsync:
+                fsync_directory(self.directory)
+        except OSError as exc:
+            try:
+                temporary.unlink()
+            except OSError:
+                pass
+            log.warning(
+                "failed to persist result %s (%s: %s); the in-memory "
+                "result is unaffected and the cell will be recomputed "
+                "next run", path.name, type(exc).__name__, exc,
+            )
+            return False
+        except BaseException:
+            try:
+                temporary.unlink()
+            except OSError:
+                pass
+            raise
+        faults.mangle("store", path)
+        return True
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.npz"))

@@ -19,11 +19,16 @@ run on the same seed/scale::
 from __future__ import annotations
 
 import argparse
+import io
+import os
 import sys
 
+from repro import faults
 from repro.arch.simulator import ENGINES
 from repro.experiments.report import REPORT_SECTIONS, write_report
 from repro.experiments.runner import ExperimentSuite
+from repro.tools.errors import DEGRADED_EXIT_CODE, friendly_errors
+from repro.util.atomicio import atomic_write_text
 from repro.workload.applications import DEFAULT_SCALE
 
 __all__ = ["main", "build_parser"]
@@ -82,6 +87,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         metavar="N",
         help="retry attempts per failed/timed-out job (default 2)",
+    )
+    parser.add_argument(
+        "--hang-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="watchdog budget: a worker whose current job runs longer is "
+             "SIGKILLed and the job retried (catches hangs --timeout's "
+             "in-worker alarm cannot; needs --jobs > 1)",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        help="chaos testing: deterministic fault schedule, e.g. "
+             "'crash:worker:nth=3;torn:journal' or 'random:seed=7,count=4' "
+             "(see docs/ROBUSTNESS.md for the grammar)",
+    )
+    parser.add_argument(
+        "--fault-ledger",
+        metavar="PATH",
+        help="durable ledger of fired faults, so a fault schedule is spent "
+             "at most once across --resume reruns (requires --inject-faults)",
     )
     parser.add_argument(
         "--journal",
@@ -144,25 +171,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--out",
-        type=argparse.FileType("w"),
-        default=sys.stdout,
-        help="output file (default: stdout)",
+        default="-",
+        metavar="PATH",
+        help="output file, written atomically ('-' = stdout, the default)",
     )
     return parser
 
 
+def _write_out(path: str, text: str) -> None:
+    """Write report text to ``path`` ('-' = stdout) atomically."""
+    if path == "-":
+        sys.stdout.write(text)
+        sys.stdout.flush()
+    else:
+        atomic_write_text(path, text, encoding="utf-8")
+
+
+@friendly_errors("repro-experiments")
 def main(argv: list[str] | None = None) -> int:
-    """Console entry point; returns the process exit code."""
+    """Console entry point; returns the process exit code.
+
+    Exit codes: 0 = complete report; 1 = a --verify claim failed; 2 =
+    usage error; 3 = the report rendered but is degraded (MISSING cells);
+    130 = interrupted (the journal is sealed for --resume).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.resume and not (args.journal and args.cache_dir):
         parser.error("--resume requires both --journal and --cache-dir")
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.fault_ledger and not args.inject_faults:
+        parser.error("--fault-ledger requires --inject-faults")
+    if args.inject_faults:
+        # Validate the grammar before any work; the plan itself activates
+        # through the environment so spawned workers inherit it.
+        faults.parse_fault_spec(args.inject_faults)
+        os.environ[faults.SPEC_VAR] = args.inject_faults
+        if args.fault_ledger:
+            os.environ[faults.LEDGER_VAR] = args.fault_ledger
     suite = ExperimentSuite(
         scale=args.scale, seed=args.seed, quantum_refs=args.quantum_refs,
         cache_dir=args.cache_dir, check_invariants=args.check_invariants,
-        engine=args.engine,
+        engine=args.engine, strict=False,
     )
     # Preserve the paper's presentation order regardless of CLI order.
     sections = (
@@ -173,6 +224,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.jobs > 1 or args.journal or args.resume:
         run = suite.prefetch(
             sections, jobs=args.jobs, timeout=args.timeout,
+            hang_timeout=args.hang_timeout,
             journal=args.journal, resume=args.resume,
             max_retries=args.retries,
         )
@@ -184,8 +236,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.claims import verify_claims
 
         results = verify_claims(suite)
-        for result in results:
-            args.out.write(result.render() + "\n")
+        _write_out(args.out,
+                   "".join(result.render() + "\n" for result in results))
         return 0 if all(r.passed for r in results) else 1
     if args.json:
         from repro.experiments.export import export_json
@@ -200,9 +252,15 @@ def main(argv: list[str] | None = None) -> int:
 
         write_html(suite, args.html, sections=sections)
     if args.json or args.csv_dir or args.html:
-        return 0
-    write_report(suite, args.out, sections=sections, charts=args.charts)
-    return 0
+        return DEGRADED_EXIT_CODE if suite.missing else 0
+    if args.out == "-":
+        # Stream to the terminal so long runs show progress.
+        write_report(suite, sys.stdout, sections=sections, charts=args.charts)
+    else:
+        buffer = io.StringIO()
+        write_report(suite, buffer, sections=sections, charts=args.charts)
+        _write_out(args.out, buffer.getvalue())
+    return DEGRADED_EXIT_CODE if suite.missing else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,13 +14,16 @@ output is consumable from any environment (pandas, R, a spreadsheet).
 from __future__ import annotations
 
 import csv
+import io
 import json
+import math
 from pathlib import Path
 
 from repro.experiments.figures import FigureResult, MissComponentsResult
 from repro.experiments.report import REPORT_SECTIONS
 from repro.experiments.runner import ExperimentSuite
 from repro.experiments.tables import TableResult
+from repro.util.atomicio import atomic_write_text
 
 __all__ = ["section_to_dict", "export_json", "export_csv_dir"]
 
@@ -47,7 +50,15 @@ def section_to_dict(result: object) -> dict:
             "app": result.app,
             "baseline": result.baseline,
             "machines": [str(m) for m in result.machines],
-            "series": {name: list(values) for name, values in result.series.items()},
+            # Missing cells (a degraded partial-grid render) export as
+            # None/null — NaN is not valid JSON.
+            "series": {
+                name: [
+                    None if value is None or math.isnan(value) else value
+                    for value in values
+                ]
+                for name, values in result.series.items()
+            },
         }
     if isinstance(result, MissComponentsResult):
         return {
@@ -86,8 +97,12 @@ def export_json(
             name: section_to_dict(REPORT_SECTIONS[name](suite)) for name in chosen
         },
     }
-    Path(path).write_text(json.dumps(document, indent=2) + "\n",
-                          encoding="ascii")
+    if suite.missing:
+        # Only present on degraded exports, so a clean export and a
+        # converged post-chaos export stay byte-identical.
+        document["degraded"] = {"missing_cells": suite.missing_labels()}
+    atomic_write_text(path, json.dumps(document, indent=2) + "\n",
+                      encoding="ascii")
     return document
 
 
@@ -113,18 +128,22 @@ def export_csv_dir(
     for name in chosen:
         data = section_to_dict(REPORT_SECTIONS[name](suite))
         path = directory / f"{name}.csv"
-        with open(path, "w", newline="", encoding="ascii") as handle:
-            writer = csv.writer(handle)
-            if data["kind"] in ("table", "miss-components"):
-                writer.writerow(data["headers"])
-                writer.writerows(data["rows"])
-            elif data["kind"] == "figure":
-                writer.writerow(["algorithm", "machine", "normalized_time"])
-                for algorithm, values in data["series"].items():
-                    for machine, value in zip(data["machines"], values):
-                        writer.writerow([algorithm, machine, value])
-            else:
-                writer.writerow(["text"])
-                writer.writerow([data["text"]])
+        buffer = io.StringIO(newline="")
+        writer = csv.writer(buffer)
+        if data["kind"] in ("table", "miss-components"):
+            writer.writerow(data["headers"])
+            writer.writerows(data["rows"])
+        elif data["kind"] == "figure":
+            writer.writerow(["algorithm", "machine", "normalized_time"])
+            for algorithm, values in data["series"].items():
+                for machine, value in zip(data["machines"], values):
+                    writer.writerow([
+                        algorithm, machine,
+                        "MISSING" if value is None else value,
+                    ])
+        else:
+            writer.writerow(["text"])
+            writer.writerow([data["text"]])
+        atomic_write_text(path, buffer.getvalue(), encoding="ascii")
         written.append(path)
     return written

@@ -15,7 +15,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.arch.stats import MissKind
-from repro.experiments.runner import ExperimentSuite, MachineSpec
+from repro.experiments.runner import (
+    ExperimentSuite,
+    MachineSpec,
+    MissingCellError,
+)
 from repro.placement.algorithms import all_algorithms
 from repro.util.ascii_chart import horizontal_bars, stacked_bars
 from repro.util.tables import format_table
@@ -36,14 +40,15 @@ class FigureResult:
     """A grouped-bar figure: one series per algorithm over machine configs.
 
     ``series[algorithm][i]`` is the execution time under ``algorithm`` on
-    ``machines[i]``, normalized to the baseline algorithm.
+    ``machines[i]``, normalized to the baseline algorithm — or None for a
+    cell missing from a degraded (non-strict) suite, rendered ``MISSING``.
     """
 
     title: str
     app: str
     baseline: str
     machines: list[MachineSpec]
-    series: dict[str, list[float]]
+    series: dict[str, list[float | None]]
 
     def render(self) -> str:
         """The figure's series as an aligned ASCII table."""
@@ -54,8 +59,15 @@ class FigureResult:
         return format_table(headers, rows, title=self.title, float_format=".3f")
 
     def best_algorithm(self, machine_index: int) -> str:
-        """Algorithm with the lowest normalized time on one configuration."""
-        return min(self.series, key=lambda name: self.series[name][machine_index])
+        """Algorithm with the lowest normalized time on one configuration
+        (missing cells are ignored)."""
+        present = [name for name in self.series
+                   if self.series[name][machine_index] is not None]
+        if not present:
+            raise MissingCellError(
+                f"every algorithm is missing on machine {machine_index}"
+            )
+        return min(present, key=lambda name: self.series[name][machine_index])
 
     def render_chart(self, *, width: int = 40) -> str:
         """ASCII grouped bars, one group per machine configuration.
@@ -66,13 +78,17 @@ class FigureResult:
         parts = [self.title, "=" * len(self.title)]
         for index, machine in enumerate(self.machines):
             parts.append(f"\n[{machine}]  (| marks {self.baseline} = 1.0)")
-            parts.append(
-                horizontal_bars(
-                    {name: values[index] for name, values in self.series.items()},
-                    width=width,
-                    reference=1.0,
+            values = {name: series[index]
+                      for name, series in self.series.items()}
+            present = {name: value for name, value in values.items()
+                       if value is not None}
+            if present:
+                parts.append(
+                    horizontal_bars(present, width=width, reference=1.0)
                 )
-            )
+            absent = [name for name, value in values.items() if value is None]
+            if absent:
+                parts.append("MISSING: " + ", ".join(absent))
         return "\n".join(parts)
 
 
@@ -141,12 +157,13 @@ class MissComponentsResult:
 
     ``rows``: (machine, algorithm, compulsory, intra-thread conflict,
     inter-thread conflict, invalidation, total misses); counts are
-    machine-wide.
+    machine-wide.  On a degraded (non-strict) suite a missing cell's
+    counts are all None, rendered ``MISSING``.
     """
 
     title: str
     app: str
-    rows: list[tuple[str, str, int, int, int, int, int]]
+    rows: list[tuple]
 
     def render(self) -> str:
         """The decomposition as an aligned ASCII table."""
@@ -160,6 +177,7 @@ class MissComponentsResult:
         return {
             (machine, algorithm): compulsory + invalidation
             for machine, algorithm, compulsory, _, _, invalidation, _ in self.rows
+            if compulsory is not None and invalidation is not None
         }
 
     def render_chart(self, *, width: int = 40) -> str:
@@ -167,6 +185,8 @@ class MissComponentsResult:
         parts = [self.title, "=" * len(self.title)]
         by_machine: dict[str, dict[str, list[float]]] = {}
         for machine, algorithm, comp, intra, inter, inv, _ in self.rows:
+            if comp is None:
+                continue  # missing cell: stays out of the chart
             by_machine.setdefault(machine, {})[algorithm] = [
                 float(comp), float(intra), float(inter), float(inv)
             ]
@@ -200,7 +220,14 @@ def figure5(
     rows = []
     for machine in suite.machine_specs(app):
         for name in names:
-            result = suite.run(app, name, machine.processors)
+            try:
+                result = suite.run(app, name, machine.processors)
+            except MissingCellError:
+                if suite.strict:
+                    raise
+                rows.append((str(machine), name,
+                             None, None, None, None, None))
+                continue
             totals = result.cache_totals
             rows.append((
                 str(machine),

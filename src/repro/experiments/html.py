@@ -12,8 +12,9 @@ import html
 from pathlib import Path
 
 from repro.experiments.export import section_to_dict
-from repro.experiments.report import REPORT_SECTIONS
+from repro.experiments.report import REPORT_SECTIONS, completeness_footer
 from repro.experiments.runner import ExperimentSuite
+from repro.util.atomicio import atomic_write_text
 
 __all__ = ["render_html", "write_html"]
 
@@ -57,7 +58,9 @@ def _figure_svg(data: dict, *, bar_height: int = 14, gap: int = 4) -> str:
     parts: list[str] = []
     label_width, chart_width = 130, 360
     peak = max(
-        (v for values in data["series"].values() for v in values), default=1.0
+        (v for values in data["series"].values() for v in values
+         if v is not None),
+        default=1.0,
     )
     peak = max(peak, 1.05)
     scale = chart_width / peak
@@ -80,12 +83,19 @@ def _figure_svg(data: dict, *, bar_height: int = 14, gap: int = 4) -> str:
         for row, (name, values) in enumerate(rows):
             y = 20 + row * (bar_height + gap)
             value = values[index]
-            width = max(value * scale, 1)
-            css = "bar loadbal" if name == "LOAD-BAL" else "bar"
             svg.append(
                 f'<text class="axis-label" x="0" y="{y + bar_height - 3}">'
                 f'{html.escape(name)}</text>'
             )
+            if value is None:
+                # A degraded partial-grid render: no bar, explicit marker.
+                svg.append(
+                    f'<text class="axis-label" x="{label_width}" '
+                    f'y="{y + bar_height - 3}">MISSING</text>'
+                )
+                continue
+            width = max(value * scale, 1)
+            css = "bar loadbal" if name == "LOAD-BAL" else "bar"
             svg.append(
                 f'<rect class="{css}" x="{label_width}" y="{y}" '
                 f'width="{width:.1f}" height="{bar_height}"/>'
@@ -124,6 +134,10 @@ def render_html(
         _section_html(name, section_to_dict(REPORT_SECTIONS[name](suite)))
         for name in chosen
     )
+    footer = completeness_footer(suite)
+    footer_html = (
+        f'<p class="note">{html.escape(footer)}</p>' if footer else ""
+    )
     return (
         "<!DOCTYPE html><html><head><meta charset='utf-8'/>"
         "<title>Thekkath &amp; Eggers (ISCA 1994) — reproduction</title>"
@@ -131,7 +145,7 @@ def render_html(
         "<h1>Impact of Sharing-Based Thread Placement on Multithreaded "
         "Architectures — reproduction report</h1>"
         f"<p>workload scale = {suite.scale}, seed = {suite.seed}</p>"
-        f"{body}</body></html>"
+        f"{body}{footer_html}</body></html>"
     )
 
 
@@ -141,6 +155,7 @@ def write_html(
     *,
     sections: list[str] | None = None,
 ) -> None:
-    """Render and write the HTML report."""
-    Path(path).write_text(render_html(suite, sections=sections),
-                          encoding="utf-8")
+    """Render and write the HTML report (atomically: a crash or full disk
+    mid-write never leaves a torn document at ``path``)."""
+    atomic_write_text(path, render_html(suite, sections=sections),
+                      encoding="utf-8")

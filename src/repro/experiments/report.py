@@ -25,7 +25,8 @@ from repro.experiments.tables import table1, table2, table3, table4, table5
 from repro.workload.applications import application_names, spec_for
 from repro.workload.calibration import calibrate
 
-__all__ = ["REPORT_SECTIONS", "full_report", "write_report"]
+__all__ = ["REPORT_SECTIONS", "completeness_footer", "full_report",
+           "write_report"]
 
 
 @dataclass(frozen=True)
@@ -86,6 +87,26 @@ REPORT_SECTIONS: dict[str, Callable[[ExperimentSuite], object]] = {
 }
 
 
+def completeness_footer(suite: ExperimentSuite) -> str:
+    """The degraded-report footer, or "" when every cell is present.
+
+    A complete run gets no footer at all, so a clean report and a
+    chaos-then-resumed-until-clean report stay byte-identical (the
+    convergence property the chaos suite asserts).
+    """
+    labels = suite.missing_labels() if suite.missing else []
+    if not labels:
+        return ""
+    shown = ", ".join(labels[:8])
+    if len(labels) > 8:
+        shown += f", … ({len(labels) - 8} more)"
+    return (
+        f"DEGRADED REPORT: {len(labels)} cell(s) could not be computed and "
+        f"are shown as MISSING: {shown}\n"
+        "Re-run with --resume to retry only the missing cells."
+    )
+
+
 def _render_section(result: object, charts: bool) -> str:
     text = result.render()
     if charts and hasattr(result, "render_chart"):
@@ -118,6 +139,10 @@ def full_report(
         result = REPORT_SECTIONS[section](suite)
         parts.append(_render_section(result, charts))
         parts.append("")
+    footer = completeness_footer(suite)
+    if footer:
+        parts.append(footer)
+        parts.append("")
     return "\n".join(parts)
 
 
@@ -141,5 +166,10 @@ def write_report(
     for section in chosen:
         result = REPORT_SECTIONS[section](suite)
         stream.write(_render_section(result, charts))
+        stream.write("\n\n")
+        stream.flush()
+    footer = completeness_footer(suite)
+    if footer:
+        stream.write(footer)
         stream.write("\n\n")
         stream.flush()

@@ -35,7 +35,18 @@ from repro.workload.applications import DEFAULT_SCALE, build_application, spec_f
 from repro.util.rng import RngStreams
 from repro.util.validate import check_positive
 
-__all__ = ["MachineSpec", "ExperimentSuite", "PROCESSOR_COUNTS"]
+__all__ = ["MachineSpec", "ExperimentSuite", "MissingCellError",
+           "PROCESSOR_COUNTS"]
+
+
+class MissingCellError(RuntimeError):
+    """A requested cell is marked missing (its computation failed).
+
+    Raised by :meth:`ExperimentSuite.run` for cells a degraded prefetch
+    recorded in :attr:`ExperimentSuite.missing`.  Strict suites let it
+    propagate; renderers over a non-strict suite catch it and show the
+    cell as ``MISSING`` instead.
+    """
 
 #: The paper's processor axis (Table 3: 2-16 processors).
 PROCESSOR_COUNTS: tuple[int, ...] = (2, 4, 8, 16)
@@ -73,6 +84,14 @@ class ExperimentSuite:
             :func:`repro.arch.simulator.simulate`).  The engines are
             bit-for-bit equivalent, so results, memo keys and the
             persistent store are engine-agnostic.
+        strict: Failure policy for cells a parallel :meth:`prefetch`
+            could not complete.  ``True`` (the default, the library
+            behavior since PR 1): nothing is marked missing and a later
+            :meth:`run` recomputes the cell sequentially.  ``False`` (the
+            CLI's report path): failed cells land in :attr:`missing`, a
+            subsequent :meth:`run` raises :class:`MissingCellError`, and
+            every renderer degrades that cell to ``MISSING`` instead of
+            re-risking a crash or hang at render time.
     """
 
     def __init__(
@@ -85,6 +104,7 @@ class ExperimentSuite:
         cache_dir: str | None = None,
         check_invariants: bool = False,
         engine: str = "classic",
+        strict: bool = True,
     ) -> None:
         check_positive("scale", scale)
         check_positive("random_replicates", random_replicates)
@@ -99,6 +119,9 @@ class ExperimentSuite:
         self.cache_dir = cache_dir
         self.check_invariants = bool(check_invariants)
         self.engine = engine
+        self.strict = bool(strict)
+        #: Cells a degraded prefetch failed to compute (memo-key tuples).
+        self.missing: set[tuple] = set()
         self._store = ResultStore(cache_dir) if cache_dir is not None else None
         self._streams = RngStreams(seed).child("experiments")
         self._traces: dict[str, TraceSet] = {}
@@ -245,6 +268,11 @@ class ExperimentSuite:
         name = spec_for(app).name
         key = (name, algorithm.upper(), processors, infinite, associativity,
                cache_words, replicate)
+        if key in self.missing:
+            raise MissingCellError(
+                f"cell {key} failed during prefetch and is marked missing; "
+                "re-run with --resume to retry it"
+            )
         if key not in self._results:
             store_key = cell_store_key(
                 scale=self.scale, seed=self.seed,
@@ -280,6 +308,7 @@ class ExperimentSuite:
         *,
         jobs: int = 1,
         timeout: float | None = None,
+        hang_timeout: float | None = None,
         journal: str | None = None,
         resume: bool = False,
         max_retries: int = 2,
@@ -314,28 +343,51 @@ class ExperimentSuite:
             engine=self.engine,
         )
         engine = ExecutionEngine(
-            workers=jobs, timeout=timeout, max_retries=max_retries,
+            workers=jobs, timeout=timeout, hang_timeout=hang_timeout,
+            max_retries=max_retries,
             backoff=backoff, store=self._store, journal_path=journal,
             resume=resume, mp_context=mp_context,
         )
         report = engine.run(specs)
+        by_job = {spec.job_id: spec for spec in specs}
         for spec in specs:
             result = report.results.get(spec.job_id)
             if result is not None:
                 self._results[spec.cell] = result
+                self.missing.discard(spec.cell)
+        if not self.strict:
+            # Degraded mode: a cell the engine gave up on (retries
+            # exhausted) renders as MISSING rather than being recomputed
+            # sequentially — recomputing would re-risk the crash or hang
+            # at render time, single-threaded and unjournaled.
+            for failure in report.failures:
+                spec = by_job.get(failure.job_id)
+                if spec is not None:
+                    self.missing.add(spec.cell)
         return report
 
     def execution_time(self, app: str, algorithm: str, processors: int,
-                       **kwargs) -> float:
-        """Execution time of one cell; RANDOM is averaged over replicates."""
-        if algorithm.upper() == "RANDOM":
-            times = [
-                self.run(app, algorithm, processors, replicate=r,
-                         **kwargs).execution_time
-                for r in range(self.random_replicates)
-            ]
-            return float(np.mean(times))
-        return float(self.run(app, algorithm, processors, **kwargs).execution_time)
+                       **kwargs) -> float | None:
+        """Execution time of one cell; RANDOM is averaged over replicates.
+
+        On a non-strict suite, a cell marked missing yields None (the
+        renderers' ``MISSING`` marker) instead of raising.
+        """
+        try:
+            if algorithm.upper() == "RANDOM":
+                times = [
+                    self.run(app, algorithm, processors, replicate=r,
+                             **kwargs).execution_time
+                    for r in range(self.random_replicates)
+                ]
+                return float(np.mean(times))
+            return float(
+                self.run(app, algorithm, processors, **kwargs).execution_time
+            )
+        except MissingCellError:
+            if self.strict:
+                raise
+            return None
 
     def normalized_time(
         self,
@@ -345,12 +397,31 @@ class ExperimentSuite:
         *,
         baseline: str = "RANDOM",
         **kwargs,
-    ) -> float:
+    ) -> float | None:
         """Execution time normalized to a baseline algorithm (the figures'
-        Y-axis; RANDOM for Figures 2-4, LOAD-BAL for Table 5)."""
+        Y-axis; RANDOM for Figures 2-4, LOAD-BAL for Table 5).
+
+        None (missing numerator *or* baseline, non-strict suites only)
+        propagates to the caller's ``MISSING`` rendering.
+        """
         ours = self.execution_time(app, algorithm, processors, **kwargs)
         reference = self.execution_time(app, baseline, processors, **kwargs)
+        if ours is None or reference is None:
+            return None
         return ours / reference if reference else float("inf")
+
+    def missing_labels(self) -> list[str]:
+        """Human-readable labels of the missing cells (sorted, stable)."""
+        labels = []
+        for (app, algorithm, processors, infinite, _assoc, _words,
+             replicate) in sorted(self.missing, key=repr):
+            label = f"{app}/{algorithm}/{processors}p"
+            if infinite:
+                label += "/inf"
+            if replicate:
+                label += f"/r{replicate}"
+            labels.append(label)
+        return labels
 
 
 def _rebuild_suite(scale, seed, quantum_refs, random_replicates, cache_dir,

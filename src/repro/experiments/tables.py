@@ -206,15 +206,21 @@ def _static_sharing_names() -> list[str]:
 
 def best_static_sharing(
     suite: ExperimentSuite, app: str, processors: int, *, infinite: bool = True
-) -> tuple[str, float]:
+) -> tuple[str, float | None]:
     """Best (lowest execution time) static sharing algorithm for a cell,
-    normalized to LOAD-BAL — the paper's Table 5 quantity."""
-    best_name, best_value = "", float("inf")
+    normalized to LOAD-BAL — the paper's Table 5 quantity.
+
+    Cells missing from a degraded (non-strict) suite are skipped; if every
+    candidate is missing the value is None (rendered ``MISSING``).
+    """
+    best_name, best_value = "", None
     for algorithm in _static_sharing_names():
         value = suite.normalized_time(
             app, algorithm, processors, baseline="LOAD-BAL", infinite=infinite
         )
-        if value < best_value:
+        if value is None:
+            continue
+        if best_value is None or value < best_value:
             best_name, best_value = algorithm, value
     return best_name, best_value
 

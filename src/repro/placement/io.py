@@ -25,6 +25,7 @@ import json
 from pathlib import Path
 
 from repro.placement.base import PlacementMap
+from repro.util.atomicio import atomic_write_text
 
 __all__ = ["save_placement", "load_placement", "placement_to_json",
            "placement_from_json"]
@@ -83,8 +84,10 @@ def save_placement(
     algorithm: str = "",
     app: str = "",
 ) -> None:
-    """Write a placement map to a JSON file."""
-    Path(path).write_text(
+    """Write a placement map to a JSON file (atomically: a crashed or
+    disk-full write never leaves a torn document behind)."""
+    atomic_write_text(
+        Path(path),
         placement_to_json(placement, algorithm=algorithm, app=app) + "\n",
         encoding="ascii",
     )

@@ -1,0 +1,83 @@
+"""Friendly one-line CLI errors, shared by every console tool.
+
+Predictable misuse — a nonexistent trace file, a malformed map, an
+unknown algorithm name — should read like an argparse usage error
+(``prog: error: <one line>``, exit code 2), not a traceback.  Each tool
+wraps its ``main`` in :func:`friendly_errors`; genuine bugs (anything
+outside the translated exception types) still traceback so they are
+reported rather than shrugged off.
+
+Exit codes:
+
+* 2 — usage/input error (argparse's own convention);
+* 3 — the run completed but the artifact is degraded (missing cells);
+* 130 — interrupted by SIGINT/SIGTERM (128 + SIGINT, the shell's
+  convention), after the engine's clean shutdown has sealed the journal.
+"""
+
+from __future__ import annotations
+
+import functools
+import sys
+from typing import Callable
+
+__all__ = [
+    "CliError",
+    "friendly_errors",
+    "USAGE_EXIT_CODE",
+    "DEGRADED_EXIT_CODE",
+    "INTERRUPT_EXIT_CODE",
+]
+
+USAGE_EXIT_CODE = 2
+DEGRADED_EXIT_CODE = 3
+INTERRUPT_EXIT_CODE = 130
+
+
+class CliError(Exception):
+    """A user-facing error: one line on stderr, exit 2, no traceback."""
+
+
+def _fail(prog: str, message: str) -> int:
+    print(f"{prog}: error: {message}", file=sys.stderr)
+    return USAGE_EXIT_CODE
+
+
+def friendly_errors(prog: str) -> Callable:
+    """Decorator translating predictable failures into one-line errors.
+
+    ``FileNotFoundError`` (and friends) name the missing path;
+    ``ValueError``/``KeyError`` — the input-validation currency of the
+    loaders and registries — print their message; ``KeyboardInterrupt``
+    (which the engine re-raises after journaling in-flight jobs as
+    interrupted) exits 130 without a traceback.
+    """
+
+    def decorate(main: Callable) -> Callable:
+        @functools.wraps(main)
+        def wrapper(argv=None):
+            try:
+                return main(argv)
+            except CliError as exc:
+                return _fail(prog, str(exc))
+            except FileNotFoundError as exc:
+                return _fail(prog, f"no such file: {exc.filename or exc}")
+            except IsADirectoryError as exc:
+                return _fail(
+                    prog, f"expected a file, got a directory: "
+                          f"{exc.filename or exc}")
+            except PermissionError as exc:
+                return _fail(prog,
+                             f"permission denied: {exc.filename or exc}")
+            except (ValueError, KeyError) as exc:
+                message = str(exc)
+                if isinstance(exc, KeyError) and message.startswith(("'", '"')):
+                    message = message[1:-1]
+                return _fail(prog, message)
+            except KeyboardInterrupt:
+                print(f"{prog}: interrupted", file=sys.stderr)
+                return INTERRUPT_EXIT_CODE
+
+        return wrapper
+
+    return decorate

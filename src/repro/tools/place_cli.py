@@ -20,6 +20,7 @@ from repro.placement.base import PlacementInputs
 from repro.placement.dynamic import measure_coherence_matrix
 from repro.placement.io import save_placement
 from repro.placement.quality import evaluate_placement
+from repro.tools.errors import CliError, friendly_errors
 from repro.trace.io import load_trace_set, load_trace_set_text
 from repro.trace.analysis import TraceSetAnalysis
 
@@ -50,6 +51,7 @@ def _load_traces(path: str):
     return load_trace_set_text(path)
 
 
+@friendly_errors("repro-place")
 def main(argv: list[str] | None = None) -> int:
     """Console entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -58,7 +60,7 @@ def main(argv: list[str] | None = None) -> int:
             print(algorithm.name)
         return 0
     if not args.traces or not args.out:
-        raise SystemExit("error: --traces and --out are required (or --list)")
+        raise CliError("--traces and --out are required (or --list)")
 
     traces = _load_traces(args.traces)
     analysis = TraceSetAnalysis(traces)

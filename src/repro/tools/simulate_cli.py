@@ -20,6 +20,7 @@ from repro.arch.simulator import ENGINES, simulate
 from repro.arch.stats import MissKind
 from repro.arch.thrashing import detect_thrashing
 from repro.placement.io import load_placement
+from repro.tools.errors import friendly_errors
 from repro.trace.io import load_trace_set, load_trace_set_text
 
 __all__ = ["main", "build_parser"]
@@ -62,6 +63,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+@friendly_errors("repro-simulate")
 def main(argv: list[str] | None = None) -> int:
     """Console entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)

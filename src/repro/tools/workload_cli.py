@@ -14,6 +14,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.tools.errors import CliError, friendly_errors
 from repro.trace.io import save_trace_set, save_trace_set_text
 from repro.trace.stream import TraceSet
 from repro.workload.applications import (
@@ -71,10 +72,11 @@ def _generate(args: argparse.Namespace) -> TraceSet:
         )
         return build_custom_workload(spec, seed=args.seed)
     if not args.app:
-        raise SystemExit("error: --app or --custom is required (or --list)")
+        raise CliError("--app or --custom is required (or --list)")
     return build_application(args.app, scale=args.scale, seed=args.seed)
 
 
+@friendly_errors("repro-workload")
 def main(argv: list[str] | None = None) -> int:
     """Console entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -85,7 +87,7 @@ def main(argv: list[str] | None = None) -> int:
                   f"{targets.num_threads:4d} threads  {targets.domain}")
         return 0
     if not args.out:
-        raise SystemExit("error: --out is required")
+        raise CliError("--out is required")
     traces = _generate(args)
     if args.format == "text":
         save_trace_set_text(traces, args.out)

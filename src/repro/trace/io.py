@@ -18,6 +18,7 @@ from typing import TextIO
 import numpy as np
 
 from repro.trace.stream import ThreadTrace, TraceSet
+from repro.util.atomicio import atomic_write_bytes, atomic_write_text
 
 __all__ = [
     "save_trace_set",
@@ -30,7 +31,8 @@ _TEXT_MAGIC = "# repro-trace v1"
 
 
 def save_trace_set(trace_set: TraceSet, path: str | Path) -> None:
-    """Save a trace set as a compressed ``.npz`` archive."""
+    """Save a trace set as a compressed ``.npz`` archive (atomically: a
+    crashed or disk-full write never leaves a torn archive behind)."""
     arrays: dict[str, np.ndarray] = {}
     for trace in trace_set:
         arrays[f"gaps_{trace.thread_id}"] = trace.gaps
@@ -38,7 +40,13 @@ def save_trace_set(trace_set: TraceSet, path: str | Path) -> None:
         arrays[f"writes_{trace.thread_id}"] = trace.writes
     arrays["_meta_num_threads"] = np.array([trace_set.num_threads])
     arrays["_meta_name"] = np.array([trace_set.name])
-    np.savez_compressed(Path(path), **arrays)
+    path = Path(path)
+    if not path.name.endswith(".npz"):
+        # np.savez_compressed appends the extension; keep that contract.
+        path = path.with_name(path.name + ".npz")
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    atomic_write_bytes(path, buffer.getvalue())
 
 
 def load_trace_set(path: str | Path) -> TraceSet:
@@ -69,9 +77,10 @@ def _write_text(trace_set: TraceSet, stream: TextIO) -> None:
 
 
 def save_trace_set_text(trace_set: TraceSet, path: str | Path) -> None:
-    """Save a trace set in the line-per-record text format."""
-    with open(Path(path), "w", encoding="ascii") as stream:
-        _write_text(trace_set, stream)
+    """Save a trace set in the line-per-record text format (atomically)."""
+    buffer = io.StringIO()
+    _write_text(trace_set, buffer)
+    atomic_write_text(Path(path), buffer.getvalue(), encoding="ascii")
 
 
 def trace_set_to_text(trace_set: TraceSet) -> str:

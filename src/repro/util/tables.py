@@ -13,6 +13,10 @@ __all__ = ["format_table"]
 
 
 def _render_cell(value: object, float_format: str) -> str:
+    if value is None:
+        # A degraded partial-grid render: the cell's simulation is missing
+        # (it failed and was not recomputed); never silently a number.
+        return "MISSING"
     if isinstance(value, bool):
         return "yes" if value else "no"
     if isinstance(value, float):

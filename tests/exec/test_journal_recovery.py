@@ -1,0 +1,118 @@
+"""Torn-tail recovery: a journal damaged mid-append heals on reopen.
+
+A coordinator killed mid-write (power loss, SIGKILL, the injected
+``torn:journal`` fault) leaves a partial JSON object with no trailing
+newline.  Opening the journal for a new run must truncate that tail back
+to the last complete line, keep the valid prefix, and leave resume's
+completed-set exactly what the complete lines confirm.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.exec import RunJournal
+from repro.faults import TORN_EXIT_CODE
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _journal_with(path, events, tail=b""):
+    lines = [json.dumps(e, sort_keys=True) + "\n" for e in events]
+    path.write_bytes("".join(lines).encode() + tail)
+
+
+class TestRecoverTornTail:
+    def test_clean_file_untouched(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _journal_with(path, [{"event": "run-start"}])
+        before = path.read_bytes()
+        assert RunJournal.recover_torn_tail(path) == 0
+        assert path.read_bytes() == before
+
+    def test_half_json_line_is_truncated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        torn = b'{"event": "finished", "job": "abc'
+        _journal_with(path, [{"event": "run-start"},
+                             {"event": "finished", "job": "j1"}], tail=torn)
+        dropped = RunJournal.recover_torn_tail(path)
+        assert dropped == len(torn)
+        events = RunJournal.read(path)
+        assert [e["event"] for e in events] == ["run-start", "finished"]
+
+    def test_garbage_tail_is_truncated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _journal_with(path, [{"event": "queued", "job": "j1"}],
+                      tail=b"\xde\xad\xbe\xef")
+        assert RunJournal.recover_torn_tail(path) == 4
+        assert RunJournal.read(path) == [{"event": "queued", "job": "j1"}]
+
+    def test_file_with_no_complete_line_becomes_empty(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_bytes(b'{"event": "run-st')
+        RunJournal.recover_torn_tail(path)
+        assert path.read_bytes() == b""
+
+    def test_missing_file_is_fine(self, tmp_path):
+        assert RunJournal.recover_torn_tail(tmp_path / "absent.jsonl") == 0
+
+    def test_reopen_heals_then_appends_cleanly(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _journal_with(path, [{"event": "finished", "job": "done-1"}],
+                      tail=b'{"event": "finished", "job": "half')
+        with RunJournal(path) as journal:
+            journal.record("finished", "done-2")
+        events = RunJournal.read(path)
+        assert [e.get("job") for e in events] == ["done-1", "done-2"]
+        # Every line is complete again.
+        assert path.read_bytes().endswith(b"\n")
+
+    def test_completed_jobs_after_recovery(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _journal_with(
+            path,
+            [{"event": "finished", "job": "a"},
+             {"event": "cache-hit", "job": "b"},
+             {"event": "failed", "job": "c"}],
+            tail=b'{"event": "finished", "job": "torn-victim',
+        )
+        RunJournal.recover_torn_tail(path)
+        assert RunJournal.completed_jobs(path) == {"a", "b"}
+
+
+class TestTornInjection:
+    def test_torn_fault_kills_mid_line_and_reopen_recovers(self, tmp_path):
+        """End to end: the injected ``torn`` fault leaves exactly the
+        damage the healer expects — half a line, fsynced — and the next
+        open restores a whole-line file."""
+        journal_path = tmp_path / "j.jsonl"
+        script = (
+            "from repro.exec import RunJournal\n"
+            f"journal = RunJournal({str(journal_path)!r})\n"
+            "for n in range(10):\n"
+            "    journal.record('finished', f'job-{n}')\n"
+            "journal.close()\n"
+        )
+        env = dict(
+            os.environ,
+            PYTHONPATH=str(REPO / "src"),
+            REPRO_FAULTS="torn:journal:nth=4",
+            REPRO_FAULT_LEDGER=str(tmp_path / "ledger"),
+        )
+        proc = subprocess.run([sys.executable, "-c", script], env=env,
+                              capture_output=True, text=True, timeout=60)
+        assert proc.returncode == TORN_EXIT_CODE, proc.stderr
+        data = journal_path.read_bytes()
+        assert not data.endswith(b"\n"), "the tail must really be torn"
+
+        # Reopen: the torn tail is healed, the valid prefix survives.
+        with RunJournal(journal_path) as journal:
+            journal.record("finished", "after-recovery")
+        events = RunJournal.read(journal_path)
+        jobs = [e["job"] for e in events]
+        assert jobs == ["job-0", "job-1", "job-2", "after-recovery"]
+        assert RunJournal.completed_jobs(journal_path) == {
+            "job-0", "job-1", "job-2", "after-recovery",
+        }

@@ -1,0 +1,84 @@
+"""Clean shutdown on SIGINT/SIGTERM: the journal is sealed for resume.
+
+A scheduler's polite kill (SIGTERM) or a Ctrl-C must not leave the run
+journal ambiguous: the engine journals every in-flight and queued job as
+``interrupted``, appends ``run-interrupted``, closes the journal, and
+lets KeyboardInterrupt reach the caller — so a later ``--resume`` run
+retries exactly the unfinished cells.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.exec import RunJournal
+
+REPO = Path(__file__).resolve().parents[2]
+
+_SCRIPT = """
+import sys, time
+from repro.exec import ExecutionEngine, JobSpec
+
+def slow(payload):
+    time.sleep(30)
+    return payload["spec"]["replicate"]
+
+specs = [
+    JobSpec(app="Water", algorithm="LOAD-BAL", processors=2,
+            scale=0.001, replicate=r)
+    for r in range(3)
+]
+engine = ExecutionEngine(workers=1, job_runner=slow, max_retries=0,
+                         journal_path=sys.argv[1])
+try:
+    engine.run(specs)
+except KeyboardInterrupt:
+    sys.exit(130)
+sys.exit(0)
+"""
+
+
+def _wait_for_event(journal_path, event, deadline=30.0):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        if journal_path.exists():
+            if any(e["event"] == event for e in RunJournal.read(journal_path)):
+                return
+        time.sleep(0.05)
+    raise AssertionError(f"journal never recorded {event!r}")
+
+
+@pytest.mark.integration
+@pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+def test_signal_seals_journal_and_exits_130(tmp_path, signum):
+    journal_path = tmp_path / "journal.jsonl"
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _SCRIPT, str(journal_path)],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        start_new_session=True,  # keep pytest's own process group out of it
+    )
+    try:
+        _wait_for_event(journal_path, "started")
+        proc.send_signal(signum)
+        assert proc.wait(timeout=30) == 130
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    events = RunJournal.read(journal_path)
+    by_kind = [e["event"] for e in events]
+    # The in-flight job and both queued jobs are marked for resume...
+    assert by_kind.count("interrupted") == 3
+    # ...the run itself is sealed with a terminal record...
+    assert by_kind[-1] == "run-interrupted"
+    assert not any(e == "finished" for e in by_kind)
+    # ...and the file is whole (no torn tail for recovery to repair).
+    assert journal_path.read_bytes().endswith(b"\n")
+    assert RunJournal.recover_torn_tail(journal_path) == 0

@@ -1,0 +1,91 @@
+"""The chaos harness's acceptance bar: fault runs converge to the truth.
+
+A report generated under an adversarial fault schedule — a worker crash,
+a corrupted cache entry, a coordinator killed mid-journal-line — must,
+after rerunning with ``--resume`` until the run exits clean, be
+**byte-identical** to a fault-free run.  The fault ledger is what makes
+the loop terminate: every firing is recorded durably before the damage,
+so the schedule strictly drains.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+BASE = ["--sections", "figure4", "--scale", "0.001", "--seed", "0",
+        "--jobs", "2", "--retries", "2"]
+
+#: Strikes three different layers: a worker process, the result store,
+#: and the coordinator's own journal appends.
+CHAOS = "crash:worker:nth=2;corrupt:store:nth=3;torn:journal:nth=30"
+
+
+def _cli(args, *, timeout=600):
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    return subprocess.run(
+        [sys.executable, "-m", "repro.experiments.cli", *args],
+        env=env, capture_output=True, text=True, timeout=timeout,
+    )
+
+
+@pytest.mark.integration
+def test_chaos_run_converges_to_the_fault_free_report(tmp_path):
+    clean_out = tmp_path / "clean.txt"
+    proc = _cli(BASE + ["--journal", str(tmp_path / "clean.jsonl"),
+                        "--cache-dir", str(tmp_path / "clean-cache"),
+                        "--out", str(clean_out)])
+    assert proc.returncode == 0, proc.stderr
+
+    chaos_out = tmp_path / "chaos.txt"
+    chaos_args = BASE + [
+        "--journal", str(tmp_path / "chaos.jsonl"),
+        "--cache-dir", str(tmp_path / "chaos-cache"),
+        "--out", str(chaos_out),
+        "--inject-faults", CHAOS,
+        "--fault-ledger", str(tmp_path / "ledger"),
+    ]
+    codes = [_cli(chaos_args).returncode]
+    # Rerun with --resume until the run exits clean; the ledger guarantees
+    # the fault schedule drains, so this terminates quickly.
+    for _ in range(6):
+        if codes[-1] == 0:
+            break
+        codes.append(_cli(chaos_args + ["--resume"]).returncode)
+    assert codes[-1] == 0, f"never converged: exit codes {codes}"
+    assert codes[0] != 0, (
+        "the fault schedule did not bite on the first run; the chaos "
+        f"spec {CHAOS!r} no longer strikes anything"
+    )
+    # Every planned fault actually fired (and was ledgered).
+    ledger = (tmp_path / "ledger").read_text().split()
+    assert len(ledger) == 3, ledger
+
+    assert chaos_out.read_bytes() == clean_out.read_bytes(), (
+        "the converged post-chaos report differs from the fault-free run"
+    )
+
+
+@pytest.mark.integration
+def test_unrecoverable_faults_degrade_the_report_with_exit_3(tmp_path):
+    out = tmp_path / "degraded.txt"
+    proc = _cli(BASE + [
+        "--retries", "0",
+        "--journal", str(tmp_path / "run.jsonl"),
+        "--cache-dir", str(tmp_path / "cache"),
+        "--out", str(out),
+        # Every SHARE-ADDR cell errors on every attempt: retries cannot
+        # save it, so the report must degrade instead of crashing.
+        "--inject-faults", "error:worker:job=SHARE-ADDR,times=9999",
+    ])
+    assert proc.returncode == 3, (proc.returncode, proc.stderr[-2000:])
+    assert "[gap]" in proc.stderr
+    text = out.read_text()
+    assert "MISSING" in text
+    assert "DEGRADED REPORT" in text
+    assert "SHARE-ADDR" in text
+    assert "--resume" in text

@@ -1,0 +1,117 @@
+"""The hung-worker watchdog: detection, SIGKILL, and hang attribution.
+
+SIGALRM-based job timeouts need the worker's cooperation; a truly wedged
+worker (blocking C call, injected ``hang`` fault) never delivers the
+signal.  The watchdog patrols worker heartbeats from the coordinator and
+SIGKILLs any pid whose current job outlived the budget — the engine then
+recovers through its normal broken-pool path, attributing the retry as
+kind ``hang``.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import faults
+from repro.exec import ExecutionEngine, JobSpec, RunJournal
+from repro.exec.engine import _Watchdog
+
+
+def _echo(payload):
+    return payload["spec"]["replicate"]
+
+
+def _grid(n=3):
+    return [
+        JobSpec(app="Water", algorithm="LOAD-BAL", processors=2,
+                scale=0.001, replicate=r)
+        for r in range(n)
+    ]
+
+
+class TestSweep:
+    def _beat(self, directory, pid, age):
+        path = directory / f"hb-{pid}.json"
+        path.write_text(json.dumps(
+            {"job": f"job-of-{pid}", "pid": pid, "started": time.time() - age}
+        ), encoding="ascii")
+        return path
+
+    def test_young_jobs_are_left_alone(self, tmp_path):
+        beat = self._beat(tmp_path, os.getpid(), age=0.0)
+        watchdog = _Watchdog(tmp_path, patience=60.0, journal=RunJournal(None))
+        watchdog.sweep()
+        assert beat.exists()
+        assert not watchdog.killed
+
+    def test_overdue_live_worker_is_killed_and_journaled(self, tmp_path):
+        victim = subprocess.Popen(
+            [sys.executable, "-c", "import time; time.sleep(60)"])
+        try:
+            beat = self._beat(tmp_path, victim.pid, age=100.0)
+            journal = RunJournal(None)
+            watchdog = _Watchdog(tmp_path, patience=1.0, journal=journal)
+            watchdog.sweep()
+            assert watchdog.killed == {f"job-of-{victim.pid}"}
+            assert not beat.exists()
+            assert victim.wait(timeout=10) == -signal.SIGKILL
+            (event,) = [e for e in journal.events
+                        if e["event"] == "watchdog-kill"]
+            assert event["pid"] == victim.pid
+            assert event["age"] >= 1.0
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+                victim.wait()
+
+    def test_stale_heartbeat_of_dead_pid_is_cleaned_silently(self, tmp_path):
+        # A crashed worker (os._exit) never unlinks its heartbeat; the
+        # watchdog must tidy it without declaring a hang.
+        corpse = subprocess.Popen([sys.executable, "-c", "pass"])
+        corpse.wait()
+        beat = self._beat(tmp_path, corpse.pid, age=100.0)
+        journal = RunJournal(None)
+        watchdog = _Watchdog(tmp_path, patience=1.0, journal=journal)
+        watchdog.sweep()
+        assert not beat.exists()
+        assert not watchdog.killed
+        assert not [e for e in journal.events
+                    if e["event"] == "watchdog-kill"]
+
+    def test_torn_heartbeat_is_skipped(self, tmp_path):
+        (tmp_path / "hb-99999.json").write_text('{"job": "half')
+        watchdog = _Watchdog(tmp_path, patience=1.0, journal=RunJournal(None))
+        watchdog.sweep()  # must not raise
+        assert not watchdog.killed
+
+
+@pytest.mark.integration
+def test_injected_hang_is_killed_attributed_and_retried(tmp_path):
+    """End to end: one job hangs (injected), the watchdog kills its
+    worker, the engine retries it as kind ``hang``, and — the fault's
+    ledger budget spent — the retry completes the grid."""
+    journal_path = tmp_path / "journal.jsonl"
+    specs = _grid()
+    with faults.installed("hang:worker:job=[r1],secs=120",
+                          tmp_path / "ledger"):
+        report = ExecutionEngine(
+            workers=2, mp_context="fork", hang_timeout=1.0,
+            max_retries=2, backoff=0.0,
+            job_runner=_echo, journal_path=journal_path,
+        ).run(specs)
+
+    assert report.ok, [str(f) for f in report.failures]
+    assert sorted(report.results.values()) == [0, 1, 2]
+    events = RunJournal.read(journal_path)
+    kills = [e for e in events if e["event"] == "watchdog-kill"]
+    assert kills, "the watchdog must have killed the hung worker"
+    hang_retries = [e for e in events
+                    if e["event"] == "retrying" and e.get("kind") == "hang"]
+    assert hang_retries, "the victim must be retried as a hang, not a crash"
+    assert hang_retries[0]["job"] == specs[1].job_id
+    assert "watchdog" in hang_retries[0]["error"]

@@ -48,13 +48,14 @@ class TestWorkloadCli:
         assert traces.name == "mini"
         assert traces.num_threads == 6
 
-    def test_missing_out_errors(self):
-        with pytest.raises(SystemExit):
-            workload_main(["--app", "Water"])
+    def test_missing_out_errors(self, capsys):
+        assert workload_main(["--app", "Water"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-workload: error:") and "--out" in err
 
-    def test_missing_app_errors(self, tmp_path):
-        with pytest.raises(SystemExit):
-            workload_main(["--out", str(tmp_path / "x.npz")])
+    def test_missing_app_errors(self, tmp_path, capsys):
+        assert workload_main(["--out", str(tmp_path / "x.npz")]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestPlaceCli:
@@ -87,9 +88,9 @@ class TestPlaceCli:
         assert "SHARE-REFS+LB" in out
         assert "COHERENCE-TRAFFIC" in out
 
-    def test_missing_args(self):
-        with pytest.raises(SystemExit):
-            place_main(["--traces", "x.npz"])
+    def test_missing_args(self, capsys):
+        assert place_main(["--traces", "x.npz"]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestSimulateCli:
