@@ -12,13 +12,14 @@ pair of runs is also diffed bit-for-bit)::
 """
 
 import argparse
-import json
 import statistics
 import sys
 import time
 
 import numpy as np
 import pytest
+
+from _harness import Stopwatch, add_json_arg, bench_document, write_json
 
 from repro.arch.config import ArchConfig
 from repro.arch.simulator import simulate
@@ -167,23 +168,29 @@ def compare_engines(apps=None, reps: int = 7, seed: int = 0) -> dict:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="classic-vs-fast engine comparison (paper suite)")
-    parser.add_argument("--json", metavar="PATH",
-                        help="also write the comparison as JSON")
+    add_json_arg(parser)
     parser.add_argument("--reps", type=int, default=7,
                         help="timing repetitions per app (default 7)")
     parser.add_argument("--apps", nargs="+", default=None,
                         help="subset of applications (default: all 14)")
     args = parser.parse_args(argv)
-    report = compare_engines(apps=args.apps, reps=args.reps)
+    with Stopwatch() as clock:
+        report = compare_engines(apps=args.apps, reps=args.reps)
     for row in report["apps"]:
         print(f"{row['app']:14s} classic={row['classic_s'] * 1e3:8.2f}ms "
               f"fast={row['fast_s'] * 1e3:8.2f}ms  {row['speedup']:5.2f}x")
     print(f"median speedup: {report['median_speedup']:.2f}x "
           f"(scale={report['scale']}, reps={report['reps']})")
     if args.json:
-        with open(args.json, "w") as handle:
-            json.dump(report, handle, indent=2)
-        print(f"wrote {args.json}")
+        write_json(args.json, bench_document(
+            "core_speed",
+            params={"scale": report["scale"], "seed": report["seed"],
+                    "reps": report["reps"],
+                    "apps": [r["app"] for r in report["apps"]]},
+            wall_s=clock.wall_s, cpu_s=clock.cpu_s,
+            metrics={"median_speedup": report["median_speedup"],
+                     "apps": report["apps"]},
+        ))
     return 0
 
 

@@ -7,12 +7,18 @@ wall-clock, throughput and speedup ladder.  The last column sanity-checks
 determinism: every worker count must produce the identical execution time
 for the first planned cell.
 
-Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_parallel_speedup.py -s``.
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_parallel_speedup.py -s``,
+or as a script emitting the uniform repro-bench/v1 JSON::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_speedup.py --json scaling.json
 """
 
+import argparse
 import os
+import sys
 import time
 
+from _harness import Stopwatch, add_json_arg, bench_document, write_json
 from conftest import BENCH_SCALE
 
 from repro.exec import ExecutionEngine, plan_sections
@@ -21,10 +27,16 @@ from repro.exec import ExecutionEngine, plan_sections
 WORKER_LADDER = (1, 2, 4, 8)
 
 
-def test_parallel_speedup():
+def run_ladder(ladder=None):
+    """The scaling measurement: ``[(workers, wall_s, jobs_per_s), ...]``.
+
+    Raises ``AssertionError`` if any worker count fails a job or produces
+    a result diverging from the ``workers=1`` reference.
+    """
     specs = plan_sections(["figure4"], scale=BENCH_SCALE, seed=0)
     cores = os.cpu_count() or 1
-    ladder = [w for w in WORKER_LADDER if w <= max(cores, 2)]
+    if ladder is None:
+        ladder = [w for w in WORKER_LADDER if w <= max(cores, 2)]
     rows = []
     reference_time = None
     for workers in ladder:
@@ -39,12 +51,52 @@ def test_parallel_speedup():
             reference_time = first
         assert first == reference_time, "parallel run diverged from workers=1"
         rows.append((workers, wall, len(specs) / wall))
+    return specs, cores, rows
 
+
+def render_ladder(specs, cores, rows) -> str:
     base_wall = rows[0][1]
-    print()
-    print(f"Engine scaling on the Figure 4 sweep "
-          f"({len(specs)} jobs, scale={BENCH_SCALE}, {cores} cores)")
-    print(f"{'workers':>8} {'wall (s)':>10} {'jobs/s':>8} {'speedup':>8}")
+    lines = [
+        f"Engine scaling on the Figure 4 sweep "
+        f"({len(specs)} jobs, scale={BENCH_SCALE}, {cores} cores)",
+        f"{'workers':>8} {'wall (s)':>10} {'jobs/s':>8} {'speedup':>8}",
+    ]
     for workers, wall, throughput in rows:
-        print(f"{workers:>8} {wall:>10.2f} {throughput:>8.2f} "
-              f"{base_wall / wall:>7.2f}x")
+        lines.append(f"{workers:>8} {wall:>10.2f} {throughput:>8.2f} "
+                     f"{base_wall / wall:>7.2f}x")
+    return "\n".join(lines)
+
+
+def test_parallel_speedup():
+    specs, cores, rows = run_ladder()
+    print()
+    print(render_ladder(specs, cores, rows))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="execution-engine scaling ladder (Figure 4 sweep)")
+    add_json_arg(parser)
+    args = parser.parse_args(argv)
+    with Stopwatch() as clock:
+        specs, cores, rows = run_ladder()
+    print(render_ladder(specs, cores, rows))
+    if args.json:
+        base_wall = rows[0][1]
+        write_json(args.json, bench_document(
+            "parallel_speedup",
+            params={"scale": BENCH_SCALE, "seed": 0, "jobs": len(specs),
+                    "cores": cores},
+            wall_s=clock.wall_s, cpu_s=clock.cpu_s,
+            metrics={"ladder": [
+                {"workers": workers, "wall_s": round(wall, 6),
+                 "jobs_per_s": round(throughput, 3),
+                 "speedup": round(base_wall / wall, 3)}
+                for workers, wall, throughput in rows
+            ]},
+        ))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,9 @@ class Directory:
         self._last_writer: dict[int, int] = {}
         self.stats = InterconnectStats()
         self.pairwise = pairwise
+        #: Optional :class:`~repro.obs.probes.SimProbe` (armed by the
+        #: simulator); tested once per invalidation-sending upgrade only.
+        self._probe = None
 
     def sharers_of(self, block: int) -> set[int]:
         """Current sharer set (copy) — for tests and invariant checks."""
@@ -80,6 +83,11 @@ class Directory:
             sharers.clear()
             sharers.add(processor)
         self._last_writer[block] = processor
+        # Probed only when invalidations went out: the fast kernel may
+        # legally skip provable no-op upgrades, so counting sent>0 events
+        # keeps the probe engine-invariant.
+        if sent and self._probe is not None:
+            self._probe.upgrades += 1
         return sent
 
     def evict(self, block: int, processor: int) -> None:

@@ -261,6 +261,9 @@ class FastProcessor(Processor):
         self.finished = all(c.done for c in self.contexts)
         if self.finished:
             self.stats.completion_time = 0
+        # Optional SimProbe; same single-test gating as the classic engine
+        # (``_pay_switch`` is inherited and reads it too).
+        self._probe = None
         # Direct-mapped caches get the hit test inlined into the run loop;
         # set-associative ones go through cache.access (the MRU move is
         # stateful even on a hit).
@@ -410,6 +413,8 @@ class FastProcessor(Processor):
                     departure[block] = _NONE
                     kind = _INTRA if evictor == tid else _INTER
                 miss_counts[kind] += 1
+                if self._probe is not None:
+                    self._probe.misses[kind] += 1
                 index = block & mask
                 evicted = tags[index]
                 if evicted != -1:
@@ -485,6 +490,8 @@ class FastProcessor(Processor):
                         departure[block] = _NONE
                         kind = _INTRA if evictor == tid else _INTER
                     miss_counts[kind] += 1
+                    if self._probe is not None:
+                        self._probe.misses[kind] += 1
                     index = block & mask
                     evicted = tags[index]
                     if evicted != -1:
@@ -565,6 +572,8 @@ class FastProcessor(Processor):
             pos += 1
             if kind is not None:
                 # Miss: coherence transaction plus a full memory latency.
+                if self._probe is not None:
+                    self._probe.misses[kind] += 1
                 if evicted is not None:
                     directory.evict(evicted, pid)
                 source = directory.fetch(block, pid, is_write)

@@ -75,6 +75,9 @@ class Processor:
         self.finished = all(c.done for c in self.contexts)
         if self.finished:
             self.stats.completion_time = 0
+        #: Optional :class:`~repro.obs.probes.SimProbe`; every hook is
+        #: gated by one ``is not None`` test so the default path stays hot.
+        self._probe = None
 
     # ------------------------------------------------------------------
 
@@ -136,6 +139,8 @@ class Processor:
                         break
                 continue
             # Miss: coherence transaction plus a full memory latency.
+            if self._probe is not None:
+                self._probe.misses[kind] += 1
             if evicted is not None:
                 directory.evict(evicted, pid)
             source = directory.fetch(block, pid, is_write)
@@ -193,3 +198,5 @@ class Processor:
         cost = self.config.context_switch_cycles
         self.time += cost
         self.stats.switching += cost
+        if self._probe is not None:
+            self._probe.switches += 1

@@ -44,6 +44,7 @@ def simulate(
     quantum_refs: int = 256,
     check_invariants: bool = False,
     engine: str = "classic",
+    probe=None,
 ) -> SimulationResult:
     """Simulate one application under one placement and configuration.
 
@@ -65,6 +66,13 @@ def simulate(
             :mod:`repro.arch.kernel`.  The two are bit-for-bit
             equivalent on every metric (enforced by ``tests/oracle/``);
             see ``docs/PERFORMANCE.md``.
+        probe: Optional :class:`~repro.obs.probes.SimProbe` counting
+            quanta, miss classes, directory upgrades and context
+            switches as the run replays.  Probes observe, never steer:
+            results are bit-for-bit identical with or without one, and
+            the counts are engine-invariant.  Off (None) by default —
+            the disabled path pays one pointer test per event, never
+            per reference.
 
     Returns:
         The run's :class:`~repro.arch.stats.SimulationResult`.
@@ -119,6 +127,14 @@ def simulate(
         for pid in range(p)
     ]
 
+    if probe is not None:
+        # Arm the event hooks: each site tests one attribute against
+        # None, so an unprobed run never leaves the fast path.
+        probe.cells += 1
+        directory._probe = probe
+        for proc in processors:
+            proc._probe = probe
+
     checker = None
     if check_invariants:
         # Imported lazily: the oracle depends on arch types, not vice versa.
@@ -134,6 +150,8 @@ def simulate(
     while heap:
         _, pid = heapq.heappop(heap)
         next_time = processors[pid].advance(quantum_refs)
+        if probe is not None:
+            probe.quanta += 1
         if checker is not None:
             checker.after_quantum(pid)
         if next_time is not None:

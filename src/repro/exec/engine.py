@@ -104,14 +104,31 @@ def simulate_cell(payload: dict) -> dict:
     Returns :func:`~repro.experiments.cache.result_to_arrays` output (plain
     numpy arrays) rather than a rich object, matching the store's explicit
     no-pickle serialization discipline.
+
+    When the payload asks for a probe (a metrics-collecting run), the
+    cell simulates under a fresh :class:`~repro.obs.probes.SimProbe`
+    whose counters are stashed for :func:`_invoke` to ship back on the
+    result channel — the probe observes only; results are bit-for-bit
+    identical either way.
     """
     spec = JobSpec.from_payload(payload["spec"])
     suite = _suite_for(spec.scale, spec.seed, spec.quantum_refs, spec.engine)
-    result = suite.run(
-        spec.app, spec.algorithm, spec.processors,
-        infinite=spec.infinite, associativity=spec.associativity,
-        cache_words=spec.cache_words, replicate=spec.replicate,
-    )
+    probe = None
+    if payload.get("probe"):
+        from repro.obs.probes import SimProbe, stash_pending
+
+        probe = SimProbe()
+    suite.probe = probe
+    try:
+        result = suite.run(
+            spec.app, spec.algorithm, spec.processors,
+            infinite=spec.infinite, associativity=spec.associativity,
+            cache_words=spec.cache_words, replicate=spec.replicate,
+        )
+    finally:
+        suite.probe = None
+    if probe is not None:
+        stash_pending(probe.snapshot())
     return result_to_arrays(result)
 
 
@@ -158,9 +175,11 @@ def _invoke(runner: Callable[[dict], object], payload: dict) -> dict:
         "job": payload["job"],
         "worker": os.getpid(),
         "attempt": payload["attempt"],
+        "t_start": round(time.time(), 6),
     }
     heartbeat = _write_heartbeat(payload)
     start = time.perf_counter()
+    cpu_start = time.process_time()
     previous = None
     try:
         if use_alarm:
@@ -178,6 +197,14 @@ def _invoke(runner: Callable[[dict], object], payload: dict) -> dict:
                 signal.setitimer(signal.ITIMER_REAL, 0.0)
                 signal.signal(signal.SIGALRM, previous)
         out.update(ok=True, value=value)
+        if payload.get("probe"):
+            # Probe counters the runner stashed (simulate_cell) ride the
+            # existing result channel back to the coordinator's registry.
+            from repro.obs.probes import take_pending
+
+            sim_metrics = take_pending()
+            if sim_metrics:
+                out["sim_metrics"] = sim_metrics
     except JobTimeout as exc:
         out.update(ok=False, kind="timeout", error=str(exc))
     except Exception as exc:
@@ -196,6 +223,7 @@ def _invoke(runner: Callable[[dict], object], payload: dict) -> dict:
             except OSError:
                 pass
     out["duration"] = round(time.perf_counter() - start, 6)
+    out["cpu"] = round(time.process_time() - cpu_start, 6)
     return out
 
 
@@ -350,6 +378,15 @@ class ExecutionEngine:
         mp_context: Multiprocessing start method.  The default ``spawn``
             guarantees workers share nothing with the parent by fork —
             they rebuild all state from the job spec.
+        observer: Optional :class:`~repro.obs.run.RunObserver`.  It is
+            attached as the journal's listener (progress + event
+            counters), told about every finished job (latency histogram,
+            worker probe counters, one workers x cells trace span) and
+            handed the final summary.  Observation never changes job
+            results, scheduling or the journal's contents — beyond the
+            retry events' ``duration`` field, which is recorded
+            unconditionally.  The caller finalizes the observer (the
+            engine may be run several times under one observer).
     """
 
     def __init__(
@@ -366,6 +403,7 @@ class ExecutionEngine:
         resume: bool = False,
         job_runner: Callable[[dict], object] | None = None,
         mp_context: str = "spawn",
+        observer=None,
     ) -> None:
         check_positive("workers", workers)
         if timeout is not None:
@@ -398,13 +436,20 @@ class ExecutionEngine:
             self.job_runner = job_runner
             self._materialize = lambda value: value
         self.mp_context = mp_context
+        self.observer = observer
 
     # -- planning phase -------------------------------------------------
 
     def run(self, specs: Sequence[JobSpec]) -> RunReport:
         """Complete every job exactly once; never raises per-job errors."""
         start = time.perf_counter()
-        journal = RunJournal(self.journal_path)
+        if self.observer is not None:
+            self.observer.begin(len({spec.job_id for spec in specs}))
+        journal = RunJournal(
+            self.journal_path,
+            listener=(self.observer.on_event
+                      if self.observer is not None else None),
+        )
         journal.record(
             "run-start",
             jobs=len(specs),
@@ -479,6 +524,8 @@ class ExecutionEngine:
             wall_seconds=round(wall, 3),
         )
         journal.close()
+        if self.observer is not None:
+            self.observer.run_ended(summary)
         return RunReport(results=results, failures=failures, summary=summary,
                          events=journal.events)
 
@@ -520,7 +567,7 @@ class ExecutionEngine:
         return restore
 
     def _payload(self, spec: JobSpec, attempt: int, delay: float = 0.0) -> dict:
-        return {
+        payload = {
             "job": spec.job_id,
             "spec": spec.to_payload(),
             "label": spec.describe(),
@@ -528,6 +575,9 @@ class ExecutionEngine:
             "attempt": attempt,
             "delay": delay,
         }
+        if self.observer is not None and self.observer.want_sim_probe:
+            payload["probe"] = True
+        return payload
 
     def _retry_delay(self, job_id: str, attempt: int) -> float:
         """Delay before re-submitting ``job_id`` after failed ``attempt``.
@@ -567,12 +617,15 @@ class ExecutionEngine:
                 worker=out.get("worker"), attempt=attempt,
                 duration=out.get("duration"),
             )
+            if self.observer is not None:
+                self.observer.job_finished(payload, out)
         elif attempt <= self.max_retries:
             delay = self._retry_delay(job_id, attempt)
             journal.record(
                 "retrying", job_id,
                 attempt=attempt, kind=out.get("kind"),
                 error=out.get("error"), delay=round(delay, 3),
+                duration=out.get("duration"),
             )
             retry_queue.append(
                 {**payload, "attempt": attempt + 1, "delay": delay}

@@ -45,12 +45,19 @@ class RunJournal:
         path: Journal file to append to, or None for in-memory only (the
             event list still feeds the
             :class:`~repro.exec.summary.RunSummary`).
+        listener: Optional callable receiving every recorded event dict
+            (after it is appended) — the engine wires the run observer's
+            progress meter and event counters through this.  Listeners
+            observe, never steer: a listener exception is swallowed so
+            observability can never fail a run.
     """
 
-    def __init__(self, path: str | Path | None = None) -> None:
+    def __init__(self, path: str | Path | None = None,
+                 listener=None) -> None:
         self.path = Path(path) if path is not None else None
         self.events: list[dict] = []
         self._stream = None
+        self._listener = listener
         self._lock = threading.Lock()
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -90,6 +97,13 @@ class RunJournal:
                 faults.tear("journal", line, self._stream)
                 self._stream.write(line)
                 self._stream.flush()
+        if self._listener is not None:
+            # Outside the lock (a listener may log/draw at leisure) and
+            # fault-isolated: observation must never break the run.
+            try:
+                self._listener(entry)
+            except Exception:
+                pass
         return entry
 
     def close(self) -> None:

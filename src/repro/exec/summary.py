@@ -43,9 +43,10 @@ class RunSummary:
     retries: int              #: re-submissions after a failed attempt
     workers: int              #: worker processes configured
     wall_seconds: float       #: whole-run wall clock
-    p50_seconds: float        #: median per-job execution latency
-    p95_seconds: float        #: tail per-job execution latency
+    p50_seconds: float        #: median per-job total latency (all attempts)
+    p95_seconds: float        #: tail per-job total latency (all attempts)
     per_worker: dict = field(default_factory=dict)  #: worker pid -> jobs finished
+    attempts: dict = field(default_factory=dict)  #: attempt number -> jobs finished on it
 
     @property
     def completed(self) -> int:
@@ -75,20 +76,38 @@ class RunSummary:
         workers: int,
         wall_seconds: float,
     ) -> "RunSummary":
-        """Fold an event stream into a summary."""
+        """Fold an event stream into a summary.
+
+        Latency percentiles cover each finished job's *total* time across
+        all of its attempts: a job that failed twice and then succeeded
+        contributes the sum of all three attempt durations, not just the
+        final one — retries cost real wall time and the tail percentiles
+        should say so.  (Attempts with no recorded duration, such as a
+        worker crash, contribute zero; there is nothing better to charge.)
+        """
         counts = {"finished": 0, "failed": 0, "cache-hit": 0, "resumed": 0,
                   "retrying": 0}
-        durations: list[float] = []
+        spent: dict[str, float] = {}       # job -> attempt seconds so far
+        durations: list[float] = []        # total latency of finished jobs
         per_worker: dict[str, int] = {}
+        attempts: dict[int, int] = {}
         for entry in events:
             kind = entry["event"]
             if kind in counts:
                 counts[kind] += 1
+            job = entry.get("job")
+            if kind == "retrying" and job is not None and "duration" in entry:
+                spent[job] = spent.get(job, 0.0) + float(entry["duration"])
             if kind == "finished":
-                if "duration" in entry:
-                    durations.append(float(entry["duration"]))
+                total = float(entry.get("duration", 0.0))
+                if job is not None:
+                    total += spent.pop(job, 0.0)
+                durations.append(total)
                 worker = str(entry.get("worker", "?"))
                 per_worker[worker] = per_worker.get(worker, 0) + 1
+                if "attempt" in entry:
+                    n = int(entry["attempt"])
+                    attempts[n] = attempts.get(n, 0) + 1
         return cls(
             total_jobs=total_jobs,
             executed=counts["finished"],
@@ -101,6 +120,7 @@ class RunSummary:
             p50_seconds=percentile(durations, 50),
             p95_seconds=percentile(durations, 95),
             per_worker=dict(sorted(per_worker.items())),
+            attempts=dict(sorted(attempts.items())),
         )
 
     @classmethod
@@ -140,4 +160,9 @@ class RunSummary:
                 f"{worker}:{count}" for worker, count in self.per_worker.items()
             )
             lines.append(f"jobs per worker     {shares}")
+        if self.attempts:
+            spread = ", ".join(
+                f"attempt {n}:{count}" for n, count in self.attempts.items()
+            )
+            lines.append(f"finishes by attempt {spread}")
         return "\n".join(lines)

@@ -14,6 +14,14 @@ run on the same seed/scale::
     repro-experiments --jobs 4 --journal run.jsonl      # + JSONL journal
     repro-experiments --jobs 4 --journal run.jsonl --resume   # skip done
     repro-experiments --jobs 4 --cache-dir .repro-cache # persist results
+
+The sweep can be observed without changing its results (see
+docs/OBSERVABILITY.md)::
+
+    repro-experiments --jobs 4 --progress               # live meter
+    repro-experiments --jobs 4 --metrics --trace        # artifacts in
+                                                        # ./repro-obs/
+    repro-stats repro-obs                               # inspect them
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from repro import faults
 from repro.arch.simulator import ENGINES
 from repro.experiments.report import REPORT_SECTIONS, write_report
 from repro.experiments.runner import ExperimentSuite
+from repro.obs.spans import trace_span
 from repro.tools.errors import DEGRADED_EXIT_CODE, friendly_errors
 from repro.util.atomicio import atomic_write_text
 from repro.workload.applications import DEFAULT_SCALE
@@ -129,6 +138,32 @@ def build_parser() -> argparse.ArgumentParser:
              "simulations",
     )
     parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect run and simulator metrics (counters, histograms) and "
+             "write metrics.json + metrics.prom into --obs-dir",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record per-cell and per-stage spans to trace.jsonl in "
+             "--obs-dir, plus a Chrome trace-event export "
+             "(trace-chrome.json, loadable in chrome://tracing)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="live single-line progress meter on stderr while the sweep "
+             "runs (auto-disabled when stderr is not a terminal)",
+    )
+    parser.add_argument(
+        "--obs-dir",
+        default="repro-obs",
+        metavar="DIR",
+        help="directory for observability artifacts (default: repro-obs); "
+             "also the default --journal location when observing",
+    )
+    parser.add_argument(
         "--engine",
         choices=ENGINES,
         default="classic",
@@ -197,6 +232,11 @@ def main(argv: list[str] | None = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    observing = args.metrics or args.trace or args.progress
+    if observing and not args.journal:
+        # Observability artifacts and the journal share a run directory,
+        # so repro-stats can inspect the whole run from one path.
+        args.journal = os.path.join(args.obs_dir, "journal.jsonl")
     if args.resume and not (args.journal and args.cache_dir):
         parser.error("--resume requires both --journal and --cache-dir")
     if args.jobs < 1:
@@ -221,46 +261,86 @@ def main(argv: list[str] | None = None) -> int:
         if args.sections
         else None
     )
-    if args.jobs > 1 or args.journal or args.resume:
-        run = suite.prefetch(
-            sections, jobs=args.jobs, timeout=args.timeout,
-            hang_timeout=args.hang_timeout,
-            journal=args.journal, resume=args.resume,
-            max_retries=args.retries,
+    observer = None
+    if observing:
+        from repro.obs.run import RunObserver
+
+        observer = RunObserver(
+            args.obs_dir, metrics=args.metrics, trace=args.trace,
+            progress=args.progress, stream=sys.stderr,
         )
-        sys.stderr.write(run.summary.render() + "\n")
-        for failure in run.failures:
-            sys.stderr.write(f"[gap] {failure}\n")
-        sys.stderr.flush()
-    if args.verify:
-        from repro.experiments.claims import verify_claims
+        # Install the tracer now (not at engine start) so the CLI's own
+        # stage spans — prefetch, render, exports — are captured too.
+        observer.install_tracer()
+    run_info = None
+    try:
+        if args.jobs > 1 or args.journal or args.resume:
+            with trace_span("prefetch", kind="stage"):
+                run = suite.prefetch(
+                    sections, jobs=args.jobs, timeout=args.timeout,
+                    hang_timeout=args.hang_timeout,
+                    journal=args.journal, resume=args.resume,
+                    max_retries=args.retries, observer=observer,
+                )
+            sys.stderr.write(run.summary.render() + "\n")
+            for failure in run.failures:
+                sys.stderr.write(f"[gap] {failure}\n")
+            sys.stderr.flush()
+            if observer is not None and run.summary is not None:
+                s = run.summary
+                run_info = {
+                    "executed": s.executed, "cache_hits": s.cache_hits,
+                    "resumed": s.resumed, "failed": s.failed,
+                    "retries": s.retries, "workers": s.workers,
+                    "wall_seconds": round(s.wall_seconds, 3),
+                    "throughput": round(s.throughput, 3),
+                    "p50_seconds": s.p50_seconds,
+                    "p95_seconds": s.p95_seconds,
+                    "per_worker": s.per_worker,
+                }
+        if args.verify:
+            from repro.experiments.claims import verify_claims
 
-        results = verify_claims(suite)
-        _write_out(args.out,
-                   "".join(result.render() + "\n" for result in results))
-        return 0 if all(r.passed for r in results) else 1
-    if args.json:
-        from repro.experiments.export import export_json
+            with trace_span("verify", kind="stage"):
+                results = verify_claims(suite)
+            _write_out(args.out,
+                       "".join(result.render() + "\n" for result in results))
+            return 0 if all(r.passed for r in results) else 1
+        if args.json:
+            from repro.experiments.export import export_json
 
-        export_json(suite, args.json, sections=sections)
-    if args.csv_dir:
-        from repro.experiments.export import export_csv_dir
+            with trace_span("export_json", kind="stage"):
+                export_json(suite, args.json, sections=sections)
+        if args.csv_dir:
+            from repro.experiments.export import export_csv_dir
 
-        export_csv_dir(suite, args.csv_dir, sections=sections)
-    if args.html:
-        from repro.experiments.html import write_html
+            with trace_span("export_csv", kind="stage"):
+                export_csv_dir(suite, args.csv_dir, sections=sections)
+        if args.html:
+            from repro.experiments.html import write_html
 
-        write_html(suite, args.html, sections=sections)
-    if args.json or args.csv_dir or args.html:
+            with trace_span("export_html", kind="stage"):
+                write_html(suite, args.html, sections=sections,
+                           run_info=run_info)
+        if args.json or args.csv_dir or args.html:
+            return DEGRADED_EXIT_CODE if suite.missing else 0
+        with trace_span("render", kind="stage"):
+            if args.out == "-":
+                # Stream to the terminal so long runs show progress.
+                write_report(suite, sys.stdout, sections=sections,
+                             charts=args.charts)
+            else:
+                buffer = io.StringIO()
+                write_report(suite, buffer, sections=sections,
+                             charts=args.charts)
+                _write_out(args.out, buffer.getvalue())
         return DEGRADED_EXIT_CODE if suite.missing else 0
-    if args.out == "-":
-        # Stream to the terminal so long runs show progress.
-        write_report(suite, sys.stdout, sections=sections, charts=args.charts)
-    else:
-        buffer = io.StringIO()
-        write_report(suite, buffer, sections=sections, charts=args.charts)
-        _write_out(args.out, buffer.getvalue())
-    return DEGRADED_EXIT_CODE if suite.missing else 0
+    finally:
+        if observer is not None:
+            artifacts = observer.finalize()
+            for name, path in sorted(artifacts.items()):
+                sys.stderr.write(f"[obs] {name}: {path}\n")
+            sys.stderr.flush()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -122,10 +122,51 @@ def _section_html(name: str, data: dict) -> str:
     return f'<section id="{html.escape(name)}"><h2>{title}</h2>{body}</section>'
 
 
+def _run_panel_html(run_info: dict) -> str:
+    """The optional run-performance panel (only when a run was observed).
+
+    ``run_info`` carries the sweep's :class:`~repro.exec.summary.RunSummary`
+    numbers as plain values.  Reports rendered without an observed run
+    never receive it, so an instrumented run's *section* output stays
+    byte-identical to an uninstrumented one — the panel is additive.
+    """
+    rows = [
+        ("jobs executed", run_info.get("executed")),
+        ("cache hits", run_info.get("cache_hits")),
+        ("resumed", run_info.get("resumed")),
+        ("failed (gaps)", run_info.get("failed")),
+        ("retries", run_info.get("retries")),
+        ("workers", run_info.get("workers")),
+        ("wall time (s)", run_info.get("wall_seconds")),
+        ("throughput (jobs/s)", run_info.get("throughput")),
+        ("job latency p50 (s)", run_info.get("p50_seconds")),
+        ("job latency p95 (s)", run_info.get("p95_seconds")),
+    ]
+    body = "".join(
+        f"<tr><td>{html.escape(label)}</td><td>{_cell(value)}</td></tr>"
+        for label, value in rows
+        if value is not None
+    )
+    per_worker = run_info.get("per_worker") or {}
+    if per_worker:
+        shares = ", ".join(f"{w}:{n}" for w, n in sorted(per_worker.items()))
+        body += ("<tr><td>jobs per worker</td>"
+                 f"<td>{html.escape(shares)}</td></tr>")
+    return (
+        '<section id="run-performance"><h2>Run performance</h2>'
+        f"<table><tbody>{body}</tbody></table></section>"
+    )
+
+
 def render_html(
-    suite: ExperimentSuite, *, sections: list[str] | None = None
+    suite: ExperimentSuite, *, sections: list[str] | None = None,
+    run_info: dict | None = None,
 ) -> str:
-    """Render the chosen sections (default: all) as one HTML document."""
+    """Render the chosen sections (default: all) as one HTML document.
+
+    ``run_info`` (optional) appends a run-performance panel summarizing
+    the parallel sweep that computed the cells — see :func:`_run_panel_html`.
+    """
     chosen = sections or list(REPORT_SECTIONS)
     unknown = [s for s in chosen if s not in REPORT_SECTIONS]
     if unknown:
@@ -134,6 +175,8 @@ def render_html(
         _section_html(name, section_to_dict(REPORT_SECTIONS[name](suite)))
         for name in chosen
     )
+    if run_info:
+        body += _run_panel_html(run_info)
     footer = completeness_footer(suite)
     footer_html = (
         f'<p class="note">{html.escape(footer)}</p>' if footer else ""
@@ -154,8 +197,10 @@ def write_html(
     path: str | Path,
     *,
     sections: list[str] | None = None,
+    run_info: dict | None = None,
 ) -> None:
     """Render and write the HTML report (atomically: a crash or full disk
     mid-write never leaves a torn document at ``path``)."""
-    atomic_write_text(path, render_html(suite, sections=sections),
+    atomic_write_text(path, render_html(suite, sections=sections,
+                                        run_info=run_info),
                       encoding="utf-8")

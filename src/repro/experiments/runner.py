@@ -122,6 +122,12 @@ class ExperimentSuite:
         self.strict = bool(strict)
         #: Cells a degraded prefetch failed to compute (memo-key tuples).
         self.missing: set[tuple] = set()
+        #: Optional :class:`~repro.obs.probes.SimProbe` observing every
+        #: simulation this suite runs in-process.  Deliberately not a
+        #: constructor parameter: probes are runtime observation, not
+        #: identity — they never affect results, memo keys or pickling
+        #: (engine workers arm their own per-job probe).
+        self.probe = None
         self._store = ResultStore(cache_dir) if cache_dir is not None else None
         self._streams = RngStreams(seed).child("experiments")
         self._traces: dict[str, TraceSet] = {}
@@ -296,6 +302,7 @@ class ExperimentSuite:
                     quantum_refs=self.quantum_refs,
                     check_invariants=self.check_invariants,
                     engine=self.engine,
+                    probe=self.probe,
                 )
                 if self._store is not None:
                     self._store.store(store_key, result)
@@ -314,6 +321,7 @@ class ExperimentSuite:
         max_retries: int = 2,
         backoff: float = 0.5,
         mp_context: str = "spawn",
+        observer=None,
     ):
         """Precompute every cell the chosen sections need, in parallel.
 
@@ -322,6 +330,9 @@ class ExperimentSuite:
         processes (with per-job ``timeout``, bounded retries and crash
         isolation), journaled to ``journal`` and — with ``resume`` — the
         journal-confirmed-complete cells of a killed run are skipped.
+        With an ``observer`` (a :class:`~repro.obs.run.RunObserver`),
+        the sweep additionally emits metrics, per-job trace spans and
+        live progress — observation never changes the results.
         Successful results are inserted into this suite's memo, so
         subsequent :meth:`run` calls (and any report rendered from this
         suite) never simulate; a failed cell is reported in the returned
@@ -346,7 +357,7 @@ class ExperimentSuite:
             workers=jobs, timeout=timeout, hang_timeout=hang_timeout,
             max_retries=max_retries,
             backoff=backoff, store=self._store, journal_path=journal,
-            resume=resume, mp_context=mp_context,
+            resume=resume, mp_context=mp_context, observer=observer,
         )
         report = engine.run(specs)
         by_job = {spec.job_id: spec for spec in specs}

@@ -1,0 +1,285 @@
+"""The metrics registry: counters, gauges and log-bucketed histograms.
+
+A :class:`MetricsRegistry` is the process-local home of every named
+metric the pipeline emits.  It is deliberately tiny and dependency-free:
+
+* **Counters** only go up (`jobs_finished`, `sim_miss_invalidation`).
+* **Gauges** hold the latest value (`run_wall_seconds`).
+* **Histograms** bucket observations into *fixed log-spaced buckets*
+  (powers of two by default), so two histograms recorded by different
+  processes are always mergeable bucket-by-bucket — no rebinning, no
+  approximation.
+
+The registry is thread-safe (one lock shared by every metric — the hot
+simulation path never touches the registry; it uses the lock-free
+:class:`~repro.obs.probes.SimProbe` and merges once per cell) and
+**mergeable across processes**: :meth:`MetricsRegistry.snapshot` returns
+a plain-JSON dict a worker can ship over the engine's existing result
+channel, and :meth:`MetricsRegistry.merge` folds such a snapshot into
+the parent registry (counters and histogram buckets add, gauges take the
+incoming value).
+
+Two deterministic exporters round the registry out:
+
+* :meth:`MetricsRegistry.to_json` — sorted-key JSON, byte-stable for a
+  given set of values;
+* :meth:`MetricsRegistry.to_prometheus` — the Prometheus *textfile
+  collector* format (one ``# TYPE`` header per metric, cumulative
+  ``_bucket{le=...}`` lines for histograms), ready to drop into a node
+  exporter's textfile directory.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_BUCKETS"]
+
+#: Fixed log-spaced histogram bounds: powers of two from ~0.1 ms to
+#: ~4096 s.  Fixed (not adaptive) so snapshots from any process merge
+#: exactly; log-spaced so the same buckets resolve both a 2 ms cell and
+#: a 10-minute sweep.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(2.0 ** e for e in range(-13, 13))
+
+
+def _label_key(labels: dict) -> str:
+    """Render labels exactly as Prometheus does — doubles as the map key,
+    so one metric name + label set is one time series everywhere."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{v}"' for k, v in sorted((str(k), str(v))
+                                        for k, v in labels.items())
+    )
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self.value = 0.0
+        self._lock = lock
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (latest write wins)."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self.value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+
+class Histogram:
+    """Observations bucketed into fixed log-spaced bounds.
+
+    ``counts[i]`` counts observations ``<= bounds[i]`` (non-cumulative
+    per bucket); ``counts[-1]`` is the overflow (+Inf) bucket.  ``count``
+    and ``total`` track the exact population for mean/rate math.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "_lock")
+
+    def __init__(self, lock: threading.Lock,
+                 bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.counts[self._bucket_index(value)] += 1
+            self.count += 1
+            self.total += value
+
+    def _bucket_index(self, value: float) -> int:
+        # Log-spaced bounds make the bucket computable in O(1); fall back
+        # to a scan for custom bounds, which are short anyway.
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                return i
+        return len(self.bounds)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile (0-1): the upper bound of the bucket the
+        q-th observation falls in (conservative, merge-stable)."""
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        running = 0
+        for i, n in enumerate(self.counts):
+            running += n
+            if running >= rank and n:
+                return self.bounds[i] if i < len(self.bounds) else math.inf
+        return math.inf
+
+
+class MetricsRegistry:
+    """Thread-safe named-metric store with snapshot/merge and exporters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- access (get-or-create; one series per name+labels) -------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = name + _label_key(labels)
+        with self._lock:
+            metric = self._counters.get(key)
+            if metric is None:
+                metric = self._counters[key] = Counter(self._lock)
+        return metric
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = name + _label_key(labels)
+        with self._lock:
+            metric = self._gauges.get(key)
+            if metric is None:
+                metric = self._gauges[key] = Gauge(self._lock)
+        return metric
+
+    def histogram(self, name: str, *,
+                  bounds: tuple[float, ...] = DEFAULT_BUCKETS,
+                  **labels) -> Histogram:
+        key = name + _label_key(labels)
+        with self._lock:
+            metric = self._histograms.get(key)
+            if metric is None:
+                metric = self._histograms[key] = Histogram(self._lock, bounds)
+        return metric
+
+    # -- snapshot / merge ------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A plain-JSON copy of every metric (safe to pickle/ship)."""
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in self._counters.items()},
+                "gauges": {k: g.value for k, g in self._gauges.items()},
+                "histograms": {
+                    k: {
+                        "bounds": list(h.bounds),
+                        "counts": list(h.counts),
+                        "count": h.count,
+                        "total": h.total,
+                    }
+                    for k, h in self._histograms.items()
+                },
+            }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker process) in.
+
+        Counters and histogram buckets add; gauges take the incoming
+        value.  Histogram bounds must match exactly — fixed buckets are
+        the merge contract.
+        """
+        for key, value in snapshot.get("counters", {}).items():
+            self.counter(key).inc(value)
+        for key, value in snapshot.get("gauges", {}).items():
+            self.gauge(key).set(value)
+        for key, data in snapshot.get("histograms", {}).items():
+            hist = self.histogram(key, bounds=tuple(data["bounds"]))
+            if list(hist.bounds) != list(data["bounds"]):
+                raise ValueError(
+                    f"histogram {key!r}: merge bounds mismatch "
+                    f"({list(hist.bounds)[:3]}... vs {data['bounds'][:3]}...)"
+                )
+            with self._lock:
+                for i, n in enumerate(data["counts"]):
+                    hist.counts[i] += n
+                hist.count += data["count"]
+                hist.total += data["total"]
+
+    # -- exporters -------------------------------------------------------
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """Deterministic JSON (sorted keys) of the full snapshot."""
+        return json.dumps(self.snapshot(), sort_keys=True, indent=indent)
+
+    def to_prometheus(self) -> str:
+        """The Prometheus textfile-collector rendering of every metric."""
+        snap = self.snapshot()
+        lines: list[str] = []
+        seen_types: set[str] = set()
+
+        def base_name(key: str) -> str:
+            return key.split("{", 1)[0]
+
+        def type_line(key: str, kind: str) -> None:
+            base = base_name(key)
+            if base not in seen_types:
+                seen_types.add(base)
+                lines.append(f"# TYPE {base} {kind}")
+
+        for key in sorted(snap["counters"]):
+            type_line(key, "counter")
+            lines.append(f"{key} {_fmt(snap['counters'][key])}")
+        for key in sorted(snap["gauges"]):
+            type_line(key, "gauge")
+            lines.append(f"{key} {_fmt(snap['gauges'][key])}")
+        for key in sorted(snap["histograms"]):
+            data = snap["histograms"][key]
+            base = base_name(key)
+            labels = key[len(base):]
+            type_line(key, "histogram")
+            cumulative = 0
+            for bound, n in zip(data["bounds"], data["counts"]):
+                cumulative += n
+                lines.append(
+                    f"{base}_bucket{_with_le(labels, _fmt(bound))} {cumulative}"
+                )
+            lines.append(
+                f"{base}_bucket{_with_le(labels, '+Inf')} {data['count']}"
+            )
+            lines.append(f"{base}_sum{labels} {_fmt(data['total'])}")
+            lines.append(f"{base}_count{labels} {data['count']}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt(value: float) -> str:
+    """Float rendering with no trailing noise (ints stay ints)."""
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _with_le(labels: str, le: str) -> str:
+    """Insert the ``le`` label into an existing (possibly empty) label set."""
+    if not labels:
+        return '{le="' + le + '"}'
+    return labels[:-1] + ',le="' + le + '"}'

@@ -1,0 +1,141 @@
+"""Live single-line progress for engine runs.
+
+:class:`ProgressMeter` consumes the same journal events the engine
+records (it is attached as a :class:`~repro.exec.journal.RunJournal`
+listener) and keeps one status line current on the terminal::
+
+    [##########..........] 37/74 cells | 5.1/s | eta 7s | retries 2 | faults 1
+
+The meter only animates on a TTY (or when forced, for tests) — piped
+stderr gets nothing until :meth:`close`, which prints one final summary
+line so batch logs still record the outcome.  Redraws are rate-limited
+so a fast run does not spend its time repainting the terminal.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import TextIO
+
+__all__ = ["ProgressMeter"]
+
+#: Events that mean one more planned cell is accounted for.
+_DONE_EVENTS = frozenset({"finished", "cache-hit", "resumed"})
+#: Events counted into the fault tally (injected or infrastructure).
+_FAULT_EVENTS = frozenset({"watchdog-kill", "store-failed"})
+
+_BAR_WIDTH = 20
+
+
+class ProgressMeter:
+    """One-line live progress over journal events.
+
+    Args:
+        total: Planned cells (0 disables the bar and ETA).
+        stream: Where to draw (default ``sys.stderr``).
+        enabled: Force drawing on/off; default: ``stream.isatty()``.
+        min_interval: Minimum seconds between repaints.
+        clock: Injectable monotonic clock (tests).
+    """
+
+    def __init__(
+        self,
+        total: int,
+        *,
+        stream: TextIO | None = None,
+        enabled: bool | None = None,
+        min_interval: float = 0.1,
+        clock=time.monotonic,
+    ) -> None:
+        self.total = int(total)
+        self.stream = stream if stream is not None else sys.stderr
+        if enabled is None:
+            isatty = getattr(self.stream, "isatty", None)
+            enabled = bool(isatty()) if callable(isatty) else False
+        self.enabled = bool(enabled)
+        self.min_interval = float(min_interval)
+        self._clock = clock
+        self._start = clock()
+        self._last_draw = -float("inf")
+        self._width = 0
+        self.done = 0
+        self.executed = 0
+        self.failed = 0
+        self.retries = 0
+        self.faults = 0
+        self.closed = False
+
+    # -- event feed ------------------------------------------------------
+
+    def update(self, entry: dict) -> None:
+        """Fold one journal event in; repaint if due."""
+        event = entry.get("event")
+        if event in _DONE_EVENTS:
+            self.done += 1
+            if event == "finished":
+                self.executed += 1
+        elif event == "failed":
+            self.failed += 1
+        elif event == "retrying":
+            self.retries += 1
+        elif event in _FAULT_EVENTS:
+            self.faults += 1
+        self._draw()
+
+    # -- rendering -------------------------------------------------------
+
+    def render(self) -> str:
+        """The current status line (no carriage control)."""
+        elapsed = max(self._clock() - self._start, 1e-9)
+        rate = self.done / elapsed
+        parts = []
+        if self.total > 0:
+            filled = min(_BAR_WIDTH,
+                         int(_BAR_WIDTH * self.done / self.total))
+            bar = "#" * filled + "." * (_BAR_WIDTH - filled)
+            parts.append(f"[{bar}] {self.done}/{self.total} cells")
+            remaining = self.total - self.done
+            if rate > 0 and remaining > 0:
+                parts.append(f"eta {remaining / rate:.0f}s")
+            elif remaining <= 0:
+                parts.append("done")
+        else:
+            parts.append(f"{self.done} cells")
+        parts.insert(1, f"{rate:.1f}/s")
+        if self.failed:
+            parts.append(f"failed {self.failed}")
+        if self.retries:
+            parts.append(f"retries {self.retries}")
+        if self.faults:
+            parts.append(f"faults {self.faults}")
+        return " | ".join(parts)
+
+    def _draw(self, *, force: bool = False) -> None:
+        if not self.enabled or self.closed:
+            return
+        now = self._clock()
+        if not force and now - self._last_draw < self.min_interval:
+            return
+        self._last_draw = now
+        line = self.render()
+        pad = " " * max(0, self._width - len(line))
+        self._width = len(line)
+        try:
+            self.stream.write("\r" + line + pad)
+            self.stream.flush()
+        except (OSError, ValueError):  # closed/broken stream: go quiet
+            self.enabled = False
+
+    def close(self) -> None:
+        """Final paint plus a newline (called once, at run end)."""
+        if self.closed:
+            return
+        if self.enabled:
+            self._draw(force=True)
+            try:
+                self.stream.write("\n")
+                self.stream.flush()
+            except (OSError, ValueError):
+                pass
+        self.closed = True

@@ -1,0 +1,209 @@
+"""The run observer: one object wiring metrics, tracing and progress
+into an engine run and materializing them in a run directory.
+
+A :class:`RunObserver` owns the observability artifacts of one run
+directory (conventionally the place the journal also lives)::
+
+    <dir>/journal.jsonl       engine events   (written by the journal)
+    <dir>/trace.jsonl         span records    (tracer; one line per span)
+    <dir>/trace-chrome.json   Chrome trace-event export of trace.jsonl
+    <dir>/metrics.json        metrics registry snapshot (deterministic)
+    <dir>/metrics.prom        Prometheus textfile rendering
+
+The engine talks to it through four hooks — :meth:`begin` (planned job
+count known), :meth:`on_event` (every journal event; feeds the progress
+meter and event counters), :meth:`job_finished` (per-job latency, the
+worker's simulator-probe counters, and one workers x cells trace span)
+and :meth:`run_ended` (summary gauges).  :meth:`finalize` writes the
+exports; ``repro-stats`` reads them back.
+
+Observation never alters results: the observer only listens, and the
+report renderers never see it (asserted byte-for-byte by the CI
+``observability`` job).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TextIO
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import ProgressMeter
+from repro.obs.spans import Tracer, get_tracer, read_spans, set_tracer, \
+    write_chrome_trace
+from repro.util.atomicio import atomic_write_text
+
+__all__ = ["RunObserver", "METRICS_JSON", "METRICS_PROM", "TRACE_JSONL",
+           "TRACE_CHROME"]
+
+METRICS_JSON = "metrics.json"
+METRICS_PROM = "metrics.prom"
+TRACE_JSONL = "trace.jsonl"
+TRACE_CHROME = "trace-chrome.json"
+
+
+class RunObserver:
+    """Bundle of a run's metrics registry, tracer and progress meter.
+
+    Args:
+        directory: Run directory for the artifacts (created if missing).
+        metrics: Collect the metrics registry (and request simulator
+            probes from engine workers).
+        trace: Record spans to ``trace.jsonl`` + the Chrome export.
+        progress: Drive a live TTY progress meter off journal events.
+        stream: Progress output stream (default stderr).
+        progress_enabled: Force the meter on/off (default: TTY detect).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        metrics: bool = True,
+        trace: bool = True,
+        progress: bool = False,
+        stream: TextIO | None = None,
+        progress_enabled: bool | None = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.registry: MetricsRegistry | None = (
+            MetricsRegistry() if metrics else None
+        )
+        self.tracer: Tracer | None = (
+            Tracer(self.directory / TRACE_JSONL) if trace else None
+        )
+        self._want_progress = bool(progress)
+        self._stream = stream
+        self._progress_enabled = progress_enabled
+        self.meter: ProgressMeter | None = None
+        self._installed_tracer = False
+        self._finalized = False
+
+    # -- engine hooks ----------------------------------------------------
+
+    @property
+    def want_sim_probe(self) -> bool:
+        """Whether workers should run their simulations under a probe."""
+        return self.registry is not None
+
+    def install_tracer(self) -> None:
+        """Install this run's tracer process-wide (idempotent).
+
+        The engine does this at :meth:`begin`; callers who want stage
+        spans *around* the engine run (the CLI's prefetch/render/export
+        stages) install earlier.  A tracer someone else installed is
+        left alone.
+        """
+        if self.tracer is not None and get_tracer() is None:
+            set_tracer(self.tracer)
+            self._installed_tracer = True
+
+    def begin(self, total_jobs: int) -> None:
+        """The run is planned: start progress, install the tracer."""
+        if self._want_progress and self.meter is None:
+            self.meter = ProgressMeter(
+                total_jobs, stream=self._stream,
+                enabled=self._progress_enabled,
+            )
+        self.install_tracer()
+
+    def on_event(self, entry: dict) -> None:
+        """Journal listener: progress + one counter per event kind."""
+        if self.meter is not None:
+            self.meter.update(entry)
+        if self.registry is not None:
+            event = entry.get("event")
+            if event:
+                self.registry.counter("engine_events", event=event).inc()
+            kind = entry.get("kind")
+            if event in ("retrying", "failed") and kind:
+                self.registry.counter("engine_attempt_failures",
+                                      kind=kind).inc()
+
+    def job_finished(self, payload: dict, out: dict) -> None:
+        """One job completed: latency, worker probe counters, job span."""
+        duration = float(out.get("duration") or 0.0)
+        if self.registry is not None:
+            self.registry.histogram("job_seconds").observe(duration)
+            sim = out.get("sim_metrics")
+            if sim:
+                for name, value in sim.items():
+                    self.registry.counter(name).inc(value)
+        if self.tracer is not None:
+            started = out.get("t_start")
+            if started is None:
+                return
+            self.tracer.add(
+                "simulate_cell",
+                ts=float(started),
+                wall=duration,
+                cpu=out.get("cpu"),
+                pid=out.get("worker"),
+                tid=0,
+                args={
+                    "label": payload.get("label"),
+                    "attempt": out.get("attempt"),
+                },
+            )
+
+    def run_ended(self, summary) -> None:
+        """Record the run summary as gauges (engine calls this once)."""
+        if self.registry is None or summary is None:
+            return
+        gauges = {
+            "run_jobs_total": summary.total_jobs,
+            "run_jobs_executed": summary.executed,
+            "run_jobs_failed": summary.failed,
+            "run_cache_hits": summary.cache_hits,
+            "run_resumed": summary.resumed,
+            "run_retries": summary.retries,
+            "run_workers": summary.workers,
+            "run_wall_seconds": summary.wall_seconds,
+            "run_throughput_jobs_per_s": summary.throughput,
+            "run_cache_hit_rate": summary.cache_hit_rate,
+            "run_job_p50_seconds": summary.p50_seconds,
+            "run_job_p95_seconds": summary.p95_seconds,
+        }
+        for name, value in gauges.items():
+            self.registry.gauge(name).set(value)
+
+    # -- materialization -------------------------------------------------
+
+    def finalize(self) -> dict[str, Path]:
+        """Write the exports, close everything; returns artifact paths.
+
+        Idempotent — a second call rewrites the same artifacts from the
+        current state, which only matters for direct library users.
+        """
+        artifacts: dict[str, Path] = {}
+        if self.meter is not None:
+            self.meter.close()
+        if self.registry is not None:
+            metrics_json = self.directory / METRICS_JSON
+            atomic_write_text(metrics_json, self.registry.to_json() + "\n",
+                              encoding="utf-8")
+            artifacts["metrics_json"] = metrics_json
+            metrics_prom = self.directory / METRICS_PROM
+            atomic_write_text(metrics_prom, self.registry.to_prometheus(),
+                              encoding="utf-8")
+            artifacts["metrics_prom"] = metrics_prom
+        if self.tracer is not None:
+            if self._installed_tracer and get_tracer() is self.tracer:
+                set_tracer(None)
+                self._installed_tracer = False
+            self.tracer.close()
+            spans = read_spans(self.directory / TRACE_JSONL)
+            if spans:
+                chrome = self.directory / TRACE_CHROME
+                write_chrome_trace(chrome, spans)
+                artifacts["trace_chrome"] = chrome
+            artifacts["trace_jsonl"] = self.directory / TRACE_JSONL
+        self._finalized = True
+        return artifacts
+
+    def __enter__(self) -> "RunObserver":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.finalize()

@@ -1,0 +1,197 @@
+"""Span-based tracing: ``trace.jsonl`` records and Chrome trace export.
+
+A **span** is one timed region of the run — a pipeline stage, one
+simulated cell, one export — recorded as a single JSON line::
+
+    {"name": "simulate_cell", "ts": 1722950000.1, "wall": 0.84,
+     "cpu": 0.83, "pid": 4711, "tid": 0, "args": {"app": "Water", ...}}
+
+``ts`` is epoch seconds at span start; ``wall``/``cpu`` are elapsed wall
+and CPU seconds.  Lines are appended and flushed one at a time, so a
+killed run leaves a readable prefix (the journal discipline).
+
+Spans come from two places:
+
+* in-process code wraps regions in :func:`trace_span` (a no-op costing
+  one global load when no tracer is installed);
+* the execution engine records one span per completed job from the
+  worker's reported timings, with ``pid`` set to the *worker* pid — so
+  the Chrome export of a parallel run renders as a timeline of
+  workers x cells.
+
+:func:`write_chrome_trace` converts a ``trace.jsonl`` into the Chrome
+trace-event JSON format (load it at ``chrome://tracing`` or
+https://ui.perfetto.dev).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+from repro.util.atomicio import atomic_write_text
+
+__all__ = ["Tracer", "trace_span", "set_tracer", "get_tracer",
+           "read_spans", "chrome_trace", "write_chrome_trace"]
+
+
+class Tracer:
+    """Appends span records to a JSONL file (thread-safe, flushed)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._stream = self.path.open("a", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def add(
+        self,
+        name: str,
+        *,
+        ts: float,
+        wall: float,
+        cpu: float | None = None,
+        pid: int | None = None,
+        tid: int | str = 0,
+        args: dict | None = None,
+    ) -> dict:
+        """Record one externally measured span (returns the record)."""
+        record = {
+            "name": name,
+            "ts": round(float(ts), 6),
+            "wall": round(float(wall), 6),
+            "pid": int(pid) if pid is not None else os.getpid(),
+            "tid": tid,
+        }
+        if cpu is not None:
+            record["cpu"] = round(float(cpu), 6)
+        if args:
+            record["args"] = args
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            if self._stream is not None:
+                self._stream.write(line)
+                self._stream.flush()
+        return record
+
+    @contextmanager
+    def span(self, name: str, **args) -> Iterator[dict]:
+        """Time a region and record it on exit (even on exceptions).
+
+        Yields the mutable ``args`` dict, so the body can attach results
+        (``attrs["cells"] = n``) that land in the record.
+        """
+        ts = time.time()
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        try:
+            yield args
+        finally:
+            self.add(
+                name,
+                ts=ts,
+                wall=time.perf_counter() - wall0,
+                cpu=time.process_time() - cpu0,
+                args=args or None,
+            )
+
+    def close(self) -> None:
+        with self._lock:
+            if self._stream is not None:
+                self._stream.close()
+                self._stream = None
+
+
+#: The process-wide current tracer (None = tracing off everywhere).
+_CURRENT: Tracer | None = None
+
+
+def set_tracer(tracer: Tracer | None) -> None:
+    """Install (or remove, with None) the process-wide tracer."""
+    global _CURRENT
+    _CURRENT = tracer
+
+
+def get_tracer() -> Tracer | None:
+    """The currently installed tracer, if any."""
+    return _CURRENT
+
+
+@contextmanager
+def trace_span(name: str, **args) -> Iterator[dict]:
+    """Trace a region against the current tracer; free when tracing is off.
+
+    Usage::
+
+        with trace_span("simulate_cell", app="Water", placement="MIN-INVS"):
+            ...
+    """
+    tracer = _CURRENT
+    if tracer is None:
+        yield args
+        return
+    with tracer.span(name, **args) as record_args:
+        yield record_args
+
+
+# ----------------------------------------------------------------------
+# Reading and exporting
+# ----------------------------------------------------------------------
+
+
+def read_spans(path: str | Path) -> list[dict]:
+    """All parseable span records in a trace.jsonl (torn tails skipped)."""
+    spans = []
+    path = Path(path)
+    if not path.exists():
+        return spans
+    with path.open("r", encoding="utf-8", errors="replace") as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "name" in record and "ts" in record:
+                spans.append(record)
+    return spans
+
+
+def chrome_trace(spans: list[dict]) -> dict:
+    """Spans as a Chrome trace-event document (``ph: "X"`` complete events).
+
+    Timestamps are microseconds relative to the earliest span, so the
+    viewer opens at t=0 instead of the epoch.
+    """
+    base = min((s["ts"] for s in spans), default=0.0)
+    events = []
+    for span in spans:
+        event = {
+            "name": span["name"],
+            "ph": "X",
+            "ts": int(round((span["ts"] - base) * 1e6)),
+            "dur": max(1, int(round(span.get("wall", 0.0) * 1e6))),
+            "pid": span.get("pid", 0),
+            "tid": span.get("tid", 0),
+        }
+        args = dict(span.get("args") or {})
+        if "cpu" in span:
+            args["cpu_s"] = span["cpu"]
+        if args:
+            event["args"] = args
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str | Path, spans: list[dict]) -> None:
+    """Atomically write the Chrome trace-event JSON for ``spans``."""
+    atomic_write_text(
+        path, json.dumps(chrome_trace(spans), sort_keys=True), encoding="utf-8"
+    )

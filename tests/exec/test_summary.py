@@ -65,6 +65,49 @@ class TestFromEvents:
                                          wall_seconds=2.0)
         assert summary.per_worker == {"11": 1, "12": 1}
 
+    def test_retried_job_latency_includes_all_attempts(self):
+        """Regression: percentiles must charge a retried-then-succeeded
+        job its *total* latency across attempts, not just the winning
+        attempt's — a job that burned 0.9 s failing before a 0.1 s
+        success took 1.0 s, and the tail must say so."""
+        events = [
+            {"event": "retrying", "job": "a", "attempt": 1, "time": 0.4,
+             "duration": 0.4},
+            {"event": "retrying", "job": "a", "attempt": 2, "time": 0.9,
+             "duration": 0.5},
+            {"event": "finished", "job": "a", "attempt": 3, "time": 1.0,
+             "duration": 0.1, "worker": 11},
+            {"event": "finished", "job": "b", "attempt": 1, "time": 1.0,
+             "duration": 0.2, "worker": 11},
+        ]
+        summary = RunSummary.from_events(events, total_jobs=2, workers=1,
+                                         wall_seconds=1.0)
+        assert summary.p50_seconds == pytest.approx(0.6)   # (0.2 + 1.0) / 2
+        assert summary.p95_seconds == pytest.approx(0.96)
+        assert summary.retries == 2
+
+    def test_attempts_histogram(self):
+        events = [
+            {"event": "retrying", "job": "a", "attempt": 1, "duration": 0.1},
+            {"event": "finished", "job": "a", "attempt": 2, "duration": 0.1},
+            {"event": "finished", "job": "b", "attempt": 1, "duration": 0.1},
+            {"event": "finished", "job": "c", "attempt": 1, "duration": 0.1},
+        ]
+        summary = RunSummary.from_events(events, total_jobs=3, workers=1,
+                                         wall_seconds=1.0)
+        assert summary.attempts == {1: 2, 2: 1}
+
+    def test_unretried_latencies_unchanged(self):
+        """Jobs that succeed first try keep their plain durations (the
+        pre-fix behavior is a special case of the fix)."""
+        events = [
+            {"event": "finished", "job": "a", "attempt": 1, "duration": 0.4},
+            {"event": "finished", "job": "b", "attempt": 1, "duration": 0.2},
+        ]
+        summary = RunSummary.from_events(events, total_jobs=2, workers=1,
+                                         wall_seconds=1.0)
+        assert summary.p50_seconds == pytest.approx(0.3)
+
     def test_zero_division_guards(self):
         summary = RunSummary.from_events([], total_jobs=0, workers=1,
                                          wall_seconds=0.0)
@@ -97,3 +140,12 @@ class TestRender:
         assert "cache-hit rate" in text
         assert "p50" in text and "p95" in text
         assert "jobs per worker" in text
+
+    def test_mentions_attempt_spread(self):
+        events = [
+            {"event": "retrying", "job": "a", "attempt": 1, "duration": 0.1},
+            {"event": "finished", "job": "a", "attempt": 2, "duration": 0.1},
+        ]
+        summary = RunSummary.from_events(events, total_jobs=1, workers=1,
+                                         wall_seconds=1.0)
+        assert "finishes by attempt attempt 2:1" in summary.render()

@@ -1,0 +1,209 @@
+"""Tests for the metrics registry: counters, gauges, histograms,
+snapshot/merge and the two exporters."""
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+
+class TestBasics:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs").inc()
+        reg.counter("jobs").inc(4)
+        assert reg.snapshot()["counters"]["jobs"] == 5
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("jobs").inc(-1)
+
+    def test_gauge_latest_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("wall").set(1.5)
+        reg.gauge("wall").set(0.25)
+        assert reg.snapshot()["gauges"]["wall"] == 0.25
+
+    def test_labels_are_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.counter("events", kind="finished").inc()
+        reg.counter("events", kind="failed").inc(2)
+        counters = reg.snapshot()["counters"]
+        assert counters['events{kind="finished"}'] == 1
+        assert counters['events{kind="failed"}'] == 2
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        assert reg.counter("m", b="2", a="1") is reg.counter("m", a="1", b="2")
+
+    def test_histogram_buckets_and_moments(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 100.0):
+            hist.observe(value)
+        assert hist.counts == [1, 1, 1, 1]  # last = overflow
+        assert hist.count == 4
+        assert hist.total == pytest.approx(105.0)
+        assert hist.mean == pytest.approx(105.0 / 4)
+
+    def test_histogram_quantile_is_bucket_upper_bound(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 0.6, 1.5, 3.0):
+            hist.observe(value)
+        assert hist.quantile(0.5) == 1.0
+        assert hist.quantile(1.0) == 4.0
+        assert reg.histogram("lat2", bounds=(1.0,)).quantile(0.5) == 0.0
+
+    def test_histogram_overflow_quantile_is_inf(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", bounds=(1.0,))
+        hist.observe(50.0)
+        assert math.isinf(hist.quantile(0.9))
+
+    def test_histogram_bounds_must_increase(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("bad", bounds=(2.0, 1.0))
+
+    def test_default_buckets_are_log_spaced_powers_of_two(self):
+        assert DEFAULT_BUCKETS[0] == 2.0 ** -13
+        assert all(b2 == b1 * 2 for b1, b2 in zip(DEFAULT_BUCKETS,
+                                                  DEFAULT_BUCKETS[1:]))
+
+
+class TestSnapshotMerge:
+    def test_merge_adds_counters_and_buckets(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.counter("jobs").inc(2)
+        worker.counter("jobs").inc(3)
+        parent.histogram("lat").observe(0.5)
+        worker.histogram("lat").observe(0.5)
+        worker.histogram("lat").observe(8.0)
+        parent.merge(worker.snapshot())
+        snap = parent.snapshot()
+        assert snap["counters"]["jobs"] == 5
+        assert snap["histograms"]["lat"]["count"] == 3
+        assert snap["histograms"]["lat"]["total"] == pytest.approx(9.0)
+
+    def test_merge_gauge_takes_incoming(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.gauge("wall").set(1.0)
+        worker.gauge("wall").set(9.0)
+        parent.merge(worker.snapshot())
+        assert parent.snapshot()["gauges"]["wall"] == 9.0
+
+    def test_merge_bounds_mismatch_raises(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.histogram("lat", bounds=(1.0, 2.0)).observe(0.5)
+        worker.histogram("lat", bounds=(1.0, 3.0)).observe(0.5)
+        with pytest.raises(ValueError, match="bounds mismatch"):
+            parent.merge(worker.snapshot())
+
+    def test_snapshot_is_a_copy(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs").inc()
+        snap = reg.snapshot()
+        snap["counters"]["jobs"] = 99
+        assert reg.snapshot()["counters"]["jobs"] == 1
+
+    def test_merge_under_concurrent_snapshots(self):
+        """Worker snapshots merged from several threads, with concurrent
+        readers — the final totals must be exact (the ISSUE's concurrency
+        requirement on the registry)."""
+        parent = MetricsRegistry()
+        threads_n, merges_each, per_snapshot = 8, 25, 7
+
+        def make_snapshot():
+            worker = MetricsRegistry()
+            worker.counter("jobs").inc(per_snapshot)
+            for i in range(per_snapshot):
+                worker.histogram("lat").observe(0.001 * (i + 1))
+            return worker.snapshot()
+
+        snapshot = make_snapshot()
+        stop = threading.Event()
+        seen_totals = []
+
+        def reader():
+            while not stop.is_set():
+                snap = parent.snapshot()
+                hist = snap["histograms"].get("lat")
+                # A torn view would break count == sum(buckets).
+                if hist is not None:
+                    seen_totals.append((sum(hist["counts"]), hist["count"]))
+
+        def merger():
+            for _ in range(merges_each):
+                parent.merge(snapshot)
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        mergers = [threading.Thread(target=merger) for _ in range(threads_n)]
+        for t in readers + mergers:
+            t.start()
+        for t in mergers:
+            t.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        final = parent.snapshot()
+        expect = threads_n * merges_each * per_snapshot
+        assert final["counters"]["jobs"] == expect
+        assert final["histograms"]["lat"]["count"] == expect
+        assert sum(final["histograms"]["lat"]["counts"]) == expect
+        for bucket_sum, count in seen_totals:
+            assert bucket_sum == count
+
+
+class TestExporters:
+    def test_json_is_deterministic(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("b").inc(2)
+            reg.counter("a").inc(1)
+            reg.gauge("g").set(1.25)
+            reg.histogram("h", bounds=(1.0, 2.0)).observe(1.5)
+            return reg
+
+        assert build().to_json() == build().to_json()
+        parsed = json.loads(build().to_json())
+        assert parsed["counters"] == {"a": 1, "b": 2}
+
+    def test_prometheus_format(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs", kind="ok").inc(3)
+        reg.gauge("wall").set(2.5)
+        reg.histogram("lat", bounds=(1.0, 2.0)).observe(0.5)
+        reg.histogram("lat", bounds=(1.0, 2.0)).observe(1.5)
+        reg.histogram("lat", bounds=(1.0, 2.0)).observe(9.0)
+        text = reg.to_prometheus()
+        lines = text.splitlines()
+        assert "# TYPE jobs counter" in lines
+        assert 'jobs{kind="ok"} 3' in lines
+        assert "# TYPE wall gauge" in lines
+        assert "wall 2.5" in lines
+        assert "# TYPE lat histogram" in lines
+        # Buckets are cumulative; +Inf equals the total count.
+        assert 'lat_bucket{le="1"} 1' in lines
+        assert 'lat_bucket{le="2"} 2' in lines
+        assert 'lat_bucket{le="+Inf"} 3' in lines
+        assert "lat_sum 11" in lines
+        assert "lat_count 3" in lines
+        assert text.endswith("\n")
+
+    def test_prometheus_histogram_le_joins_existing_labels(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", bounds=(1.0,), stage="sim").observe(0.5)
+        text = reg.to_prometheus()
+        assert 'lat_bucket{stage="sim",le="1"} 1' in text
+        assert 'lat_bucket{stage="sim",le="+Inf"} 1' in text
+
+    def test_empty_registry_exports(self):
+        reg = MetricsRegistry()
+        assert json.loads(reg.to_json()) == {
+            "counters": {}, "gauges": {}, "histograms": {}}
+        assert reg.to_prometheus() == ""

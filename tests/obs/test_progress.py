@@ -1,0 +1,142 @@
+"""Tests for the live progress meter (driven by synthetic journal
+events and a fake clock — no real terminal, no sleeping)."""
+
+import io
+
+from repro.obs.progress import ProgressMeter
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def meter(total=4, **kwargs):
+    kwargs.setdefault("stream", io.StringIO())
+    kwargs.setdefault("clock", FakeClock())
+    return ProgressMeter(total, **kwargs)
+
+
+class TestCounting:
+    def test_done_events(self):
+        m = meter(enabled=False)
+        for event in ("finished", "cache-hit", "resumed"):
+            m.update({"event": event})
+        assert m.done == 3
+        assert m.executed == 1
+
+    def test_failures_retries_faults(self):
+        m = meter(enabled=False)
+        m.update({"event": "failed"})
+        m.update({"event": "retrying"})
+        m.update({"event": "retrying"})
+        m.update({"event": "watchdog-kill"})
+        m.update({"event": "store-failed"})
+        assert (m.failed, m.retries, m.faults) == (1, 2, 2)
+
+    def test_unknown_events_ignored(self):
+        m = meter(enabled=False)
+        m.update({"event": "run-start"})
+        m.update({"not-an-event": True})
+        assert m.done == 0
+
+
+class TestRendering:
+    def test_bar_and_counts(self):
+        clock = FakeClock()
+        m = meter(total=4, clock=clock, enabled=True)
+        clock.now = 2.0
+        m.update({"event": "finished"})
+        m.update({"event": "finished"})
+        line = m.render()
+        assert "[##########..........]" in line
+        assert "2/4 cells" in line
+        assert "1.0/s" in line
+        assert "eta 2s" in line
+
+    def test_tallies_appear_only_when_nonzero(self):
+        m = meter(enabled=True)
+        assert "failed" not in m.render()
+        m.update({"event": "failed"})
+        m.update({"event": "retrying"})
+        m.update({"event": "watchdog-kill"})
+        line = m.render()
+        assert "failed 1" in line
+        assert "retries 1" in line
+        assert "faults 1" in line
+
+    def test_zero_total_renders_count_only(self):
+        m = meter(total=0, enabled=True)
+        m.update({"event": "finished"})
+        assert "1 cells" in m.render()
+        assert "eta" not in m.render()
+
+    def test_done_marker_when_complete(self):
+        m = meter(total=1, enabled=True)
+        m.update({"event": "finished"})
+        assert "done" in m.render()
+
+
+class TestDrawing:
+    def test_non_tty_stream_disables_by_default(self):
+        stream = io.StringIO()  # isatty() -> False
+        m = ProgressMeter(4, stream=stream, clock=FakeClock())
+        m.update({"event": "finished"})
+        assert stream.getvalue() == ""
+
+    def test_forced_enabled_draws_with_carriage_return(self):
+        stream = io.StringIO()
+        clock = FakeClock()
+        m = ProgressMeter(4, stream=stream, enabled=True, clock=clock)
+        m.update({"event": "finished"})
+        assert stream.getvalue().startswith("\r")
+        assert "1/4 cells" in stream.getvalue()
+
+    def test_redraws_are_rate_limited(self):
+        stream = io.StringIO()
+        clock = FakeClock()
+        m = ProgressMeter(4, stream=stream, enabled=True, clock=clock,
+                          min_interval=1.0)
+        m.update({"event": "finished"})
+        first = stream.getvalue()
+        m.update({"event": "finished"})  # same instant: no repaint
+        assert stream.getvalue() == first
+        clock.now = 2.0
+        m.update({"event": "finished"})
+        assert stream.getvalue() != first
+
+    def test_shrinking_line_is_padded_clean(self):
+        stream = io.StringIO()
+        clock = FakeClock()
+        m = ProgressMeter(0, stream=stream, enabled=True, clock=clock,
+                          min_interval=0.0)
+        m.update({"event": "retrying"})   # long line (retries tally)
+        long_line = m.render()
+        m.retries = 0                      # next render is shorter
+        clock.now = 1.0
+        m.update({"event": "finished"})
+        tail = stream.getvalue().rsplit("\r", 1)[1]
+        assert len(tail) >= len(long_line)
+
+    def test_close_paints_final_line_and_newline(self):
+        stream = io.StringIO()
+        m = ProgressMeter(2, stream=stream, enabled=True, clock=FakeClock())
+        m.update({"event": "finished"})
+        m.close()
+        assert stream.getvalue().endswith("\n")
+        m.close()  # idempotent
+        assert stream.getvalue().count("\n") == 1
+
+    def test_broken_stream_goes_quiet(self):
+        class Broken(io.StringIO):
+            def write(self, *a):
+                raise OSError("gone")
+
+        m = ProgressMeter(2, stream=Broken(), enabled=True,
+                          clock=FakeClock())
+        m.update({"event": "finished"})   # must not raise
+        assert m.enabled is False
+        m.close()

@@ -1,0 +1,139 @@
+"""Tests for span tracing: the tracer, the trace_span shim and the
+Chrome trace-event export (schema-validated)."""
+
+import json
+
+import pytest
+
+from repro.obs.spans import (
+    Tracer,
+    chrome_trace,
+    get_tracer,
+    read_spans,
+    set_tracer,
+    trace_span,
+    write_chrome_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    """No test inherits (or leaks) a process-wide tracer."""
+    set_tracer(None)
+    yield
+    set_tracer(None)
+
+
+class TestTracer:
+    def test_add_and_read_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path)
+        tracer.add("simulate_cell", ts=100.0, wall=0.25, cpu=0.2,
+                   pid=42, tid=1, args={"label": "Water"})
+        tracer.close()
+        spans = read_spans(path)
+        assert len(spans) == 1
+        span = spans[0]
+        assert span["name"] == "simulate_cell"
+        assert span["ts"] == 100.0
+        assert span["wall"] == 0.25
+        assert span["cpu"] == 0.2
+        assert span["pid"] == 42
+        assert span["args"] == {"label": "Water"}
+
+    def test_span_contextmanager_records_and_mutates_args(self, tmp_path):
+        tracer = Tracer(tmp_path / "trace.jsonl")
+        with tracer.span("stage", kind="stage") as args:
+            args["cells"] = 7
+        tracer.close()
+        (span,) = read_spans(tmp_path / "trace.jsonl")
+        assert span["name"] == "stage"
+        assert span["args"] == {"kind": "stage", "cells": 7}
+        assert span["wall"] >= 0.0
+        assert "cpu" in span
+
+    def test_span_records_on_exception(self, tmp_path):
+        tracer = Tracer(tmp_path / "trace.jsonl")
+        try:
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        tracer.close()
+        assert [s["name"] for s in read_spans(tmp_path / "trace.jsonl")] \
+            == ["doomed"]
+
+    def test_read_skips_torn_tail_and_garbage(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path)
+        tracer.add("ok", ts=1.0, wall=0.1)
+        tracer.close()
+        with path.open("a", encoding="utf-8") as stream:
+            stream.write("not json\n")
+            stream.write('{"name": "torn", "ts": 2.')  # no newline
+        assert [s["name"] for s in read_spans(path)] == ["ok"]
+
+    def test_read_missing_file_is_empty(self, tmp_path):
+        assert read_spans(tmp_path / "nope.jsonl") == []
+
+
+class TestTraceSpanShim:
+    def test_noop_without_tracer(self):
+        assert get_tracer() is None
+        with trace_span("anything", key="value") as args:
+            assert args == {"key": "value"}
+
+    def test_records_with_tracer_installed(self, tmp_path):
+        tracer = Tracer(tmp_path / "trace.jsonl")
+        set_tracer(tracer)
+        try:
+            with trace_span("stage", kind="stage"):
+                pass
+        finally:
+            set_tracer(None)
+            tracer.close()
+        (span,) = read_spans(tmp_path / "trace.jsonl")
+        assert span["name"] == "stage"
+        assert span["args"] == {"kind": "stage"}
+
+
+class TestChromeExport:
+    def _spans(self):
+        return [
+            {"name": "a", "ts": 10.0, "wall": 0.5, "cpu": 0.4,
+             "pid": 1, "tid": 0, "args": {"label": "x"}},
+            {"name": "b", "ts": 10.5, "wall": 0.001, "pid": 2, "tid": 0},
+        ]
+
+    def test_schema(self):
+        doc = chrome_trace(self._spans())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        assert isinstance(doc["traceEvents"], list)
+        for event in doc["traceEvents"]:
+            # The Chrome trace-event required fields for complete events.
+            assert event["ph"] == "X"
+            assert isinstance(event["name"], str)
+            assert isinstance(event["ts"], int)
+            assert isinstance(event["dur"], int) and event["dur"] >= 1
+            assert "pid" in event and "tid" in event
+
+    def test_timestamps_relative_to_earliest(self):
+        events = chrome_trace(self._spans())["traceEvents"]
+        assert min(e["ts"] for e in events) == 0
+        assert events[1]["ts"] == 500_000  # 0.5 s later, in microseconds
+
+    def test_cpu_and_args_carried(self):
+        events = chrome_trace(self._spans())["traceEvents"]
+        assert events[0]["args"] == {"label": "x", "cpu_s": 0.4}
+        assert "args" not in events[1]
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace-chrome.json"
+        write_chrome_trace(path, self._spans())
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        assert len(doc["traceEvents"]) == 2
+
+    def test_empty_spans(self):
+        assert chrome_trace([]) == {"traceEvents": [],
+                                    "displayTimeUnit": "ms"}
