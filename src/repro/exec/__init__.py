@@ -26,7 +26,7 @@ from repro.exec.jobs import (
     plan_full_grid,
     plan_sections,
 )
-from repro.exec.journal import RunJournal
+from repro.exec.journal import JournalTail, RunJournal
 from repro.exec.summary import RunSummary
 
 __all__ = [
@@ -34,6 +34,7 @@ __all__ = [
     "JobFailure",
     "JobSpec",
     "JobTimeout",
+    "JournalTail",
     "RunJournal",
     "RunReport",
     "RunSummary",

@@ -682,11 +682,24 @@ class ExecutionEngine:
         inflight: dict = {}
 
         def submit(payload: dict) -> None:
+            nonlocal executor
             if heartbeat_dir is not None:
                 payload["heartbeat_dir"] = str(heartbeat_dir)
             journal.record("started", payload["job"],
                            attempt=payload["attempt"])
-            future = executor.submit(_invoke, self.job_runner, payload)
+            while True:
+                try:
+                    future = executor.submit(_invoke, self.job_runner,
+                                             payload)
+                    break
+                except BrokenProcessPool:
+                    # A worker died while this submission was in flight.
+                    # The broken pool has already poisoned every
+                    # outstanding future, so the crash path in the main
+                    # loop still collects and resubmits the innocents;
+                    # rebuild here only to get *this* payload in.
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = make_executor()
             inflight[future] = payload
 
         try:

@@ -25,16 +25,93 @@ records events, so appends are serialized under a lock.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from pathlib import Path
+from typing import Callable, Iterator
 
 from repro import faults
 
-__all__ = ["RunJournal", "COMPLETED_EVENTS"]
+__all__ = ["RunJournal", "JournalTail", "COMPLETED_EVENTS",
+           "TERMINAL_EVENTS"]
 
 #: Events that mark a job as done (its result exists in the store/memo).
 COMPLETED_EVENTS = frozenset({"finished", "cache-hit", "resumed"})
+
+#: Events that mark the whole run as over (the journal will be closed).
+TERMINAL_EVENTS = frozenset({"run-end", "run-interrupted"})
+
+
+class JournalTail:
+    """Incremental reader of a (possibly live) journal file.
+
+    Safe against everything a concurrently-written JSONL file can do:
+
+    * **Torn tails** — a line the writer has not finished (no trailing
+      newline yet) is never parsed: the read offset only ever advances
+      past *complete* lines, so a partial fragment is simply re-read on
+      the next poll until its newline lands.  If the writer dies and a
+      reopening :class:`RunJournal` truncates the torn tail away
+      (:meth:`RunJournal.recover_torn_tail`) — even if equally-sized new
+      bytes immediately replace it — nothing already yielded is
+      affected and nothing is duplicated.
+    * **Concurrent appends** — each :meth:`poll` picks up exactly the
+      lines completed since the last one; the writer's per-line flush
+      means a complete event is visible atomically.
+    * **Malformed lines** — third-party garbage is skipped, matching
+      :meth:`RunJournal.read`.
+    * **Rewrites** — a file that shrank below the last complete line
+      (rotated or rewritten, which the engine never does) restarts from
+      the top; only then can events repeat.
+
+    The file is opened per poll (no held descriptor), so tailing never
+    blocks a writer or pins a deleted file.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._offset = 0  # always just past the last complete line read
+
+    def poll(self) -> list[dict]:
+        """Every event completed since the last poll (non-blocking).
+
+        Returns ``[]`` when there is nothing new — including when the
+        file does not exist yet (a journal appears when the run starts).
+        """
+        try:
+            size = os.stat(self.path).st_size
+        except OSError:
+            return []
+        if size < self._offset:
+            # The file shrank below a line boundary we already consumed:
+            # it was rewritten; start over.
+            self._offset = 0
+        if size == self._offset:
+            return []
+        try:
+            with self.path.open("rb") as stream:
+                stream.seek(self._offset)
+                chunk = stream.read()
+        except OSError:
+            return []
+        if not chunk:
+            return []
+        lines = chunk.split(b"\n")
+        partial = lines.pop()  # torn tail: re-read once its newline lands
+        self._offset += len(chunk) - len(partial)
+        events = []
+        for raw in lines:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                entry = json.loads(raw.decode("utf-8", errors="replace"))
+            except json.JSONDecodeError:
+                continue
+            if isinstance(entry, dict) and "event" in entry:
+                events.append(entry)
+        return events
 
 
 class RunJournal:
@@ -128,21 +205,62 @@ class RunJournal:
 
         A run killed mid-write leaves a truncated final line; malformed
         lines are skipped rather than raised, so resuming from a crashed
-        run always works.
+        run always works.  (One non-follow :meth:`tail` pass.)
         """
-        events = []
-        with Path(path).open("r", encoding="utf-8", errors="replace") as stream:
-            for line in stream:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                except json.JSONDecodeError:
-                    continue
-                if isinstance(entry, dict) and "event" in entry:
-                    events.append(entry)
-        return events
+        return list(RunJournal.tail(path))
+
+    @classmethod
+    def tail(
+        cls,
+        path: str | Path,
+        *,
+        follow: bool = False,
+        poll_interval: float = 0.05,
+        timeout: float | None = None,
+        stop: Callable[[], bool] | None = None,
+    ) -> Iterator[dict]:
+        """Iterate a journal's events, optionally following a live file.
+
+        The shared event feed under the progress meter
+        (:func:`repro.obs.progress.follow_journal`) and the service's
+        SSE/NDJSON job streams — one tailer, one set of torn-tail and
+        concurrent-append semantics (see :class:`JournalTail`).
+
+        Args:
+            path: Journal file.  Without ``follow`` it must exist
+                (``FileNotFoundError``, matching :meth:`read`); with
+                ``follow`` a missing file is simply waited for.
+            follow: Keep polling for appends instead of stopping at the
+                current end of file.
+            poll_interval: Seconds between polls while idle (follow).
+            timeout: Overall budget in seconds (follow); the iterator
+                ends when it elapses.
+            stop: Callable checked while following; once it returns
+                true, the file is drained one final time and the
+                iterator ends.  (The service passes "job reached a
+                terminal state"; events recorded before the state flip
+                are never lost.)
+
+        Yields:
+            Parsed event dicts, in file order, each exactly once.
+        """
+        tailer = JournalTail(path)
+        if not follow:
+            if not tailer.path.exists():
+                raise FileNotFoundError(str(path))
+            yield from tailer.poll()
+            return
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            final = stop is not None and stop()
+            events = tailer.poll()
+            yield from events
+            if final:
+                return
+            if deadline is not None and time.monotonic() >= deadline:
+                return
+            if not events:
+                time.sleep(poll_interval)
 
     @classmethod
     def completed_jobs(cls, path: str | Path) -> set[str]:

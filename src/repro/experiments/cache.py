@@ -17,6 +17,7 @@ import hashlib
 import io
 import logging
 import os
+import threading
 import zipfile
 from pathlib import Path
 
@@ -56,6 +57,27 @@ _MISS_ORDER: tuple[MissKind, ...] = (
 )
 
 _FORMAT_VERSION = 1
+
+# One commit lock per store directory (process-wide).  Entry commits are
+# two filesystem operations (sidecar write, npz rename); threads sharing
+# a store — the service's executor pool runs several engine executions
+# against one directory — must not interleave them, or a reader can pair
+# one writer's npz with another's sidecar and evict a good entry
+# (``np.savez_compressed`` output embeds zip timestamps, so two writes
+# of the *same* result need not be byte-identical).  Cross-process races
+# remain possible and remain benign: a mismatched pair degrades to
+# evict-and-recompute, never to torn data.
+_COMMIT_LOCKS: dict[str, threading.Lock] = {}
+_COMMIT_LOCKS_GUARD = threading.Lock()
+
+
+def _commit_lock(directory: Path) -> threading.Lock:
+    key = str(directory.resolve())
+    with _COMMIT_LOCKS_GUARD:
+        lock = _COMMIT_LOCKS.get(key)
+        if lock is None:
+            lock = _COMMIT_LOCKS[key] = threading.Lock()
+        return lock
 
 #: Leading tag of every store key; bump together with ``_FORMAT_VERSION``.
 STORE_KEY_TAG = "v1"
@@ -187,6 +209,7 @@ class ResultStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.checksum = bool(checksum)
         self.fsync = bool(fsync)
+        self._lock = _commit_lock(self.directory)
 
     def _path(self, key: tuple) -> Path:
         return self.directory / f"{store_digest(key)}.npz"
@@ -215,13 +238,18 @@ class ResultStore:
         writes a clean entry — a damaged cache never aborts a report.
         """
         path = self._path(key)
-        if not path.exists():
-            return None
         try:
-            data = path.read_bytes()
-            sidecar = self._sidecar(path)
-            if self.checksum and sidecar.exists():
-                expected = sidecar.read_text(encoding="ascii").strip()
+            # Snapshot entry + sidecar under the commit lock so an
+            # in-process writer can never be caught between the two;
+            # decoding happens outside it.
+            with self._lock:
+                if not path.exists():
+                    return None
+                data = path.read_bytes()
+                sidecar = self._sidecar(path)
+                expected = (sidecar.read_text(encoding="ascii").strip()
+                            if self.checksum and sidecar.exists() else None)
+            if expected is not None:
                 actual = sha256_hex(data)
                 if actual != expected:
                     raise ValueError(
@@ -235,7 +263,8 @@ class ResultStore:
                 "evicting unreadable result %s (%s: %s); the cell will be "
                 "recomputed", path.name, type(exc).__name__, exc,
             )
-            self._evict(path)
+            with self._lock:
+                self._evict(path)
             return None
 
     def store(self, key: tuple, result: SimulationResult) -> bool:
@@ -250,7 +279,8 @@ class ResultStore:
         sweep; the cell is simply recomputed next run.
         """
         path = self._path(key)
-        temporary = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        temporary = path.with_name(
+            f"{path.name}.tmp-{os.getpid()}-{threading.get_ident()}")
         try:
             faults.fire("store", context=path.name)
             with open(temporary, "wb") as stream:
@@ -258,13 +288,18 @@ class ResultStore:
                 stream.flush()
                 if self.fsync:
                     os.fsync(stream.fileno())
-            if self.checksum:
-                atomic_write_text(
-                    self._sidecar(path),
-                    sha256_hex(temporary.read_bytes()) + "\n",
-                    encoding="ascii", fsync=self.fsync, fault_site=None,
-                )
-            os.replace(temporary, path)
+            # Sidecar + rename commit as one unit under the per-directory
+            # lock: an in-process reader (or racing writer of the same
+            # key) can never pair this entry's bytes with another
+            # writer's sidecar.
+            with self._lock:
+                if self.checksum:
+                    atomic_write_text(
+                        self._sidecar(path),
+                        sha256_hex(temporary.read_bytes()) + "\n",
+                        encoding="ascii", fsync=self.fsync, fault_site=None,
+                    )
+                os.replace(temporary, path)
             if self.fsync:
                 fsync_directory(self.directory)
         except OSError as exc:

@@ -33,8 +33,8 @@ import sys
 
 from repro import faults
 from repro.arch.simulator import ENGINES
+from repro.experiments.api import RunOptions, SuiteRequest, run_suite
 from repro.experiments.report import REPORT_SECTIONS, write_report
-from repro.experiments.runner import ExperimentSuite
 from repro.obs.spans import trace_span
 from repro.tools.errors import DEGRADED_EXIT_CODE, friendly_errors
 from repro.util.atomicio import atomic_write_text
@@ -226,6 +226,11 @@ def _write_out(path: str, text: str) -> None:
 def main(argv: list[str] | None = None) -> int:
     """Console entry point; returns the process exit code.
 
+    A thin wrapper over :func:`repro.experiments.api.run_suite`: argv is
+    mapped onto a :class:`~repro.experiments.api.SuiteRequest` (what to
+    compute) and :class:`~repro.experiments.api.RunOptions` (how), so the
+    library, the CLI and the service all execute the same code path.
+
     Exit codes: 0 = complete report; 1 = a --verify claim failed; 2 =
     usage error; 3 = the report rendered but is degraded (MISSING cells);
     130 = interrupted (the journal is sealed for --resume).
@@ -250,16 +255,11 @@ def main(argv: list[str] | None = None) -> int:
         os.environ[faults.SPEC_VAR] = args.inject_faults
         if args.fault_ledger:
             os.environ[faults.LEDGER_VAR] = args.fault_ledger
-    suite = ExperimentSuite(
+    request = SuiteRequest(
+        sections=tuple(args.sections) if args.sections else None,
         scale=args.scale, seed=args.seed, quantum_refs=args.quantum_refs,
-        cache_dir=args.cache_dir, check_invariants=args.check_invariants,
-        engine=args.engine, strict=False,
-    )
-    # Preserve the paper's presentation order regardless of CLI order.
-    sections = (
-        [s for s in REPORT_SECTIONS if s in set(args.sections)]
-        if args.sections
-        else None
+        engine=args.engine, charts=args.charts,
+        check_invariants=args.check_invariants,
     )
     observer = None
     if observing:
@@ -272,16 +272,20 @@ def main(argv: list[str] | None = None) -> int:
         # Install the tracer now (not at engine start) so the CLI's own
         # stage spans — prefetch, render, exports — are captured too.
         observer.install_tracer()
+    options = RunOptions(
+        jobs=args.jobs, timeout=args.timeout, hang_timeout=args.hang_timeout,
+        retries=args.retries, journal=args.journal, resume=args.resume,
+        cache_dir=args.cache_dir, observer=observer,
+    )
     run_info = None
     try:
-        if args.jobs > 1 or args.journal or args.resume:
-            with trace_span("prefetch", kind="stage"):
-                run = suite.prefetch(
-                    sections, jobs=args.jobs, timeout=args.timeout,
-                    hang_timeout=args.hang_timeout,
-                    journal=args.journal, resume=args.resume,
-                    max_retries=args.retries, observer=observer,
-                )
+        result = run_suite(request, options, render=False, strict=False)
+        suite = result.suite
+        sections = (
+            list(request.sections) if request.sections is not None else None
+        )
+        run = result.run
+        if run is not None:
             sys.stderr.write(run.summary.render() + "\n")
             for failure in run.failures:
                 sys.stderr.write(f"[gap] {failure}\n")

@@ -30,7 +30,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.probes import SimProbe
-from repro.obs.progress import ProgressMeter
+from repro.obs.progress import ProgressMeter, drive_meter, follow_journal
 from repro.obs.run import RunObserver
 from repro.obs.spans import (
     Tracer,
@@ -50,6 +50,8 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "SimProbe",
     "ProgressMeter",
+    "drive_meter",
+    "follow_journal",
     "RunObserver",
     "Tracer",
     "trace_span",

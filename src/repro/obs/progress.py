@@ -16,9 +16,9 @@ from __future__ import annotations
 
 import sys
 import time
-from typing import TextIO
+from typing import Callable, Iterable, TextIO
 
-__all__ = ["ProgressMeter"]
+__all__ = ["ProgressMeter", "drive_meter", "follow_journal"]
 
 #: Events that mean one more planned cell is accounted for.
 _DONE_EVENTS = frozenset({"finished", "cache-hit", "resumed"})
@@ -139,3 +139,69 @@ class ProgressMeter:
             except (OSError, ValueError):
                 pass
         self.closed = True
+
+
+def drive_meter(
+    events: Iterable[dict],
+    *,
+    stream: TextIO | None = None,
+    enabled: bool | None = None,
+    meter: ProgressMeter | None = None,
+) -> ProgressMeter:
+    """Drive a :class:`ProgressMeter` from any journal-event iterable.
+
+    The meter consumes plain event dicts, so the feed can be anything
+    that yields them: the engine's live listener, a
+    :meth:`~repro.exec.journal.RunJournal.tail` over a journal file, or
+    the service's NDJSON job stream
+    (:meth:`repro.service.client.ServiceClient.events`) — one meter, any
+    transport.  A ``run-start`` event sets the planned total; the meter
+    is closed (final line painted) when the feed ends.
+
+    Returns the (closed) meter, so callers can read the tallies.
+    """
+    if meter is None:
+        meter = ProgressMeter(0, stream=stream, enabled=enabled)
+    try:
+        for entry in events:
+            if entry.get("event") == "run-start":
+                try:
+                    meter.total = int(entry.get("jobs") or 0)
+                except (TypeError, ValueError):
+                    pass
+            meter.update(entry)
+    finally:
+        meter.close()
+    return meter
+
+
+def follow_journal(
+    path,
+    *,
+    stream: TextIO | None = None,
+    enabled: bool | None = None,
+    poll_interval: float = 0.1,
+    timeout: float | None = None,
+    stop: Callable[[], bool] | None = None,
+) -> ProgressMeter:
+    """Follow a live journal file with a progress meter (``tail -f``
+    with a status line).
+
+    Built on :meth:`RunJournal.tail`, the same safe tailer the service's
+    event streams use, so torn tails and concurrent appends are handled
+    identically.  Ends when the run does (``run-end`` /
+    ``run-interrupted``), when ``stop()`` returns true, or when
+    ``timeout`` elapses.  ``repro-stats --follow`` is the CLI face of
+    this function.
+    """
+    from repro.exec.journal import TERMINAL_EVENTS, RunJournal
+
+    def feed():
+        for entry in RunJournal.tail(path, follow=True,
+                                     poll_interval=poll_interval,
+                                     timeout=timeout, stop=stop):
+            yield entry
+            if entry.get("event") in TERMINAL_EVENTS:
+                return
+
+    return drive_meter(feed(), stream=stream, enabled=enabled)

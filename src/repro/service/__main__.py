@@ -1,0 +1,14 @@
+"""``python -m repro.service`` — the service client CLI.
+
+Delegates to :func:`repro.service.client.main`; running the package
+(rather than ``python -m repro.service.client``) avoids runpy's
+double-import warning, since the package ``__init__`` already imports
+the client module.
+"""
+
+import sys
+
+from repro.service.client import main
+
+if __name__ == "__main__":
+    sys.exit(main())

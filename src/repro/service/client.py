@@ -1,0 +1,368 @@
+"""Stdlib client for the repro service (plus ``python -m repro.service.client``).
+
+:class:`ServiceClient` speaks the ``/v1`` API over ``http.client`` —
+one connection per request, matching the server's ``Connection: close``
+discipline — so tests, examples and CI need nothing beyond the standard
+library.  The one long-lived call is :meth:`events`, which holds its
+connection open and yields journal events as the server streams them;
+:meth:`watch` pipes that stream into the shared
+:func:`~repro.obs.progress.drive_meter`, so a remote run paints the
+same progress line a local ``repro-experiments --progress`` does.
+
+The module doubles as a tiny CLI::
+
+    python -m repro.service.client --url http://127.0.0.1:8077 \\
+        submit --sections table1 --scale 0.001 --watch --report-out out.txt
+
+which is exactly how the CI service job exercises the server.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+import time
+from typing import Iterator
+from urllib.parse import urlsplit
+
+__all__ = ["ServiceClient", "ServiceError", "main"]
+
+
+class ServiceError(Exception):
+    """A non-2xx API response.
+
+    Carries the HTTP ``status`` and, for 429s, the server's
+    ``retry_after`` hint in seconds (else ``None``).
+    """
+
+    def __init__(self, status: int, message: str,
+                 retry_after: int | None = None) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """Client for one service endpoint.
+
+    Args:
+        base_url: e.g. ``http://127.0.0.1:8077`` (scheme optional).
+        tenant: Sent as ``X-Tenant`` on every request; the server's
+            quota accounting keys on it.
+        timeout: Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, *, tenant: str = "default",
+                 timeout: float = 30.0) -> None:
+        if "//" not in base_url:
+            base_url = "http://" + base_url
+        split = urlsplit(base_url)
+        if split.scheme != "http":
+            raise ValueError(f"only http:// is supported, got {base_url!r}")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 80
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------
+
+    def _connect(self, timeout: float | None = None) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=self.timeout if timeout is None else timeout)
+
+    def _request(self, method: str, path: str,
+                 body: dict | None = None) -> tuple[int, dict, bytes]:
+        """One request/response cycle; returns (status, headers, body)."""
+        connection = self._connect()
+        try:
+            headers = {"X-Tenant": self.tenant}
+            payload = None
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+            lowered = {k.lower(): v for k, v in response.getheaders()}
+            return response.status, lowered, data
+        finally:
+            connection.close()
+
+    def _json(self, method: str, path: str,
+              body: dict | None = None) -> dict:
+        status, headers, data = self._request(method, path, body)
+        if status >= 400:
+            raise self._error(status, headers, data)
+        try:
+            return json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(status, f"unparseable response body: {exc}")
+
+    @staticmethod
+    def _error(status: int, headers: dict, data: bytes) -> ServiceError:
+        try:
+            message = json.loads(data.decode("utf-8")).get("error", "")
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            message = data.decode("utf-8", errors="replace").strip()
+        retry_after = None
+        if "retry-after" in headers:
+            try:
+                retry_after = int(headers["retry-after"])
+            except ValueError:
+                pass
+        return ServiceError(status, message or "request failed", retry_after)
+
+    # -- API -------------------------------------------------------------
+
+    def health(self) -> dict:
+        """GET /healthz."""
+        return self._json("GET", "/healthz")
+
+    def stats(self) -> dict:
+        """GET /v1/stats."""
+        return self._json("GET", "/v1/stats")
+
+    def metrics(self) -> str:
+        """GET /v1/metrics (Prometheus text)."""
+        status, headers, data = self._request("GET", "/v1/metrics")
+        if status >= 400:
+            raise self._error(status, headers, data)
+        return data.decode("utf-8")
+
+    def submit(self, request: dict) -> dict:
+        """POST /v1/jobs; returns the job document (with ``created``).
+
+        ``request`` is a plain :class:`~repro.experiments.api.SuiteRequest`
+        dict, e.g. ``{"sections": ["table1"], "scale": 0.001}``.  Raises
+        :class:`ServiceError` with ``retry_after`` set on a 429.
+        """
+        return self._json("POST", "/v1/jobs", body=request)
+
+    def job(self, job_id: str) -> dict:
+        """GET /v1/jobs/{id}."""
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        """GET /v1/jobs."""
+        return self._json("GET", "/v1/jobs")["jobs"]
+
+    def wait(self, job_id: str, *, timeout: float = 600.0,
+             poll_interval: float = 0.2) -> dict:
+        """Poll until the job is ``done``/``failed``; returns its record."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in ("done", "failed"):
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']} after {timeout}s")
+            time.sleep(poll_interval)
+
+    def events(self, job_id: str, *,
+               timeout: float | None = None) -> Iterator[dict]:
+        """Stream the job's journal events (NDJSON), ending after the
+        server's synthetic ``job-end`` event.
+
+        The connection stays open for the stream's lifetime;
+        ``timeout`` bounds the *whole stream* via the server-side
+        ``?timeout=`` knob (the socket timeout is stretched to match).
+        """
+        path = f"/v1/jobs/{job_id}/events"
+        socket_timeout = self.timeout
+        if timeout is not None:
+            path += f"?timeout={timeout:g}"
+            socket_timeout = timeout + self.timeout
+        connection = self._connect(timeout=socket_timeout)
+        try:
+            connection.request("GET", path,
+                               headers={"X-Tenant": self.tenant})
+            response = connection.getresponse()
+            if response.status >= 400:
+                data = response.read()
+                lowered = {k.lower(): v for k, v in response.getheaders()}
+                raise self._error(response.status, lowered, data)
+            buffer = b""
+            while True:
+                chunk = response.read(4096)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, _, buffer = buffer.partition(b"\n")
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line.decode("utf-8"))
+                    except (UnicodeDecodeError, json.JSONDecodeError):
+                        continue
+                    if isinstance(entry, dict):
+                        yield entry
+        finally:
+            connection.close()
+
+    def watch(self, job_id: str, *, stream=None,
+              timeout: float | None = None):
+        """Follow a job with a live progress meter (remote ``--progress``).
+
+        Feeds :meth:`events` through the shared
+        :func:`~repro.obs.progress.drive_meter`; returns the closed
+        meter and, as a side effect, blocks until the job ends.
+        """
+        from repro.obs.progress import drive_meter
+
+        return drive_meter(self.events(job_id, timeout=timeout),
+                           stream=stream if stream is not None
+                           else sys.stderr)
+
+    def report(self, job_id: str) -> bytes:
+        """GET /v1/jobs/{id}/report — the report's exact bytes."""
+        status, headers, data = self._request(
+            "GET", f"/v1/jobs/{job_id}/report")
+        if status >= 400:
+            raise self._error(status, headers, data)
+        return data
+
+    def report_json(self, job_id: str) -> dict:
+        """GET /v1/jobs/{id}/report.json, parsed."""
+        return self._json("GET", f"/v1/jobs/{job_id}/report.json")
+
+
+# ----------------------------------------------------------------------
+# Module CLI
+# ----------------------------------------------------------------------
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.client",
+        description="Talk to a running repro service.")
+    parser.add_argument("--url", default="http://127.0.0.1:8077",
+                        help="service base URL (default %(default)s)")
+    parser.add_argument("--tenant", default="default",
+                        help="tenant name sent as X-Tenant")
+    parser.add_argument("--timeout", type=float, default=30.0,
+                        help="per-request socket timeout (seconds)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("health", help="liveness check")
+    commands.add_parser("stats", help="queue/job summary")
+    commands.add_parser("jobs", help="list known jobs")
+
+    submit = commands.add_parser("submit", help="submit a suite run")
+    submit.add_argument("--sections", nargs="+", default=None,
+                        help="report sections (default: all)")
+    submit.add_argument("--scale", type=float, default=None,
+                        help="workload scale")
+    submit.add_argument("--seed", type=int, default=None, help="base seed")
+    submit.add_argument("--quantum-refs", type=int, default=None,
+                        help="references per scheduling quantum")
+    submit.add_argument("--engine", default=None,
+                        help="replay engine (classic/fast)")
+    submit.add_argument("--charts", action="store_true",
+                        help="include ASCII charts in the report")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job finishes")
+    submit.add_argument("--watch", action="store_true",
+                        help="stream events with a progress meter "
+                             "(implies --wait)")
+    submit.add_argument("--wait-timeout", type=float, default=600.0,
+                        help="seconds to wait with --wait/--watch")
+    submit.add_argument("--report-out", default=None, metavar="PATH",
+                        help="after the job finishes, write the report "
+                             "bytes here (implies --wait)")
+
+    for name, text in (("status", "one job's state"),
+                       ("wait", "block until a job finishes"),
+                       ("events", "stream a job's journal (NDJSON)"),
+                       ("report", "print a finished job's report")):
+        sub = commands.add_parser(name, help=text)
+        sub.add_argument("job_id", help="job id (the request digest)")
+        if name == "wait":
+            sub.add_argument("--wait-timeout", type=float, default=600.0,
+                             help="seconds before giving up")
+    return parser
+
+
+def _submit_payload(args: argparse.Namespace) -> dict:
+    payload: dict = {}
+    if args.sections is not None:
+        payload["sections"] = args.sections
+    for name in ("scale", "seed", "quantum_refs", "engine"):
+        value = getattr(args, name)
+        if value is not None:
+            payload[name] = value
+    if args.charts:
+        payload["charts"] = True
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.service.client``."""
+    args = _build_parser().parse_args(argv)
+    client = ServiceClient(args.url, tenant=args.tenant,
+                           timeout=args.timeout)
+    try:
+        if args.command == "health":
+            print(json.dumps(client.health(), indent=2, sort_keys=True))
+        elif args.command == "stats":
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        elif args.command == "jobs":
+            for record in client.jobs():
+                print(f"{record['id']}  {record['state']:>7}  "
+                      f"{record['describe']}")
+        elif args.command == "submit":
+            record = client.submit(_submit_payload(args))
+            verb = "created" if record.get("created") else "coalesced"
+            print(f"{record['id']}  {verb}", file=sys.stderr)
+            wait = args.wait or args.watch or args.report_out
+            if args.watch:
+                client.watch(record["id"], timeout=args.wait_timeout)
+                record = client.job(record["id"])
+            elif wait:
+                record = client.wait(record["id"],
+                                     timeout=args.wait_timeout)
+            if wait:
+                print(f"{record['id']}  {record['state']}", file=sys.stderr)
+                if record["state"] == "failed":
+                    print(f"error: {record['error']}", file=sys.stderr)
+                    return 1
+                if args.report_out:
+                    data = client.report(record["id"])
+                    if args.report_out == "-":
+                        sys.stdout.buffer.write(data)
+                    else:
+                        with open(args.report_out, "wb") as out:
+                            out.write(data)
+            else:
+                print(record["id"])
+        elif args.command == "status":
+            print(json.dumps(client.job(args.job_id), indent=2,
+                             sort_keys=True))
+        elif args.command == "wait":
+            record = client.wait(args.job_id, timeout=args.wait_timeout)
+            print(f"{record['id']}  {record['state']}")
+            if record["state"] == "failed":
+                return 1
+        elif args.command == "events":
+            for entry in client.events(args.job_id):
+                print(json.dumps(entry, sort_keys=True))
+        elif args.command == "report":
+            sys.stdout.buffer.write(client.report(args.job_id))
+        return 0
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.retry_after is not None:
+            print(f"retry after {exc.retry_after}s", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

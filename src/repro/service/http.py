@@ -1,0 +1,187 @@
+"""A minimal HTTP/1.1 layer over asyncio streams (stdlib only).
+
+The service deliberately avoids web frameworks: the container ships no
+third-party HTTP stack, and the API surface is small enough that a
+hand-rolled request parser is simpler than a dependency gate.  This
+module is that parser plus response helpers — ~one screen of protocol,
+shared by every endpoint in :mod:`repro.service.server`.
+
+Scope (and non-goals): one request per connection (``Connection:
+close``), which sidesteps keep-alive bookkeeping and makes streaming
+responses trivial — the body simply ends when the server closes the
+socket, exactly what SSE/NDJSON event streams want.  No TLS, no chunked
+*request* bodies, no multipart: submissions are small JSON documents.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+import asyncio
+
+__all__ = ["Request", "HttpError", "read_request", "render_response",
+           "json_bytes", "STATUS_PHRASES", "MAX_BODY_BYTES"]
+
+#: Largest request body accepted (submissions are ~hundreds of bytes).
+MAX_BODY_BYTES = 1 << 20
+
+#: Reason phrases for every status the service emits.
+STATUS_PHRASES = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+}
+
+
+class HttpError(Exception):
+    """An HTTP-status-shaped failure; the server renders it as a JSON
+    error body with the given status and optional extra headers."""
+
+    def __init__(self, status: int, message: str,
+                 headers: dict[str, str] | None = None) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.message = message
+        self.headers = dict(headers or {})
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str                       #: raw request target (path?query)
+    path: str                         #: decoded path, no query
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)  #: lower-cased keys
+    body: bytes = b""
+
+    def json(self) -> dict:
+        """The body parsed as a JSON object (400 on anything else)."""
+        if not self.body:
+            raise HttpError(400, "expected a JSON request body")
+        try:
+            document = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"malformed JSON body: {exc}")
+        if not isinstance(document, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        return document
+
+    @property
+    def tenant(self) -> str:
+        """The submitting tenant: ``X-Tenant`` header, ``tenant`` query
+        parameter, or ``"default"``."""
+        return (self.headers.get("x-tenant")
+                or self.query.get("tenant")
+                or "default").strip() or "default"
+
+    def wants_sse(self) -> bool:
+        """Whether an event-stream endpoint should speak SSE (otherwise
+        NDJSON): ``Accept: text/event-stream`` or ``?format=sse``."""
+        if self.query.get("format") == "sse":
+            return True
+        accept = self.headers.get("accept", "")
+        return "text/event-stream" in accept
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request off the stream; ``None`` on a clean EOF.
+
+    Malformed framing raises :class:`HttpError` (the server answers it
+    and closes); anything pathological enough to break the stream reader
+    (an overlong line) surfaces the same way.
+    """
+    try:
+        line = await reader.readline()
+    except (ValueError, ConnectionError):
+        raise HttpError(400, "malformed request line")
+    if not line:
+        return None
+    try:
+        method, target, version = line.decode("ascii").split()
+    except (UnicodeDecodeError, ValueError):
+        raise HttpError(400, "malformed request line")
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol {version}")
+    headers: dict[str, str] = {}
+    while True:
+        try:
+            raw = await reader.readline()
+        except (ValueError, ConnectionError):
+            raise HttpError(400, "malformed header block")
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        try:
+            name, _, value = raw.decode("latin-1").partition(":")
+        except UnicodeDecodeError:
+            raise HttpError(400, "malformed header")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError:
+            raise HttpError(400, f"bad Content-Length: {length!r}")
+        if n < 0:
+            raise HttpError(400, f"bad Content-Length: {length!r}")
+        if n > MAX_BODY_BYTES:
+            raise HttpError(413, f"request body over {MAX_BODY_BYTES} bytes")
+        try:
+            body = await reader.readexactly(n)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "request body shorter than Content-Length")
+    elif headers.get("transfer-encoding"):
+        raise HttpError(501, "chunked request bodies are not supported")
+    split = urlsplit(target)
+    return Request(
+        method=method.upper(),
+        target=target,
+        path=unquote(split.path),
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes = b"",
+    *,
+    content_type: str = "application/json",
+    headers: dict[str, str] | None = None,
+    head_only: bool = False,
+) -> bytes:
+    """One complete ``Connection: close`` response as bytes.
+
+    With ``head_only`` (streaming endpoints) the status line and headers
+    are rendered *without* a Content-Length — the body is whatever the
+    caller writes afterwards, terminated by closing the connection.
+    """
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {phrase}",
+             f"Content-Type: {content_type}",
+             "Connection: close"]
+    if not head_only:
+        lines.append(f"Content-Length: {len(body)}")
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head if head_only else head + body
+
+
+def json_bytes(document: object) -> bytes:
+    """Deterministic JSON encoding for response bodies."""
+    return (json.dumps(document, sort_keys=True, indent=2) + "\n").encode(
+        "utf-8")

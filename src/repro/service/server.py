@@ -1,0 +1,378 @@
+"""The HTTP face of the service: routes, streams and request metrics.
+
+:class:`ServiceServer` binds a :class:`~repro.service.manager.JobManager`
+to an asyncio socket server speaking the minimal HTTP of
+:mod:`repro.service.http`.  The API surface (all under ``/v1``):
+
+========  ===========================  =======================================
+Method    Path                         Meaning
+========  ===========================  =======================================
+GET       ``/healthz``                 liveness (also ``/v1/healthz``)
+GET       ``/v1/metrics``              Prometheus text exposition
+GET       ``/v1/stats``                queue/job summary (JSON)
+POST      ``/v1/jobs``                 submit a suite request; 202 created,
+                                       200 coalesced, 429 + Retry-After busy
+GET       ``/v1/jobs``                 list known jobs
+GET       ``/v1/jobs/{id}``            one job's status
+GET       ``/v1/jobs/{id}/events``     live journal stream — NDJSON by
+                                       default, SSE with ``Accept:
+                                       text/event-stream`` or ``?format=sse``
+GET       ``/v1/jobs/{id}/report``     the rendered text report (byte-equal
+                                       to the same suite run offline)
+GET       ``/v1/jobs/{id}/report.json``  the JSON export
+========  ===========================  =======================================
+
+Event streams are fed by :class:`~repro.exec.journal.JournalTail` over
+the job's engine journal — the same torn-tail-safe reader behind the
+progress meter — and terminate with one synthetic ``job-end`` event
+carrying the final state, so clients need no out-of-band poll to learn
+how the run ended.
+
+Every request lands in the manager's metrics registry (count by
+route/method/status, latency histogram); an optional background task
+exports the registry to a Prometheus textfile on an interval.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro import __version__
+from repro.exec.journal import JournalTail
+from repro.experiments.api import SuiteRequest
+from repro.service.http import (
+    HttpError,
+    Request,
+    json_bytes,
+    read_request,
+    render_response,
+)
+from repro.service.manager import Busy, Job, JobManager
+from repro.util.atomicio import atomic_write_text
+
+__all__ = ["ServiceServer", "ServerHandle", "start_in_background",
+           "API_PREFIX"]
+
+#: Version prefix of every API route.
+API_PREFIX = "/v1"
+
+#: Seconds between polls while an event stream is idle.
+_STREAM_POLL = 0.05
+
+
+class ServiceServer:
+    """Asyncio HTTP server over one :class:`JobManager`.
+
+    Args:
+        manager: The job engine to expose.
+        host: Bind address (default loopback; the service has no auth
+            beyond tenant self-identification, so keep it local unless
+            fronted by something that does).
+        port: Bind port; 0 picks a free one (tests).
+        metrics_interval: Seconds between Prometheus textfile exports to
+            ``<data_dir>/metrics.prom``; ``None`` disables the task.
+    """
+
+    def __init__(
+        self,
+        manager: JobManager,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics_interval: float | None = None,
+    ) -> None:
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self.metrics_interval = metrics_interval
+        self._server: asyncio.AbstractServer | None = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> asyncio.AbstractServer:
+        """Bind the socket; returns the asyncio server (for its port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        sock = self._server.sockets[0]
+        self.port = sock.getsockname()[1]
+        return self._server
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the CLI's main loop)."""
+        server = await self.start()
+        exporter = None
+        if self.metrics_interval:
+            exporter = asyncio.ensure_future(self._export_metrics_loop())
+        try:
+            async with server:
+                await server.serve_forever()
+        finally:
+            if exporter is not None:
+                exporter.cancel()
+
+    async def _export_metrics_loop(self) -> None:
+        path = self.manager.data_dir / "metrics.prom"
+        while True:
+            await asyncio.sleep(self.metrics_interval)
+            try:
+                atomic_write_text(path, self.manager.registry.to_prometheus(),
+                                  encoding="utf-8")
+            except OSError:
+                pass
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        start = time.monotonic()
+        route, method, status = "unmatched", "-", 0
+        try:
+            try:
+                request = await read_request(reader)
+                if request is None:
+                    return
+                method = request.method
+                route, status = await self._dispatch(request, writer)
+            except HttpError as exc:
+                status = exc.status
+                writer.write(render_response(
+                    exc.status, json_bytes({"error": exc.message}),
+                    headers=exc.headers))
+            except (ConnectionError, asyncio.CancelledError):
+                raise
+            except Exception as exc:
+                status = 500
+                writer.write(render_response(500, json_bytes(
+                    {"error": f"{type(exc).__name__}: {exc}"})))
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            registry = self.manager.registry
+            registry.counter("service_http_requests", route=route,
+                             method=method, status=str(status)).inc()
+            registry.histogram("service_http_seconds", route=route).observe(
+                time.monotonic() - start)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, request: Request,
+                        writer: asyncio.StreamWriter) -> tuple[str, int]:
+        """Route one request; returns ``(route_label, status)`` for the
+        request metrics.  Non-streaming handlers write one complete
+        response; the events handler streams and closes."""
+        path, method = request.path, request.method
+        if path in ("/healthz", f"{API_PREFIX}/healthz"):
+            self._require(method, "GET")
+            writer.write(render_response(200, json_bytes(
+                {"status": "ok", "version": __version__})))
+            return "/healthz", 200
+        if path == f"{API_PREFIX}/metrics":
+            self._require(method, "GET")
+            writer.write(render_response(
+                200, self.manager.registry.to_prometheus().encode("utf-8"),
+                content_type="text/plain; version=0.0.4"))
+            return "/v1/metrics", 200
+        if path == f"{API_PREFIX}/stats":
+            self._require(method, "GET")
+            writer.write(render_response(200,
+                                         json_bytes(self.manager.stats())))
+            return "/v1/stats", 200
+        if path == f"{API_PREFIX}/jobs":
+            if method == "POST":
+                return "/v1/jobs", self._submit(request, writer)
+            self._require(method, "GET")
+            writer.write(render_response(200, json_bytes(
+                {"jobs": [job.to_dict()
+                          for job in self.manager.list_jobs()]})))
+            return "/v1/jobs", 200
+        if path.startswith(f"{API_PREFIX}/jobs/"):
+            rest = path[len(f"{API_PREFIX}/jobs/"):]
+            job_id, _, leaf = rest.partition("/")
+            job = self.manager.get(job_id)
+            if job is None:
+                raise HttpError(404, f"no job {job_id!r}")
+            if not leaf:
+                self._require(method, "GET")
+                writer.write(render_response(200, json_bytes(job.to_dict())))
+                return "/v1/jobs/{id}", 200
+            if leaf == "events":
+                self._require(method, "GET")
+                await self._stream_events(request, writer, job)
+                return "/v1/jobs/{id}/events", 200
+            if leaf == "report":
+                self._require(method, "GET")
+                return "/v1/jobs/{id}/report", self._send_artifact(
+                    writer, job, job.report_path,
+                    "text/plain; charset=utf-8")
+            if leaf == "report.json":
+                self._require(method, "GET")
+                return "/v1/jobs/{id}/report.json", self._send_artifact(
+                    writer, job, job.report_json_path, "application/json")
+        raise HttpError(404, f"no route for {method} {path}")
+
+    @staticmethod
+    def _require(method: str, expected: str) -> None:
+        if method != expected:
+            raise HttpError(405, f"use {expected}")
+
+    # -- handlers --------------------------------------------------------
+
+    def _submit(self, request: Request,
+                writer: asyncio.StreamWriter) -> int:
+        """POST /v1/jobs — parse, admit, coalesce."""
+        payload = request.json()
+        try:
+            suite_request = SuiteRequest.from_dict(payload)
+        except (ValueError, TypeError) as exc:
+            raise HttpError(400, str(exc))
+        try:
+            job, created = self.manager.submit(suite_request, request.tenant)
+        except Busy as exc:
+            raise HttpError(429, str(exc),
+                            headers={"Retry-After": str(exc.retry_after)})
+        status = 202 if created else 200
+        body = dict(job.to_dict(), created=created)
+        writer.write(render_response(status, json_bytes(body)))
+        return status
+
+    def _send_artifact(self, writer: asyncio.StreamWriter, job: Job,
+                       path, content_type: str) -> int:
+        """Serve a finished job's on-disk artifact byte-for-byte."""
+        if job.state == "failed":
+            raise HttpError(409, f"job {job.id} failed: {job.error}")
+        if not job.terminal or not path.exists():
+            raise HttpError(409, f"job {job.id} is {job.state}; "
+                            "artifacts exist once it is done")
+        writer.write(render_response(200, path.read_bytes(),
+                                     content_type=content_type))
+        return 200
+
+    async def _stream_events(self, request: Request,
+                             writer: asyncio.StreamWriter,
+                             job: Job) -> None:
+        """GET /v1/jobs/{id}/events — follow the job's journal live.
+
+        Yields every journal event exactly once (torn tails and
+        concurrent appends handled by :class:`JournalTail`), then — once
+        the job is terminal and the file drained — one synthetic
+        ``job-end`` event with the final state.  ``?timeout=SECONDS``
+        bounds the stream for impatient clients.
+        """
+        sse = request.wants_sse()
+        content_type = ("text/event-stream" if sse
+                        else "application/x-ndjson")
+        writer.write(render_response(200, content_type=content_type,
+                                     head_only=True))
+        await writer.drain()
+
+        def encode(entry: dict) -> bytes:
+            line = json_bytes(entry).decode("utf-8").replace("\n", "")
+            if sse:
+                return f"data: {line}\n\n".encode("utf-8")
+            return (line + "\n").encode("utf-8")
+
+        deadline = None
+        if "timeout" in request.query:
+            try:
+                deadline = time.monotonic() + float(request.query["timeout"])
+            except ValueError:
+                raise HttpError(400, "timeout must be a number")
+        tailer = JournalTail(job.journal_path)
+        while True:
+            final = job.terminal  # checked before the drain: no lost tail
+            events = tailer.poll()
+            for entry in events:
+                writer.write(encode(entry))
+            if events:
+                await writer.drain()
+            if final:
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            if not events:
+                await asyncio.sleep(_STREAM_POLL)
+        end = {"event": "job-end", "job": job.id, "state": job.state}
+        if job.error:
+            end["error"] = job.error
+        writer.write(encode(end))
+        await writer.drain()
+
+
+@dataclass
+class ServerHandle:
+    """A running background server: its URL and how to stop it."""
+
+    url: str
+    stop: Callable[[], None]
+    thread: threading.Thread
+
+
+def start_in_background(
+    manager: JobManager,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    metrics_interval: float | None = None,
+) -> ServerHandle:
+    """Run a :class:`ServiceServer` on a daemon thread (tests, benchmarks).
+
+    Blocks until the socket is bound; the returned handle carries the
+    resolved URL (useful with ``port=0``) and a ``stop()`` that shuts
+    the event loop down and joins the thread.  The manager is *not*
+    shut down — that stays the caller's job.
+    """
+    server = ServiceServer(manager, host=host, port=port,
+                           metrics_interval=metrics_interval)
+    started = threading.Event()
+    holder: dict = {}
+
+    def runner() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+
+        async def main() -> None:
+            try:
+                bound = await server.start()
+            except OSError as exc:
+                holder["error"] = exc
+                started.set()
+                return
+            holder["loop"] = asyncio.get_running_loop()
+            stop_event = holder["stop_event"] = asyncio.Event()
+            exporter = None
+            if metrics_interval:
+                exporter = asyncio.ensure_future(
+                    server._export_metrics_loop())
+            started.set()
+            await stop_event.wait()
+            if exporter is not None:
+                exporter.cancel()
+            bound.close()
+            await bound.wait_closed()
+
+        loop.run_until_complete(main())
+        loop.close()
+
+    thread = threading.Thread(target=runner, daemon=True, name="repro-serve")
+    thread.start()
+    if not started.wait(10):
+        raise RuntimeError("service did not start within 10s")
+    if "error" in holder:
+        raise RuntimeError(f"service failed to bind: {holder['error']}")
+
+    def stop() -> None:
+        loop = holder.get("loop")
+        if loop is not None:
+            loop.call_soon_threadsafe(holder["stop_event"].set)
+        thread.join(10)
+
+    return ServerHandle(url=f"http://{host}:{server.port}", stop=stop,
+                        thread=thread)

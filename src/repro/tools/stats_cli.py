@@ -49,6 +49,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the full stats document as JSON on stdout",
     )
+    parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="tail the run journal live first (progress meter on stderr "
+             "until the run ends), then print the stats",
+    )
+    parser.add_argument(
+        "--follow-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="give up following after this long (default: wait forever)",
+    )
     return parser
 
 
@@ -341,6 +354,13 @@ def main(argv: list[str] | None = None) -> int:
     """Console entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.follow:
+        from repro.obs.progress import follow_journal
+
+        path = Path(args.path)
+        journal = path if path.is_file() else path / "journal.jsonl"
+        follow_journal(journal, stream=sys.stderr,
+                       timeout=args.follow_timeout)
     stats = collect_stats(args.path)
     if (stats["journal"] is None and stats["trace"] is None
             and stats["metrics"] is None and not stats["fault_ledgers"]):

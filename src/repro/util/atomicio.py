@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 from pathlib import Path
 
 __all__ = [
@@ -84,7 +85,11 @@ def atomic_write_bytes(
         from repro import faults
 
         faults.fire(fault_site, context=path.name)
-    temporary = path.parent / f"{path.name}.tmp-{os.getpid()}"
+    # Unique per writer *thread*, not just per process: concurrent
+    # threads targeting the same path (the service's executor pool) must
+    # not share a temporary file.
+    temporary = path.parent / (
+        f"{path.name}.tmp-{os.getpid()}-{threading.get_ident()}")
     try:
         with open(temporary, "wb") as stream:
             stream.write(data)

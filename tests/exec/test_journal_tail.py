@@ -1,0 +1,142 @@
+"""Tests for the incremental journal tailer (JournalTail / RunJournal.tail)."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.exec.journal import JournalTail, RunJournal
+
+
+def _write_line(path, entry):
+    with path.open("a", encoding="utf-8") as stream:
+        stream.write(json.dumps(entry) + "\n")
+
+
+class TestJournalTail:
+    def test_incremental_polls_yield_each_event_once(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tailer = JournalTail(path)
+        assert tailer.poll() == []  # missing file is quietly empty
+        _write_line(path, {"event": "queued", "job": "a"})
+        assert [e["job"] for e in tailer.poll()] == ["a"]
+        assert tailer.poll() == []
+        _write_line(path, {"event": "finished", "job": "a"})
+        _write_line(path, {"event": "finished", "job": "b"})
+        assert [e["job"] for e in tailer.poll()] == ["a", "b"]
+
+    def test_torn_tail_deferred_until_newline_lands(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with path.open("w") as stream:
+            stream.write('{"event": "finished", "job": "a"}\n')
+            stream.write('{"event": "fini')  # writer mid-append
+        tailer = JournalTail(path)
+        assert [e["job"] for e in tailer.poll()] == ["a"]
+        with path.open("a") as stream:  # the newline arrives
+            stream.write('shed", "job": "b"}\n')
+        assert [e["job"] for e in tailer.poll()] == ["b"]
+
+    def test_heal_truncation_does_not_duplicate(self, tmp_path):
+        # A reopening RunJournal truncates a torn tail away; events the
+        # tailer already yielded must not repeat.
+        path = tmp_path / "run.jsonl"
+        with path.open("w") as stream:
+            stream.write('{"event": "finished", "job": "a"}\n')
+            stream.write('{"event": "partial')
+        tailer = JournalTail(path)
+        assert [e["job"] for e in tailer.poll()] == ["a"]
+        RunJournal.recover_torn_tail(path)
+        assert tailer.poll() == []
+        _write_line(path, {"event": "finished", "job": "b"})
+        assert [e["job"] for e in tailer.poll()] == ["b"]
+
+    def test_same_length_replacement_of_torn_tail(self, tmp_path):
+        # Heal + an equally-sized new line: the file size never changes
+        # between polls, only the torn fragment's bytes do.
+        path = tmp_path / "run.jsonl"
+        torn = '{"event": "x", "job"'
+        with path.open("w") as stream:
+            stream.write('{"event": "finished", "job": "a"}\n')
+            stream.write(torn)
+        tailer = JournalTail(path)
+        tailer.poll()
+        RunJournal.recover_torn_tail(path)
+        replacement = '{"event": "finished", "job": "b"}\n'
+        pad = len(torn) - len(replacement)
+        with path.open("a") as stream:
+            stream.write(replacement)
+            if pad > 0:
+                stream.write('{"event": "finished", "job": "c"}' +
+                             " " * max(0, pad - 33) + "\n")
+        jobs = [e["job"] for e in tailer.poll()]
+        assert "b" in jobs and "a" not in jobs
+
+    def test_rewritten_file_restarts_from_top(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _write_line(path, {"event": "finished", "job": "a"})
+        _write_line(path, {"event": "finished", "job": "b"})
+        tailer = JournalTail(path)
+        tailer.poll()
+        path.write_text('{"event": "finished", "job": "z"}\n')
+        assert [e["job"] for e in tailer.poll()] == ["z"]
+
+    def test_garbage_lines_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('not json\n42\n{"no-event": 1}\n'
+                        '{"event": "finished", "job": "a"}\n')
+        assert [e["job"] for e in JournalTail(path).poll()] == ["a"]
+
+
+class TestTailClassmethod:
+    def test_matches_read(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.record("run-start", jobs=2)
+            journal.record("finished", "a")
+            journal.record("run-end")
+        assert list(RunJournal.tail(path)) == RunJournal.read(path)
+
+    def test_non_follow_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            list(RunJournal.tail(tmp_path / "nope.jsonl"))
+
+    def test_follow_sees_concurrent_appends(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+
+        def writer():
+            with RunJournal(path) as journal:
+                for i in range(20):
+                    journal.record("finished", f"job-{i}")
+                    time.sleep(0.002)
+                journal.record("run-end")
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        events = []
+        for entry in RunJournal.tail(path, follow=True, poll_interval=0.005,
+                                     timeout=10.0):
+            events.append(entry)
+            if entry["event"] == "run-end":
+                break
+        thread.join()
+        assert [e["job"] for e in events[:-1]] == [
+            f"job-{i}" for i in range(20)]
+
+    def test_follow_stop_drains_remaining_events(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        done = threading.Event()
+        _write_line(path, {"event": "finished", "job": "a"})
+        _write_line(path, {"event": "finished", "job": "b"})
+        done.set()  # stop already true: one final drain must still run
+        events = list(RunJournal.tail(path, follow=True, stop=done.is_set))
+        assert [e["job"] for e in events] == ["a", "b"]
+
+    def test_follow_timeout_bounds_the_iterator(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _write_line(path, {"event": "finished", "job": "a"})
+        start = time.monotonic()
+        events = list(RunJournal.tail(path, follow=True, poll_interval=0.01,
+                                      timeout=0.1))
+        assert time.monotonic() - start < 5.0
+        assert [e["job"] for e in events] == ["a"]

@@ -1,0 +1,118 @@
+"""Concurrent access to the content-addressed ResultStore.
+
+The service runs several engine executions against one shared store; the
+guarantees under test are the ones request coalescing and cell-level
+dedup lean on: concurrent writers of the same content-addressed cell
+never tear an entry, every reader sees either a miss or a complete
+result, and two submitters of the same cell end up with one computation
+persisted and two successful reads.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.arch.config import ArchConfig
+from repro.arch.simulator import simulate
+from repro.experiments.cache import ResultStore, cell_store_key
+from repro.placement.base import PlacementMap
+from repro.trace.stream import ThreadTrace, TraceSet
+
+
+@pytest.fixture(scope="module")
+def cell():
+    """One tiny simulated cell and its canonical store key."""
+    rng = np.random.default_rng(3)
+    threads = [
+        ThreadTrace(
+            tid,
+            rng.integers(0, 3, 40).astype(np.int64),
+            rng.integers(0, 64, 40).astype(np.int64),
+            rng.random(40) < 0.3,
+        )
+        for tid in range(3)
+    ]
+    app = TraceSet("t", threads)
+    result = simulate(app, PlacementMap([0, 1, 0], 2),
+                      ArchConfig(2, 2, cache_words=64))
+    key = cell_store_key(scale=0.0005, seed=0, quantum_refs=256, app="Water",
+                         algorithm="ROUND-ROBIN", processors=2,
+                         infinite=False, associativity=2, cache_words=64,
+                         replicate=0)
+    return key, result
+
+
+class TestConcurrentStore:
+    def test_two_submitters_one_computation_two_reads(self, tmp_path, cell):
+        # The coalescing contract at the store level: both contenders
+        # check the store, at most one computes, both read back the
+        # same complete result.
+        key, result = cell
+        store = ResultStore(tmp_path)
+        computed = []
+        loaded = [None, None]
+        barrier = threading.Barrier(2)
+
+        def submitter(slot):
+            barrier.wait()
+            if store.load(key) is None:
+                computed.append(slot)     # cache miss: "compute" + store
+                assert store.store(key, result)
+            loaded[slot] = store.load(key)
+
+        threads = [threading.Thread(target=submitter, args=(slot,))
+                   for slot in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(computed) >= 1          # someone computed...
+        for got in loaded:                 # ...and both reads succeeded
+            assert got is not None
+            assert got.execution_time == result.execution_time
+            assert got.total_refs == result.total_refs
+
+    def test_racing_writers_never_tear_an_entry(self, tmp_path, cell):
+        key, result = cell
+        store = ResultStore(tmp_path)
+        barrier = threading.Barrier(8)
+        failures = []
+
+        def writer():
+            barrier.wait()
+            if not store.store(key, result):
+                failures.append("store returned False")
+
+        threads = [threading.Thread(target=writer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        got = store.load(key)              # checksum-verified read
+        assert got is not None
+        assert got.execution_time == result.execution_time
+
+    def test_readers_during_writes_see_miss_or_complete(self, tmp_path,
+                                                        cell):
+        key, result = cell
+        store = ResultStore(tmp_path)
+        stop = threading.Event()
+        bad = []
+
+        def reader():
+            while not stop.is_set():
+                got = store.load(key)      # None (miss) or complete
+                if got is not None and got.total_refs != result.total_refs:
+                    bad.append(got.total_refs)
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for _ in range(10):
+            assert store.store(key, result)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not bad

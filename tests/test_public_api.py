@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.oracle",
     "repro.experiments",
     "repro.tools",
+    "repro.service",
 ]
 
 MODULES = [
@@ -48,9 +49,11 @@ MODULES = [
     "repro.experiments.ablations", "repro.experiments.stability",
     "repro.experiments.claims", "repro.experiments.cache",
     "repro.experiments.export", "repro.experiments.html",
-    "repro.experiments.cli",
+    "repro.experiments.cli", "repro.experiments.api",
     "repro.tools.workload_cli", "repro.tools.place_cli",
-    "repro.tools.simulate_cli",
+    "repro.tools.simulate_cli", "repro.tools.serve_cli",
+    "repro.service.http", "repro.service.manager",
+    "repro.service.server", "repro.service.client",
 ]
 
 
