@@ -16,6 +16,12 @@ Typical use::
 from repro.arch.cache import DirectMappedCache, SetAssociativeCache, make_cache
 from repro.arch.config import ArchConfig
 from repro.arch.contention import ContentionResult, simulate_with_contention
+from repro.arch.delta import (
+    GuardedDirectory,
+    SpeculationDiverged,
+    SpeculationOutcome,
+    speculate_from_neighbor,
+)
 from repro.arch.directory import Directory
 from repro.arch.kernel import (
     ArrayDirectMappedCache,
@@ -55,6 +61,10 @@ __all__ = [
     "SetAssociativeCache",
     "make_cache",
     "Directory",
+    "GuardedDirectory",
+    "SpeculationDiverged",
+    "SpeculationOutcome",
+    "speculate_from_neighbor",
     "ContentionResult",
     "simulate_with_contention",
     "ThrashingDiagnosis",

@@ -1,0 +1,459 @@
+"""Guarded delta simulation: speculate a cell from a completed neighbor.
+
+Most grid cells replay the *same trace set* under the *same architecture*
+with only the placement changed.  When a neighbor cell (same trace/config,
+different placement) has already completed, parts of the new cell's answer
+are already known, and this module recovers them under guards that make
+speculation **exact or absent** — a speculated result is bit-for-bit the
+result a full replay would produce, or speculation aborts and the caller
+falls back to full fast-engine replay.  (The pattern of SNIPPETS' trace
+speculation: record a fast path, guard it, abort to the slow path.)
+
+Two tiers:
+
+**Tier 1 — identical placement, exact clone.**  Several placement
+algorithms frequently emit the *same* assignment (e.g. thread-balanced
+variants agreeing at small thread counts).  Same trace set + same config +
+same placement determines the simulation completely, so the neighbor's
+result is this cell's result; it is deep-copied, never recomputed.  (Note
+relabeled-but-permuted placements are NOT exact under coherence coupling —
+the min-time heap breaks time ties by processor id, and tie order is
+observable through the directory; see ``tests/oracle`` metamorphic notes —
+so only *identical* assignments qualify.)
+
+**Tier 2 — isolated-cluster delta replay.**  Call processor ``q``
+*coherence-isolated* when every block its threads touch is touched by no
+thread outside them — a placement-invariant property of the traces.  If
+``q``'s thread set is unchanged between the neighbor placement and ours
+and ``q`` is isolated, its per-processor evolution is independent of the
+rest of the machine: no invalidation, fetch sourcing or pairwise event
+ever crosses the boundary, and the min-time heap's ``(time, pid)`` order
+among the remaining processors is unchanged by removing it.  The delta
+replay therefore re-simulates only the changed (or non-isolated)
+processors and copies the isolated ones' statistics from the neighbor.
+The composition is exact:
+
+* per-processor cycle and cache counters — replayed processors from the
+  delta run, isolated ones copied from the neighbor;
+* ``pairwise`` — the delta run's matrix alone (every pairwise bump
+  involves two *distinct* processors sharing a block, so isolated
+  processors contribute zero; the neighbor's rows/columns are checked);
+* ``memory_fetches`` — the directory counts exactly one fetch per miss,
+  so the total is the delta run's fetches plus the copied caches' misses;
+* ``invalidations_sent`` — the delta run's alone (isolated processors
+  neither send nor receive);
+* ``execution_time`` — the max completion time over all processors.
+
+**Guards.**  Static: thread-set equality and isolation are recomputed
+from the traces per cell, and the neighbor result must pass conservation
+(copied caches' accesses equal their threads' references; its pairwise
+rows/columns for copied processors are zero).  Dynamic: the delta run
+uses a :class:`GuardedDirectory` that aborts if any replayed reference
+reaches a block belonging to a copied processor, and each quantum
+verifies the predicted invariant that copied caches stay untouched (the
+``diverge:speculate`` chaos fault injects a failure here, forcing the
+abort path the differential tier must prove invisible).  Post: the
+composed result must conserve references and fetches.  Any guard failure
+raises :class:`SpeculationDiverged`, reported as an abort — never a
+wrong number.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import faults
+from repro.arch.config import ArchConfig
+from repro.arch.directory import Directory
+from repro.arch.stats import (
+    CacheStats,
+    InterconnectStats,
+    MissKind,
+    ProcessorStats,
+    SimulationResult,
+)
+from repro.placement.base import PlacementMap
+from repro.trace.stream import ThreadTrace, TraceSet
+
+__all__ = [
+    "GuardedDirectory",
+    "SpeculationDiverged",
+    "SpeculationOutcome",
+    "clone_result",
+    "speculate_from_neighbor",
+    "stash_speculation",
+    "take_speculation",
+    "thread_blocks",
+]
+
+
+class SpeculationDiverged(Exception):
+    """A speculation guard failed; the caller must fall back to full replay."""
+
+
+# ----------------------------------------------------------------------
+# Worker -> coordinator hand-off (mirrors repro.obs.probes' channel)
+# ----------------------------------------------------------------------
+
+#: Speculation events the current job's runner left for the engine's
+#: invoke harness to ship to the coordinator's journal.  Bounded: on the
+#: sequential (engine-less) path nothing drains the channel, and dropping
+#: old observability events beats growing without limit.
+_PENDING_EVENTS: deque = deque(maxlen=4096)
+
+
+def stash_speculation(event: dict) -> None:
+    """Deposit one cell's speculation outcome (worker side)."""
+    _PENDING_EVENTS.append(event)
+
+
+def take_speculation() -> list[dict]:
+    """Pop every stashed speculation event (engine invoke harness)."""
+    events = list(_PENDING_EVENTS)
+    _PENDING_EVENTS.clear()
+    return events
+
+
+@dataclass
+class SpeculationOutcome:
+    """What one speculation attempt produced.
+
+    ``result`` is None exactly when ``mode == "abort"``; ``detail`` names
+    the composition (``copied=3/4``) or the abort reason for the journal.
+    """
+
+    result: SimulationResult | None
+    mode: str  # "clone" | "delta" | "abort"
+    detail: str
+
+    @property
+    def hit(self) -> bool:
+        return self.result is not None
+
+
+def thread_blocks(trace: ThreadTrace, block_bits: int) -> frozenset:
+    """The set of cache blocks one thread ever references.
+
+    Placement-invariant; memoized on the trace's replay cache under a
+    tuple key (the run-compression memos use plain ``block_bits`` ints,
+    so the namespaces cannot collide).
+    """
+    cache = trace._replay_cache
+    if cache is None:
+        cache = trace._replay_cache = {}
+    key = ("block_set", block_bits)
+    got = cache.get(key)
+    if got is None:
+        got = cache[key] = frozenset(
+            np.unique(trace.addrs >> block_bits).tolist()
+        )
+    return got
+
+
+def clone_result(result: SimulationResult) -> SimulationResult:
+    """A deep, independent copy of a simulation result.
+
+    Speculation must never hand out shared mutable state: the neighbor's
+    result may be memoized by the suite, and downstream reporting mutates
+    nothing today — but "today" is not a contract.
+    """
+    processors = [
+        ProcessorStats(busy=s.busy, switching=s.switching, idle=s.idle,
+                       completion_time=s.completion_time)
+        for s in result.processors
+    ]
+    caches = []
+    for stats in result.caches:
+        copy = CacheStats(hits=stats.hits)
+        for kind in MissKind:
+            copy.misses[kind] = stats.misses[kind]
+        caches.append(copy)
+    return SimulationResult(
+        execution_time=result.execution_time,
+        processors=processors,
+        caches=caches,
+        interconnect=InterconnectStats(
+            memory_fetches=result.interconnect.memory_fetches,
+            invalidations_sent=result.interconnect.invalidations_sent,
+        ),
+        pairwise_coherence=np.array(result.pairwise_coherence,
+                                    dtype=np.int64, copy=True),
+        total_refs=result.total_refs,
+    )
+
+
+class GuardedDirectory(Directory):
+    """A directory that aborts speculation on any cross-boundary touch.
+
+    ``forbidden`` is the block footprint of the copied (skipped)
+    processors.  Isolation says no replayed thread references those
+    blocks; this guard *enforces* it — a reference reaching one proves
+    the static analysis wrong (or an injected divergence) and raises
+    :class:`SpeculationDiverged` before any state is polluted.  The fast
+    kernel calls the directory through bound methods captured at
+    processor construction, so these overrides cover every miss, upgrade
+    and eviction; raw-dict sharer reads in the kernel are safe because
+    the first contact with any block is a compulsory miss through
+    :meth:`fetch`.
+    """
+
+    def __init__(self, caches: list, pairwise: np.ndarray,
+                 forbidden: frozenset) -> None:
+        super().__init__(caches, pairwise)
+        self._forbidden = forbidden
+
+    def fetch(self, block: int, processor: int, is_write: bool) -> int | None:
+        if block in self._forbidden:
+            raise SpeculationDiverged(
+                f"replayed processor {processor} fetched copied block {block}"
+            )
+        return super().fetch(block, processor, is_write)
+
+    def write_hit(self, block: int, processor: int) -> int:
+        if block in self._forbidden:
+            raise SpeculationDiverged(
+                f"replayed processor {processor} upgraded copied block {block}"
+            )
+        return super().write_hit(block, processor)
+
+    def evict(self, block: int, processor: int) -> None:
+        if block in self._forbidden:
+            raise SpeculationDiverged(
+                f"replayed processor {processor} evicted copied block {block}"
+            )
+        super().evict(block, processor)
+
+
+def _pid_footprints(
+    trace_set: TraceSet, placement: PlacementMap, block_bits: int,
+) -> tuple[list[frozenset], dict]:
+    """Per-processor block footprints and the block -> sole-pid map.
+
+    ``block_pid[b]`` is the only processor whose threads touch ``b``, or
+    -1 when threads of several processors do.
+    """
+    p = placement.num_processors
+    footprints: list[set] = [set() for _ in range(p)]
+    block_pid: dict[int, int] = {}
+    for tid in range(placement.num_threads):
+        pid = int(placement.assignment[tid])
+        blocks = thread_blocks(trace_set[tid], block_bits)
+        footprints[pid].update(blocks)
+        for block in blocks:
+            prev = block_pid.get(block)
+            if prev is None:
+                block_pid[block] = pid
+            elif prev != pid:
+                block_pid[block] = -1
+    return [frozenset(f) for f in footprints], block_pid
+
+
+def _partition(
+    trace_set: TraceSet,
+    placement: PlacementMap,
+    neighbor_placement: PlacementMap,
+    block_bits: int,
+) -> tuple[list[int], list[int], frozenset]:
+    """Split processors into (replayed, copied) plus the forbidden blocks.
+
+    A processor is copyable when its thread set is unchanged from the
+    neighbor placement AND it is coherence-isolated under the new one
+    (both placements put exactly those threads on it, so isolation —
+    a thread-set property — holds in both runs).
+    """
+    footprints, block_pid = _pid_footprints(trace_set, placement, block_bits)
+    copied: list[int] = []
+    replayed: list[int] = []
+    for pid in range(placement.num_processors):
+        threads = placement.threads_on(pid)
+        if (threads == neighbor_placement.threads_on(pid)
+                and all(block_pid[b] == pid for b in footprints[pid])):
+            copied.append(pid)
+        else:
+            replayed.append(pid)
+    forbidden = frozenset().union(*(footprints[q] for q in copied)) \
+        if copied else frozenset()
+    return replayed, copied, forbidden
+
+
+def _check_neighbor(
+    trace_set: TraceSet,
+    placement: PlacementMap,
+    neighbor_result: SimulationResult,
+    copied: list[int],
+) -> None:
+    """Static guard over the neighbor result before anything is copied."""
+    pairwise = np.asarray(neighbor_result.pairwise_coherence)
+    for q in copied:
+        expected = sum(trace_set[t].num_refs for t in placement.threads_on(q))
+        stats = neighbor_result.caches[q]
+        if stats.total_accesses != expected:
+            raise SpeculationDiverged(
+                f"neighbor cache {q} accesses {stats.total_accesses} != "
+                f"its threads' {expected} references"
+            )
+        if pairwise[q, :].any() or pairwise[:, q].any():
+            raise SpeculationDiverged(
+                f"neighbor pairwise row/column {q} not zero for an "
+                "isolated processor"
+            )
+
+
+def _delta_replay(
+    trace_set: TraceSet,
+    placement: PlacementMap,
+    config: ArchConfig,
+    quantum_refs: int,
+    replayed: list[int],
+    forbidden: frozenset,
+    probe,
+    context: str | None,
+):
+    """Replay only ``replayed`` processors under the guarded directory."""
+    from repro.arch.kernel import FastProcessor, make_fast_cache, max_block_of
+
+    p = config.num_processors
+    pairwise = np.zeros((p, p), dtype=np.int64)
+    max_block = max_block_of(trace_set, config.block_bits)
+    caches = [make_fast_cache(config, max_block) for _ in range(p)]
+    directory = GuardedDirectory(caches, pairwise, forbidden)
+    replay = set(replayed)
+    processors = [
+        FastProcessor(
+            pid, config, caches[pid], directory,
+            [trace_set[tid] for tid in placement.threads_on(pid)]
+            if pid in replay else [],
+        )
+        for pid in range(p)
+    ]
+    if probe is not None:
+        # The delta run is the cell's simulation: count it, and let the
+        # probe see exactly the work actually replayed (the saved work is
+        # what the spec_* counters account for).
+        probe.cells += 1
+        directory._probe = probe
+        for pid in replay:
+            processors[pid]._probe = probe
+    copied_caches = [caches[q] for q in range(p) if q not in replay]
+
+    heap: list[tuple[int, int]] = [
+        (proc.time, proc.pid) for proc in processors if not proc.finished
+    ]
+    heapq.heapify(heap)
+    while heap:
+        _, pid = heapq.heappop(heap)
+        next_time = processors[pid].advance(quantum_refs)
+        if probe is not None:
+            probe.quanta += 1
+        # Per-quantum guard: the predicted invariant is that copied
+        # processors' caches stay untouched; the chaos ``diverge`` fault
+        # fails this check on demand to exercise the abort path.
+        if faults.diverge(context):
+            raise SpeculationDiverged("injected diverge fault")
+        for cache in copied_caches:
+            stats = cache.stats
+            if stats.hits or any(stats.misses.values()):
+                raise SpeculationDiverged(
+                    "copied processor's cache was touched during delta replay"
+                )
+        if next_time is not None:
+            heapq.heappush(heap, (next_time, pid))
+    return processors, caches, directory, pairwise
+
+
+def speculate_from_neighbor(
+    trace_set: TraceSet,
+    placement: PlacementMap,
+    config: ArchConfig,
+    *,
+    neighbor_placement: PlacementMap,
+    neighbor_result: SimulationResult,
+    quantum_refs: int = 256,
+    probe=None,
+    context: str | None = None,
+) -> SpeculationOutcome:
+    """Try to produce this cell's result from a completed neighbor cell.
+
+    The neighbor must be the *same trace set, same config, same quantum*
+    under a different placement — the caller guarantees that (the suite
+    keys candidates by cell coordinates).  Returns an outcome whose
+    ``result`` is bit-for-bit what full replay would produce, or None
+    (``mode == "abort"``) when any guard fails; aborting is always safe
+    and the caller falls back to full fast-engine replay.
+    """
+    try:
+        if (placement.num_threads != neighbor_placement.num_threads
+                or placement.num_processors != neighbor_placement.num_processors
+                or neighbor_result.num_processors != config.num_processors
+                or neighbor_result.total_refs != trace_set.total_refs):
+            raise SpeculationDiverged("neighbor shape mismatch")
+
+        if placement == neighbor_placement:
+            # Tier 1: the cell is fully determined; clone, don't simulate.
+            if faults.diverge(context):
+                raise SpeculationDiverged("injected diverge fault")
+            return SpeculationOutcome(
+                clone_result(neighbor_result), "clone", "identical placement"
+            )
+
+        # Tier 2: copy isolated unchanged processors, replay the rest.
+        replayed, copied, forbidden = _partition(
+            trace_set, placement, neighbor_placement, config.block_bits
+        )
+        if not copied:
+            raise SpeculationDiverged("no isolated unchanged processors")
+        _check_neighbor(trace_set, placement, neighbor_result, copied)
+        processors, caches, directory, pairwise = _delta_replay(
+            trace_set, placement, config, quantum_refs,
+            replayed, forbidden, probe, context,
+        )
+
+        proc_stats: list[ProcessorStats] = []
+        cache_stats: list[CacheStats] = []
+        copied_set = set(copied)
+        donor = clone_result(neighbor_result)
+        copied_misses = 0
+        for pid in range(config.num_processors):
+            if pid in copied_set:
+                proc_stats.append(donor.processors[pid])
+                cache_stats.append(donor.caches[pid])
+                copied_misses += donor.caches[pid].total_misses
+            else:
+                proc_stats.append(processors[pid].stats)
+                cache_stats.append(caches[pid].stats)
+
+        composed = SimulationResult(
+            execution_time=max(s.completion_time for s in proc_stats),
+            processors=proc_stats,
+            caches=cache_stats,
+            interconnect=InterconnectStats(
+                memory_fetches=(directory.stats.memory_fetches
+                                + copied_misses),
+                invalidations_sent=directory.stats.invalidations_sent,
+            ),
+            pairwise_coherence=pairwise,
+            total_refs=trace_set.total_refs,
+        )
+        # Post-composition conservation: references and fetches must
+        # balance exactly, or the speculation is discarded wholesale.
+        accesses = sum(c.total_accesses for c in composed.caches)
+        if accesses != composed.total_refs:
+            raise SpeculationDiverged(
+                f"composed accesses {accesses} != {composed.total_refs} refs"
+            )
+        misses = sum(c.total_misses for c in composed.caches)
+        if composed.interconnect.memory_fetches != misses:
+            raise SpeculationDiverged(
+                f"composed fetches {composed.interconnect.memory_fetches} "
+                f"!= {misses} misses"
+            )
+        return SpeculationOutcome(
+            composed, "delta",
+            f"copied={len(copied)}/{config.num_processors}",
+        )
+    except SpeculationDiverged as exc:
+        return SpeculationOutcome(None, "abort", str(exc))

@@ -87,14 +87,31 @@ _SUITES: dict[tuple, object] = {}
 
 
 def _suite_for(scale: float, seed: int, quantum_refs: int,
-               engine: str = "classic"):
+               engine: str = "classic", speculate: bool = True,
+               store_dir: str | None = None):
     from repro.experiments.runner import ExperimentSuite
 
-    key = (scale, seed, quantum_refs, engine)
+    key = (scale, seed, quantum_refs, engine, speculate, store_dir)
     if key not in _SUITES:
-        _SUITES[key] = ExperimentSuite(scale=scale, seed=seed,
-                                       quantum_refs=quantum_refs,
-                                       engine=engine)
+        suite = ExperimentSuite(scale=scale, seed=seed,
+                                quantum_refs=quantum_refs,
+                                engine=engine, speculate=speculate)
+        if store_dir is not None:
+            # Workers hold no *writable* store (the coordinator persists
+            # results and fires the store fault sites exactly once per
+            # cell), but a read-only view lets a job's speculation hints
+            # find completed neighbors, and the shared analysis cache
+            # makes every worker compute each trace's run compression at
+            # most once.  Loads never fire fault-injection sites, so
+            # chaos schedules are unchanged.
+            from pathlib import Path
+
+            from repro.experiments.cache import ResultStore
+            from repro.trace import analysis_cache
+
+            suite._neighbor_store = ResultStore(store_dir)
+            analysis_cache.configure(Path(store_dir) / "analysis")
+        _SUITES[key] = suite
     return _SUITES[key]
 
 
@@ -112,7 +129,9 @@ def simulate_cell(payload: dict) -> dict:
     identical either way.
     """
     spec = JobSpec.from_payload(payload["spec"])
-    suite = _suite_for(spec.scale, spec.seed, spec.quantum_refs, spec.engine)
+    suite = _suite_for(spec.scale, spec.seed, spec.quantum_refs, spec.engine,
+                       bool(payload.get("speculate", True)),
+                       payload.get("store_dir"))
     probe = None
     if payload.get("probe"):
         from repro.obs.probes import SimProbe, stash_pending
@@ -124,6 +143,7 @@ def simulate_cell(payload: dict) -> dict:
             spec.app, spec.algorithm, spec.processors,
             infinite=spec.infinite, associativity=spec.associativity,
             cache_words=spec.cache_words, replicate=spec.replicate,
+            neighbors=spec.neighbors,
         )
     finally:
         suite.probe = None
@@ -157,6 +177,16 @@ def _write_heartbeat(payload: dict) -> Path | None:
     except OSError:  # heartbeat is best-effort; the job still runs
         return None
     return beat
+
+
+def _discard_speculation() -> None:
+    """Drop events a failed attempt stashed, so they cannot be
+    misattributed to the worker's next job."""
+    try:
+        from repro.arch.delta import take_speculation
+    except ImportError:  # pragma: no cover - partial install
+        return
+    take_speculation()
 
 
 def _invoke(runner: Callable[[dict], object], payload: dict) -> dict:
@@ -197,6 +227,14 @@ def _invoke(runner: Callable[[dict], object], payload: dict) -> dict:
                 signal.setitimer(signal.ITIMER_REAL, 0.0)
                 signal.signal(signal.SIGALRM, previous)
         out.update(ok=True, value=value)
+        # Speculation outcomes the suite stashed while running this job
+        # ride the result channel to the coordinator's journal.  Drained
+        # only on success: a failed attempt's events are discarded below.
+        from repro.arch.delta import take_speculation
+
+        spec_events = take_speculation()
+        if spec_events:
+            out["speculation"] = spec_events
         if payload.get("probe"):
             # Probe counters the runner stashed (simulate_cell) ride the
             # existing result channel back to the coordinator's registry.
@@ -207,6 +245,7 @@ def _invoke(runner: Callable[[dict], object], payload: dict) -> dict:
                 out["sim_metrics"] = sim_metrics
     except JobTimeout as exc:
         out.update(ok=False, kind="timeout", error=str(exc))
+        _discard_speculation()
     except Exception as exc:
         out.update(
             ok=False,
@@ -214,6 +253,7 @@ def _invoke(runner: Callable[[dict], object], payload: dict) -> dict:
             error=f"{type(exc).__name__}: {exc}",
             traceback=traceback.format_exc(limit=20),
         )
+        _discard_speculation()
     finally:
         # An injected crash (os._exit) skips this; the stale heartbeat is
         # then cleaned up by the watchdog's liveness check.
@@ -387,6 +427,11 @@ class ExecutionEngine:
             retry events' ``duration`` field, which is recorded
             unconditionally.  The caller finalizes the observer (the
             engine may be run several times under one observer).
+        speculate: Let worker suites answer cells from completed
+            neighbors (exact clone or guarded delta replay; see
+            :mod:`repro.arch.delta`).  Exact-or-absent, so results are
+            bit-for-bit identical either way; each job's outcome is
+            journaled as ``speculated`` / ``speculation-aborted``.
     """
 
     def __init__(
@@ -404,6 +449,7 @@ class ExecutionEngine:
         job_runner: Callable[[dict], object] | None = None,
         mp_context: str = "spawn",
         observer=None,
+        speculate: bool = True,
     ) -> None:
         check_positive("workers", workers)
         if timeout is not None:
@@ -437,6 +483,7 @@ class ExecutionEngine:
             self._materialize = lambda value: value
         self.mp_context = mp_context
         self.observer = observer
+        self.speculate = bool(speculate)
 
     # -- planning phase -------------------------------------------------
 
@@ -574,6 +621,9 @@ class ExecutionEngine:
             "timeout": self.timeout,
             "attempt": attempt,
             "delay": delay,
+            "speculate": self.speculate,
+            "store_dir": (str(self.store.directory)
+                          if self.store is not None else None),
         }
         if self.observer is not None and self.observer.want_sim_probe:
             payload["probe"] = True
@@ -617,6 +667,13 @@ class ExecutionEngine:
                 worker=out.get("worker"), attempt=attempt,
                 duration=out.get("duration"),
             )
+            for event in out.get("speculation", ()):
+                mode = event.get("speculation")
+                journal.record(
+                    "speculation-aborted" if mode == "abort"
+                    else "speculated",
+                    job_id, mode=mode, detail=event.get("detail"),
+                )
             if self.observer is not None:
                 self.observer.job_finished(payload, out)
         elif attempt <= self.max_retries:

@@ -19,7 +19,7 @@ Two planners enumerate sweeps:
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 
 from repro.experiments.cache import cell_store_key, store_digest
 from repro.experiments.runner import PROCESSOR_COUNTS
@@ -60,6 +60,14 @@ class JobSpec:
     engines are bit-for-bit equivalent (see ``docs/PERFORMANCE.md``), so a
     cell computed by either engine is the same result and caches under the
     same content address.
+
+    ``neighbors`` is likewise excluded from the content address: it is an
+    advisory list of ``(algorithm, replicate)`` sibling cells (same
+    application/machine) likely completed earlier, which the worker's
+    suite may use as speculation donors (see
+    :func:`repro.arch.delta.speculate_from_neighbor`).  Speculation is
+    exact-or-absent, so hints never change what a cell computes — only
+    how fast.
     """
 
     app: str
@@ -73,6 +81,7 @@ class JobSpec:
     seed: int = 0
     quantum_refs: int = 256
     engine: str = "classic"
+    neighbors: tuple = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "app", spec_for(self.app).name)
@@ -81,6 +90,11 @@ class JobSpec:
             raise ValueError(
                 f"unknown engine {self.engine!r}: expected 'classic' or 'fast'"
             )
+        # Canonicalize hints (payloads may carry them as JSON lists).
+        object.__setattr__(
+            self, "neighbors",
+            tuple((str(a).upper(), int(r)) for a, r in self.neighbors),
+        )
 
     @property
     def cell(self) -> tuple:
@@ -132,7 +146,31 @@ def _sort_key(spec: JobSpec) -> tuple:
 
 def _dedup(specs: list[JobSpec]) -> list[JobSpec]:
     unique = {spec.job_id: spec for spec in specs}
-    return sorted(unique.values(), key=_sort_key)
+    return _assign_neighbors(sorted(unique.values(), key=_sort_key))
+
+
+#: Speculation hints per job (matches the suite's own candidate cap).
+_MAX_HINTS = 8
+
+
+def _assign_neighbors(specs: list[JobSpec]) -> list[JobSpec]:
+    """Attach speculation hints: each job names up to :data:`_MAX_HINTS`
+    earlier-planned siblings (same application/machine, other placements).
+
+    Plan order is submission order, so an earlier sibling has usually
+    completed — and landed in the result store — by the time this job's
+    worker looks for donors.  Deterministic: the hints are a pure function
+    of the (already deterministic) plan.
+    """
+    seen: dict[tuple, list] = {}
+    hinted = []
+    for spec in specs:
+        group = (spec.app, spec.processors, spec.infinite,
+                 spec.associativity, spec.cache_words)
+        earlier = seen.setdefault(group, [])
+        hinted.append(replace(spec, neighbors=tuple(earlier[:_MAX_HINTS])))
+        earlier.append((spec.algorithm, spec.replicate))
+    return hinted
 
 
 def _processors_for(app: str) -> list[int]:

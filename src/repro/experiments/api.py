@@ -201,7 +201,14 @@ class RunOptions:
 
     Nothing here may change the rendered report's bytes — that is the
     byte-identity contract every option rides on (parallel == sequential,
-    journaled == bare, cached == recomputed).
+    journaled == bare, cached == recomputed, speculated == replayed:
+    :mod:`repro.arch.delta` speculation is exact-or-absent, which is why
+    ``speculate`` may live here rather than in :class:`SuiteRequest`).
+    ``speculate`` gates all of the incremental + speculative machinery:
+    neighbor clone / guarded delta replay, the persistent analysis cache,
+    and the placement search's incremental state — ``False`` is the
+    from-scratch reference computation the differential tier compares
+    against.
     """
 
     jobs: int = 1
@@ -213,6 +220,7 @@ class RunOptions:
     cache_dir: str | None = None
     observer: object | None = None
     mp_context: str = "spawn"
+    speculate: bool = True
 
     def __post_init__(self) -> None:
         check_positive("jobs", self.jobs)
@@ -284,6 +292,7 @@ def run_suite(
         cache_dir=options.cache_dir,
         check_invariants=request.check_invariants,
         engine=request.engine, strict=strict,
+        speculate=options.speculate,
     )
     sections = list(request.sections) if request.sections is not None else None
     result = SuiteResult(request=request, suite=suite)

@@ -9,6 +9,11 @@ Results are serialized explicitly to ``.npz`` (no pickling): every field
 of :class:`~repro.arch.stats.SimulationResult` round-trips through plain
 arrays, keyed by a SHA-256 of the cell descriptor (workload scale/seed,
 application, algorithm, machine).
+
+Durability — atomic commits, sha256 sidecars, verify-on-load with
+evict-and-recompute — is delegated to
+:class:`repro.util.verified_store.VerifiedDirectory`, the discipline this
+store shares with the trace analysis cache.
 """
 
 from __future__ import annotations
@@ -16,14 +21,11 @@ from __future__ import annotations
 import hashlib
 import io
 import logging
-import os
-import threading
 import zipfile
 from pathlib import Path
 
 import numpy as np
 
-from repro import faults
 from repro.arch.stats import (
     CacheStats,
     InterconnectStats,
@@ -31,7 +33,7 @@ from repro.arch.stats import (
     ProcessorStats,
     SimulationResult,
 )
-from repro.util.atomicio import atomic_write_text, fsync_directory, sha256_hex
+from repro.util.verified_store import VerifiedDirectory
 
 __all__ = [
     "ResultStore",
@@ -57,27 +59,6 @@ _MISS_ORDER: tuple[MissKind, ...] = (
 )
 
 _FORMAT_VERSION = 1
-
-# One commit lock per store directory (process-wide).  Entry commits are
-# two filesystem operations (sidecar write, npz rename); threads sharing
-# a store — the service's executor pool runs several engine executions
-# against one directory — must not interleave them, or a reader can pair
-# one writer's npz with another's sidecar and evict a good entry
-# (``np.savez_compressed`` output embeds zip timestamps, so two writes
-# of the *same* result need not be byte-identical).  Cross-process races
-# remain possible and remain benign: a mismatched pair degrades to
-# evict-and-recompute, never to torn data.
-_COMMIT_LOCKS: dict[str, threading.Lock] = {}
-_COMMIT_LOCKS_GUARD = threading.Lock()
-
-
-def _commit_lock(directory: Path) -> threading.Lock:
-    key = str(directory.resolve())
-    with _COMMIT_LOCKS_GUARD:
-        lock = _COMMIT_LOCKS.get(key)
-        if lock is None:
-            lock = _COMMIT_LOCKS[key] = threading.Lock()
-        return lock
 
 #: Leading tag of every store key; bump together with ``_FORMAT_VERSION``.
 STORE_KEY_TAG = "v1"
@@ -186,6 +167,11 @@ def result_from_arrays(arrays) -> SimulationResult:
     )
 
 
+def _decode_result(data: bytes) -> SimulationResult:
+    with np.load(io.BytesIO(data), allow_pickle=False) as arrays:
+        return result_from_arrays(arrays)
+
+
 class ResultStore:
     """Content-addressed store of simulation results under one directory.
 
@@ -205,25 +191,29 @@ class ResultStore:
 
     def __init__(self, directory: str | Path, *, checksum: bool = True,
                  fsync: bool = True) -> None:
-        self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        self.checksum = bool(checksum)
-        self.fsync = bool(fsync)
-        self._lock = _commit_lock(self.directory)
+        self._entries = VerifiedDirectory(
+            directory, checksum=checksum, fsync=fsync,
+            fault_site="store", logger=log,
+        )
 
-    def _path(self, key: tuple) -> Path:
-        return self.directory / f"{store_digest(key)}.npz"
+    @property
+    def directory(self) -> Path:
+        return self._entries.directory
+
+    @property
+    def checksum(self) -> bool:
+        return self._entries.checksum
+
+    @property
+    def fsync(self) -> bool:
+        return self._entries.fsync
 
     @staticmethod
-    def _sidecar(path: Path) -> Path:
-        return path.with_name(path.name + ".sha256")
+    def _name(key: tuple) -> str:
+        return f"{store_digest(key)}.npz"
 
-    def _evict(self, path: Path) -> None:
-        for victim in (path, self._sidecar(path)):
-            try:
-                victim.unlink()
-            except OSError:  # pragma: no cover - concurrent eviction
-                pass
+    def _path(self, key: tuple) -> Path:
+        return self._entries.path(self._name(key))
 
     def contains(self, key: tuple) -> bool:
         """Whether an entry exists for ``key`` (without decoding it)."""
@@ -237,35 +227,10 @@ class ResultStore:
         sidecar) so the caller recomputes the cell and the next ``store``
         writes a clean entry — a damaged cache never aborts a report.
         """
-        path = self._path(key)
-        try:
-            # Snapshot entry + sidecar under the commit lock so an
-            # in-process writer can never be caught between the two;
-            # decoding happens outside it.
-            with self._lock:
-                if not path.exists():
-                    return None
-                data = path.read_bytes()
-                sidecar = self._sidecar(path)
-                expected = (sidecar.read_text(encoding="ascii").strip()
-                            if self.checksum and sidecar.exists() else None)
-            if expected is not None:
-                actual = sha256_hex(data)
-                if actual != expected:
-                    raise ValueError(
-                        f"checksum mismatch (expected {expected[:12]}…, "
-                        f"got {actual[:12]}…)"
-                    )
-            with np.load(io.BytesIO(data), allow_pickle=False) as arrays:
-                return result_from_arrays(arrays)
-        except _LOAD_ERRORS as exc:
-            log.warning(
-                "evicting unreadable result %s (%s: %s); the cell will be "
-                "recomputed", path.name, type(exc).__name__, exc,
-            )
-            with self._lock:
-                self._evict(path)
-            return None
+        return self._entries.load(
+            self._name(key), _decode_result,
+            errors=_LOAD_ERRORS, describe="result",
+        )
 
     def store(self, key: tuple, result: SimulationResult) -> bool:
         """Persist ``result`` under ``key``; True if it was committed.
@@ -278,49 +243,9 @@ class ResultStore:
         still holds the in-memory result, so a sick disk never aborts a
         sweep; the cell is simply recomputed next run.
         """
-        path = self._path(key)
-        temporary = path.with_name(
-            f"{path.name}.tmp-{os.getpid()}-{threading.get_ident()}")
-        try:
-            faults.fire("store", context=path.name)
-            with open(temporary, "wb") as stream:
-                np.savez_compressed(stream, **result_to_arrays(result))
-                stream.flush()
-                if self.fsync:
-                    os.fsync(stream.fileno())
-            # Sidecar + rename commit as one unit under the per-directory
-            # lock: an in-process reader (or racing writer of the same
-            # key) can never pair this entry's bytes with another
-            # writer's sidecar.
-            with self._lock:
-                if self.checksum:
-                    atomic_write_text(
-                        self._sidecar(path),
-                        sha256_hex(temporary.read_bytes()) + "\n",
-                        encoding="ascii", fsync=self.fsync, fault_site=None,
-                    )
-                os.replace(temporary, path)
-            if self.fsync:
-                fsync_directory(self.directory)
-        except OSError as exc:
-            try:
-                temporary.unlink()
-            except OSError:
-                pass
-            log.warning(
-                "failed to persist result %s (%s: %s); the in-memory "
-                "result is unaffected and the cell will be recomputed "
-                "next run", path.name, type(exc).__name__, exc,
-            )
-            return False
-        except BaseException:
-            try:
-                temporary.unlink()
-            except OSError:
-                pass
-            raise
-        faults.mangle("store", path)
-        return True
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **result_to_arrays(result))
+        return self._entries.commit(self._name(key), buffer.getvalue())
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.npz"))

@@ -171,6 +171,16 @@ def build_parser() -> argparse.ArgumentParser:
              "(bit-for-bit identical results; see docs/PERFORMANCE.md)",
     )
     parser.add_argument(
+        "--no-speculate",
+        action="store_true",
+        help="disable the incremental + speculative machinery (neighbor "
+             "clone / guarded delta replay, the persistent analysis cache, "
+             "and incremental placement-search state) and compute every "
+             "cell from scratch; results are bit-for-bit identical either "
+             "way — this only trades speed for the simpler reference "
+             "computation (see docs/PERFORMANCE.md)",
+    )
+    parser.add_argument(
         "--check-invariants",
         action="store_true",
         help="audit every simulation with the oracle's runtime conservation "
@@ -276,6 +286,7 @@ def main(argv: list[str] | None = None) -> int:
         jobs=args.jobs, timeout=args.timeout, hang_timeout=args.hang_timeout,
         retries=args.retries, journal=args.journal, resume=args.resume,
         cache_dir=args.cache_dir, observer=observer,
+        speculate=not args.no_speculate,
     )
     run_info = None
     try:

@@ -25,7 +25,7 @@ import numpy as np
 from repro.arch.config import ArchConfig
 from repro.arch.simulator import ENGINES, simulate
 from repro.arch.stats import SimulationResult
-from repro.experiments.cache import ResultStore, cell_store_key
+from repro.experiments.cache import ResultStore, cell_store_key, store_digest
 from repro.placement.algorithms import algorithm_by_name
 from repro.placement.base import PlacementInputs, PlacementMap
 from repro.placement.dynamic import measure_coherence_matrix
@@ -84,6 +84,19 @@ class ExperimentSuite:
             :func:`repro.arch.simulator.simulate`).  The engines are
             bit-for-bit equivalent, so results, memo keys and the
             persistent store are engine-agnostic.
+        speculate: Enable the incremental + speculative machinery: cells
+            may be answered from a completed neighbor cell (same
+            application/machine, different placement) via
+            :func:`repro.arch.delta.speculate_from_neighbor` — an exact
+            clone for identical placements, a guarded delta replay for
+            isolated clusters — and the placement search keeps
+            incremental state (:func:`repro.placement.clustering.
+            agglomerate` with ``incremental=True``).  All of it is
+            exact-or-absent: any guard failure falls back to full
+            replay, so results are bit-for-bit identical either way
+            (enforced by ``tests/speculation/``).  Disabled
+            automatically under ``check_invariants`` (the oracle must
+            audit real from-scratch runs).
         strict: Failure policy for cells a parallel :meth:`prefetch`
             could not complete.  ``True`` (the default, the library
             behavior since PR 1): nothing is marked missing and a later
@@ -105,6 +118,7 @@ class ExperimentSuite:
         check_invariants: bool = False,
         engine: str = "classic",
         strict: bool = True,
+        speculate: bool = True,
     ) -> None:
         check_positive("scale", scale)
         check_positive("random_replicates", random_replicates)
@@ -120,6 +134,7 @@ class ExperimentSuite:
         self.check_invariants = bool(check_invariants)
         self.engine = engine
         self.strict = bool(strict)
+        self.speculate = bool(speculate)
         #: Cells a degraded prefetch failed to compute (memo-key tuples).
         self.missing: set[tuple] = set()
         #: Optional :class:`~repro.obs.probes.SimProbe` observing every
@@ -129,6 +144,24 @@ class ExperimentSuite:
         #: (engine workers arm their own per-job probe).
         self.probe = None
         self._store = ResultStore(cache_dir) if cache_dir is not None else None
+        if cache_dir is not None:
+            # Share the persistent trace-analysis cache alongside the
+            # result store: all cells, across processes and runs, compute
+            # each trace's run compression exactly once.
+            from pathlib import Path
+
+            from repro.trace import analysis_cache
+
+            analysis_cache.configure(Path(cache_dir) / "analysis")
+        #: Read-only store consulted for neighbor results when a cell
+        #: carries speculation hints.  Defaults to the suite's own store;
+        #: engine workers (which hold no writable store) get one injected
+        #: from the job payload.  Loads never fire fault-injection sites,
+        #: so chaos schedules stay deterministic.
+        self._neighbor_store = self._store
+        #: Completed (placement, config, result) candidates per cell
+        #: group — the in-process speculation registry.
+        self._spec_neighbors: dict[tuple, list] = {}
         self._streams = RngStreams(seed).child("experiments")
         self._traces: dict[str, TraceSet] = {}
         self._analyses: dict[str, TraceSetAnalysis] = {}
@@ -153,7 +186,7 @@ class ExperimentSuite:
             _rebuild_suite,
             (self.scale, self.seed, self.quantum_refs,
              self.random_replicates, self.cache_dir, self.check_invariants,
-             self.engine),
+             self.engine, self.speculate),
         )
 
     # ------------------------------------------------------------------
@@ -221,6 +254,7 @@ class ExperimentSuite:
                     if algo.name == "COHERENCE-TRAFFIC"
                     else None
                 ),
+                incremental=self.speculate and not self.check_invariants,
             )
             self._placements[key] = algo.place(inputs)
         return self._placements[key]
@@ -258,6 +292,7 @@ class ExperimentSuite:
         associativity: int = 1,
         cache_words: int | None = None,
         replicate: int = 0,
+        neighbors: tuple = (),
     ) -> SimulationResult:
         """Simulate one cell (memoized).
 
@@ -270,6 +305,11 @@ class ExperimentSuite:
             cache_words: Explicit cache size override (wins over
                 ``infinite`` and the application default).
             replicate: RANDOM draw index (see :meth:`placement`).
+            neighbors: Speculation hints — ``(algorithm, replicate)``
+                pairs naming sibling cells (same application/machine)
+                likely already completed; their stored results seed the
+                guarded delta path.  Advisory only: hints never affect
+                the result, just how fast it is produced.
         """
         name = spec_for(app).name
         key = (name, algorithm.upper(), processors, infinite, associativity,
@@ -297,17 +337,117 @@ class ExperimentSuite:
                     name, placement, infinite=infinite,
                     associativity=associativity, cache_words=cache_words,
                 )
-                result = simulate(
-                    self.traces(name), placement, config,
-                    quantum_refs=self.quantum_refs,
-                    check_invariants=self.check_invariants,
-                    engine=self.engine,
-                    probe=self.probe,
-                )
+                group = (name, processors, infinite, associativity,
+                         cache_words)
+                result = None
+                if self.speculate and not self.check_invariants:
+                    result = self._speculate(
+                        group, name, placement, config, neighbors,
+                        context=store_digest(store_key),
+                    )
+                if result is None:
+                    result = simulate(
+                        self.traces(name), placement, config,
+                        quantum_refs=self.quantum_refs,
+                        check_invariants=self.check_invariants,
+                        engine=self.engine,
+                        probe=self.probe,
+                    )
+                self._register_neighbor(group, placement, config, result)
                 if self._store is not None:
                     self._store.store(store_key, result)
                 self._results[key] = result
         return self._results[key]
+
+    # ------------------------------------------------------------------
+    # Speculation
+    # ------------------------------------------------------------------
+
+    #: Completed cells kept per group as speculation donors; identical
+    #: placements dedupe to the first, so the list stays tiny.
+    _MAX_NEIGHBORS = 8
+
+    def _register_neighbor(self, group: tuple, placement: PlacementMap,
+                           config: ArchConfig, result: SimulationResult) -> None:
+        candidates = self._spec_neighbors.setdefault(group, [])
+        if len(candidates) >= self._MAX_NEIGHBORS:
+            return
+        if any(placement == known for known, _cfg, _res in candidates):
+            return
+        candidates.append((placement, config, result))
+
+    def _speculate(
+        self,
+        group: tuple,
+        name: str,
+        placement: PlacementMap,
+        config: ArchConfig,
+        neighbors: tuple,
+        *,
+        context: str,
+    ) -> SimulationResult | None:
+        """Try every known neighbor of the cell; None falls back to replay.
+
+        Candidates come from the in-process registry (cells this suite
+        already computed) and, for engine workers, from the read-only
+        result store via the job's planner hints.  Identical placements
+        are tried first (exact clone); then guarded delta replays.  The
+        probe's ``spec_*`` counters record one attempt per cell that had
+        a candidate, and a hit or an abort — journal events ride the
+        :func:`repro.arch.delta.take_speculation` channel.
+        """
+        from repro.arch.delta import speculate_from_neighbor, stash_speculation
+
+        candidates = list(self._spec_neighbors.get(group, ()))
+        if neighbors and self._neighbor_store is not None:
+            known = {id(res) for _pl, _cfg, res in candidates}
+            (gname, processors, infinite, associativity, cache_words) = group
+            for algorithm, replicate in neighbors:
+                stored = self._neighbor_store.load(cell_store_key(
+                    scale=self.scale, seed=self.seed,
+                    quantum_refs=self.quantum_refs,
+                    app=gname, algorithm=algorithm, processors=processors,
+                    infinite=infinite, associativity=associativity,
+                    cache_words=cache_words, replicate=replicate,
+                ))
+                if stored is None or id(stored) in known:
+                    continue
+                npl = self.placement(gname, algorithm, processors,
+                                     replicate=replicate)
+                ncfg = self._machine(
+                    gname, npl, infinite=infinite,
+                    associativity=associativity, cache_words=cache_words,
+                )
+                candidates.append((npl, ncfg, stored))
+        # Same machine only (contexts can differ across placements), and
+        # exact clones before delta replays.
+        usable = [c for c in candidates if c[1] == config]
+        usable.sort(key=lambda c: c[0] != placement)
+        if not usable:
+            return None
+        if self.probe is not None:
+            self.probe.spec_attempts += 1
+        traces = self.traces(name)
+        last_detail = ""
+        for npl, _ncfg, nres in usable:
+            outcome = speculate_from_neighbor(
+                traces, placement, config,
+                neighbor_placement=npl, neighbor_result=nres,
+                quantum_refs=self.quantum_refs,
+                probe=self.probe, context=context,
+            )
+            if outcome.hit:
+                if self.probe is not None:
+                    self.probe.spec_hits += 1
+                stash_speculation({
+                    "speculation": outcome.mode, "detail": outcome.detail,
+                })
+                return outcome.result
+            last_detail = outcome.detail
+        if self.probe is not None:
+            self.probe.spec_aborts += 1
+        stash_speculation({"speculation": "abort", "detail": last_detail})
+        return None
 
     def prefetch(
         self,
@@ -358,6 +498,7 @@ class ExperimentSuite:
             max_retries=max_retries,
             backoff=backoff, store=self._store, journal_path=journal,
             resume=resume, mp_context=mp_context, observer=observer,
+            speculate=self.speculate,
         )
         report = engine.run(specs)
         by_job = {spec.job_id: spec for spec in specs}
@@ -436,10 +577,11 @@ class ExperimentSuite:
 
 
 def _rebuild_suite(scale, seed, quantum_refs, random_replicates, cache_dir,
-                   check_invariants=False, engine="classic"):
+                   check_invariants=False, engine="classic", speculate=True):
     """Unpickling target for :meth:`ExperimentSuite.__reduce__`."""
     return ExperimentSuite(
         scale=scale, seed=seed, quantum_refs=quantum_refs,
         random_replicates=random_replicates, cache_dir=cache_dir,
         check_invariants=check_invariants, engine=engine,
+        speculate=speculate,
     )

@@ -10,11 +10,14 @@ kind       valid sites          effect
 crash      worker               ``os._exit(13)`` — a hard worker death
 error      worker               raise :class:`InjectedFault` in the job
 hang       worker               sleep ``secs`` (default 3600) mid-job
-disk-full  store, artifact      raise ``OSError(ENOSPC)`` before writing
-corrupt    store                overwrite bytes of the committed ``.npz``
-truncate   store                cut the committed ``.npz`` in half
+disk-full  store, artifact,     raise ``OSError(ENOSPC)`` before writing
+           analysis
+corrupt    store, analysis      overwrite bytes of the committed entry
+truncate   store, analysis      cut the committed entry in half
 torn       journal              write half a journal line, then
                                 ``os._exit(17)`` — a killed coordinator
+diverge    speculate            fail a speculation guard check, forcing
+                                the abort-to-full-replay path
 ========== ==================== =========================================
 
 Selectors:
@@ -72,10 +75,11 @@ _VALID_SITES: dict[str, frozenset[str]] = {
     "crash": frozenset({"worker"}),
     "error": frozenset({"worker"}),
     "hang": frozenset({"worker"}),
-    "disk-full": frozenset({"store", "artifact"}),
-    "corrupt": frozenset({"store"}),
-    "truncate": frozenset({"store"}),
+    "disk-full": frozenset({"store", "artifact", "analysis"}),
+    "corrupt": frozenset({"store", "analysis"}),
+    "truncate": frozenset({"store", "analysis"}),
     "torn": frozenset({"journal"}),
+    "diverge": frozenset({"speculate"}),
 }
 
 _PARAM_KEYS = frozenset({"job", "nth", "times", "secs"})

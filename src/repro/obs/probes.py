@@ -41,7 +41,8 @@ _MISS_NAMES = {
 class SimProbe:
     """Event counters one simulation run fills in (single-threaded)."""
 
-    __slots__ = ("quanta", "switches", "upgrades", "misses", "cells")
+    __slots__ = ("quanta", "switches", "upgrades", "misses", "cells",
+                 "spec_attempts", "spec_hits", "spec_aborts")
 
     def __init__(self) -> None:
         self.quanta = 0      #: scheduling quanta executed
@@ -49,6 +50,15 @@ class SimProbe:
         self.upgrades = 0    #: directory upgrades that sent invalidations
         self.misses = {kind: 0 for kind in MissKind}
         self.cells = 0       #: simulations observed (bumped by simulate())
+        # Speculation outcomes (bumped by the experiment suite, not the
+        # replay loop): cells where a completed neighbor was tried, cells
+        # it fully answered (clone or composed delta), and guard aborts
+        # that fell back to full replay.  With speculation the sim_*
+        # event counters above cover only the work actually replayed —
+        # the gap to a non-speculative run is the work these saved.
+        self.spec_attempts = 0
+        self.spec_hits = 0
+        self.spec_aborts = 0
 
     def snapshot(self) -> dict[str, int]:
         """Flat ``{metric_name: count}`` view (ships between processes)."""
@@ -61,6 +71,9 @@ class SimProbe:
         for kind, name in _MISS_NAMES.items():
             out[name] = self.misses[kind]
         out["sim_misses_total"] = sum(self.misses.values())
+        out["sim_spec_attempts"] = self.spec_attempts
+        out["sim_spec_hits"] = self.spec_hits
+        out["sim_spec_aborts"] = self.spec_aborts
         return out
 
     def merge(self, other: "SimProbe") -> None:
@@ -69,6 +82,9 @@ class SimProbe:
         self.switches += other.switches
         self.upgrades += other.upgrades
         self.cells += other.cells
+        self.spec_attempts += other.spec_attempts
+        self.spec_hits += other.spec_hits
+        self.spec_aborts += other.spec_aborts
         for kind in MissKind:
             self.misses[kind] += other.misses[kind]
 

@@ -82,6 +82,7 @@ class ClusteringPlacement(PlacementAlgorithm):
             self._balance,
             inputs.thread_lengths,
             maximize=self.maximize,
+            incremental=inputs.incremental,
         )
         return PlacementMap.from_clusters(
             result.clusters, inputs.num_threads, inputs.num_processors

@@ -118,6 +118,32 @@ class BalancePolicy:
         """
         raise NotImplementedError
 
+    def pair_mask(
+        self,
+        pairs: np.ndarray,
+        sizes: np.ndarray,
+        loads: np.ndarray,
+        num_threads: int,
+        num_processors: int,
+    ) -> np.ndarray | None:
+        """Vectorized :meth:`allows` over many candidate pairs at once.
+
+        Args:
+            pairs: ``(n, 2)`` integer array of cluster index pairs.
+            sizes: Current thread count per cluster (one entry per cluster).
+            loads: Current instruction load per cluster (same indexing).
+            num_threads / num_processors: Problem dimensions.
+
+        Returns:
+            Boolean array of length ``n`` — ``mask[k]`` must equal
+            ``allows()`` for ``pairs[k]`` — or ``None`` when the policy has
+            no vectorized form (the clustering engine then falls back to
+            per-pair :meth:`allows` calls).  Policies are pure functions of
+            the sizes/loads state, so evaluating every pair eagerly is
+            observationally identical to the engine's lazy reference loop.
+        """
+        return None
+
 
 @dataclass(frozen=True)
 class ThreadBalance(BalancePolicy):
@@ -130,6 +156,34 @@ class ThreadBalance(BalancePolicy):
         if len(cluster_a) + len(cluster_b) > ceil:
             return False
         return thread_balance_feasible(all_sizes, num_threads, num_processors)
+
+    def pair_mask(self, pairs, sizes, loads, num_threads, num_processors):
+        """Vectorized form: feasibility depends only on the merged pair's
+        *sizes*, so distinct ``(size_a, size_b)`` values are checked once
+        and shared across every pair with those sizes."""
+        sizes = np.asarray(sizes, dtype=np.int64)
+        size_a = sizes[pairs[:, 0]]
+        size_b = sizes[pairs[:, 1]]
+        ceil = -(-num_threads // num_processors)
+        mask = (size_a + size_b) <= ceil
+        if not mask.any():
+            return mask
+        # One feasibility question per distinct (larger, smaller) size
+        # pair, broadcast back to every candidate with those sizes.
+        hi = np.maximum(size_a, size_b)
+        lo = np.minimum(size_a, size_b)
+        codes = np.where(mask, hi * (num_threads + 1) + lo, -1)
+        all_sizes = sizes.tolist()
+        for code in np.unique(codes[mask]):
+            big, small = divmod(int(code), num_threads + 1)
+            multiset = list(all_sizes)
+            multiset.remove(big)
+            multiset.remove(small)
+            multiset.append(big + small)
+            if not thread_balance_feasible(multiset, num_threads,
+                                           num_processors):
+                mask[codes == code] = False
+        return mask
 
 
 @dataclass(frozen=True)
@@ -153,6 +207,18 @@ class LoadBalance(BalancePolicy):
         combined = float(lengths[list(cluster_a) + list(cluster_b)].sum())
         return combined <= (1.0 + self.tolerance) * ideal
 
+    def pair_mask(self, pairs, sizes, loads, num_threads, num_processors):
+        """Vectorized form over per-cluster load sums.
+
+        Loads are integer instruction counts, so ``loads[i] + loads[j]``
+        converted to float is bit-identical to the reference's
+        ``lengths[a + b].sum()`` (exact below 2**53) and the comparison
+        reproduces :meth:`allows` decision for decision."""
+        loads = np.asarray(loads, dtype=np.int64)
+        ideal = float(loads.sum()) / num_processors
+        combined = (loads[pairs[:, 0]] + loads[pairs[:, 1]]).astype(float)
+        return combined <= (1.0 + self.tolerance) * ideal
+
 
 @dataclass(frozen=True)
 class Unconstrained(BalancePolicy):
@@ -162,3 +228,7 @@ class Unconstrained(BalancePolicy):
                num_threads, num_processors) -> bool:
         """Always allowed."""
         return True
+
+    def pair_mask(self, pairs, sizes, loads, num_threads, num_processors):
+        """Vectorized form: every pair is admissible."""
+        return np.ones(len(pairs), dtype=bool)

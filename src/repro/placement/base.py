@@ -140,6 +140,10 @@ class PlacementInputs:
         rng: Source of randomness for RANDOM placement (and tie shuffling).
         coherence_matrix: Optional measured pairwise coherence traffic
             (threads x threads), for the dynamic algorithm.
+        incremental: Let the clustering engine keep incremental search
+            state (bit-identical, much faster).  ``False`` forces the
+            from-scratch reference loop — the same escape hatch the
+            simulator's ``--no-speculate`` flag uses.
     """
 
     analysis: TraceSetAnalysis
@@ -148,6 +152,7 @@ class PlacementInputs:
         default_factory=lambda: np.random.default_rng(0)
     )
     coherence_matrix: np.ndarray | None = None
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         check_positive("num_processors", self.num_processors)

@@ -193,6 +193,7 @@ def agglomerate(
     *,
     maximize: bool = True,
     max_backtracks: int = 2000,
+    incremental: bool = True,
 ) -> ClusteringResult:
     """Run the §2.1 clustering algorithm.
 
@@ -207,6 +208,14 @@ def agglomerate(
         maximize: Direction of the metric.
         max_backtracks: Search budget before the fallback finishes the
             partition.
+        incremental: Use incrementally maintained search state (per-cluster
+            size/load arrays plus one vectorized admissibility mask per
+            state) instead of re-deriving everything per candidate.  The
+            trajectory — and therefore the result — is bit-identical to
+            the reference loop (``incremental=False``), which is kept as
+            the differential-testing oracle; policies without a
+            :meth:`~repro.placement.balance.BalancePolicy.pair_mask`
+            automatically fall back to the reference loop.
 
     Returns:
         A :class:`ClusteringResult` with exactly ``num_processors``
@@ -222,6 +231,14 @@ def agglomerate(
     lengths = np.asarray(lengths, dtype=np.int64)
     if lengths.size != num_threads:
         raise ValueError(f"expected {num_threads} lengths, got {lengths.size}")
+
+    if incremental:
+        fast = _agglomerate_incremental(
+            num_threads, num_processors, scorer, balance, lengths,
+            maximize=maximize, max_backtracks=max_backtracks,
+        )
+        if fast is not None:
+            return fast
 
     clusters: list[list[int]] = [[tid] for tid in range(num_threads)]
     # Each stack level: (clusters before the merge, candidate order, index
@@ -260,6 +277,74 @@ def agglomerate(
         clusters = _merge(clusters, chosen[0], chosen[1])
         merges += 1
         candidates = _ordered_candidates(clusters, scorer, maximize)
+        next_index = 0
+
+    return ClusteringResult(clusters, merges, backtracks, relaxed=False)
+
+
+def _agglomerate_incremental(
+    num_threads: int,
+    num_processors: int,
+    scorer: ClusterScorer,
+    balance: BalancePolicy,
+    lengths: np.ndarray,
+    *,
+    maximize: bool,
+    max_backtracks: int,
+) -> ClusteringResult | None:
+    """The incremental-state twin of the reference loop in ``agglomerate``.
+
+    Same search, different bookkeeping: per-cluster thread counts and
+    instruction loads are carried across merges (and saved on the
+    backtrack stack) instead of being re-derived per candidate, and each
+    state's admissibility is one vectorized ``pair_mask`` call instead of
+    thousands of per-pair ``allows`` calls.  Policies are pure functions
+    of that state, so every decision — merge choice, backtrack, fallback —
+    lands on exactly the candidates the reference loop picks.
+
+    Returns ``None`` when the policy offers no vectorized form, signalling
+    the caller to run the reference loop instead.
+    """
+    clusters: list[list[int]] = [[tid] for tid in range(num_threads)]
+    sizes = np.ones(num_threads, dtype=np.int64)
+    loads = lengths.copy()
+    candidates = _ordered_candidates(clusters, scorer, maximize)
+    mask = balance.pair_mask(candidates, sizes, loads, num_threads,
+                             num_processors)
+    if mask is None:
+        return None
+    # Stack levels mirror the reference loop's, extended with the arrays
+    # and mask of the state (all treated as immutable once pushed).
+    stack: list[tuple[list[list[int]], np.ndarray, int,
+                      np.ndarray, np.ndarray, np.ndarray]] = []
+    merges = 0
+    backtracks = 0
+    next_index = 0
+
+    while len(clusters) > num_processors:
+        admissible = np.flatnonzero(mask[next_index:])
+        if admissible.size == 0:
+            if not stack or backtracks >= max_backtracks:
+                finished = _fallback_finish(
+                    clusters, num_processors, lengths, num_threads
+                )
+                return ClusteringResult(finished, merges, backtracks,
+                                        relaxed=True)
+            clusters, candidates, next_index, sizes, loads, mask = stack.pop()
+            backtracks += 1
+            continue
+        k = next_index + int(admissible[0])
+        i, j = int(candidates[k][0]), int(candidates[k][1])
+        stack.append((clusters, candidates, k + 1, sizes, loads, mask))
+        clusters = _merge(clusters, i, j)
+        # _merge appends the union at the end; mirror that for the arrays.
+        keep = [idx for idx in range(len(sizes)) if idx not in (i, j)]
+        sizes = np.append(sizes[keep], sizes[i] + sizes[j])
+        loads = np.append(loads[keep], loads[i] + loads[j])
+        merges += 1
+        candidates = _ordered_candidates(clusters, scorer, maximize)
+        mask = balance.pair_mask(candidates, sizes, loads, num_threads,
+                                 num_processors)
         next_index = 0
 
     return ClusteringResult(clusters, merges, backtracks, relaxed=False)

@@ -154,6 +154,9 @@ class JobManager:
         retries: Per-cell retry budget passed to the engine.
         timeout: Per-cell timeout in seconds passed to the engine.
         registry: Metrics sink (a private one is created if omitted).
+        speculate: Let runs answer cells from completed neighbors (see
+            :mod:`repro.arch.delta`); exact-or-absent, so reports are
+            byte-identical either way.
     """
 
     def __init__(
@@ -167,6 +170,7 @@ class JobManager:
         retries: int = 2,
         timeout: float | None = None,
         registry: MetricsRegistry | None = None,
+        speculate: bool = True,
     ) -> None:
         self.data_dir = Path(data_dir)
         self.jobs_dir = self.data_dir / "jobs"
@@ -178,6 +182,7 @@ class JobManager:
         self.tenant_quota = int(tenant_quota)
         self.retries = int(retries)
         self.timeout = timeout
+        self.speculate = bool(speculate)
         self.registry = registry if registry is not None else MetricsRegistry()
         self._jobs: dict[str, Job] = {}
         self._queue: deque[Job] = deque()
@@ -380,6 +385,7 @@ class JobManager:
             timeout=self.timeout if self.run_jobs > 1 else None,
             journal=str(job.journal_path),
             cache_dir=str(self.store_dir),
+            speculate=self.speculate,
         )
         error: str | None = None
         try:

@@ -10,6 +10,8 @@ reproduction:
 * :mod:`repro.trace.io` — text and binary serialization;
 * :mod:`repro.trace.runs` — run-length compression of the block stream
   (the fast replay engine's input form);
+* :mod:`repro.trace.analysis_cache` — content-addressed on-disk cache of
+  the run-compression artifacts, shared across processes and runs;
 * :mod:`repro.trace.analysis` — the *static* per-thread analysis the
   paper's placement algorithms consume (address profiles, pairwise and
   N-way sharing, write-shared references, private address counts).
@@ -17,6 +19,7 @@ reproduction:
 
 from repro.trace.record import AccessType, TraceRecord
 from repro.trace.runs import CompressedTrace, compress_trace, run_length_stats
+from repro.trace.analysis_cache import AnalysisCache, trace_digest
 from repro.trace.stream import ThreadTrace, TraceSet
 from repro.trace.io import (
     load_trace_set,
@@ -51,6 +54,8 @@ __all__ = [
     "CompressedTrace",
     "compress_trace",
     "run_length_stats",
+    "AnalysisCache",
+    "trace_digest",
     "save_trace_set",
     "load_trace_set",
     "save_trace_set_text",

@@ -1,0 +1,317 @@
+"""Persistent, content-addressed cache of trace run-compression artifacts.
+
+:func:`~repro.trace.runs.compress_trace` memoizes per process, so within
+one process each (trace, block size) pays the analysis sweeps once.  But a
+grid run spreads hundreds of cells over worker processes, and successive
+runs start cold — every process recomputes every trace.  The analysis is
+*placement-invariant*: it depends only on the trace bytes and the block
+size, never on which processor a thread runs on.  This module gives it a
+content-addressed on-disk form so all cells of a suite, across worker
+processes and across runs, compute each trace's analysis exactly once.
+
+**Key.**  ``sha256`` over the canonical trace encoding — a version tag,
+the thread id, and the raw little-endian bytes of the ``gaps``/``addrs``/
+``writes`` arrays — plus the block size:  entry ``{digest}-b{bits}.npz``.
+The digest is memoized on the trace object (traces are immutable once they
+reach the simulator), so hashing is paid once per trace per process.
+
+**Payload.**  Only the derived structure is stored (``run_end``,
+``next_write``, ``prefix_gaps`` — the parts built by O(n) numpy sweeps);
+``gaps``/``blocks``/``writes`` are rebuilt from the trace the caller
+already holds, keeping entries small and making a key collision harmless.
+
+**Durability.**  Entries go through
+:class:`~repro.util.verified_store.VerifiedDirectory` — atomic commits,
+sha256 sidecars, verify-on-load — with fault site ``analysis``, so the
+chaos grammar (``corrupt:analysis`` …) can strike them and the
+evict-and-recompute contract is testable.  A damaged or missing cache
+never changes results: every path falls back to computing.
+
+**Stampede control.**  When many processes want the same missing entry
+(a cold grid run fanning out), a best-effort ``.lock`` file elects one
+computer; the rest poll briefly and load its committed entry.  The lock
+is advisory and crash-safe: a dead holder's lock (stale pid) is broken,
+and a timeout degrades to just-compute-it — coordination can reduce
+duplicate work, never block progress.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import logging
+import os
+import time
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.trace.runs import CompressedTrace, _compress
+from repro.trace.stream import ThreadTrace
+from repro.util.verified_store import VerifiedDirectory
+
+__all__ = [
+    "AnalysisCache",
+    "active_cache",
+    "configure",
+    "trace_digest",
+]
+
+log = logging.getLogger(__name__)
+
+#: Version tag folded into every digest and payload; bump on any change
+#: to the canonical encoding or the stored arrays.
+FORMAT_VERSION = 1
+_DIGEST_TAG = b"repro-analysis/v1"
+
+#: Everything a damaged ``.npz`` can raise while being decoded.
+_LOAD_ERRORS = (OSError, EOFError, KeyError, ValueError, zipfile.BadZipFile)
+
+# Process-global active cache (None = disabled, the default).  Configured
+# by the experiment runner when it has a cache directory, and by engine
+# workers from their job payload.
+_active: AnalysisCache | None = None
+
+
+def configure(directory: str | os.PathLike | None) -> AnalysisCache | None:
+    """Install (or disable, with None) the process-global analysis cache.
+
+    Idempotent per directory: reconfiguring with the path already active
+    keeps the existing instance and its counters.
+    """
+    global _active
+    if directory is None:
+        _active = None
+        return None
+    directory = Path(directory)
+    if _active is not None and _active.directory == directory:
+        return _active
+    _active = AnalysisCache(directory)
+    return _active
+
+
+def active_cache() -> AnalysisCache | None:
+    """The process-global analysis cache, or None when disabled."""
+    return _active
+
+
+def trace_digest(trace: ThreadTrace) -> str:
+    """The SHA-256 content address of one thread trace (32 hex chars).
+
+    Canonical encoding: version tag, thread id, reference count, then the
+    raw little-endian bytes of the gap, address and write arrays.  Memoized
+    on the trace's replay cache (string key — the run-compression memos use
+    integer ``block_bits`` keys, so the namespaces cannot collide).
+    """
+    cache = trace._replay_cache
+    if cache is None:
+        cache = trace._replay_cache = {}
+    digest = cache.get("digest")
+    if digest is None:
+        hasher = hashlib.sha256()
+        hasher.update(_DIGEST_TAG)
+        hasher.update(f":{trace.thread_id}:{trace.num_refs}:".encode())
+        hasher.update(np.ascontiguousarray(trace.gaps, dtype="<i8").tobytes())
+        hasher.update(np.ascontiguousarray(trace.addrs, dtype="<i8").tobytes())
+        hasher.update(np.ascontiguousarray(trace.writes, dtype="u1").tobytes())
+        digest = cache["digest"] = hasher.hexdigest()[:32]
+    return digest
+
+
+def _entry_name(trace: ThreadTrace, block_bits: int) -> str:
+    return f"{trace_digest(trace)}-b{block_bits}.npz"
+
+
+def _encode(compressed: CompressedTrace) -> bytes:
+    buffer = io.BytesIO()
+    np.savez_compressed(
+        buffer,
+        scalars=np.array(
+            [FORMAT_VERSION, compressed.num_refs, compressed.num_runs],
+            dtype=np.int64,
+        ),
+        run_end=np.asarray(compressed.run_end, dtype=np.int64),
+        next_write=np.asarray(compressed.next_write, dtype=np.int64),
+        prefix_gaps=np.asarray(compressed.prefix_gaps, dtype=np.int64),
+    )
+    return buffer.getvalue()
+
+
+def _decode(data: bytes, trace: ThreadTrace, block_bits: int) -> CompressedTrace:
+    """Rebuild a :class:`CompressedTrace` from a cache entry.
+
+    The placement-invariant derived arrays come from the entry; the
+    reference streams (``gaps``/``blocks``/``writes``) are rebuilt from
+    the trace itself — a cheap shift and three list conversions.  Any
+    inconsistency with the trace in hand (stale format, wrong reference
+    count) raises ValueError, which the caller treats as damage.
+    """
+    with np.load(io.BytesIO(data), allow_pickle=False) as arrays:
+        scalars = arrays["scalars"]
+        version = int(scalars[0])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported analysis format version {version} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        num_refs = int(scalars[1])
+        num_runs = int(scalars[2])
+        run_end = arrays["run_end"].tolist()
+        next_write = arrays["next_write"].tolist()
+        prefix_gaps = arrays["prefix_gaps"].tolist()
+    n = trace.num_refs
+    if (num_refs != n or len(run_end) != n or len(next_write) != n
+            or len(prefix_gaps) != n + 1):
+        raise ValueError(
+            f"analysis entry shape mismatch (entry num_refs={num_refs}, "
+            f"trace num_refs={n})"
+        )
+    blocks = trace.addrs >> block_bits
+    return CompressedTrace(
+        thread_id=trace.thread_id,
+        gaps=trace.gaps.tolist(),
+        blocks=blocks.tolist(),
+        writes=trace.writes.tolist(),
+        run_end=run_end,
+        next_write=next_write,
+        prefix_gaps=prefix_gaps,
+        num_refs=n,
+        num_runs=num_runs,
+        blocks_np=np.ascontiguousarray(blocks, dtype=np.int64),
+    )
+
+
+class AnalysisCache:
+    """On-disk run-compression entries under one directory.
+
+    ``hits``/``misses``/``waited`` count this process's outcomes (a
+    ``waited`` fetch loaded an entry another process committed while we
+    polled its lock); they feed the speculation benchmark, not results.
+    """
+
+    #: How long a fetch will poll a peer's lock before computing anyway.
+    WAIT_TIMEOUT = 10.0
+    _POLL_INTERVAL = 0.01
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self._entries = VerifiedDirectory(
+            directory, fault_site="analysis", logger=log,
+        )
+        self.hits = 0
+        self.misses = 0
+        self.waited = 0
+
+    @property
+    def directory(self) -> Path:
+        return self._entries.directory
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.npz"))
+
+    # -- fetch -----------------------------------------------------------
+
+    def fetch(self, trace: ThreadTrace, block_bits: int) -> CompressedTrace:
+        """The trace's analysis — loaded if cached, else computed + stored.
+
+        On a miss, a ``.lock`` file elects one computing process per
+        entry; concurrent fetchers of the same entry poll for the
+        winner's commit instead of recomputing (single-computation
+        semantics across a worker fleet).  Every failure mode — damaged
+        entry, dead lock holder, full disk, poll timeout — degrades to
+        computing locally; this method cannot fail.
+        """
+        name = _entry_name(trace, block_bits)
+        got = self._load(name, trace, block_bits)
+        if got is not None:
+            self.hits += 1
+            return got
+        lock = self.directory / (name + ".lock")
+        acquired = self._acquire(lock)
+        try:
+            if not acquired:
+                got = self._await_peer(lock, name, trace, block_bits)
+                if got is not None:
+                    self.waited += 1
+                    return got
+                acquired = self._acquire(lock)
+            self.misses += 1
+            compressed = _compress(trace, block_bits)
+            self._entries.commit(name, _encode(compressed))
+            return compressed
+        finally:
+            if acquired:
+                try:
+                    lock.unlink()
+                except OSError:  # pragma: no cover - already broken/stolen
+                    pass
+
+    def _load(self, name: str, trace: ThreadTrace,
+              block_bits: int) -> CompressedTrace | None:
+        return self._entries.load(
+            name, lambda data: _decode(data, trace, block_bits),
+            errors=_LOAD_ERRORS, describe="trace analysis",
+        )
+
+    # -- advisory locking ------------------------------------------------
+
+    def _acquire(self, lock: Path) -> bool:
+        """Try to take the entry's compute lock (never blocks)."""
+        try:
+            fd = os.open(lock, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            return False
+        except OSError:
+            # Unwritable cache volume: skip coordination, just compute.
+            return False
+        try:
+            os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+        finally:
+            os.close(fd)
+        return True
+
+    @staticmethod
+    def _holder_is_dead(lock: Path) -> bool:
+        """Best-effort staleness check on a peer's lock file."""
+        try:
+            pid = int(lock.read_text(encoding="ascii").strip() or "0")
+        except (OSError, ValueError):
+            return False  # mid-write or already gone; let the poll decide
+        if pid <= 0:
+            return True
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True
+        except OSError:
+            return False
+        return False
+
+    def _await_peer(self, lock: Path, name: str, trace: ThreadTrace,
+                    block_bits: int) -> CompressedTrace | None:
+        """Poll a peer's in-flight computation; None means compute locally.
+
+        Returns the entry as soon as the peer commits it.  A vanished or
+        stale lock (dead pid), a peer that released without committing
+        (its store failed), or the timeout all hand computation back to
+        the caller.
+        """
+        deadline = time.monotonic() + self.WAIT_TIMEOUT
+        while time.monotonic() < deadline:
+            got = self._load(name, trace, block_bits)
+            if got is not None:
+                return got
+            if not lock.exists():
+                return None
+            if self._holder_is_dead(lock):
+                try:
+                    lock.unlink()
+                except OSError:  # pragma: no cover - concurrent breaker
+                    pass
+                return None
+            time.sleep(self._POLL_INTERVAL)
+        log.warning(
+            "timed out waiting on analysis lock %s; computing locally",
+            lock.name,
+        )
+        return None

@@ -108,7 +108,16 @@ def compress_trace(trace: ThreadTrace, block_bits: int) -> CompressedTrace:
     cached = cache.get(block_bits)
     if cached is not None:
         return cached
-    compressed = _compress(trace, block_bits)
+    # Consult the process-global persistent cache (when configured) so
+    # worker processes and successive runs share one computation per
+    # trace; it falls back to _compress internally on any miss/damage.
+    from repro.trace import analysis_cache
+
+    disk = analysis_cache.active_cache()
+    if disk is not None:
+        compressed = disk.fetch(trace, block_bits)
+    else:
+        compressed = _compress(trace, block_bits)
     cache[block_bits] = compressed
     return compressed
 

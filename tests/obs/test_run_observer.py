@@ -145,12 +145,15 @@ class TestEngineIntegration:
         obs = RunObserver(tmp_path / "obs", progress=True,
                           stream=stream, progress_enabled=True)
         jobs = specs(2)
+        # speculate=False: both replicates share one placement, so the
+        # default engine would clone the second cell and sim_cells would
+        # legitimately read 1.  This test counts real simulation work.
         observed = ExecutionEngine(
             workers=1, journal_path=tmp_path / "obs" / "journal.jsonl",
-            observer=obs,
+            observer=obs, speculate=False,
         ).run(jobs)
         artifacts = obs.finalize()
-        plain = ExecutionEngine(workers=1).run(jobs)
+        plain = ExecutionEngine(workers=1, speculate=False).run(jobs)
         assert observed.ok and plain.ok
         for spec in jobs:
             assert observed.result_for(spec).execution_time \

@@ -1,0 +1,277 @@
+"""Chaos and concurrency tests for the persistent analysis cache.
+
+The contract under strike: a damaged, missing, torn or contended cache
+entry NEVER changes what :func:`compress_trace` returns — damage is
+evicted, logged and recomputed; contention elects one computer and
+everyone else loads its entry.
+"""
+
+import logging
+import multiprocessing as mp
+import os
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.trace import analysis_cache
+from repro.trace.analysis_cache import AnalysisCache, trace_digest
+from repro.trace.runs import _compress, compress_trace
+from repro.trace.stream import ThreadTrace
+from repro.util.verified_store import VerifiedDirectory
+
+
+def _trace(seed=0, n=60, tid=0):
+    rng = np.random.default_rng(seed)
+    return ThreadTrace(
+        tid,
+        rng.integers(0, 4, n).astype(np.int64),
+        rng.integers(0, 256, n).astype(np.int64),
+        rng.random(n) < 0.3,
+    )
+
+
+def _fresh(trace):
+    """The same trace content as a new object (no per-process memos)."""
+    return ThreadTrace(trace.thread_id, trace.gaps.copy(),
+                       trace.addrs.copy(), trace.writes.copy())
+
+
+def _assert_same(actual, expected):
+    assert actual.num_refs == expected.num_refs
+    assert actual.num_runs == expected.num_runs
+    for name in ("gaps", "blocks", "writes", "run_end", "next_write",
+                 "prefix_gaps"):
+        assert getattr(actual, name) == getattr(expected, name), name
+    assert np.array_equal(actual.blocks_np, expected.blocks_np)
+
+
+@pytest.fixture(autouse=True)
+def _no_global_cache():
+    """Keep the process-global cache out of these tests' way."""
+    before = analysis_cache.active_cache()
+    analysis_cache.configure(None)
+    yield
+    analysis_cache._active = before
+
+
+class TestRoundTrip:
+    def test_miss_then_hit_is_identical(self, tmp_path):
+        cache = AnalysisCache(tmp_path)
+        trace = _trace()
+        expected = _compress(trace, 2)
+        first = cache.fetch(trace, 2)
+        assert cache.misses == 1 and cache.hits == 0
+        _assert_same(first, expected)
+        # A different process would hold a different trace object with
+        # the same bytes; model that with a fresh object.
+        second = cache.fetch(_fresh(trace), 2)
+        assert cache.hits == 1
+        _assert_same(second, expected)
+
+    def test_block_bits_are_separate_entries(self, tmp_path):
+        cache = AnalysisCache(tmp_path)
+        trace = _trace()
+        cache.fetch(trace, 2)
+        cache.fetch(_fresh(trace), 4)
+        assert len(cache) == 2
+        _assert_same(cache.fetch(_fresh(trace), 4), _compress(trace, 4))
+
+    def test_digest_is_content_addressed(self):
+        a, b = _trace(seed=1), _trace(seed=1)
+        assert trace_digest(a) == trace_digest(b)
+        assert trace_digest(a) != trace_digest(_trace(seed=2))
+        flipped = ThreadTrace(a.thread_id, a.gaps, a.addrs, ~a.writes)
+        assert trace_digest(a) != trace_digest(flipped)
+
+    def test_compress_trace_uses_configured_cache(self, tmp_path):
+        cache = analysis_cache.configure(tmp_path)
+        trace = _trace()
+        compress_trace(trace, 2)
+        assert cache.misses == 1 and len(cache) == 1
+        # Same process: the in-memory memo answers, not the disk.
+        compress_trace(trace, 2)
+        assert cache.hits == 0
+        # "New process": fresh object, disk hit.
+        _assert_same(compress_trace(_fresh(trace), 2), _compress(trace, 2))
+        assert cache.hits == 1
+
+
+class TestDamage:
+    def _entry_of(self, cache):
+        entries = list(cache.directory.glob("*.npz"))
+        assert len(entries) == 1
+        return entries[0]
+
+    @pytest.mark.parametrize("damage", ["corrupt", "truncate", "unzip"])
+    def test_damaged_entry_is_evicted_logged_recomputed(
+            self, tmp_path, caplog, damage):
+        cache = AnalysisCache(tmp_path)
+        trace = _trace()
+        expected = _compress(trace, 2)
+        cache.fetch(trace, 2)
+        entry = self._entry_of(cache)
+        data = entry.read_bytes()
+        if damage == "corrupt":
+            entry.write_bytes(data[:10] + bytes([data[10] ^ 0xFF]) + data[11:])
+        elif damage == "truncate":
+            entry.write_bytes(data[: len(data) // 2])
+        else:  # not a zip at all
+            entry.write_bytes(b"not an npz")
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.trace.analysis_cache"):
+            got = cache.fetch(_fresh(trace), 2)
+        _assert_same(got, expected)
+        assert "evicting" in caplog.text
+        assert cache.misses == 2  # recomputed, never wrong numbers
+        # The recompute re-committed a clean entry.
+        _assert_same(cache.fetch(_fresh(trace), 2), expected)
+
+    def test_shape_mismatch_entry_is_damage(self, tmp_path, caplog):
+        """An entry whose digest collides but whose shape disagrees with
+        the trace in hand must be treated as damage, not trusted."""
+        cache = AnalysisCache(tmp_path)
+        trace = _trace(n=40)
+        cache.fetch(trace, 2)
+        entry = self._entry_of(cache)
+        other = _trace(seed=9, n=24)
+        # Forge: same entry name, wrong payload (verified sidecar and all).
+        store = VerifiedDirectory(tmp_path)
+        store.commit(entry.name, analysis_cache._encode(_compress(other, 2)))
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.trace.analysis_cache"):
+            got = cache.fetch(_fresh(trace), 2)
+        _assert_same(got, _compress(trace, 2))
+        assert "evicting" in caplog.text
+
+    def test_chaos_fault_sites_strike_the_analysis_cache(self, tmp_path):
+        trace = _trace()
+        expected = _compress(trace, 2)
+        # disk-full: the commit fails, the fetch still answers.
+        cache = AnalysisCache(tmp_path / "df")
+        with faults.installed("disk-full:analysis", tmp_path / "l1"):
+            _assert_same(cache.fetch(trace, 2), expected)
+        assert len(cache) == 0  # nothing durable
+        _assert_same(cache.fetch(_fresh(trace), 2), expected)  # recomputes
+
+        # corrupt: the entry commits mangled; the next fetch must evict
+        # and recompute, never decode garbage into results.
+        cache = AnalysisCache(tmp_path / "co")
+        with faults.installed("corrupt:analysis", tmp_path / "l2"):
+            _assert_same(cache.fetch(trace, 2), expected)
+        _assert_same(cache.fetch(_fresh(trace), 2), expected)
+
+        # truncate: same contract.
+        cache = AnalysisCache(tmp_path / "tr")
+        with faults.installed("truncate:analysis", tmp_path / "l3"):
+            _assert_same(cache.fetch(trace, 2), expected)
+        _assert_same(cache.fetch(_fresh(trace), 2), expected)
+
+
+class TestLocking:
+    def test_stale_lock_of_dead_holder_is_broken(self, tmp_path):
+        cache = AnalysisCache(tmp_path)
+        trace = _trace()
+        name = f"{trace_digest(trace)}-b2.npz"
+        lock = cache.directory / (name + ".lock")
+        lock.parent.mkdir(parents=True, exist_ok=True)
+        lock.write_text("999999999\n", encoding="ascii")  # no such pid
+        got = cache.fetch(trace, 2)
+        _assert_same(got, _compress(trace, 2))
+        assert cache.misses == 1
+        assert not lock.exists()
+
+    def test_live_foreign_lock_times_out_to_compute(self, tmp_path,
+                                                    monkeypatch, caplog):
+        cache = AnalysisCache(tmp_path)
+        monkeypatch.setattr(cache, "WAIT_TIMEOUT", 0.05)
+        trace = _trace()
+        name = f"{trace_digest(trace)}-b2.npz"
+        lock = cache.directory / (name + ".lock")
+        lock.parent.mkdir(parents=True, exist_ok=True)
+        lock.write_text(f"{os.getpid()}\n", encoding="ascii")  # alive forever
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.trace.analysis_cache"):
+            got = cache.fetch(trace, 2)
+        _assert_same(got, _compress(trace, 2))
+        assert "timed out" in caplog.text
+
+    def test_waiter_loads_peer_commit(self, tmp_path):
+        """A fetch that finds a live peer's lock polls and then loads the
+        committed entry instead of recomputing."""
+        cache = AnalysisCache(tmp_path)
+        trace = _trace()
+        name = f"{trace_digest(trace)}-b2.npz"
+        lock = cache.directory / (name + ".lock")
+        lock.parent.mkdir(parents=True, exist_ok=True)
+        lock.write_text(f"{os.getpid()}\n", encoding="ascii")
+
+        committed = {}
+        original_load = cache._load
+
+        def load_then_commit(n, t, bits):
+            got = original_load(n, t, bits)
+            if got is None and not committed:
+                # Simulate the peer finishing between two polls.
+                committed["yes"] = True
+                VerifiedDirectory(tmp_path).commit(
+                    name, analysis_cache._encode(_compress(trace, 2)))
+            return got
+
+        cache._load = load_then_commit
+        got = cache.fetch(trace, 2)
+        _assert_same(got, _compress(trace, 2))
+        assert cache.waited == 1 and cache.misses == 0
+
+
+def _stampede_worker(directory, conn):
+    """Child process body: fetch one entry, report (misses, hits+waited)."""
+    from repro.trace.analysis_cache import AnalysisCache
+
+    cache = AnalysisCache(directory)
+    trace = _trace()
+    got = cache.fetch(trace, 2)
+    conn.send({
+        "misses": cache.misses,
+        "served": cache.hits + cache.waited,
+        "num_runs": got.num_runs,
+        "run_end": got.run_end[-5:] if got.run_end else [],
+    })
+    conn.close()
+
+
+class TestStampede:
+    def test_two_processes_one_computation(self, tmp_path):
+        """The cross-process single-computation contract: two cold
+        fetchers of the same entry produce one computed entry; both get
+        identical numbers.  (Timing may rarely let both compute — run a
+        few rounds and require at least one coordinated round, and
+        correctness in every round.)"""
+        ctx = mp.get_context("spawn")
+        expected = _compress(_trace(), 2)
+        coordinated = 0
+        for round_no in range(3):
+            directory = tmp_path / f"round{round_no}"
+            pipes, procs = [], []
+            for _ in range(2):
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(target=_stampede_worker,
+                                   args=(str(directory), child))
+                proc.start()
+                pipes.append(parent)
+                procs.append(proc)
+            reports = [pipe.recv() for pipe in pipes]
+            for proc in procs:
+                proc.join(timeout=60)
+                assert proc.exitcode == 0
+            for report in reports:
+                assert report["num_runs"] == expected.num_runs
+                assert report["run_end"] == expected.run_end[-5:]
+            total_misses = sum(r["misses"] for r in reports)
+            assert 1 <= total_misses <= 2
+            if total_misses == 1:
+                coordinated += 1
+                assert sum(r["served"] for r in reports) == 1
+            entries = list(directory.glob("*.npz"))
+            assert len(entries) == 1
+        assert coordinated >= 1, "lock election never coordinated"
