@@ -140,8 +140,11 @@ def thread_blocks(trace: ThreadTrace, block_bits: int) -> frozenset:
 
     Placement-invariant; memoized on the trace's replay cache under a
     tuple key (the run-compression memos use plain ``block_bits`` ints,
-    so the namespaces cannot collide).
+    so the namespaces cannot collide).  Streaming traces reduce chunk by
+    chunk through their own memoized :meth:`block_set`.
     """
+    if trace.streaming:
+        return trace.block_set(block_bits)
     cache = trace._replay_cache
     if cache is None:
         cache = trace._replay_cache = {}

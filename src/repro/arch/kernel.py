@@ -57,11 +57,18 @@ _INVALIDATION = MissKind.INVALIDATION
 def max_block_of(trace_set: TraceSet, block_bits: int) -> int:
     """Largest block number any thread references (sizes the per-block
     classification arrays).  Memoized per trace alongside the compressed
-    run structure, so repeated simulate calls pay dict lookups only."""
+    run structure, so repeated simulate calls pay dict lookups only.
+    Streaming traces answer from their O(1) ``max_addr`` metadata — no
+    chunk pass."""
     top = 0
     key = ("max_block", block_bits)
     for trace in trace_set:
         if trace.num_refs:
+            if trace.streaming:
+                got = trace.max_block(block_bits)
+                if got > top:
+                    top = got
+                continue
             cache = trace._replay_cache
             if cache is None:
                 cache = trace._replay_cache = {}
@@ -186,15 +193,40 @@ class FastContext:
     :class:`~repro.arch.processor.HardwareContext` (``pos``, ``blocks``,
     ``ready_time``, ``done``) so the oracle's invariant checker audits
     both engines identically.
+
+    Like the classic context, the replay arrays cover one chunk
+    ``[base, climit)`` at a time — run structure included, computed
+    chunk-locally (runs split at chunk edges, which is exact; see
+    ``docs/STREAMING.md``).  A materialized trace is a single chunk, so
+    its layout and hot-loop arithmetic are unchanged.  ``hlen`` is the
+    resident span's length, the scan heuristic's denominator (for a
+    materialized trace it equals ``length``).
     """
 
     __slots__ = ("thread_id", "gaps", "blocks", "writes", "run_end",
                  "next_write", "prefix_gaps", "charge", "blocks_np",
-                 "block_idx", "length", "num_runs", "pos", "ready_time",
-                 "done")
+                 "block_idx", "length", "num_runs", "hlen", "pos",
+                 "ready_time", "done", "base", "climit", "_chunks")
 
     def __init__(self, trace: ThreadTrace, block_bits: int,
                  hit_cycles: int, set_mask: int) -> None:
+        if trace.streaming:
+            self.thread_id = trace.thread_id
+            self.length = trace.num_refs
+            self._chunks = trace.replay_chunks(block_bits, hit_cycles,
+                                               set_mask)
+            self.gaps = self.blocks = self.writes = ()
+            self.run_end = self.next_write = self.prefix_gaps = ()
+            self.charge = ()
+            self.blocks_np = self.block_idx = np.empty(0, dtype=np.int64)
+            self.num_runs = 0
+            self.hlen = 1
+            self.base = 0
+            self.climit = 0
+            self.pos = 0
+            self.ready_time = 0
+            self.done = self.length == 0
+            return
         # The immutable replay data is memoized on the trace as one flat
         # tuple: repeated simulate calls over the same traces (experiment
         # grids, benchmarks) pay a single dict lookup plus slot stores,
@@ -217,9 +249,30 @@ class FastContext:
         (self.thread_id, self.gaps, self.blocks, self.writes, self.run_end,
          self.next_write, self.prefix_gaps, self.charge, self.blocks_np,
          self.block_idx, self.length, self.num_runs) = data
+        self._chunks = None
+        self.hlen = self.length
+        self.base = 0
+        self.climit = self.length
         self.pos = 0
         self.ready_time = 0
         self.done = self.length == 0
+
+    def _advance_chunk(self) -> None:
+        """Swap the next chunk's compressed columns in (streaming only)."""
+        start, compressed, charge, block_idx = next(self._chunks)
+        self.base = start
+        self.climit = start + compressed.num_refs
+        self.gaps = compressed.gaps
+        self.blocks = compressed.blocks
+        self.writes = compressed.writes
+        self.run_end = compressed.run_end
+        self.next_write = compressed.next_write
+        self.prefix_gaps = compressed.prefix_gaps
+        self.charge = charge
+        self.blocks_np = compressed.blocks_np
+        self.block_idx = block_idx
+        self.num_runs = compressed.num_runs
+        self.hlen = compressed.num_refs
 
     def __repr__(self) -> str:
         return (
@@ -328,154 +381,91 @@ class FastProcessor(Processor):
          write_hit, sharers_get, last_writer_get, dir_evict, dir_fetch,
          pairwise, memory_latency, upgrade_stalls, pid,
          pid_set) = self._hot
-        blocks = context.blocks
-        writes = context.writes
-        run_end = context.run_end
-        next_write = context.next_write
-        charge = context.charge
         tid = context.thread_id
         time = self.time
         start_time = time
         start_pos = context.pos
         pos = start_pos
-        end = min(pos + quantum_refs, context.length)
+        limit = min(pos + quantum_refs, context.length)
         stalled = False
         missed = 0
 
-        # Expected run iterations this window ≈ (average window length so
-        # far) × (this thread's runs per reference).  The ~2.7 µs scan
-        # beats the ~0.25 µs-per-run Python loop past a dozen runs.
-        if (self._scan_refs * context.num_runs
-                > 12 * self._scan_windows * context.length) and pos < end:
-            # Vectorized window: one scan finds the first miss (or none),
-            # then the hits are charged span-wise with one directory
-            # upgrade per write-containing run segment.
-            neq = (tags_np[context.block_idx[pos:end]]
-                   != context.blocks_np[pos:end])
-            k = int(neq.argmax())
-            miss_at = (pos + k) if neq[k] else end
-            if miss_at > pos:
-                if not upgrade_stalls:
-                    # Write-buffered machine (the paper's baseline): no
-                    # hit can stall, so the whole span charges in one
-                    # step and the walk below only performs each
-                    # segment's one real directory upgrade.
-                    w = next_write[pos]
-                    while w < miss_at:
-                        wb = blocks[w]
-                        if last_writer_get(wb) != pid or sharers_get(wb) != pid_set:
-                            write_hit(wb, pid)
-                        seg = run_end[w]
-                        if seg >= miss_at:
-                            break
-                        w = next_write[seg]
-                    time += charge[miss_at] - charge[pos]
-                    pos = miss_at
-                else:
-                    w = next_write[pos]
-                    while w < miss_at:
-                        # Charge through this segment's first write: the
-                        # one upgrade that can generate traffic or stall.
-                        time += charge[w + 1] - charge[pos]
-                        pos = w + 1
-                        wb = blocks[w]
-                        if last_writer_get(wb) != pid or sharers_get(wb) != pid_set:
-                            if write_hit(wb, pid):
-                                context.ready_time = time + memory_latency
-                                stalled = True
+        # The quantum [pos, limit) is consumed chunk by chunk within this
+        # one call: a chunk edge swaps arrays and continues, it is never
+        # a scheduling event, so the quantum interleaving (and every
+        # coherence outcome) matches the whole-column replay exactly.  A
+        # materialized context is a single chunk — one outer iteration,
+        # today's code path verbatim.  Indices below are chunk-local
+        # (``i = pos - base``); block numbers stay global.
+        while pos < limit:
+            if pos >= context.climit:
+                context._advance_chunk()
+            base = context.base
+            blocks = context.blocks
+            writes = context.writes
+            run_end = context.run_end
+            next_write = context.next_write
+            charge = context.charge
+            i = pos - base
+            iend = min(limit, context.climit) - base
+
+            # Expected run iterations this window ≈ (average window length
+            # so far) × (this span's runs per reference).  The ~2.7 µs scan
+            # beats the ~0.25 µs-per-run Python loop past a dozen runs.
+            if (self._scan_refs * context.num_runs
+                    > 12 * self._scan_windows * context.hlen):
+                # Vectorized window: one scan finds the first miss (or
+                # none), then the hits are charged span-wise with one
+                # directory upgrade per write-containing run segment.
+                neq = (tags_np[context.block_idx[i:iend]]
+                       != context.blocks_np[i:iend])
+                k = int(neq.argmax())
+                miss_at = (i + k) if neq[k] else iend
+                if miss_at > i:
+                    if not upgrade_stalls:
+                        # Write-buffered machine (the paper's baseline): no
+                        # hit can stall, so the whole span charges in one
+                        # step and the walk below only performs each
+                        # segment's one real directory upgrade.
+                        w = next_write[i]
+                        while w < miss_at:
+                            wb = blocks[w]
+                            if last_writer_get(wb) != pid or sharers_get(wb) != pid_set:
+                                write_hit(wb, pid)
+                            seg = run_end[w]
+                            if seg >= miss_at:
                                 break
-                        seg = run_end[w]
-                        if seg >= miss_at:
-                            break
-                        w = next_write[seg]
-                    if not stalled and pos < miss_at:
-                        time += charge[miss_at] - charge[pos]
-                        pos = miss_at
-            if not stalled and pos < end:
-                # Miss at the scan's first mismatch: classify (inlined
-                # ArrayDirectMappedCache.access — the hit test already
-                # ran), then the coherence transaction plus a full
-                # memory latency.
-                time += charge[pos + 1] - charge[pos]
-                block = blocks[pos]
-                is_write = writes[pos]
-                invalidator = None
-                if not seen[block]:
-                    kind = _COMPULSORY
-                    seen[block] = True
-                elif departure[block] == _INVALIDATED:
-                    invalidator = actor[block]
-                    departure[block] = _NONE
-                    kind = _INVALIDATION
-                else:
-                    evictor = (actor[block]
-                               if departure[block] == _EVICTED else tid)
-                    departure[block] = _NONE
-                    kind = _INTRA if evictor == tid else _INTER
-                miss_counts[kind] += 1
-                if self._probe is not None:
-                    self._probe.misses[kind] += 1
-                index = block & mask
-                evicted = tags[index]
-                if evicted != -1:
-                    departure[evicted] = _EVICTED
-                    actor[evicted] = tid
-                tags[index] = block
-                tags_np[index] = block
-                pos += 1
-                missed = 1
-                if evicted != -1:
-                    dir_evict(evicted, pid)
-                source = dir_fetch(block, pid, is_write)
-                if kind is _INVALIDATION and invalidator is not None:
-                    pairwise[pid, invalidator] += 1
-                elif kind is _COMPULSORY and source is not None:
-                    pairwise[pid, source] += 1
-                context.ready_time = time + memory_latency
-                stalled = True
-        else:
-            while pos < end:
-                block = blocks[pos]
-                if tags[block & mask] == block:
-                    # The whole remaining run is guaranteed hits up to the
-                    # quantum edge: no remote action can intervene
-                    # mid-quantum.
-                    stop = run_end[pos]
-                    if stop > end:
-                        stop = end
-                    w = next_write[pos]
-                    if w < stop and upgrade_stalls:
-                        # Charge through the segment's first write: the one
-                        # upgrade that can generate traffic and stall.
-                        time += charge[w + 1] - charge[pos]
-                        pos = w + 1
-                        if last_writer_get(block) != pid or sharers_get(block) != pid_set:
-                            if write_hit(block, pid):
-                                context.ready_time = time + memory_latency
-                                stalled = True
-                                break
-                        if pos < stop:
-                            # Later writes in the segment already own the
-                            # block exclusively: directory no-ops.
-                            time += charge[stop] - charge[pos]
-                            pos = stop
+                            w = next_write[seg]
+                        time += charge[miss_at] - charge[i]
+                        i = miss_at
                     else:
-                        # Write-buffered machine: the segment's one real
-                        # upgrade (if any) cannot stall, so the whole run
-                        # charges in a single span.
-                        if w < stop and (last_writer_get(block) != pid
-                                         or sharers_get(block) != pid_set):
-                            write_hit(block, pid)
-                        time += charge[stop] - charge[pos]
-                        pos = stop
-                else:
-                    # Miss: classify (inlined ArrayDirectMappedCache
-                    # .access — the hit test already ran), then the
-                    # coherence transaction plus a full memory latency
-                    # (the reference's cost is charged first, exactly
-                    # like the classic loop).
-                    time += charge[pos + 1] - charge[pos]
-                    is_write = writes[pos]
+                        w = next_write[i]
+                        while w < miss_at:
+                            # Charge through this segment's first write: the
+                            # one upgrade that can generate traffic or stall.
+                            time += charge[w + 1] - charge[i]
+                            i = w + 1
+                            wb = blocks[w]
+                            if last_writer_get(wb) != pid or sharers_get(wb) != pid_set:
+                                if write_hit(wb, pid):
+                                    context.ready_time = time + memory_latency
+                                    stalled = True
+                                    break
+                            seg = run_end[w]
+                            if seg >= miss_at:
+                                break
+                            w = next_write[seg]
+                        if not stalled and i < miss_at:
+                            time += charge[miss_at] - charge[i]
+                            i = miss_at
+                if not stalled and i < iend:
+                    # Miss at the scan's first mismatch: classify (inlined
+                    # ArrayDirectMappedCache.access — the hit test already
+                    # ran), then the coherence transaction plus a full
+                    # memory latency.
+                    time += charge[i + 1] - charge[i]
+                    block = blocks[i]
+                    is_write = writes[i]
                     invalidator = None
                     if not seen[block]:
                         kind = _COMPULSORY
@@ -499,7 +489,7 @@ class FastProcessor(Processor):
                         actor[evicted] = tid
                     tags[index] = block
                     tags_np[index] = block
-                    pos += 1
+                    i += 1
                     missed = 1
                     if evicted != -1:
                         dir_evict(evicted, pid)
@@ -510,7 +500,89 @@ class FastProcessor(Processor):
                         pairwise[pid, source] += 1
                     context.ready_time = time + memory_latency
                     stalled = True
-                    break
+            else:
+                while i < iend:
+                    block = blocks[i]
+                    if tags[block & mask] == block:
+                        # The whole remaining run is guaranteed hits up to
+                        # the quantum edge: no remote action can intervene
+                        # mid-quantum.
+                        stop = run_end[i]
+                        if stop > iend:
+                            stop = iend
+                        w = next_write[i]
+                        if w < stop and upgrade_stalls:
+                            # Charge through the segment's first write: the
+                            # one upgrade that can generate traffic and
+                            # stall.
+                            time += charge[w + 1] - charge[i]
+                            i = w + 1
+                            if last_writer_get(block) != pid or sharers_get(block) != pid_set:
+                                if write_hit(block, pid):
+                                    context.ready_time = time + memory_latency
+                                    stalled = True
+                                    break
+                            if i < stop:
+                                # Later writes in the segment already own
+                                # the block exclusively: directory no-ops.
+                                time += charge[stop] - charge[i]
+                                i = stop
+                        else:
+                            # Write-buffered machine: the segment's one real
+                            # upgrade (if any) cannot stall, so the whole
+                            # run charges in a single span.
+                            if w < stop and (last_writer_get(block) != pid
+                                             or sharers_get(block) != pid_set):
+                                write_hit(block, pid)
+                            time += charge[stop] - charge[i]
+                            i = stop
+                    else:
+                        # Miss: classify (inlined ArrayDirectMappedCache
+                        # .access — the hit test already ran), then the
+                        # coherence transaction plus a full memory latency
+                        # (the reference's cost is charged first, exactly
+                        # like the classic loop).
+                        time += charge[i + 1] - charge[i]
+                        is_write = writes[i]
+                        invalidator = None
+                        if not seen[block]:
+                            kind = _COMPULSORY
+                            seen[block] = True
+                        elif departure[block] == _INVALIDATED:
+                            invalidator = actor[block]
+                            departure[block] = _NONE
+                            kind = _INVALIDATION
+                        else:
+                            evictor = (actor[block]
+                                       if departure[block] == _EVICTED else tid)
+                            departure[block] = _NONE
+                            kind = _INTRA if evictor == tid else _INTER
+                        miss_counts[kind] += 1
+                        if self._probe is not None:
+                            self._probe.misses[kind] += 1
+                        index = block & mask
+                        evicted = tags[index]
+                        if evicted != -1:
+                            departure[evicted] = _EVICTED
+                            actor[evicted] = tid
+                        tags[index] = block
+                        tags_np[index] = block
+                        i += 1
+                        missed = 1
+                        if evicted != -1:
+                            dir_evict(evicted, pid)
+                        source = dir_fetch(block, pid, is_write)
+                        if kind is _INVALIDATION and invalidator is not None:
+                            pairwise[pid, invalidator] += 1
+                        elif kind is _COMPULSORY and source is not None:
+                            pairwise[pid, source] += 1
+                        context.ready_time = time + memory_latency
+                        stalled = True
+                        break
+
+            pos = base + i
+            if stalled:
+                break
 
         self._scan_refs += pos - start_pos
         self._scan_windows += 1
@@ -547,82 +619,99 @@ class FastProcessor(Processor):
         hit_cycles = config.hit_cycles
         memory_latency = config.memory_latency_cycles
         upgrade_stalls = config.write_upgrade_stalls
-        gaps = context.gaps
-        blocks = context.blocks
-        writes = context.writes
-        run_end = context.run_end
-        next_write = context.next_write
-        prefix = context.prefix_gaps
         tid = context.thread_id
         time = self.time
         busy = 0
         pos = context.pos
-        end = min(pos + quantum_refs, context.length)
+        limit = min(pos + quantum_refs, context.length)
         stalled = False
 
-        while pos < end:
-            # Slow-step the first reference of the (remaining) run: it is
-            # the only one that can miss within this quantum.
-            cost = gaps[pos] + hit_cycles
-            time += cost
-            busy += cost
-            block = blocks[pos]
-            is_write = writes[pos]
-            kind, evicted, invalidator = cache_access(block, tid)
-            pos += 1
-            if kind is not None:
-                # Miss: coherence transaction plus a full memory latency.
-                if self._probe is not None:
-                    self._probe.misses[kind] += 1
-                if evicted is not None:
-                    directory.evict(evicted, pid)
-                source = directory.fetch(block, pid, is_write)
-                if kind is MissKind.INVALIDATION and invalidator is not None:
-                    pairwise[pid, invalidator] += 1
-                elif kind is MissKind.COMPULSORY and source is not None:
-                    pairwise[pid, source] += 1
-                context.ready_time = time + memory_latency
-                stalled = True
-                break
-            owned = False
-            if is_write:
-                sent = write_hit(block, pid)
-                owned = True
-                if sent and upgrade_stalls:
+        # Chunk-by-chunk within the quantum, like :meth:`_run_array`:
+        # chunk edges swap arrays, never schedule.
+        while pos < limit:
+            if pos >= context.climit:
+                context._advance_chunk()
+            base = context.base
+            gaps = context.gaps
+            blocks = context.blocks
+            writes = context.writes
+            run_end = context.run_end
+            next_write = context.next_write
+            prefix = context.prefix_gaps
+            i = pos - base
+            iend = min(limit, context.climit) - base
+
+            while i < iend:
+                # Slow-step the first reference of the (remaining) run: it
+                # is the only one that can miss within this quantum.
+                cost = gaps[i] + hit_cycles
+                time += cost
+                busy += cost
+                block = blocks[i]
+                is_write = writes[i]
+                kind, evicted, invalidator = cache_access(block, tid)
+                i += 1
+                if kind is not None:
+                    # Miss: coherence transaction plus a full memory
+                    # latency.
+                    if self._probe is not None:
+                        self._probe.misses[kind] += 1
+                    if evicted is not None:
+                        directory.evict(evicted, pid)
+                    source = directory.fetch(block, pid, is_write)
+                    if kind is MissKind.INVALIDATION and invalidator is not None:
+                        pairwise[pid, invalidator] += 1
+                    elif kind is MissKind.COMPULSORY and source is not None:
+                        pairwise[pid, source] += 1
                     context.ready_time = time + memory_latency
                     stalled = True
                     break
-            # Bulk-replay the rest of the run (to the quantum edge): all
-            # guaranteed hits — no remote action can intervene mid-quantum.
-            seg_end = run_end[pos - 1]
-            if seg_end > end:
-                seg_end = end
-            if pos < seg_end:
-                if not owned:
-                    w = next_write[pos]
-                    if w < seg_end:
-                        # Step through the segment's first write: the one
-                        # upgrade that can generate traffic (or stall).
-                        span = w + 1 - pos
-                        delta = prefix[w + 1] - prefix[pos] + span * hit_cycles
+                owned = False
+                if is_write:
+                    sent = write_hit(block, pid)
+                    owned = True
+                    if sent and upgrade_stalls:
+                        context.ready_time = time + memory_latency
+                        stalled = True
+                        break
+                # Bulk-replay the rest of the run (to the quantum edge):
+                # all guaranteed hits — no remote action can intervene
+                # mid-quantum.
+                seg_end = run_end[i - 1]
+                if seg_end > iend:
+                    seg_end = iend
+                if i < seg_end:
+                    if not owned:
+                        w = next_write[i]
+                        if w < seg_end:
+                            # Step through the segment's first write: the
+                            # one upgrade that can generate traffic (or
+                            # stall).
+                            span = w + 1 - i
+                            delta = (prefix[w + 1] - prefix[i]
+                                     + span * hit_cycles)
+                            time += delta
+                            busy += delta
+                            cache_stats.hits += span
+                            i = w + 1
+                            sent = write_hit(block, pid)
+                            if sent and upgrade_stalls:
+                                context.ready_time = time + memory_latency
+                                stalled = True
+                                break
+                    if i < seg_end:
+                        # Pure hits: any remaining writes already own the
+                        # block exclusively, so they are directory no-ops.
+                        span = seg_end - i
+                        delta = prefix[seg_end] - prefix[i] + span * hit_cycles
                         time += delta
                         busy += delta
                         cache_stats.hits += span
-                        pos = w + 1
-                        sent = write_hit(block, pid)
-                        if sent and upgrade_stalls:
-                            context.ready_time = time + memory_latency
-                            stalled = True
-                            break
-                if pos < seg_end:
-                    # Pure hits: any remaining writes already own the
-                    # block exclusively, so they are directory no-ops.
-                    span = seg_end - pos
-                    delta = prefix[seg_end] - prefix[pos] + span * hit_cycles
-                    time += delta
-                    busy += delta
-                    cache_stats.hits += span
-                    pos = seg_end
+                        i = seg_end
+
+            pos = base + i
+            if stalled:
+                break
 
         context.pos = pos
         # A context that stalled on its final reference is not done yet:

@@ -24,22 +24,51 @@ __all__ = ["HardwareContext", "Processor"]
 
 
 class HardwareContext:
-    """One hardware context: a thread's trace plus its replay cursor."""
+    """One hardware context: a thread's trace plus its replay cursor.
+
+    The replay arrays cover one *chunk* at a time: ``gaps``/``blocks``/
+    ``writes`` hold the references ``[base, climit)`` of the thread, and
+    the run loop indexes them chunk-locally.  A materialized trace is a
+    single chunk (``base == 0``, ``climit == length``), which is exactly
+    today's whole-column layout; a streaming trace swaps chunks in
+    through :meth:`_advance_chunk` as the cursor crosses ``climit``, so
+    only O(chunk) references are ever resident per context.
+    """
 
     __slots__ = ("thread_id", "gaps", "blocks", "writes", "length", "pos",
-                 "ready_time", "done")
+                 "ready_time", "done", "base", "climit", "_chunks",
+                 "_block_bits")
 
     def __init__(self, trace: ThreadTrace, block_bits: int) -> None:
         self.thread_id = trace.thread_id
-        # Plain Python lists: the replay loop indexes elementwise, where
-        # lists are several times faster than numpy scalar access.
-        self.gaps = trace.gaps.tolist()
-        self.blocks = (trace.addrs >> block_bits).tolist()
-        self.writes = trace.writes.tolist()
         self.length = trace.num_refs
         self.pos = 0
         self.ready_time = 0
         self.done = self.length == 0
+        self._block_bits = block_bits
+        if trace.streaming:
+            self._chunks = trace.chunks()
+            self.gaps = self.blocks = self.writes = ()
+            self.base = 0
+            self.climit = 0
+            return
+        # Plain Python lists: the replay loop indexes elementwise, where
+        # lists are several times faster than numpy scalar access.
+        self._chunks = None
+        self.gaps = trace.gaps.tolist()
+        self.blocks = (trace.addrs >> block_bits).tolist()
+        self.writes = trace.writes.tolist()
+        self.base = 0
+        self.climit = self.length
+
+    def _advance_chunk(self) -> None:
+        """Swap the next chunk's columns in (streaming traces only)."""
+        chunk = next(self._chunks)
+        self.base = chunk.start
+        self.climit = chunk.start + chunk.num_refs
+        self.gaps = chunk.gaps.tolist()
+        self.blocks = (chunk.addrs >> self._block_bits).tolist()
+        self.writes = chunk.writes.tolist()
 
     def __repr__(self) -> str:
         return (
@@ -104,6 +133,12 @@ class Processor:
         """Replay references until a miss, completion, or quantum expiry.
 
         Returns True when the context stalled on a miss.
+
+        The loop is chunk-local: the quantum ``[pos, limit)`` is consumed
+        chunk by chunk within this one call, so a chunk edge is never a
+        scheduling event — the quantum interleaving (and therefore every
+        coherence outcome) is identical to the whole-column replay.  A
+        materialized context is one chunk and takes the outer loop once.
         """
         config = self.config
         cache_access = self.cache.access
@@ -112,45 +147,57 @@ class Processor:
         pairwise = directory.pairwise
         hit_cycles = config.hit_cycles
         upgrade_stalls = config.write_upgrade_stalls
-        gaps, blocks, writes = context.gaps, context.blocks, context.writes
         tid = context.thread_id
         time = self.time
         busy = 0
         pos = context.pos
-        end = min(pos + quantum_refs, context.length)
+        limit = min(pos + quantum_refs, context.length)
         stalled = False
 
-        while pos < end:
-            cost = gaps[pos] + hit_cycles
-            time += cost
-            busy += cost
-            block = blocks[pos]
-            is_write = writes[pos]
-            kind, evicted, invalidator = cache_access(block, tid)
-            pos += 1
-            if kind is None:
-                if is_write:
-                    sent = directory.write_hit(block, pid)
-                    if sent and upgrade_stalls:
-                        # Sequentially-consistent mode: the upgrade is a
-                        # remote transaction the context must wait out.
-                        context.ready_time = time + config.memory_latency_cycles
-                        stalled = True
-                        break
-                continue
-            # Miss: coherence transaction plus a full memory latency.
-            if self._probe is not None:
-                self._probe.misses[kind] += 1
-            if evicted is not None:
-                directory.evict(evicted, pid)
-            source = directory.fetch(block, pid, is_write)
-            if kind is MissKind.INVALIDATION and invalidator is not None:
-                pairwise[pid, invalidator] += 1
-            elif kind is MissKind.COMPULSORY and source is not None:
-                pairwise[pid, source] += 1
-            context.ready_time = time + config.memory_latency_cycles
-            stalled = True
-            break
+        while pos < limit:
+            if pos >= context.climit:
+                context._advance_chunk()
+            base = context.base
+            gaps, blocks, writes = context.gaps, context.blocks, context.writes
+            i = pos - base
+            iend = min(limit, context.climit) - base
+
+            while i < iend:
+                cost = gaps[i] + hit_cycles
+                time += cost
+                busy += cost
+                block = blocks[i]
+                is_write = writes[i]
+                kind, evicted, invalidator = cache_access(block, tid)
+                i += 1
+                if kind is None:
+                    if is_write:
+                        sent = directory.write_hit(block, pid)
+                        if sent and upgrade_stalls:
+                            # Sequentially-consistent mode: the upgrade is a
+                            # remote transaction the context must wait out.
+                            context.ready_time = (
+                                time + config.memory_latency_cycles)
+                            stalled = True
+                            break
+                    continue
+                # Miss: coherence transaction plus a full memory latency.
+                if self._probe is not None:
+                    self._probe.misses[kind] += 1
+                if evicted is not None:
+                    directory.evict(evicted, pid)
+                source = directory.fetch(block, pid, is_write)
+                if kind is MissKind.INVALIDATION and invalidator is not None:
+                    pairwise[pid, invalidator] += 1
+                elif kind is MissKind.COMPULSORY and source is not None:
+                    pairwise[pid, source] += 1
+                context.ready_time = time + config.memory_latency_cycles
+                stalled = True
+                break
+
+            pos = base + i
+            if stalled:
+                break
 
         context.pos = pos
         # A context that stalled on its final reference is not done yet:

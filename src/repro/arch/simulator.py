@@ -49,7 +49,12 @@ def simulate(
     """Simulate one application under one placement and configuration.
 
     Args:
-        trace_set: The application's per-thread traces.
+        trace_set: The application's per-thread traces — a materialized
+            :class:`~repro.trace.stream.TraceSet` or a chunked
+            :class:`~repro.trace.streaming.StreamingTraceSet`.  Both
+            engines replay the two bit-for-bit identically (the chunk
+            cursor seam; see ``docs/STREAMING.md``); streaming keeps
+            only O(chunk × threads) reference data resident.
         placement: Thread-to-processor map; must target exactly
             ``config.num_processors`` processors and place every thread.
         config: Architectural parameters (Table 3).
@@ -88,6 +93,13 @@ def simulate(
     if engine not in ENGINES:
         raise ValueError(
             f"unknown engine {engine!r}: expected one of {ENGINES}"
+        )
+    if check_invariants and getattr(trace_set, "streaming", False):
+        raise ValueError(
+            "check_invariants requires a materialized trace set: the "
+            "oracle's invariant checker audits whole-column replay "
+            "state; materialize() the streaming set (or rerun without "
+            "streaming) to audit it"
         )
     if placement.num_threads != trace_set.num_threads:
         raise ValueError(

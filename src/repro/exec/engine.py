@@ -88,14 +88,17 @@ _SUITES: dict[tuple, object] = {}
 
 def _suite_for(scale: float, seed: int, quantum_refs: int,
                engine: str = "classic", speculate: bool = True,
-               store_dir: str | None = None):
+               store_dir: str | None = None,
+               stream_chunk_refs: int | None = None):
     from repro.experiments.runner import ExperimentSuite
 
-    key = (scale, seed, quantum_refs, engine, speculate, store_dir)
+    key = (scale, seed, quantum_refs, engine, speculate, store_dir,
+           stream_chunk_refs)
     if key not in _SUITES:
         suite = ExperimentSuite(scale=scale, seed=seed,
                                 quantum_refs=quantum_refs,
-                                engine=engine, speculate=speculate)
+                                engine=engine, speculate=speculate,
+                                stream_chunk_refs=stream_chunk_refs)
         if store_dir is not None:
             # Workers hold no *writable* store (the coordinator persists
             # results and fires the store fault sites exactly once per
@@ -131,7 +134,8 @@ def simulate_cell(payload: dict) -> dict:
     spec = JobSpec.from_payload(payload["spec"])
     suite = _suite_for(spec.scale, spec.seed, spec.quantum_refs, spec.engine,
                        bool(payload.get("speculate", True)),
-                       payload.get("store_dir"))
+                       payload.get("store_dir"),
+                       spec.stream_chunk_refs)
     probe = None
     if payload.get("probe"):
         from repro.obs.probes import SimProbe, stash_pending

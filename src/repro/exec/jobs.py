@@ -68,6 +68,11 @@ class JobSpec:
     :func:`repro.arch.delta.speculate_from_neighbor`).  Speculation is
     exact-or-absent, so hints never change what a cell computes — only
     how fast.
+
+    ``stream_chunk_refs`` selects chunked streaming replay in the worker
+    suite.  Like ``engine`` it is excluded from the content address:
+    streaming replay is bit-for-bit identical to whole-column replay
+    (see ``docs/STREAMING.md``), so either mode produces the same cell.
     """
 
     app: str
@@ -82,6 +87,7 @@ class JobSpec:
     quantum_refs: int = 256
     engine: str = "classic"
     neighbors: tuple = ()
+    stream_chunk_refs: int | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "app", spec_for(self.app).name)
@@ -223,6 +229,7 @@ def plan_sections(
     quantum_refs: int = 256,
     random_replicates: int = 3,
     engine: str = "classic",
+    stream_chunk_refs: int | None = None,
 ) -> list[JobSpec]:
     """The deduplicated, deterministically ordered jobs the chosen report
     sections will need (default: all sections).
@@ -231,7 +238,7 @@ def plan_sections(
     cells (if any) are computed sequentially at render time.
     """
     params = dict(scale=scale, seed=seed, quantum_refs=quantum_refs,
-                  engine=engine)
+                  engine=engine, stream_chunk_refs=stream_chunk_refs)
     chosen = set(sections) if sections is not None else set(SIMULATED_SECTIONS)
     jobs: list[JobSpec] = []
     for section, app in _FIGURE_APPS.items():
@@ -250,12 +257,13 @@ def plan_full_grid(
     quantum_refs: int = 256,
     random_replicates: int = 3,
     engine: str = "classic",
+    stream_chunk_refs: int | None = None,
 ) -> list[JobSpec]:
     """The paper's full evaluation universe: every application x algorithm
     x machine cell (plus RANDOM replicates and the Table 5 infinite-cache
     cells) — ~900 simulations at default replication."""
     params = dict(scale=scale, seed=seed, quantum_refs=quantum_refs,
-                  engine=engine)
+                  engine=engine, stream_chunk_refs=stream_chunk_refs)
     jobs: list[JobSpec] = []
     for app in application_names():
         jobs += _figure_jobs(app, random_replicates=random_replicates,

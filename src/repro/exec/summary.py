@@ -78,12 +78,17 @@ class RunSummary:
     ) -> "RunSummary":
         """Fold an event stream into a summary.
 
-        Latency percentiles cover each finished job's *total* time across
-        all of its attempts: a job that failed twice and then succeeded
+        Latency percentiles cover each job's *total* time across all of
+        its attempts: a job that failed twice and then succeeded
         contributes the sum of all three attempt durations, not just the
         final one — retries cost real wall time and the tail percentiles
-        should say so.  (Attempts with no recorded duration, such as a
-        worker crash, contribute zero; there is nothing better to charge.)
+        should say so.  Terminally *failed* jobs are charged the same
+        way: their attempts burned the same wall clock, and silently
+        dropping them would make a run full of retried-then-failed jobs
+        look faster than it was.  A failed job with no recorded time at
+        all (no prior ``retrying`` durations and no ``duration`` on the
+        failure, e.g. a worker crash) is explicitly dropped rather than
+        recorded as a zero-latency job.
         """
         counts = {"finished": 0, "failed": 0, "cache-hit": 0, "resumed": 0,
                   "retrying": 0}
@@ -98,6 +103,15 @@ class RunSummary:
             job = entry.get("job")
             if kind == "retrying" and job is not None and "duration" in entry:
                 spent[job] = spent.get(job, 0.0) + float(entry["duration"])
+            if kind == "failed":
+                # Terminal failure: charge the job's accumulated retry
+                # time plus the final attempt, or drop it entirely when
+                # no time was ever recorded (never append a fake 0.0).
+                lost = spent.pop(job, None) if job is not None else None
+                if lost is not None or "duration" in entry:
+                    durations.append(
+                        (lost or 0.0) + float(entry.get("duration", 0.0) or 0.0)
+                    )
             if kind == "finished":
                 total = float(entry.get("duration", 0.0))
                 if job is not None:

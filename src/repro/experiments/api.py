@@ -59,7 +59,11 @@ class SuiteRequest:
     ``engine`` is the exception: it selects the replay kernel but is
     excluded from :attr:`digest` because the engines are enforced
     bit-for-bit equivalent (see ``docs/PERFORMANCE.md``) — a fast-engine
-    submission coalesces with a classic one.
+    submission coalesces with a classic one.  ``stream_chunk_refs``
+    (chunked streaming replay; see ``docs/STREAMING.md``) is excluded on
+    the same grounds: streaming and whole-column replay are bit-for-bit
+    identical, so a streaming submission coalesces with a materialized
+    one.
     """
 
     sections: tuple[str, ...] | None = None
@@ -70,6 +74,7 @@ class SuiteRequest:
     engine: str = "classic"
     charts: bool = False
     check_invariants: bool = False
+    stream_chunk_refs: int | None = None
 
     def __post_init__(self) -> None:
         check_positive("scale", self.scale)
@@ -79,6 +84,14 @@ class SuiteRequest:
             raise ValueError(
                 f"unknown engine {self.engine!r}: expected one of {ENGINES}"
             )
+        if self.stream_chunk_refs is not None:
+            check_positive("stream_chunk_refs", self.stream_chunk_refs)
+            if self.check_invariants:
+                raise ValueError(
+                    "stream_chunk_refs is incompatible with "
+                    "check_invariants (the oracle audits whole-column "
+                    "replay state)"
+                )
         if self.sections is not None:
             chosen = list(self.sections)
             if not chosen:
@@ -123,7 +136,8 @@ class SuiteRequest:
                 coerced[name] = tuple(str(s) for s in value)
             elif name == "scale":
                 coerced[name] = float(value)
-            elif name in ("seed", "quantum_refs", "random_replicates"):
+            elif name in ("seed", "quantum_refs", "random_replicates",
+                          "stream_chunk_refs"):
                 coerced[name] = int(value)
             elif name in ("charts", "check_invariants"):
                 coerced[name] = bool(value)
@@ -144,6 +158,7 @@ class SuiteRequest:
             "engine": self.engine,
             "charts": self.charts,
             "check_invariants": self.check_invariants,
+            "stream_chunk_refs": self.stream_chunk_refs,
         }
 
     # -- content address -------------------------------------------------
@@ -168,7 +183,8 @@ class SuiteRequest:
         cells' own SHA-256 content addresses, so the run key is derived
         from the same addressing scheme as the
         :class:`~repro.experiments.cache.ResultStore` entries it will
-        share.  Excludes ``engine`` (bit-for-bit equivalent kernels) and
+        share.  Excludes ``engine`` (bit-for-bit equivalent kernels),
+        ``stream_chunk_refs`` (bit-for-bit equivalent replay modes) and
         every :class:`RunOptions` mechanic.
         """
         material = json.dumps(
@@ -293,6 +309,7 @@ def run_suite(
         check_invariants=request.check_invariants,
         engine=request.engine, strict=strict,
         speculate=options.speculate,
+        stream_chunk_refs=request.stream_chunk_refs,
     )
     sections = list(request.sections) if request.sections is not None else None
     result = SuiteResult(request=request, suite=suite)

@@ -171,6 +171,15 @@ def build_parser() -> argparse.ArgumentParser:
              "(bit-for-bit identical results; see docs/PERFORMANCE.md)",
     )
     parser.add_argument(
+        "--stream-chunk-refs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="replay traces through the chunked streaming view, N "
+             "references per chunk (bit-for-bit identical results with "
+             "bounded resident replay state; see docs/STREAMING.md)",
+    )
+    parser.add_argument(
         "--no-speculate",
         action="store_true",
         help="disable the incremental + speculative machinery (neighbor "
@@ -270,6 +279,7 @@ def main(argv: list[str] | None = None) -> int:
         scale=args.scale, seed=args.seed, quantum_refs=args.quantum_refs,
         engine=args.engine, charts=args.charts,
         check_invariants=args.check_invariants,
+        stream_chunk_refs=args.stream_chunk_refs,
     )
     observer = None
     if observing:

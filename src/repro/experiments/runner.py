@@ -97,6 +97,14 @@ class ExperimentSuite:
             (enforced by ``tests/speculation/``).  Disabled
             automatically under ``check_invariants`` (the oracle must
             audit real from-scratch runs).
+        stream_chunk_refs: When set, every simulation replays the
+            application's traces through the chunked streaming view
+            (:func:`repro.trace.streaming.as_streaming` with this chunk
+            size) instead of whole-column replay state.  Results are
+            bit-for-bit identical (see ``docs/STREAMING.md``), so the
+            setting is — like ``engine`` — excluded from memo keys, the
+            persistent store and job identity.  Incompatible with
+            ``check_invariants`` (the oracle audits whole-column state).
         strict: Failure policy for cells a parallel :meth:`prefetch`
             could not complete.  ``True`` (the default, the library
             behavior since PR 1): nothing is marked missing and a later
@@ -119,6 +127,7 @@ class ExperimentSuite:
         engine: str = "classic",
         strict: bool = True,
         speculate: bool = True,
+        stream_chunk_refs: int | None = None,
     ) -> None:
         check_positive("scale", scale)
         check_positive("random_replicates", random_replicates)
@@ -126,6 +135,14 @@ class ExperimentSuite:
             raise ValueError(
                 f"unknown engine {engine!r}: expected one of {ENGINES}"
             )
+        if stream_chunk_refs is not None:
+            check_positive("stream_chunk_refs", stream_chunk_refs)
+            if check_invariants:
+                raise ValueError(
+                    "stream_chunk_refs is incompatible with "
+                    "check_invariants: the oracle audits whole-column "
+                    "replay state (see repro.arch.simulator.simulate)"
+                )
         self.scale = scale
         self.seed = seed
         self.quantum_refs = quantum_refs
@@ -135,6 +152,7 @@ class ExperimentSuite:
         self.engine = engine
         self.strict = bool(strict)
         self.speculate = bool(speculate)
+        self.stream_chunk_refs = stream_chunk_refs
         #: Cells a degraded prefetch failed to compute (memo-key tuples).
         self.missing: set[tuple] = set()
         #: Optional :class:`~repro.obs.probes.SimProbe` observing every
@@ -164,6 +182,10 @@ class ExperimentSuite:
         self._spec_neighbors: dict[tuple, list] = {}
         self._streams = RngStreams(seed).child("experiments")
         self._traces: dict[str, TraceSet] = {}
+        #: Memoized streaming views of the materialized sets (only
+        #: populated when ``stream_chunk_refs`` is set); memoizing keeps
+        #: per-trace derived state (block sets, chunk digests) warm.
+        self._stream_traces: dict[str, object] = {}
         self._analyses: dict[str, TraceSetAnalysis] = {}
         self._coherence: dict[str, np.ndarray] = {}
         self._placements: dict[tuple[str, str, int], PlacementMap] = {}
@@ -186,7 +208,7 @@ class ExperimentSuite:
             _rebuild_suite,
             (self.scale, self.seed, self.quantum_refs,
              self.random_replicates, self.cache_dir, self.check_invariants,
-             self.engine, self.speculate),
+             self.engine, self.speculate, self.stream_chunk_refs),
         )
 
     # ------------------------------------------------------------------
@@ -194,12 +216,26 @@ class ExperimentSuite:
     # ------------------------------------------------------------------
 
     def traces(self, app: str) -> TraceSet:
-        """The application's generated trace set (memoized)."""
+        """The application's generated trace set (memoized).
+
+        With ``stream_chunk_refs`` set this returns the memoized chunked
+        streaming view over the materialized columns instead; every
+        consumer downstream (analysis, both engines, speculation)
+        branches on the set's ``streaming`` flag and produces identical
+        results.
+        """
         name = spec_for(app).name
         if name not in self._traces:
             self._traces[name] = build_application(name, scale=self.scale,
                                                    seed=self.seed)
-        return self._traces[name]
+        if self.stream_chunk_refs is None:
+            return self._traces[name]
+        if name not in self._stream_traces:
+            from repro.trace.streaming import as_streaming
+
+            self._stream_traces[name] = as_streaming(
+                self._traces[name], chunk_refs=self.stream_chunk_refs)
+        return self._stream_traces[name]
 
     def analysis(self, app: str) -> TraceSetAnalysis:
         """The application's static analysis (memoized)."""
@@ -419,10 +455,20 @@ class ExperimentSuite:
                     associativity=associativity, cache_words=cache_words,
                 )
                 candidates.append((npl, ncfg, stored))
-        # Same machine only (contexts can differ across placements), and
-        # exact clones before delta replays.
+        # Same machine only (contexts can differ across placements).
+        # Donors are tried in order of placement distance — the number of
+        # threads assigned differently from the target cell.  Distance 0
+        # is an identical placement (the exact-clone tier), so clones
+        # still come first; among the rest, fewer moved threads means
+        # more unchanged processors and therefore a far better chance
+        # the delta tier finds isolated clusters to copy.  The previous
+        # first-registered order almost never offered the delta tier a
+        # viable donor (2 delta hits across the whole benchmark grid).
+        # Donor order is a pure strategy choice: speculation is
+        # exact-or-absent, so results are bit-identical regardless.
         usable = [c for c in candidates if c[1] == config]
-        usable.sort(key=lambda c: c[0] != placement)
+        usable.sort(key=lambda c: int(
+            np.count_nonzero(c[0].assignment != placement.assignment)))
         if not usable:
             return None
         if self.probe is not None:
@@ -492,6 +538,7 @@ class ExperimentSuite:
             quantum_refs=self.quantum_refs,
             random_replicates=self.random_replicates,
             engine=self.engine,
+            stream_chunk_refs=self.stream_chunk_refs,
         )
         engine = ExecutionEngine(
             workers=jobs, timeout=timeout, hang_timeout=hang_timeout,
@@ -577,11 +624,12 @@ class ExperimentSuite:
 
 
 def _rebuild_suite(scale, seed, quantum_refs, random_replicates, cache_dir,
-                   check_invariants=False, engine="classic", speculate=True):
+                   check_invariants=False, engine="classic", speculate=True,
+                   stream_chunk_refs=None):
     """Unpickling target for :meth:`ExperimentSuite.__reduce__`."""
     return ExperimentSuite(
         scale=scale, seed=seed, quantum_refs=quantum_refs,
         random_replicates=random_replicates, cache_dir=cache_dir,
         check_invariants=check_invariants, engine=engine,
-        speculate=speculate,
+        speculate=speculate, stream_chunk_refs=stream_chunk_refs,
     )

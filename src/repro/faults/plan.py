@@ -11,9 +11,11 @@ crash      worker               ``os._exit(13)`` — a hard worker death
 error      worker               raise :class:`InjectedFault` in the job
 hang       worker               sleep ``secs`` (default 3600) mid-job
 disk-full  store, artifact,     raise ``OSError(ENOSPC)`` before writing
-           analysis
-corrupt    store, analysis      overwrite bytes of the committed entry
-truncate   store, analysis      cut the committed entry in half
+           analysis, chunks
+corrupt    store, analysis,     overwrite bytes of the committed entry
+           chunks
+truncate   store, analysis,     cut the committed entry in half
+           chunks
 torn       journal              write half a journal line, then
                                 ``os._exit(17)`` — a killed coordinator
 diverge    speculate            fail a speculation guard check, forcing
@@ -75,9 +77,9 @@ _VALID_SITES: dict[str, frozenset[str]] = {
     "crash": frozenset({"worker"}),
     "error": frozenset({"worker"}),
     "hang": frozenset({"worker"}),
-    "disk-full": frozenset({"store", "artifact", "analysis"}),
-    "corrupt": frozenset({"store", "analysis"}),
-    "truncate": frozenset({"store", "analysis"}),
+    "disk-full": frozenset({"store", "artifact", "analysis", "chunks"}),
+    "corrupt": frozenset({"store", "analysis", "chunks"}),
+    "truncate": frozenset({"store", "analysis", "chunks"}),
     "torn": frozenset({"journal"}),
     "diverge": frozenset({"speculate"}),
 }

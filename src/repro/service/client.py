@@ -22,8 +22,11 @@ from __future__ import annotations
 import argparse
 import http.client
 import json
+import math
 import sys
 import time
+from datetime import datetime, timezone
+from email.utils import parsedate_to_datetime
 from typing import Iterator
 from urllib.parse import urlsplit
 
@@ -34,11 +37,13 @@ class ServiceError(Exception):
     """A non-2xx API response.
 
     Carries the HTTP ``status`` and, for 429s, the server's
-    ``retry_after`` hint in seconds (else ``None``).
+    ``retry_after`` hint in seconds (else ``None``).  The hint is a
+    float: RFC 9110 allows both delta-seconds and an HTTP-date, and
+    real servers send fractional delays.
     """
 
     def __init__(self, status: int, message: str,
-                 retry_after: int | None = None) -> None:
+                 retry_after: float | None = None) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
@@ -110,11 +115,38 @@ class ServiceClient:
             message = data.decode("utf-8", errors="replace").strip()
         retry_after = None
         if "retry-after" in headers:
-            try:
-                retry_after = int(headers["retry-after"])
-            except ValueError:
-                pass
+            retry_after = ServiceClient._parse_retry_after(
+                headers["retry-after"])
         return ServiceError(status, message or "request failed", retry_after)
+
+    @staticmethod
+    def _parse_retry_after(value: str) -> float | None:
+        """Parse a ``Retry-After`` header value into seconds-from-now.
+
+        RFC 9110 §10.2.3 allows two forms: delta-seconds (including
+        the fractional delays real rate limiters emit) and an absolute
+        HTTP-date.  A date is converted to a delay against the current
+        UTC clock (tz-naive dates are RFC-required to be GMT, so they
+        get UTC attached).  Past dates clamp to 0.0 — "retry now", not
+        a negative sleep.  Anything unparseable (or a non-finite
+        number) yields None rather than a wrong hint.
+        """
+        value = value.strip()
+        try:
+            delay = float(value)
+        except ValueError:
+            try:
+                when = parsedate_to_datetime(value)
+            except (TypeError, ValueError):
+                return None
+            if when is None:  # pre-3.10 parsedate returns None on junk
+                return None
+            if when.tzinfo is None:
+                when = when.replace(tzinfo=timezone.utc)
+            delay = (when - datetime.now(timezone.utc)).total_seconds()
+        if not math.isfinite(delay):
+            return None
+        return max(0.0, delay)
 
     # -- API -------------------------------------------------------------
 
@@ -357,7 +389,7 @@ def main(argv: list[str] | None = None) -> int:
     except ServiceError as exc:
         print(f"error: {exc}", file=sys.stderr)
         if exc.retry_after is not None:
-            print(f"retry after {exc.retry_after}s", file=sys.stderr)
+            print(f"retry after {exc.retry_after:g}s", file=sys.stderr)
         return 1
     except (ConnectionError, OSError) as exc:
         print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)

@@ -10,6 +10,11 @@ reproduction:
 * :mod:`repro.trace.io` — text and binary serialization;
 * :mod:`repro.trace.runs` — run-length compression of the block stream
   (the fast replay engine's input form);
+* :mod:`repro.trace.chunks` — bounded-size trace chunks and their
+  verified on-disk spill format;
+* :mod:`repro.trace.streaming` — chunked streaming traces/trace sets
+  the replay engines consume with O(chunk) resident reference data
+  (see ``docs/STREAMING.md``);
 * :mod:`repro.trace.analysis_cache` — content-addressed on-disk cache of
   the run-compression artifacts, shared across processes and runs;
 * :mod:`repro.trace.analysis` — the *static* per-thread analysis the
@@ -21,6 +26,19 @@ from repro.trace.record import AccessType, TraceRecord
 from repro.trace.runs import CompressedTrace, compress_trace, run_length_stats
 from repro.trace.analysis_cache import AnalysisCache, trace_digest
 from repro.trace.stream import ThreadTrace, TraceSet
+from repro.trace.chunks import (
+    ChunkStore,
+    MissingChunkError,
+    TraceChunk,
+    chunk_arrays,
+)
+from repro.trace.streaming import (
+    StreamingThreadTrace,
+    StreamingTraceSet,
+    as_streaming,
+    spill_trace_set,
+    stream_from_store,
+)
 from repro.trace.io import (
     load_trace_set,
     load_trace_set_text,
@@ -56,6 +74,15 @@ __all__ = [
     "run_length_stats",
     "AnalysisCache",
     "trace_digest",
+    "TraceChunk",
+    "ChunkStore",
+    "MissingChunkError",
+    "chunk_arrays",
+    "StreamingThreadTrace",
+    "StreamingTraceSet",
+    "as_streaming",
+    "spill_trace_set",
+    "stream_from_store",
     "save_trace_set",
     "load_trace_set",
     "save_trace_set_text",

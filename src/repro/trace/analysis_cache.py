@@ -41,19 +41,21 @@ import hashlib
 import io
 import logging
 import os
+import threading
 import time
 import zipfile
 from pathlib import Path
 
 import numpy as np
 
-from repro.trace.runs import CompressedTrace, _compress
+from repro.trace.runs import CompressedTrace, _compress, _compress_chunk
 from repro.trace.stream import ThreadTrace
 from repro.util.verified_store import VerifiedDirectory
 
 __all__ = [
     "AnalysisCache",
     "active_cache",
+    "chunk_digest",
     "configure",
     "trace_digest",
 ]
@@ -64,6 +66,7 @@ log = logging.getLogger(__name__)
 #: to the canonical encoding or the stored arrays.
 FORMAT_VERSION = 1
 _DIGEST_TAG = b"repro-analysis/v1"
+_CHUNK_DIGEST_TAG = b"repro-analysis-chunk/v1"
 
 #: Everything a damaged ``.npz`` can raise while being decoded.
 _LOAD_ERRORS = (OSError, EOFError, KeyError, ValueError, zipfile.BadZipFile)
@@ -119,6 +122,24 @@ def trace_digest(trace: ThreadTrace) -> str:
     return digest
 
 
+def chunk_digest(chunk) -> str:
+    """The SHA-256 content address of one trace chunk (32 hex chars).
+
+    Same canonical encoding as :func:`trace_digest` under a distinct
+    version tag, with the chunk's position (thread id, start offset,
+    reference count) folded in, so a whole trace and a chunk covering it
+    can never collide.  Chunks are transient objects (streaming replay
+    drops each after use), so nothing is memoized here.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(_CHUNK_DIGEST_TAG)
+    hasher.update(f":{chunk.thread_id}:{chunk.start}:{chunk.num_refs}:".encode())
+    hasher.update(np.ascontiguousarray(chunk.gaps, dtype="<i8").tobytes())
+    hasher.update(np.ascontiguousarray(chunk.addrs, dtype="<i8").tobytes())
+    hasher.update(np.ascontiguousarray(chunk.writes, dtype="u1").tobytes())
+    return hasher.hexdigest()[:32]
+
+
 def _entry_name(trace: ThreadTrace, block_bits: int) -> str:
     return f"{trace_digest(trace)}-b{block_bits}.npz"
 
@@ -138,14 +159,12 @@ def _encode(compressed: CompressedTrace) -> bytes:
     return buffer.getvalue()
 
 
-def _decode(data: bytes, trace: ThreadTrace, block_bits: int) -> CompressedTrace:
-    """Rebuild a :class:`CompressedTrace` from a cache entry.
+def _decode_payload(data: bytes, expected_refs: int):
+    """Parse an entry's derived arrays, validating format and shape.
 
-    The placement-invariant derived arrays come from the entry; the
-    reference streams (``gaps``/``blocks``/``writes``) are rebuilt from
-    the trace itself — a cheap shift and three list conversions.  Any
-    inconsistency with the trace in hand (stale format, wrong reference
-    count) raises ValueError, which the caller treats as damage.
+    Any inconsistency with the reference stream in hand (stale format,
+    wrong reference count) raises ValueError, which callers treat as
+    damage.
     """
     with np.load(io.BytesIO(data), allow_pickle=False) as arrays:
         scalars = arrays["scalars"]
@@ -160,13 +179,25 @@ def _decode(data: bytes, trace: ThreadTrace, block_bits: int) -> CompressedTrace
         run_end = arrays["run_end"].tolist()
         next_write = arrays["next_write"].tolist()
         prefix_gaps = arrays["prefix_gaps"].tolist()
-    n = trace.num_refs
+    n = expected_refs
     if (num_refs != n or len(run_end) != n or len(next_write) != n
             or len(prefix_gaps) != n + 1):
         raise ValueError(
             f"analysis entry shape mismatch (entry num_refs={num_refs}, "
-            f"trace num_refs={n})"
+            f"expected num_refs={n})"
         )
+    return run_end, next_write, prefix_gaps, num_runs
+
+
+def _decode(data: bytes, trace: ThreadTrace, block_bits: int) -> CompressedTrace:
+    """Rebuild a :class:`CompressedTrace` from a cache entry.
+
+    The placement-invariant derived arrays come from the entry; the
+    reference streams (``gaps``/``blocks``/``writes``) are rebuilt from
+    the trace itself — a cheap shift and three list conversions.
+    """
+    run_end, next_write, prefix_gaps, num_runs = _decode_payload(
+        data, trace.num_refs)
     blocks = trace.addrs >> block_bits
     return CompressedTrace(
         thread_id=trace.thread_id,
@@ -176,7 +207,26 @@ def _decode(data: bytes, trace: ThreadTrace, block_bits: int) -> CompressedTrace
         run_end=run_end,
         next_write=next_write,
         prefix_gaps=prefix_gaps,
-        num_refs=n,
+        num_refs=trace.num_refs,
+        num_runs=num_runs,
+        blocks_np=np.ascontiguousarray(blocks, dtype=np.int64),
+    )
+
+
+def _decode_chunk(data: bytes, chunk, block_bits: int) -> CompressedTrace:
+    """Rebuild one chunk's :class:`CompressedTrace` from a cache entry."""
+    run_end, next_write, prefix_gaps, num_runs = _decode_payload(
+        data, chunk.num_refs)
+    blocks = chunk.addrs >> block_bits
+    return CompressedTrace(
+        thread_id=chunk.thread_id,
+        gaps=chunk.gaps.tolist(),
+        blocks=blocks.tolist(),
+        writes=chunk.writes.tolist(),
+        run_end=run_end,
+        next_write=next_write,
+        prefix_gaps=prefix_gaps,
+        num_refs=chunk.num_refs,
         num_runs=num_runs,
         blocks_np=np.ascontiguousarray(blocks, dtype=np.int64),
     )
@@ -253,6 +303,28 @@ class AnalysisCache:
             errors=_LOAD_ERRORS, describe="trace analysis",
         )
 
+    def fetch_chunk(self, chunk, block_bits: int) -> CompressedTrace:
+        """One chunk's analysis — loaded if cached, else computed + stored.
+
+        Unlike :meth:`fetch` there is no lock ceremony: a chunk's
+        analysis is O(chunk) and a streaming replay touches thousands of
+        them, so duplicate computation across workers costs less than
+        per-chunk lock traffic would.  Damage and store failures degrade
+        to computing, exactly like whole-trace entries.
+        """
+        name = f"{chunk_digest(chunk)}-b{block_bits}.npz"
+        got = self._entries.load(
+            name, lambda data: _decode_chunk(data, chunk, block_bits),
+            errors=_LOAD_ERRORS, describe="chunk analysis",
+        )
+        if got is not None:
+            self.hits += 1
+            return got
+        self.misses += 1
+        compressed = _compress_chunk(chunk, block_bits)
+        self._entries.commit(name, _encode(compressed))
+        return compressed
+
     # -- advisory locking ------------------------------------------------
 
     def _acquire(self, lock: Path) -> bool:
@@ -287,14 +359,52 @@ class AnalysisCache:
             return False
         return False
 
+    def _takeover(self, lock: Path) -> bool:
+        """Atomically break a dead holder's lock; True when we broke it.
+
+        A bare ``unlink`` here races: two waiters can both observe the
+        same stale pid, the first unlink breaks the stale lock, a third
+        process acquires a *fresh* lock, and the second unlink then
+        destroys the live holder's lock — two computers elected at once
+        and a healthy lock gone.  Renaming the lock to a waiter-private
+        name first makes the takeover atomic: exactly one rename
+        succeeds, and only the winner may remove the captured file.  The
+        deadness check is repeated on the captured file (the holder may
+        have released and a live peer re-acquired between our read and
+        the rename); a live capture is renamed straight back.  Every
+        failure mode degrades to "not broken" — the caller keeps polling
+        or computes locally, never blocks.
+        """
+        if not self._holder_is_dead(lock):
+            return False
+        claim = lock.with_name(
+            f"{lock.name}.stale-{os.getpid()}-{threading.get_ident()}"
+        )
+        try:
+            os.rename(lock, claim)
+        except OSError:
+            return False  # another waiter won the takeover, or it vanished
+        if self._holder_is_dead(claim):
+            try:
+                claim.unlink()
+            except OSError:  # pragma: no cover - unwritable volume
+                pass
+            return True
+        # Captured a live peer's lock after all: hand it straight back.
+        try:
+            os.rename(claim, lock)
+        except OSError:  # pragma: no cover - unwritable volume
+            pass
+        return False
+
     def _await_peer(self, lock: Path, name: str, trace: ThreadTrace,
                     block_bits: int) -> CompressedTrace | None:
         """Poll a peer's in-flight computation; None means compute locally.
 
         Returns the entry as soon as the peer commits it.  A vanished or
-        stale lock (dead pid), a peer that released without committing
-        (its store failed), or the timeout all hand computation back to
-        the caller.
+        stale lock (dead pid, taken over atomically by exactly one
+        waiter), a peer that released without committing (its store
+        failed), or the timeout all hand computation back to the caller.
         """
         deadline = time.monotonic() + self.WAIT_TIMEOUT
         while time.monotonic() < deadline:
@@ -303,11 +413,7 @@ class AnalysisCache:
                 return got
             if not lock.exists():
                 return None
-            if self._holder_is_dead(lock):
-                try:
-                    lock.unlink()
-                except OSError:  # pragma: no cover - concurrent breaker
-                    pass
+            if self._takeover(lock):
                 return None
             time.sleep(self._POLL_INTERVAL)
         log.warning(

@@ -39,7 +39,8 @@ import numpy as np
 
 from repro.trace.stream import ThreadTrace, TraceSet
 
-__all__ = ["CompressedTrace", "compress_trace", "run_length_stats"]
+__all__ = ["CompressedTrace", "compress_trace", "compress_chunk",
+           "run_length_stats"]
 
 
 @dataclass
@@ -122,6 +123,33 @@ def compress_trace(trace: ThreadTrace, block_bits: int) -> CompressedTrace:
     return compressed
 
 
+def _run_structure(
+    blocks: np.ndarray, writes: np.ndarray, gaps: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """The three derived arrays over one span of references.
+
+    Shared by whole-trace compression and per-chunk compression: a chunk
+    is simply a span whose run structure is computed in local (0-based)
+    coordinates, so ``run_end``/``next_write`` never index outside the
+    chunk.  Returns ``(run_end, next_write, prefix_gaps, num_runs)``.
+    """
+    n = blocks.size
+    # Maximal same-block runs: boundaries where the block number changes.
+    starts = np.flatnonzero(np.diff(blocks)) + 1
+    ends = np.concatenate([starts, [n]])
+    lengths = np.diff(np.concatenate([[0], ends]))
+    run_end = np.repeat(ends, lengths)
+
+    # First write at or after each position (n when no write remains).
+    next_write = np.full(n, n, dtype=np.int64)
+    write_idx = np.flatnonzero(writes)
+    next_write[write_idx] = write_idx
+    next_write = np.minimum.accumulate(next_write[::-1])[::-1]
+
+    prefix_gaps = np.concatenate([[0], np.cumsum(gaps)])
+    return run_end, next_write, prefix_gaps, len(ends)
+
+
 def _compress(trace: ThreadTrace, block_bits: int) -> CompressedTrace:
     n = trace.num_refs
     blocks = trace.addrs >> block_bits
@@ -131,19 +159,8 @@ def _compress(trace: ThreadTrace, block_bits: int) -> CompressedTrace:
             run_end=[], next_write=[], prefix_gaps=[0], num_refs=0, num_runs=0,
         )
 
-    # Maximal same-block runs: boundaries where the block number changes.
-    starts = np.flatnonzero(np.diff(blocks)) + 1
-    ends = np.concatenate([starts, [n]])
-    lengths = np.diff(np.concatenate([[0], ends]))
-    run_end = np.repeat(ends, lengths)
-
-    # First write at or after each position (n when no write remains).
-    next_write = np.full(n, n, dtype=np.int64)
-    write_idx = np.flatnonzero(trace.writes)
-    next_write[write_idx] = write_idx
-    next_write = np.minimum.accumulate(next_write[::-1])[::-1]
-
-    prefix_gaps = np.concatenate([[0], np.cumsum(trace.gaps)])
+    run_end, next_write, prefix_gaps, num_runs = _run_structure(
+        blocks, trace.writes, trace.gaps)
 
     return CompressedTrace(
         thread_id=trace.thread_id,
@@ -154,7 +171,56 @@ def _compress(trace: ThreadTrace, block_bits: int) -> CompressedTrace:
         next_write=next_write.tolist(),
         prefix_gaps=prefix_gaps.tolist(),
         num_refs=n,
-        num_runs=len(ends),
+        num_runs=num_runs,
+        blocks_np=np.ascontiguousarray(blocks, dtype=np.int64),
+    )
+
+
+def compress_chunk(chunk, block_bits: int) -> CompressedTrace:
+    """Run-compress one :class:`~repro.trace.chunks.TraceChunk`.
+
+    The result's arrays are chunk-local (indices ``0..num_refs``); the
+    chunk's global offset lives on ``chunk.start``, not here.  Runs are
+    split at chunk boundaries, which is exact: a hit span charges the
+    same cycles whether charged in one piece or two, and a split run's
+    second segment re-confirms residency (a no-op for a resident block)
+    and re-tests its first write against the exclusive-owner pre-test
+    (also a no-op once the first segment's write upgraded).  The full
+    argument is in ``docs/STREAMING.md``.
+
+    When a persistent analysis cache is configured
+    (:func:`repro.trace.analysis_cache.configure`), the chunk's structure
+    is fetched through it (content-addressed by the chunk's bytes) so
+    repeated cells over the same spilled chunks share one computation.
+    """
+    from repro.trace import analysis_cache
+
+    disk = analysis_cache.active_cache()
+    if disk is not None:
+        return disk.fetch_chunk(chunk, block_bits)
+    return _compress_chunk(chunk, block_bits)
+
+
+def _compress_chunk(chunk, block_bits: int) -> CompressedTrace:
+    n = int(chunk.addrs.size)
+    blocks = chunk.addrs >> block_bits
+    if n == 0:
+        return CompressedTrace(
+            thread_id=chunk.thread_id, gaps=[], blocks=[], writes=[],
+            run_end=[], next_write=[], prefix_gaps=[0], num_refs=0, num_runs=0,
+        )
+    run_end, next_write, prefix_gaps, num_runs = _run_structure(
+        blocks, chunk.writes, chunk.gaps)
+    return CompressedTrace(
+        thread_id=chunk.thread_id,
+        gaps=chunk.gaps.tolist(),
+        blocks=blocks.tolist(),
+        writes=chunk.writes.tolist(),
+        run_end=run_end.tolist(),
+        next_write=next_write.tolist(),
+        prefix_gaps=prefix_gaps.tolist(),
+        num_refs=n,
+        num_runs=num_runs,
         blocks_np=np.ascontiguousarray(blocks, dtype=np.int64),
     )
 
@@ -170,7 +236,21 @@ def run_length_stats(trace_set: TraceSet, block_bits: int = 2) -> dict:
     for trace in trace_set:
         n = trace.num_refs
         refs += n
-        if n:
+        if not n:
+            continue
+        if getattr(trace, "streaming", False):
+            # Chunk-local counts, with boundary runs merged when the
+            # block continues across the seam — the totals must match
+            # the materialized reduction exactly (chunking is a replay
+            # mechanism, never a change to the trace's run structure).
+            prev_block = None
+            for chunk in trace.chunks():
+                blocks = chunk.addrs >> block_bits
+                runs += 1 + int(np.count_nonzero(np.diff(blocks)))
+                if prev_block is not None and int(blocks[0]) == prev_block:
+                    runs -= 1
+                prev_block = int(blocks[-1])
+        else:
             blocks = trace.addrs >> block_bits
             runs += 1 + int(np.count_nonzero(np.diff(blocks)))
     return {

@@ -45,6 +45,11 @@ from repro.workload.patterns import (
     RandomCommPattern,
 )
 from repro.workload.shaping import distribute_gaps, run_lengths, shaped_lengths
+from repro.workload.streaming import (
+    StreamScenario,
+    million_reference_scenario,
+    spill_streaming_set,
+)
 from repro.workload.targets import (
     AppTargets,
     Grain,
@@ -86,6 +91,9 @@ __all__ = [
     "shaped_lengths",
     "distribute_gaps",
     "run_lengths",
+    "StreamScenario",
+    "million_reference_scenario",
+    "spill_streaming_set",
     "AppTargets",
     "Grain",
     "SharingShape",

@@ -1,0 +1,143 @@
+"""Streaming replay ≡ materialized replay, bit for bit.
+
+The streaming-trace refactor's invariant: chunking is a *replay
+mechanism*, never a semantic change.  Both engines must produce the
+exact same :class:`SimulationResult` — execution time, per-processor
+cycle accounting, the four-way miss decomposition, interconnect traffic
+and the pairwise coherence matrix — whether a trace arrives as whole
+columns or as bounded chunks, for every chunk size, including the
+degenerate one-reference chunk (maximal seam count) and chunks far
+larger than any thread (a single chunk, the materialized shape).
+
+Three layers of evidence:
+
+* a Hypothesis differential over the oracle's dense little worlds,
+  randomizing the chunk size alongside the case;
+* the golden-snapshot suite replayed under streaming — the same JSON
+  files ``tests/arch/test_golden_snapshots.py`` pins, now reached
+  through ``ExperimentSuite(stream_chunk_refs=...)`` end to end;
+* a disk-backed spill replayed cold, so the verified chunk store is in
+  the loop, not just in-memory views.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.simulator import ENGINES, simulate
+from repro.experiments.runner import ExperimentSuite
+from repro.oracle import diff_results
+from repro.trace.streaming import as_streaming, spill_trace_set
+
+from tests.arch.test_golden_snapshots import CASES, DATA_DIR, SCALE, SEED, \
+    snapshot_dict
+from tests.oracle.strategies import simulation_cases
+
+both_engines = pytest.mark.parametrize("engine", ENGINES)
+
+#: Chunk sizes spanning the interesting regimes: every reference its own
+#: chunk, prime-sized seams, and a chunk larger than any generated trace.
+CHUNK_SIZES = (1, 3, 17, 10_000)
+
+
+class TestStreamingDifferential:
+    @both_engines
+    @settings(max_examples=120, deadline=None)
+    @given(case=simulation_cases(), chunk_refs=st.sampled_from(CHUNK_SIZES))
+    def test_streaming_matches_materialized_exactly(self, case, chunk_refs,
+                                                    engine):
+        traces, placement, config, quantum = case
+        materialized = simulate(traces, placement, config,
+                                quantum_refs=quantum, engine=engine)
+        streaming = simulate(as_streaming(traces, chunk_refs), placement,
+                             config, quantum_refs=quantum, engine=engine)
+        assert not diff_results(
+            streaming, materialized,
+            actual_name=f"streaming(c{chunk_refs})",
+            expected_name="materialized",
+        ), (f"{engine}/c{chunk_refs}/{traces.num_threads}t/"
+            f"q{quantum}: streaming replay diverged")
+
+    @settings(max_examples=40, deadline=None)
+    @given(case=simulation_cases(max_threads=4, max_refs=40),
+           chunk_refs=st.sampled_from((1, 5, 13)))
+    def test_fast_streaming_matches_classic_materialized(self, case,
+                                                         chunk_refs):
+        """The cross product holds too: the fast kernel fed chunks equals
+        the classic engine fed whole columns."""
+        traces, placement, config, quantum = case
+        classic = simulate(traces, placement, config, quantum_refs=quantum,
+                           engine="classic")
+        fast_stream = simulate(as_streaming(traces, chunk_refs), placement,
+                               config, quantum_refs=quantum, engine="fast")
+        assert not diff_results(fast_stream, classic,
+                                actual_name="fast+streaming",
+                                expected_name="classic+materialized")
+
+
+class TestStreamingGoldenSnapshots:
+    @both_engines
+    @pytest.mark.parametrize("stream_chunk_refs", [64, 4096])
+    @pytest.mark.parametrize("slug,app,algorithm,processors,infinite",
+                             CASES, ids=[c[0] for c in CASES])
+    def test_streaming_suite_matches_golden_snapshot(
+            self, slug, app, algorithm, processors, infinite,
+            stream_chunk_refs, engine):
+        """The paper pipeline under ``stream_chunk_refs`` reproduces the
+        *same* golden files the materialized pipeline pins — streaming is
+        excluded from every content address on exactly this guarantee."""
+        path = DATA_DIR / f"golden_{slug}.json"
+        assert path.exists(), f"missing snapshot {path}"
+        expected = json.loads(path.read_text())
+        suite = ExperimentSuite(scale=SCALE, seed=SEED, engine=engine,
+                                stream_chunk_refs=stream_chunk_refs)
+        actual = snapshot_dict(suite.run(app, algorithm, processors,
+                                         infinite=infinite))
+        assert actual == expected, (
+            f"{slug} [{engine}, c{stream_chunk_refs}]: streaming replay "
+            f"diverged from the golden snapshot"
+        )
+
+
+class TestSpilledReplay:
+    @both_engines
+    def test_disk_backed_replay_is_identical(self, tmp_path, engine):
+        """A spill replayed cold from the verified store equals in-memory
+        replay — the full generate → spill → drop → replay loop."""
+        import numpy as np
+
+        from repro.arch.config import ArchConfig
+        from repro.placement.base import PlacementMap
+        from repro.workload.applications import build_application
+
+        traces = build_application("Water", scale=0.001, seed=5)
+        placement = PlacementMap(
+            np.arange(traces.num_threads, dtype=np.int64) % 2, 2)
+        config = ArchConfig(num_processors=2, contexts_per_processor=max(
+            1, int(placement.cluster_sizes().max())))
+        expected = simulate(traces, placement, config, engine=engine)
+        spilled = spill_trace_set(traces, tmp_path, chunk_refs=64)
+        actual = simulate(spilled, placement, config, engine=engine)
+        assert not diff_results(actual, expected, actual_name="spilled",
+                                expected_name="materialized")
+
+
+class TestStreamingGuards:
+    def test_check_invariants_rejects_streaming(self):
+        with pytest.raises(ValueError, match="check_invariants"):
+            ExperimentSuite(scale=SCALE, seed=SEED, check_invariants=True,
+                            stream_chunk_refs=64)
+
+    def test_simulate_rejects_streaming_with_invariants(self):
+        from tests.oracle.strategies import make_trace_set
+        from repro.placement.base import PlacementMap
+        from repro.arch.config import ArchConfig
+
+        traces = make_trace_set([(((0,), (4,), (False,)))])
+        stream = as_streaming(traces, 4)
+        placement = PlacementMap([0], 1)
+        config = ArchConfig(num_processors=1, contexts_per_processor=1)
+        with pytest.raises(ValueError, match="streaming"):
+            simulate(stream, placement, config, check_invariants=True)

@@ -108,6 +108,49 @@ class TestFromEvents:
                                          wall_seconds=1.0)
         assert summary.p50_seconds == pytest.approx(0.3)
 
+    def test_retried_then_failed_job_charges_its_spent_time(self):
+        """Regression: a job that burned retry time and then failed for
+        good used to leak its ``spent`` entry — the wasted latency
+        vanished from the percentiles, understating the tail exactly
+        when the run went worst."""
+        events = [
+            {"event": "retrying", "job": "a", "attempt": 1, "time": 0.4,
+             "duration": 0.4},
+            {"event": "retrying", "job": "a", "attempt": 2, "time": 0.9,
+             "duration": 0.5},
+            {"event": "failed", "job": "a", "attempt": 3, "time": 1.0,
+             "duration": 0.1},
+            {"event": "finished", "job": "b", "attempt": 1, "time": 1.0,
+             "duration": 0.2, "worker": 11},
+        ]
+        summary = RunSummary.from_events(events, total_jobs=2, workers=1,
+                                         wall_seconds=1.0)
+        assert summary.failed == 1
+        assert summary.p50_seconds == pytest.approx(0.6)  # (1.0 + 0.2) / 2
+
+    def test_failed_first_attempt_with_duration_is_charged(self):
+        events = [
+            {"event": "failed", "job": "a", "attempt": 1, "duration": 0.6},
+            {"event": "finished", "job": "b", "attempt": 1, "duration": 0.2},
+        ]
+        summary = RunSummary.from_events(events, total_jobs=2, workers=1,
+                                         wall_seconds=1.0)
+        assert summary.p50_seconds == pytest.approx(0.4)
+
+    def test_failed_job_with_no_recorded_time_is_dropped(self):
+        """A failure that never recorded any duration (e.g. a worker that
+        died before timing) must be *dropped*, not appended as a fake
+        0.0 that would drag the percentiles down."""
+        events = [
+            {"event": "failed", "job": "a", "attempt": 1},
+            {"event": "finished", "job": "b", "attempt": 1, "duration": 0.4},
+            {"event": "finished", "job": "c", "attempt": 1, "duration": 0.2},
+        ]
+        summary = RunSummary.from_events(events, total_jobs=3, workers=1,
+                                         wall_seconds=1.0)
+        assert summary.failed == 1
+        assert summary.p50_seconds == pytest.approx(0.3)
+
     def test_zero_division_guards(self):
         summary = RunSummary.from_events([], total_jobs=0, workers=1,
                                          wall_seconds=0.0)

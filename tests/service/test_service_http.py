@@ -154,6 +154,42 @@ class TestAdmission429:
             manager.shutdown()
 
 
+class TestRetryAfterParsing:
+    """Regression for the 429 backoff header: RFC 9110 allows both
+    delta-seconds *and* an HTTP-date, and real proxies send both forms.
+    The old bare ``int()`` parse crashed the client on ``"1.5"`` and on
+    every HTTP-date."""
+
+    parse = staticmethod(ServiceClient._parse_retry_after)
+
+    def test_integer_delta_seconds(self):
+        assert self.parse("120") == pytest.approx(120.0)
+
+    def test_fractional_delta_seconds(self):
+        assert self.parse("1.5") == pytest.approx(1.5)
+        assert self.parse(" 0.25 ") == pytest.approx(0.25)
+
+    def test_http_date_in_the_future(self):
+        from datetime import datetime, timedelta, timezone
+        from email.utils import format_datetime
+
+        when = datetime.now(timezone.utc) + timedelta(seconds=90)
+        got = self.parse(format_datetime(when, usegmt=True))
+        assert got is not None and 80.0 <= got <= 91.0
+
+    def test_http_date_in_the_past_clamps_to_zero(self):
+        assert self.parse("Mon, 01 Jan 2001 00:00:00 GMT") == 0.0
+
+    def test_negative_delta_clamps_to_zero(self):
+        assert self.parse("-3") == 0.0
+
+    def test_junk_and_non_finite_return_none(self):
+        assert self.parse("soon") is None
+        assert self.parse("") is None
+        assert self.parse("nan") is None
+        assert self.parse("inf") is None
+
+
 class TestEventStream:
     def test_ndjson_stream_replays_journal_and_ends(self, service):
         client, _ = service

@@ -224,6 +224,133 @@ class TestLocking:
         assert cache.waited == 1 and cache.misses == 0
 
 
+class TestTakeover:
+    """The stale-lock takeover must be atomic.  The old check-then-unlink
+    raced: two waiters could both observe the same dead pid, the first
+    unlink would break the stale lock, a third process could acquire a
+    *fresh* lock, and the second unlink would then destroy the live
+    holder's lock — two computers elected at once."""
+
+    def _lock(self, cache, content):
+        trace = _trace()
+        name = f"{trace_digest(trace)}-b2.npz"
+        lock = cache.directory / (name + ".lock")
+        lock.parent.mkdir(parents=True, exist_ok=True)
+        lock.write_text(content, encoding="ascii")
+        return lock
+
+    def test_dead_holder_is_taken_over(self, tmp_path):
+        cache = AnalysisCache(tmp_path)
+        lock = self._lock(cache, "999999999\n")
+        assert cache._takeover(lock)
+        assert not lock.exists()
+        assert not list(cache.directory.glob("*.stale-*"))
+
+    def test_live_holder_is_left_alone(self, tmp_path):
+        cache = AnalysisCache(tmp_path)
+        lock = self._lock(cache, f"{os.getpid()}\n")
+        assert not cache._takeover(lock)
+        assert lock.exists()
+
+    def test_vanished_lock_is_not_an_error(self, tmp_path):
+        cache = AnalysisCache(tmp_path)
+        lock = self._lock(cache, "999999999\n")
+        original = cache._holder_is_dead
+
+        def dead_then_remove(path):
+            # Model a rival waiter winning the rename between our
+            # staleness read and our os.rename.
+            if path == lock and lock.exists():
+                verdict = original(path)
+                lock.unlink()
+                return verdict
+            return original(path)
+
+        cache._holder_is_dead = dead_then_remove
+        assert not cache._takeover(lock)
+
+    def test_live_recapture_is_handed_back(self, tmp_path):
+        """The ABA corner: the pid is dead at first read, but by the time
+        the rename lands the lock belongs to a live peer (the holder
+        released, someone re-acquired).  The captured lock must go back
+        in place untouched, and the takeover must report failure."""
+        cache = AnalysisCache(tmp_path)
+        lock = self._lock(cache, "999999999\n")
+        live = f"{os.getpid()}\n"
+        original = cache._holder_is_dead
+        state = {"first": True}
+
+        def dead_once(path):
+            if state["first"]:
+                state["first"] = False
+                # Between the read and the rename: a live peer now owns it.
+                path.write_text(live, encoding="ascii")
+                return True
+            return original(path)
+
+        cache._holder_is_dead = dead_once
+        assert not cache._takeover(lock)
+        assert lock.exists()
+        assert lock.read_text(encoding="ascii") == live
+        assert not list(cache.directory.glob("*.stale-*"))
+
+
+def _takeover_worker(directory, barrier_dir, conn):
+    """Child body: wait for the go-file, then fetch over a stale lock."""
+    import time
+
+    from repro.trace.analysis_cache import AnalysisCache
+
+    cache = AnalysisCache(directory)
+    go = os.path.join(barrier_dir, "go")
+    while not os.path.exists(go):
+        time.sleep(0.001)
+    trace = _trace()
+    got = cache.fetch(trace, 2)
+    conn.send({
+        "misses": cache.misses,
+        "served": cache.hits + cache.waited,
+        "num_runs": got.num_runs,
+    })
+    conn.close()
+
+
+class TestTakeoverStress:
+    def test_concurrent_waiters_break_one_stale_lock_safely(self, tmp_path):
+        """Two processes race to break the same dead holder's lock while
+        fetching: both must finish with correct numbers, the stale lock
+        must be gone, and no stray claim files may be left behind."""
+        ctx = mp.get_context("spawn")
+        expected = _compress(_trace(), 2)
+        for round_no in range(3):
+            directory = tmp_path / f"round{round_no}"
+            directory.mkdir()
+            name = f"{trace_digest(_trace())}-b2.npz"
+            (directory / (name + ".lock")).write_text(
+                "999999999\n", encoding="ascii")
+            pipes, procs = [], []
+            for _ in range(2):
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_takeover_worker,
+                    args=(str(directory), str(tmp_path), child))
+                proc.start()
+                pipes.append(parent)
+                procs.append(proc)
+            (tmp_path / "go").touch()
+            reports = [pipe.recv() for pipe in pipes]
+            for proc in procs:
+                proc.join(timeout=60)
+                assert proc.exitcode == 0
+            (tmp_path / "go").unlink()
+            for report in reports:
+                assert report["num_runs"] == expected.num_runs
+            assert 1 <= sum(r["misses"] for r in reports) <= 2
+            assert list(directory.glob("*.lock")) == []
+            assert list(directory.glob("*.stale-*")) == []
+            assert len(list(directory.glob("*.npz"))) == 1
+
+
 def _stampede_worker(directory, conn):
     """Child process body: fetch one entry, report (misses, hits+waited)."""
     from repro.trace.analysis_cache import AnalysisCache
