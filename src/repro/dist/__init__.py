@@ -1,0 +1,56 @@
+"""Sharded distributed grid execution: coordinator, nodes, rebalancing.
+
+The single-machine engine (:mod:`repro.exec`) completes a planned grid
+of content-addressed cells on one host.  This package scales the same
+grid across a cluster of worker *nodes* while holding the robustness
+bar every prior layer enforced: **a chaos-faulted, node-killed,
+rebalanced, resumed distributed run renders a report byte-identical to
+the sequential single-machine baseline.**
+
+The moving parts:
+
+* :mod:`repro.dist.ring` — the consistent-hash ring mapping the cells'
+  existing SHA-256 content addresses onto shards, and shards onto
+  nodes, with minimal movement when the node set changes.
+* :mod:`repro.dist.directory` — the partition directory: the versioned,
+  atomically-written record of shard→node ownership.
+* :mod:`repro.dist.node` — the worker-node HTTP server (``repro-node``):
+  accepts cell batches, runs them through the ordinary
+  :class:`~repro.exec.engine.ExecutionEngine` against the shared
+  result store, journals every transition to its own JSONL segments,
+  and streams those events back as NDJSON.
+* :mod:`repro.dist.client` — the stdlib HTTP client the coordinator
+  uses to talk to one node (dispatch, health, event streaming), with
+  partition-fault injection and idempotent-GET retries.
+* :mod:`repro.dist.coordinator` — the router/merger (``repro-coord``):
+  plans cells, routes each to its owning node, merges every node's
+  journal stream into one convergent run journal, watches node
+  liveness, rebalances and re-routes when a node dies, and renders the
+  final report from the shared store.
+
+Results never travel over HTTP: nodes write them into the shared
+content-addressed :class:`~repro.experiments.cache.ResultStore`
+(verified, atomic, crash-safe — see ``docs/ROBUSTNESS.md``), so the
+control plane carries only dispatch and journal events and every
+transfer is idempotent.  See ``docs/DISTRIBUTION.md`` for the topology,
+the failure matrix and the byte-identity argument.
+"""
+
+from repro.dist.client import NodeClient, NodeError
+from repro.dist.coordinator import ClusterResult, DistributedCoordinator
+from repro.dist.directory import PartitionDirectory
+from repro.dist.node import NodeServer, start_node_in_background
+from repro.dist.ring import DEFAULT_NUM_SHARDS, HashRing, shard_of
+
+__all__ = [
+    "ClusterResult",
+    "DEFAULT_NUM_SHARDS",
+    "DistributedCoordinator",
+    "HashRing",
+    "NodeClient",
+    "NodeError",
+    "NodeServer",
+    "PartitionDirectory",
+    "shard_of",
+    "start_node_in_background",
+]

@@ -1,0 +1,226 @@
+"""The coordinator's HTTP client for one worker node.
+
+Same transport discipline as :class:`~repro.service.client.ServiceClient`
+— stdlib ``http.client``, one connection per request against the node's
+``Connection: close`` server — with two distributed-specific twists:
+
+* **Partition injection.**  Every request first consults
+  :func:`repro.faults.partitioned` (site ``link``, context
+  ``"<node> <METHOD> <path>"``): a seeded ``partition:link`` plan makes
+  the request fail exactly like a refused connection, and a ``times=N``
+  budget models a partition that heals after N severed requests.  The
+  retry and liveness layers above must ride this out — that is the
+  point.
+* **Retry asymmetry.**  Idempotent GETs (health, journal events) retry
+  transient connection failures with the service client's bounded
+  jittered backoff (:func:`~repro.service.client.retry_idempotent`).
+  :meth:`submit_cells` does **not** retry at this layer even though a
+  repeated batch would be harmless (cells are content-addressed; the
+  node answers duplicates as cache-hits): a dispatch failure must
+  surface to the router *immediately* so it can count the failure
+  against the node's liveness and re-route, instead of burning the
+  retry budget against a corpse.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Callable, Iterator, TypeVar
+
+from repro import faults
+from repro.service.client import retry_idempotent
+
+__all__ = ["NodeClient", "NodeError", "NodeUnreachable"]
+
+_T = TypeVar("_T")
+
+
+class NodeError(Exception):
+    """A node answered with a non-2xx status."""
+
+    def __init__(self, node: str, status: int, message: str) -> None:
+        super().__init__(f"node {node}: HTTP {status}: {message}")
+        self.node = node
+        self.status = status
+        self.message = message
+
+
+class NodeUnreachable(ConnectionError):
+    """A node could not be reached (refused, reset, timed out, or an
+    injected partition).  Subclasses ``ConnectionError`` so generic
+    transport handling — including the retry helper — treats it
+    uniformly."""
+
+    def __init__(self, node: str, reason: str) -> None:
+        super().__init__(f"node {node} unreachable: {reason}")
+        self.node = node
+        self.reason = reason
+
+
+class NodeClient:
+    """Talks to one :class:`~repro.dist.node.NodeServer`.
+
+    Args:
+        address: ``host:port`` — also the node's identity everywhere
+            (ring membership, journal attribution, fault contexts).
+        timeout: Per-request socket timeout.  Deliberately short by
+            default: a wedged node (``node-hang``) must turn into a
+            timely liveness failure, not a stalled coordinator.
+        retries: Total attempts for idempotent GETs (1 disables retry).
+        retry_backoff: Base backoff between those attempts, in seconds.
+    """
+
+    def __init__(self, address: str, *, timeout: float = 10.0,
+                 retries: int = 3, retry_backoff: float = 0.05) -> None:
+        host, _, port = address.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(f"node address must be host:port, got {address!r}")
+        self.address = address
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self.retries = int(retries)
+        self.retry_backoff = float(retry_backoff)
+
+    # -- transport -------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: dict | None = None,
+                 timeout: float | None = None) -> tuple[int, bytes]:
+        if faults.partitioned(f"{self.address} {method} {path}"):
+            raise NodeUnreachable(self.address, "injected partition")
+        connection = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=self.timeout if timeout is None else timeout)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            try:
+                connection.request(method, path, body=payload,
+                                   headers=headers)
+                response = connection.getresponse()
+                data = response.read()
+            except socket.timeout as exc:
+                raise NodeUnreachable(self.address, f"timed out: {exc}")
+            except ConnectionError as exc:
+                raise NodeUnreachable(self.address, str(exc))
+            except OSError as exc:
+                raise NodeUnreachable(self.address, str(exc))
+            return response.status, data
+        finally:
+            connection.close()
+
+    def _json(self, method: str, path: str,
+              body: dict | None = None) -> dict:
+        status, data = self._request(method, path, body)
+        if status >= 400:
+            try:
+                message = json.loads(data.decode("utf-8")).get("error", "")
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                message = data.decode("utf-8", errors="replace").strip()
+            raise NodeError(self.address, status, message or "request failed")
+        return json.loads(data.decode("utf-8"))
+
+    def _retrying(self, request: Callable[[], _T], key: str) -> _T:
+        return retry_idempotent(request, key=f"{self.address}{key}",
+                                attempts=self.retries,
+                                backoff=self.retry_backoff)
+
+    # -- API -------------------------------------------------------------
+
+    def health(self, *, deep: bool = False) -> dict:
+        """GET /healthz (retried: probing liveness is idempotent)."""
+        path = "/healthz?deep=1" if deep else "/healthz"
+        return self._retrying(lambda: self._json("GET", path), key=path)
+
+    def submit_cells(self, payloads: list[dict],
+                     directory_version: int | None = None) -> dict:
+        """POST /v1/cells — dispatch one batch (**never retried here**;
+        see the module docstring for why failures surface immediately)."""
+        body: dict = {"cells": payloads}
+        if directory_version is not None:
+            body["directory_version"] = directory_version
+        return self._json("POST", "/v1/cells", body)
+
+    def shutdown(self) -> dict:
+        """POST /v1/shutdown — graceful stop after the current batch."""
+        return self._json("POST", "/v1/shutdown")
+
+    def events(self, *, after: int = -1,
+               timeout: float = 10.0) -> Iterator[tuple[int, dict]]:
+        """Stream the node's journal as ``(seq, event)`` pairs.
+
+        One bounded stream: the server closes it after ``timeout``
+        seconds; the caller reconnects with ``after=<last seq>`` to
+        continue (the merger's loop does exactly that).  Torn NDJSON
+        tails — a line cut mid-byte by a dying node — are simply
+        dropped: the next reconnect replays from the cursor, so nothing
+        is lost.  Establishing the stream is retried (nothing consumed
+        yet); mid-stream failures end the iterator quietly for the same
+        reason.
+        """
+        path = f"/v1/journal/events?after={after}&timeout={timeout:g}"
+        if faults.partitioned(f"{self.address} GET {path}"):
+            raise NodeUnreachable(self.address, "injected partition")
+
+        def connect() -> tuple:
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=timeout + self.timeout)
+            try:
+                connection.request("GET", path)
+                return connection, connection.getresponse()
+            except BaseException:
+                connection.close()
+                raise
+
+        connection, response = self._retrying(connect, key=path)
+        try:
+            if response.status >= 400:
+                data = response.read()
+                raise NodeError(self.address, response.status,
+                                data.decode("utf-8", errors="replace"))
+            buffer = b""
+            while True:
+                try:
+                    # read1, not read: a plain read(n) on the buffered
+                    # response blocks until n bytes or EOF, which would
+                    # hold live events hostage until the stream closes.
+                    chunk = response.read1(4096)
+                except (socket.timeout, ConnectionError, OSError):
+                    return  # cursor protocol makes reconnection loss-free
+                if not chunk:
+                    return
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, _, buffer = buffer.partition(b"\n")
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line.decode("utf-8"))
+                    except (UnicodeDecodeError, json.JSONDecodeError):
+                        continue
+                    if isinstance(entry, dict) and "seq" in entry:
+                        seq = int(entry.pop("seq"))
+                        yield seq, entry
+        finally:
+            connection.close()
+
+    def wait_ready(self, *, timeout: float = 10.0,
+                   poll: float = 0.05) -> bool:
+        """Poll /healthz until the node answers (process startup)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                if self._json("GET", "/healthz").get("status") == "ok":
+                    return True
+            except (NodeUnreachable, NodeError, OSError, ValueError):
+                pass
+            time.sleep(poll)
+        return False

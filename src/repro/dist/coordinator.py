@@ -1,0 +1,537 @@
+"""The coordinator: routing, journal merging, liveness, rebalancing.
+
+One :class:`DistributedCoordinator` drives one distributed grid run:
+
+1. **Route.**  Planned cells are grouped by owning node — the cell's
+   content address hashes to a shard (:func:`repro.dist.ring.shard_of`),
+   the partition directory says who owns the shard — and dispatched as
+   one batch per node (``POST /v1/cells``).
+2. **Merge.**  A merger thread per node follows that node's journal
+   stream (``GET /v1/journal/events`` with the ``seq`` cursor) and
+   re-records every *job-level* event into the coordinator's own merged
+   run journal, tagged ``node=<name>``.  Node-level bookkeeping events
+   (each batch's ``run-start``/``run-end``) stay on the node; duplicate
+   completions (a re-routed cell both nodes finished) are dropped at
+   merge time.  The merged journal is therefore one convergent, ordinary
+   run journal: ``repro-stats`` reads it, the progress meter follows it,
+   and :meth:`~repro.exec.journal.RunJournal.completed_jobs` over it is
+   what makes ``--resume`` work across the whole cluster.
+3. **Watch.**  A liveness watchdog polls every node's ``/healthz``;
+   ``liveness_failures`` *consecutive* failures (refused, reset, timed
+   out, or an injected ``partition:link``) declare the node dead.
+4. **Recover.**  A dead node triggers a directory rebalance (version
+   bump, atomic rewrite) and re-dispatch of its unfinished cells to the
+   new owners, each journaled as ``retrying`` with
+   ``kind="node-crash"`` — the node-loss analogue of the engine's
+   worker-crash retries.  Cells the dead node *did* finish are already
+   in the shared store, so the new owner answers them as cache-hits:
+   re-routing is idempotent by construction.  Only when a cell's
+   re-route budget is exhausted (or no nodes survive) does it degrade
+   to MISSING, exactly like a cell the single-machine engine gave up on.
+
+Because nodes write results straight into the shared content-addressed
+store and every report is rendered *from the store*, none of this
+machinery can change the report's bytes — the distributed path ends at
+the same :func:`~repro.experiments.report.write_report` call over the
+same results as the sequential baseline.  ``docs/DISTRIBUTION.md``
+walks the full argument.
+"""
+
+from __future__ import annotations
+
+import io
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.dist.client import NodeClient, NodeError, NodeUnreachable
+from repro.dist.directory import PartitionDirectory
+from repro.dist.ring import DEFAULT_NUM_SHARDS, shard_of
+from repro.exec.jobs import JobSpec, plan_sections
+from repro.exec.journal import COMPLETED_EVENTS, RunJournal
+from repro.experiments.cache import ResultStore
+
+__all__ = ["DistributedCoordinator", "ClusterResult", "run_distributed"]
+
+#: Node journal events the merger forwards into the merged run journal.
+#: Everything job-level plus node-level failures; a node's own batch
+#: ``run-start``/``run-end`` bookkeeping stays on the node.
+_MERGED_EVENTS = frozenset({
+    "queued", "started", "finished", "failed", "retrying", "cache-hit",
+    "resumed", "interrupted", "watchdog-kill", "store-failed",
+    "speculated", "speculation-aborted", "batch-failed",
+})
+
+
+@dataclass
+class ClusterResult:
+    """Everything one distributed run produced."""
+
+    specs: list[JobSpec]
+    results: dict = field(default_factory=dict)   #: job_id -> SimulationResult
+    missing: list[JobSpec] = field(default_factory=list)
+    failed: dict = field(default_factory=dict)    #: job_id -> reason
+    resumed: int = 0
+    reroutes: int = 0
+    deaths: list[str] = field(default_factory=list)
+    directory_version: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every planned cell has a result (zero MISSING)."""
+        return not self.missing
+
+
+class DistributedCoordinator:
+    """Runs one cell grid across a cluster of worker nodes.
+
+    Args:
+        nodes: Worker addresses (``host:port``); the initial membership.
+        data_dir: Coordinator state — the merged journal
+            (``journal.jsonl``) and the partition directory
+            (``shards.json``) land here.
+        store_dir: The shared result store every node mounts.
+        num_shards: Partition count (see :mod:`repro.dist.ring`).
+        heartbeat: Seconds between liveness probes per node.
+        liveness_failures: Consecutive probe failures before a node is
+            declared dead.
+        reroute_budget: Times one cell may be re-routed after node
+            deaths before degrading to MISSING.
+        client_timeout: Per-request socket timeout toward nodes (short:
+            a hung node must become a timely liveness failure).
+        stream_timeout: Lifetime of one journal stream before the
+            merger reconnects with its cursor.
+        resume: Skip cells the merged journal confirms complete (and
+            whose result is still in the store) from a previous run.
+        listener: Optional callable receiving every merged journal
+            event (progress meters); same contract as
+            :class:`~repro.exec.journal.RunJournal` listeners.
+    """
+
+    def __init__(
+        self,
+        nodes: list[str],
+        data_dir: str | Path,
+        store_dir: str | Path,
+        *,
+        num_shards: int = DEFAULT_NUM_SHARDS,
+        heartbeat: float = 0.25,
+        liveness_failures: int = 3,
+        reroute_budget: int = 3,
+        client_timeout: float = 10.0,
+        stream_timeout: float = 5.0,
+        resume: bool = False,
+        listener=None,
+    ) -> None:
+        if not nodes:
+            raise ValueError("a cluster needs at least one node")
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.store = ResultStore(store_dir)
+        self.journal_path = self.data_dir / "journal.jsonl"
+        self.heartbeat = heartbeat
+        self.liveness_failures = int(liveness_failures)
+        self.reroute_budget = int(reroute_budget)
+        self.client_timeout = client_timeout
+        self.stream_timeout = stream_timeout
+        self.resume = bool(resume)
+        self._listener = listener
+        self.directory = PartitionDirectory(
+            self.data_dir / "shards.json", num_shards=num_shards)
+        self.directory.rebalance(nodes)
+        self._clients = {
+            address: NodeClient(address, timeout=client_timeout)
+            for address in self.directory.nodes
+        }
+        self._lock = threading.Condition()
+        self._alive: set[str] = set(self.directory.nodes)
+        self._dead: set[str] = set()
+        self._strikes: dict[str, int] = {}
+        self._pending: dict[str, JobSpec] = {}     # job_id -> spec
+        self._assigned: dict[str, str] = {}        # job_id -> node
+        self._completed: set[str] = set()
+        self._failed: dict[str, str] = {}          # job_id -> reason
+        self._reroutes: dict[str, int] = {}
+        self._reroute_total = 0
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._journal: RunJournal | None = None
+
+    # ------------------------------------------------------------------
+    # The run
+    # ------------------------------------------------------------------
+
+    def run(self, specs: list[JobSpec],
+            timeout: float | None = None) -> ClusterResult:
+        """Complete every cell across the cluster; never raises per-cell.
+
+        Blocks until every cell is completed or degraded to MISSING (or
+        ``timeout`` elapses, which degrades whatever is still pending).
+        Safe to call once per coordinator instance.
+        """
+        start = time.perf_counter()
+        unique = list({spec.job_id: spec for spec in specs}.values())
+        result = ClusterResult(specs=unique)
+        already: set[str] = set()
+        if self.resume:
+            confirmed = RunJournal.completed_jobs(self.journal_path)
+            already = {
+                spec.job_id for spec in unique
+                if spec.job_id in confirmed
+                and self.store.contains(spec.store_key)
+            }
+        self._journal = RunJournal(self.journal_path,
+                                   listener=self._listener)
+        try:
+            self._journal.record(
+                "run-start", jobs=len(unique), cluster=len(self._alive),
+                directory_version=self.directory.version,
+                resumed=len(already))
+            with self._lock:
+                for spec in unique:
+                    if spec.job_id in already:
+                        self._completed.add(spec.job_id)
+                        self._journal.record("resumed", spec.job_id,
+                                             describe=spec.describe())
+                        result.resumed += 1
+                    else:
+                        self._pending[spec.job_id] = spec
+            self._start_threads()
+            self._dispatch_all()
+            self._wait(timeout)
+        finally:
+            self._stop.set()
+            # Mergers may sit blocked inside a journal-stream read for
+            # up to stream_timeout; don't serve that sentence here.
+            # They are daemon threads whose journal access is guarded by
+            # the stop flag under the lock, so closing the journal now
+            # (under the same lock) is safe — a late event is dropped,
+            # never recorded into a closed journal.  Every *completion*
+            # has already been merged: _wait only returns once pending
+            # is empty (or the run timed out, degrading the rest).
+            for thread in self._threads:
+                thread.join(timeout=0.2)
+            with self._lock:
+                # Anything still pending at shutdown (overall timeout)
+                # degrades like an exhausted cell.
+                for job_id, spec in list(self._pending.items()):
+                    self._failed.setdefault(job_id, "run timed out")
+                    self._journal.record(
+                        "failed", job_id, error="run timed out",
+                        describe=spec.describe())
+                    del self._pending[job_id]
+                result.failed = dict(self._failed)
+                result.reroutes = self._reroute_total
+                result.deaths = sorted(self._dead)
+                result.directory_version = self.directory.version
+                self._journal.record(
+                    "run-end", completed=len(self._completed),
+                    failed=len(result.failed), reroutes=result.reroutes,
+                    node_deaths=len(result.deaths))
+                self._journal.close()
+        for spec in unique:
+            if spec.job_id in self._failed:
+                result.missing.append(spec)
+                continue
+            loaded = self.store.load(spec.store_key)
+            if loaded is None:
+                result.missing.append(spec)
+                result.failed[spec.job_id] = "result missing from store"
+            else:
+                result.results[spec.job_id] = loaded
+        result.elapsed = time.perf_counter() - start
+        return result
+
+    # ------------------------------------------------------------------
+    # Dispatch and re-dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch_all(self) -> None:
+        with self._lock:
+            batches: dict[str, list[JobSpec]] = {}
+            for job_id, spec in self._pending.items():
+                owner = self.directory.owner_of(job_id)
+                self._assigned[job_id] = owner
+                batches.setdefault(owner, []).append(spec)
+        for node, batch in sorted(batches.items()):
+            self._dispatch(node, batch)
+
+    def _dispatch(self, node: str, batch: list[JobSpec]) -> None:
+        """Send one batch; a dispatch failure is an immediate strike-out
+        (the node is unreachable *now*, no point drip-probing it)."""
+        if not batch:
+            return
+        client = self._clients.get(node)
+        if client is None or node in self._dead:
+            self._on_node_death(node)
+            return
+        try:
+            client.submit_cells(
+                [spec.to_payload() for spec in batch],
+                directory_version=self.directory.version)
+        except (NodeUnreachable, NodeError, OSError):
+            self._on_node_death(node)
+
+    # ------------------------------------------------------------------
+    # Background threads: mergers + watchdog
+    # ------------------------------------------------------------------
+
+    def _start_threads(self) -> None:
+        for node in sorted(self._alive):
+            self._start_merger(node)
+        watchdog = threading.Thread(target=self._watch, daemon=True,
+                                    name="repro-coord-watchdog")
+        watchdog.start()
+        self._threads.append(watchdog)
+
+    def _start_merger(self, node: str) -> None:
+        thread = threading.Thread(target=self._merge_events, args=(node,),
+                                  daemon=True,
+                                  name=f"repro-coord-merge-{node}")
+        thread.start()
+        self._threads.append(thread)
+
+    def _merge_events(self, node: str) -> None:
+        """Follow one node's journal, re-recording job-level events.
+
+        The ``seq`` cursor makes the loop loss-free across stream
+        timeouts, connection drops and node restarts; a dead node just
+        makes every reconnect fail until the watchdog retires it.
+        """
+        client = self._clients[node]
+        cursor = -1
+        while not self._stop.is_set():
+            if node in self._dead:
+                return
+            try:
+                for seq, entry in client.events(
+                        after=cursor, timeout=self.stream_timeout):
+                    cursor = max(cursor, seq)
+                    self._merge_one(node, entry)
+                    if self._stop.is_set():
+                        return
+            except (NodeUnreachable, NodeError, OSError):
+                if self._stop.is_set() or node in self._dead:
+                    return
+                time.sleep(self.heartbeat)
+
+    def _merge_one(self, node: str, entry: dict) -> None:
+        event = entry.get("event")
+        if event not in _MERGED_EVENTS:
+            return
+        job_id = entry.get("job")
+        with self._lock:
+            if self._stop.is_set():
+                return  # shutdown already closed the merged journal
+            if job_id is not None and job_id in self._completed and (
+                    event in COMPLETED_EVENTS):
+                # A re-routed cell both the dead node and its successor
+                # finished: drop the duplicate so the merged journal
+                # stays convergent (one completion per cell).
+                return
+            fields = {k: v for k, v in entry.items()
+                      if k not in ("event", "job", "time", "node")}
+            self._journal.record(event, job_id, node=node, **fields)
+            if job_id is None:
+                return
+            if event in COMPLETED_EVENTS:
+                self._completed.add(job_id)
+                self._pending.pop(job_id, None)
+                self._lock.notify_all()
+            elif event == "failed":
+                # The node's engine exhausted its *cell* retries — a
+                # deterministic failure re-routing cannot fix.
+                self._failed[job_id] = entry.get("error", "cell failed")
+                self._pending.pop(job_id, None)
+                self._lock.notify_all()
+
+    def _watch(self) -> None:
+        """The liveness watchdog: consecutive-failure death detection."""
+        while not self._stop.is_set():
+            for node in sorted(self._alive - self._dead):
+                if self._stop.is_set():
+                    return
+                client = self._clients[node]
+                try:
+                    ok = client.health().get("status") == "ok"
+                except (NodeUnreachable, NodeError, OSError, ValueError):
+                    ok = False
+                if ok:
+                    self._strikes[node] = 0
+                    continue
+                self._strikes[node] = self._strikes.get(node, 0) + 1
+                if self._strikes[node] >= self.liveness_failures:
+                    self._on_node_death(node)
+            self._stop.wait(self.heartbeat)
+
+    # ------------------------------------------------------------------
+    # Death and rebalancing
+    # ------------------------------------------------------------------
+
+    def _on_node_death(self, node: str) -> None:
+        """Retire a dead node: journal it, rebalance, re-route its cells."""
+        with self._lock:
+            if node in self._dead or self._stop.is_set():
+                return
+            self._dead.add(node)
+            self._alive.discard(node)
+            survivors = sorted(self._alive)
+            orphans = {
+                job_id: spec for job_id, spec in self._pending.items()
+                if self._assigned.get(job_id) == node
+            }
+            self._journal.record("node-dead", node=node,
+                                 unfinished=len(orphans),
+                                 survivors=len(survivors))
+            if survivors:
+                moved = self.directory.rebalance(survivors)
+                self._journal.record(
+                    "rebalance", directory_version=self.directory.version,
+                    moved_shards=len(moved), nodes=len(survivors),
+                    reason="node-dead", node=node)
+            batches: dict[str, list[JobSpec]] = {}
+            for job_id, spec in orphans.items():
+                count = self._reroutes.get(job_id, 0) + 1
+                if not survivors or count > self.reroute_budget:
+                    reason = ("no surviving nodes" if not survivors else
+                              f"re-route budget exhausted ({count - 1})")
+                    self._failed[job_id] = f"node {node} died: {reason}"
+                    self._journal.record("failed", job_id,
+                                         error=self._failed[job_id],
+                                         describe=spec.describe())
+                    del self._pending[job_id]
+                    continue
+                self._reroutes[job_id] = count
+                self._reroute_total += 1
+                new_owner = self.directory.owner_of(job_id)
+                self._assigned[job_id] = new_owner
+                self._journal.record(
+                    "retrying", job_id, kind="node-crash", attempt=count,
+                    node=node, rerouted_to=new_owner,
+                    describe=spec.describe())
+                batches.setdefault(new_owner, []).append(spec)
+            self._lock.notify_all()
+        for target, batch in sorted(batches.items()):
+            self._dispatch(target, batch)
+
+    def rebalance(self, nodes: list[str]) -> dict[int, str]:
+        """Planned membership change (join/leave): migrate moved shards.
+
+        Recomputes the directory for ``nodes`` and re-dispatches every
+        still-pending cell whose shard changed hands to its new owner.
+        In-flight cells on the old owner drain through the journal: if
+        the old owner completes one first, the merger records it and the
+        new owner's duplicate becomes a store cache-hit — either way the
+        merged journal converges on exactly one completion.  Returns the
+        moved shards (shard → new owner).
+        """
+        with self._lock:
+            for address in nodes:
+                if address not in self._clients:
+                    self._clients[address] = NodeClient(
+                        address, timeout=self.client_timeout)
+                if address not in self._alive and address not in self._dead:
+                    self._alive.add(address)
+                    if self._journal is not None:
+                        self._start_merger(address)
+            moved = self.directory.rebalance(sorted(set(nodes)))
+            departed = self._alive - set(nodes)
+            self._alive = set(nodes)
+            if self._journal is not None:
+                self._journal.record(
+                    "rebalance", directory_version=self.directory.version,
+                    moved_shards=len(moved), nodes=len(nodes),
+                    reason="membership")
+            moved_shards = set(moved)
+            batches: dict[str, list[JobSpec]] = {}
+            for job_id, spec in self._pending.items():
+                shard = shard_of(job_id, self.directory.num_shards)
+                old = self._assigned.get(job_id)
+                if shard in moved_shards or old in departed:
+                    new_owner = self.directory.owner_of(job_id)
+                    if new_owner != old:
+                        self._assigned[job_id] = new_owner
+                        batches.setdefault(new_owner, []).append(spec)
+        for target, batch in sorted(batches.items()):
+            self._dispatch(target, batch)
+        return moved
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+
+    def _wait(self, timeout: float | None) -> None:
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        with self._lock:
+            while self._pending:
+                remaining = 1.0
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return
+                self._lock.wait(min(remaining, 1.0))
+
+
+def run_distributed(
+    request,
+    nodes: list[str],
+    data_dir: str | Path,
+    store_dir: str | Path,
+    *,
+    resume: bool = False,
+    timeout: float | None = None,
+    listener=None,
+    coordinator_options: dict | None = None,
+) -> tuple[str, ClusterResult]:
+    """Run one :class:`~repro.experiments.api.SuiteRequest` on a cluster.
+
+    The distributed analogue of :func:`repro.experiments.api.run_suite`:
+    plans the same cells, completes them across ``nodes``, then renders
+    the report *from the shared store* through the same
+    :class:`~repro.experiments.runner.ExperimentSuite` /
+    :func:`~repro.experiments.report.write_report` path as every other
+    entry point — which is the byte-identity argument in one sentence.
+    Cells the cluster could not complete degrade to MISSING exactly as
+    the single-machine engine's failures do.
+
+    Returns ``(report_text, cluster_result)``.
+    """
+    from repro.experiments.report import write_report
+    from repro.experiments.runner import ExperimentSuite
+
+    specs = plan_sections(
+        list(request.sections) if request.sections is not None else None,
+        scale=request.scale, seed=request.seed,
+        quantum_refs=request.quantum_refs,
+        random_replicates=request.random_replicates,
+        engine=request.engine,
+        stream_chunk_refs=request.stream_chunk_refs,
+    )
+    coordinator = DistributedCoordinator(
+        nodes, data_dir, store_dir, resume=resume, listener=listener,
+        **(coordinator_options or {}))
+    cluster = coordinator.run(specs, timeout=timeout)
+    suite = ExperimentSuite(
+        scale=request.scale, seed=request.seed,
+        quantum_refs=request.quantum_refs,
+        random_replicates=request.random_replicates,
+        cache_dir=str(store_dir),
+        check_invariants=request.check_invariants,
+        engine=request.engine, strict=False,
+        stream_chunk_refs=request.stream_chunk_refs,
+    )
+    by_job = {spec.job_id: spec for spec in cluster.specs}
+    for job_id, result in cluster.results.items():
+        spec = by_job[job_id]
+        suite._results[spec.cell] = result
+        suite.missing.discard(spec.cell)
+    for spec in cluster.missing:
+        suite.missing.add(spec.cell)
+    sections = (list(request.sections)
+                if request.sections is not None else None)
+    buffer = io.StringIO()
+    write_report(suite, buffer, sections=sections, charts=request.charts)
+    return buffer.getvalue(), cluster

@@ -172,6 +172,15 @@ class RunJournal:
             if self._stream is not None:
                 line = json.dumps(entry, sort_keys=True) + "\n"
                 faults.tear("journal", line, self._stream)
+                if faults.split("journal", line, self._stream):
+                    # An injected split-journal fault just left a torn,
+                    # flushed half-line visible to any live tailer.
+                    # Heal exactly as a reopening writer would: close,
+                    # truncate back to the line boundary, reopen, and
+                    # append the full line below.
+                    self._stream.close()
+                    self.recover_torn_tail(self.path)
+                    self._stream = self.path.open("a", encoding="utf-8")
                 self._stream.write(line)
                 self._stream.flush()
         if self._listener is not None:

@@ -26,9 +26,22 @@ Injection points:
 * :func:`diverge` — the ``diverge`` fault at site ``speculate``: make a
   speculation guard report divergence, forcing the abort-to-full-replay
   path the differential tier must prove invisible.
+* :func:`fire_node` — node-level faults at site ``node``:
+  ``node-crash`` kills the whole worker-node process; ``node-hang``
+  wedges its batch executor so the coordinator's liveness watchdog must
+  declare it dead.
+* :func:`partitioned` — the ``partition`` fault at site ``link``: the
+  coordinator's node client treats True as a refused connection, so a
+  ``times=N`` schedule models a partition that heals after N requests.
+* :func:`split` — the ``split-journal`` fault at site ``journal``: the
+  writer tears a line mid-append (half the bytes, flushed, visible to
+  any live tailer) and then heals the file in place and keeps going —
+  the exact mid-line-truncation-under-follow scenario the cross-node
+  journal merge must survive.
 
 See ``docs/ROBUSTNESS.md`` for the failure model and the convergence
-property the chaos suite enforces.
+property the chaos suite enforces; ``docs/DISTRIBUTION.md`` covers the
+node-level kinds.
 """
 
 from __future__ import annotations
@@ -42,6 +55,7 @@ from typing import IO, Iterator
 
 from repro.faults.plan import (
     CRASH_EXIT_CODE,
+    NODE_CRASH_EXIT_CODE,
     TORN_EXIT_CODE,
     FaultPlan,
     FaultSpec,
@@ -52,6 +66,7 @@ from repro.faults.plan import (
 
 __all__ = [
     "CRASH_EXIT_CODE",
+    "NODE_CRASH_EXIT_CODE",
     "TORN_EXIT_CODE",
     "FaultPlan",
     "FaultSpec",
@@ -59,10 +74,13 @@ __all__ = [
     "active_plan",
     "diverge",
     "fire",
+    "fire_node",
     "installed",
     "mangle",
     "parse_fault_spec",
+    "partitioned",
     "random_fault_spec",
+    "split",
     "tear",
 ]
 
@@ -195,6 +213,75 @@ def diverge(context: str | None = None) -> bool:
     return plan.pending(
         "speculate", context, kinds=frozenset({"diverge"}),
     ) is not None
+
+
+def fire_node(context: str | None = None) -> None:
+    """Trigger any node-level fault due at this batch execution.
+
+    Consulted by the worker-node server (site ``node``; ``context`` is
+    the node name) once per accepted batch.  ``node-crash`` calls
+    ``os._exit`` — the whole node process dies, exactly like a machine
+    loss, and the coordinator's liveness watchdog must notice and
+    re-route the batch.  ``node-hang`` sleeps ``secs`` in the batch
+    executor thread, wedging the node without killing it.  No-op (one
+    dict lookup) without an active plan.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    fault = plan.pending(
+        "node", context, kinds=frozenset({"node-crash", "node-hang"}),
+    )
+    if fault is None:
+        return
+    if fault.kind == "node-crash":
+        os._exit(NODE_CRASH_EXIT_CODE)
+    time.sleep(fault.secs)
+
+
+def partitioned(context: str | None = None) -> bool:
+    """Whether an injected ``partition`` fault severs this request.
+
+    The coordinator's node client consults this (site ``link``;
+    ``context`` is ``"node-name METHOD /path"``) before every request
+    and treats True exactly like a refused connection.  A ``times=N``
+    schedule therefore models a partition that heals after N requests —
+    the retry/re-route layers must ride it out.  No-op without a plan.
+    """
+    plan = active_plan()
+    if plan is None:
+        return False
+    return plan.pending(
+        "link", context, kinds=frozenset({"partition"}),
+        counter="link#partition",
+    ) is not None
+
+
+def split(site: str, line: str, stream: IO[str]) -> bool:
+    """Tear a journal line mid-append, leaving the writer alive.
+
+    When a ``split-journal`` fault is due, writes the first half of
+    ``line`` with no newline and flushes it — so a concurrent tailer
+    really observes the torn tail — then returns True.  The caller
+    (:meth:`repro.exec.journal.RunJournal.record`) heals the file back
+    to a line boundary and appends the full line, modelling a journal
+    segment torn by a dying writer whose successor recovers it in
+    place.  Returns False (one dict lookup) when nothing fires.
+    """
+    plan = active_plan()
+    if plan is None:
+        return False
+    fault = plan.pending(site, line, kinds=frozenset({"split-journal"}),
+                         counter=f"{site}#split")
+    if fault is None:
+        return False
+    stream.write(line[: max(1, len(line) // 2)])
+    stream.flush()
+    try:
+        os.fsync(stream.fileno())
+    except OSError:
+        pass
+    return True
 
 
 def tear(site: str, line: str, stream: IO[str]) -> None:

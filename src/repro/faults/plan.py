@@ -20,6 +20,17 @@ torn       journal              write half a journal line, then
                                 ``os._exit(17)`` — a killed coordinator
 diverge    speculate            fail a speculation guard check, forcing
                                 the abort-to-full-replay path
+node-crash node                 ``os._exit(23)`` — a whole worker *node*
+                                dying mid-batch (distributed runs)
+node-hang  node                 sleep ``secs`` in the node's batch
+                                executor — a wedged node the liveness
+                                watchdog must declare dead
+partition  link                 raise ``ConnectionError`` on the next
+                                coordinator→node request(s) — a network
+                                partition that heals after ``times``
+split-journal journal           write half a journal line, flush it, then
+                                heal in place and continue — a journal
+                                torn mid-append under a live tailer
 ========== ==================== =========================================
 
 Selectors:
@@ -59,6 +70,7 @@ from pathlib import Path
 
 __all__ = [
     "CRASH_EXIT_CODE",
+    "NODE_CRASH_EXIT_CODE",
     "TORN_EXIT_CODE",
     "FaultPlan",
     "FaultSpec",
@@ -71,6 +83,8 @@ __all__ = [
 CRASH_EXIT_CODE = 13
 #: Exit code of an injected coordinator death mid-journal-line (``torn``).
 TORN_EXIT_CODE = 17
+#: Exit code of an injected worker-node death (``node-crash`` faults).
+NODE_CRASH_EXIT_CODE = 23
 
 #: kind -> sites it may strike.
 _VALID_SITES: dict[str, frozenset[str]] = {
@@ -82,6 +96,10 @@ _VALID_SITES: dict[str, frozenset[str]] = {
     "truncate": frozenset({"store", "analysis", "chunks"}),
     "torn": frozenset({"journal"}),
     "diverge": frozenset({"speculate"}),
+    "node-crash": frozenset({"node"}),
+    "node-hang": frozenset({"node"}),
+    "partition": frozenset({"link"}),
+    "split-journal": frozenset({"journal"}),
 }
 
 _PARAM_KEYS = frozenset({"job", "nth", "times", "secs"})
@@ -131,7 +149,7 @@ class FaultSpec:
             params.append(f"nth={self.nth}")
         if self.times != 1:
             params.append(f"times={self.times}")
-        if self.kind == "hang" and self.secs != 3600.0:
+        if self.kind in ("hang", "node-hang") and self.secs != 3600.0:
             params.append(f"secs={self.secs:g}")
         suffix = f":{','.join(params)}" if params else ""
         return f"{self.kind}:{self.site}{suffix}"

@@ -64,6 +64,7 @@ class ProgressMeter:
         self.failed = 0
         self.retries = 0
         self.faults = 0
+        self.nodes: set[str] = set()
         self.closed = False
 
     # -- event feed ------------------------------------------------------
@@ -71,6 +72,9 @@ class ProgressMeter:
     def update(self, entry: dict) -> None:
         """Fold one journal event in; repaint if due."""
         event = entry.get("event")
+        node = entry.get("node")
+        if node:  # merged cluster journals attribute events to nodes
+            self.nodes.add(str(node))
         if event in _DONE_EVENTS:
             self.done += 1
             if event == "finished":
@@ -103,6 +107,9 @@ class ProgressMeter:
         else:
             parts.append(f"{self.done} cells")
         parts.insert(1, f"{rate:.1f}/s")
+        if self.nodes:
+            parts.append(f"{len(self.nodes)} node"
+                         + ("s" if len(self.nodes) != 1 else ""))
         if self.failed:
             parts.append(f"failed {self.failed}")
         if self.retries:

@@ -20,6 +20,7 @@ which is exactly how the CI service job exercises the server.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import http.client
 import json
 import math
@@ -27,10 +28,59 @@ import sys
 import time
 from datetime import datetime, timezone
 from email.utils import parsedate_to_datetime
-from typing import Iterator
+from typing import Callable, Iterator, TypeVar
 from urllib.parse import urlsplit
 
-__all__ = ["ServiceClient", "ServiceError", "main"]
+__all__ = ["ServiceClient", "ServiceError", "main", "retry_idempotent"]
+
+_T = TypeVar("_T")
+
+#: Transient transport failures worth retrying on an idempotent request:
+#: ``ConnectionError`` covers refused/reset/aborted/broken-pipe (and
+#: ``http.client.RemoteDisconnected``), plus transport wrappers that
+#: subclass it, like :class:`repro.dist.client.NodeUnreachable`.
+_RETRYABLE_ERRORS = (ConnectionError,)
+
+
+def retry_idempotent(
+    request: Callable[[], _T],
+    *,
+    key: str,
+    attempts: int = 4,
+    backoff: float = 0.1,
+    max_backoff: float = 2.0,
+    sleep: Callable[[float], None] = time.sleep,
+) -> _T:
+    """Run an **idempotent** request with bounded, jittered backoff.
+
+    Retries only transient transport failures — connection refused or
+    reset, the signatures of a restarting server or a healing network
+    partition — up to ``attempts`` total tries.  The delay grows
+    exponentially from ``backoff``, is hard-capped at ``max_backoff``
+    and jittered to 75–125% by a deterministic hash of ``(key,
+    attempt)`` (the engine's retry-jitter scheme), so schedules are
+    reproducible while a cohort of callers de-synchronizes.
+
+    This helper must only wrap requests that are safe to repeat: GETs,
+    or submissions whose deduplication the server guarantees.  A plain
+    POST with side effects does **not** qualify — see
+    :meth:`ServiceClient.submit`, which deliberately never retries.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return request()
+        except _RETRYABLE_ERRORS:
+            if attempt >= attempts:
+                raise
+        delay = min(backoff * (2 ** (attempt - 1)), max_backoff)
+        if delay > 0:
+            digest = hashlib.sha256(f"{key}:{attempt}".encode()).digest()
+            fraction = int.from_bytes(digest[:8], "big") / 2**64
+            sleep(delay * (0.75 + 0.5 * fraction))
 
 
 class ServiceError(Exception):
@@ -53,15 +103,29 @@ class ServiceError(Exception):
 class ServiceClient:
     """Client for one service endpoint.
 
+    Idempotent GETs (status, events, report, …) transparently retry
+    transient connection-refused/reset failures with bounded jittered
+    backoff (:func:`retry_idempotent`) — a restarting server or a
+    healing partition costs a delay, not an exception.  ``submit`` never
+    retries on its own: a POST that died mid-flight *may* have been
+    accepted, and blindly repeating it would be a second submission on
+    a server that happens to not coalesce it.  (Against this server,
+    resubmitting the same request *is* safe — the digest coalesces —
+    so callers wanting at-least-once submission simply call
+    :meth:`submit` again themselves.)
+
     Args:
         base_url: e.g. ``http://127.0.0.1:8077`` (scheme optional).
         tenant: Sent as ``X-Tenant`` on every request; the server's
             quota accounting keys on it.
         timeout: Per-request socket timeout in seconds.
+        retries: Total attempts for idempotent GETs (1 disables retry).
+        retry_backoff: Base backoff in seconds between those attempts.
     """
 
     def __init__(self, base_url: str, *, tenant: str = "default",
-                 timeout: float = 30.0) -> None:
+                 timeout: float = 30.0, retries: int = 4,
+                 retry_backoff: float = 0.1) -> None:
         if "//" not in base_url:
             base_url = "http://" + base_url
         split = urlsplit(base_url)
@@ -71,6 +135,8 @@ class ServiceClient:
         self.port = split.port or 80
         self.tenant = tenant
         self.timeout = timeout
+        self.retries = int(retries)
+        self.retry_backoff = float(retry_backoff)
 
     # -- transport -------------------------------------------------------
 
@@ -97,6 +163,11 @@ class ServiceClient:
         finally:
             connection.close()
 
+    def _retrying(self, request: Callable[[], _T], key: str) -> _T:
+        """Apply this client's idempotent-GET retry policy."""
+        return retry_idempotent(request, key=key, attempts=self.retries,
+                                backoff=self.retry_backoff)
+
     def _json(self, method: str, path: str,
               body: dict | None = None) -> dict:
         status, headers, data = self._request(method, path, body)
@@ -106,6 +177,10 @@ class ServiceClient:
             return json.loads(data.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise ServiceError(status, f"unparseable response body: {exc}")
+
+    def _get_json(self, path: str) -> dict:
+        """An idempotent JSON GET, with transient-failure retries."""
+        return self._retrying(lambda: self._json("GET", path), key=path)
 
     @staticmethod
     def _error(status: int, headers: dict, data: bytes) -> ServiceError:
@@ -150,20 +225,24 @@ class ServiceClient:
 
     # -- API -------------------------------------------------------------
 
-    def health(self) -> dict:
-        """GET /healthz."""
-        return self._json("GET", "/healthz")
+    def health(self, *, deep: bool = False) -> dict:
+        """GET /healthz (``deep=True`` adds queue depth, executor
+        liveness and the store writability probe — ok vs degraded)."""
+        return self._get_json("/healthz?deep=1" if deep else "/healthz")
 
     def stats(self) -> dict:
         """GET /v1/stats."""
-        return self._json("GET", "/v1/stats")
+        return self._get_json("/v1/stats")
 
     def metrics(self) -> str:
         """GET /v1/metrics (Prometheus text)."""
-        status, headers, data = self._request("GET", "/v1/metrics")
-        if status >= 400:
-            raise self._error(status, headers, data)
-        return data.decode("utf-8")
+        def fetch() -> str:
+            status, headers, data = self._request("GET", "/v1/metrics")
+            if status >= 400:
+                raise self._error(status, headers, data)
+            return data.decode("utf-8")
+
+        return self._retrying(fetch, key="/v1/metrics")
 
     def submit(self, request: dict) -> dict:
         """POST /v1/jobs; returns the job document (with ``created``).
@@ -171,16 +250,23 @@ class ServiceClient:
         ``request`` is a plain :class:`~repro.experiments.api.SuiteRequest`
         dict, e.g. ``{"sections": ["table1"], "scale": 0.001}``.  Raises
         :class:`ServiceError` with ``retry_after`` set on a 429.
+
+        Deliberately **not** retried on connection failure: the server
+        may have accepted a submission whose response was lost, and a
+        blind repeat is only safe because *this* server coalesces by
+        digest — a guarantee the transport layer should not assume.
+        Callers who want at-least-once semantics resubmit explicitly
+        (the digest makes that a no-op on this service).
         """
         return self._json("POST", "/v1/jobs", body=request)
 
     def job(self, job_id: str) -> dict:
         """GET /v1/jobs/{id}."""
-        return self._json("GET", f"/v1/jobs/{job_id}")
+        return self._get_json(f"/v1/jobs/{job_id}")
 
     def jobs(self) -> list[dict]:
         """GET /v1/jobs."""
-        return self._json("GET", "/v1/jobs")["jobs"]
+        return self._get_json("/v1/jobs")["jobs"]
 
     def wait(self, job_id: str, *, timeout: float = 600.0,
              poll_interval: float = 0.2) -> dict:
@@ -209,18 +295,33 @@ class ServiceClient:
         if timeout is not None:
             path += f"?timeout={timeout:g}"
             socket_timeout = timeout + self.timeout
-        connection = self._connect(timeout=socket_timeout)
+
+        def connect() -> tuple:
+            connection = self._connect(timeout=socket_timeout)
+            try:
+                connection.request("GET", path,
+                                   headers={"X-Tenant": self.tenant})
+                return connection, connection.getresponse()
+            except BaseException:
+                connection.close()
+                raise
+
+        # Establishing the stream is idempotent (nothing has been
+        # consumed yet) and retried; once events flow, a dropped
+        # connection ends the iterator — the caller decides whether
+        # replaying the stream from the top is acceptable.
+        connection, response = self._retrying(connect, key=path)
         try:
-            connection.request("GET", path,
-                               headers={"X-Tenant": self.tenant})
-            response = connection.getresponse()
             if response.status >= 400:
                 data = response.read()
                 lowered = {k.lower(): v for k, v in response.getheaders()}
                 raise self._error(response.status, lowered, data)
             buffer = b""
             while True:
-                chunk = response.read(4096)
+                # read1, not read: a plain read(n) on the buffered
+                # response blocks until n bytes or EOF, holding live
+                # events hostage until the server closes the stream.
+                chunk = response.read1(4096)
                 if not chunk:
                     break
                 buffer += chunk
@@ -254,15 +355,18 @@ class ServiceClient:
 
     def report(self, job_id: str) -> bytes:
         """GET /v1/jobs/{id}/report — the report's exact bytes."""
-        status, headers, data = self._request(
-            "GET", f"/v1/jobs/{job_id}/report")
-        if status >= 400:
-            raise self._error(status, headers, data)
-        return data
+        def fetch() -> bytes:
+            status, headers, data = self._request(
+                "GET", f"/v1/jobs/{job_id}/report")
+            if status >= 400:
+                raise self._error(status, headers, data)
+            return data
+
+        return self._retrying(fetch, key=f"/v1/jobs/{job_id}/report")
 
     def report_json(self, job_id: str) -> dict:
         """GET /v1/jobs/{id}/report.json, parsed."""
-        return self._json("GET", f"/v1/jobs/{job_id}/report.json")
+        return self._get_json(f"/v1/jobs/{job_id}/report.json")
 
 
 # ----------------------------------------------------------------------

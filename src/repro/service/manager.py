@@ -30,6 +30,7 @@ service's event streams (and ``repro-stats``) tail.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from collections import deque
@@ -42,13 +43,37 @@ from repro.obs.metrics import MetricsRegistry
 from repro.util.atomicio import atomic_write_text
 
 __all__ = ["Job", "JobManager", "Busy", "QueueFull", "QuotaExceeded",
-           "JOB_STATES"]
+           "JOB_STATES", "probe_writable"]
 
 #: Every state a job can be in, in lifecycle order.
 JOB_STATES = ("queued", "running", "done", "failed")
 
 #: Fallback Retry-After before any job has finished (seconds).
 _DEFAULT_RETRY_AFTER = 5.0
+
+
+def probe_writable(directory: str | Path) -> bool:
+    """Whether ``directory`` accepts a small durable write right now.
+
+    Writes and unlinks a probe file (pid-suffixed, so concurrent probes
+    never collide).  This is the deep-health building block: a full
+    disk, a revoked mount or a permissions regression turns the answer
+    False long before a job fails on it.
+    """
+    directory = Path(directory)
+    probe = directory / f".health-probe-{os.getpid()}"
+    try:
+        with open(probe, "w", encoding="ascii") as stream:
+            stream.write("ok\n")
+            stream.flush()
+        probe.unlink()
+    except OSError:
+        try:
+            probe.unlink()
+        except OSError:
+            pass
+        return False
+    return True
 
 
 class Busy(Exception):
@@ -329,6 +354,34 @@ class JobManager:
                 "tenant_quota": self.tenant_quota,
                 "avg_job_seconds": self._avg_seconds,
             }
+
+    def health(self, deep: bool = False) -> dict:
+        """The ``/healthz`` body: liveness, or a deep readiness probe.
+
+        Shallow (the default) only proves the process answers.  Deep
+        mode — what the distributed liveness watchdog and rebalancer
+        poll — additionally reports queue depth, how many executor
+        threads are still alive, and whether the shared store accepts
+        writes; ``status`` flips to ``"degraded"`` when any executor has
+        died or the store is unwritable (the service still answers, but
+        routing new work at it is unwise).
+        """
+        if not deep:
+            return {"status": "ok"}
+        with self._cond:
+            queue_depth = len(self._queue)
+            executors_alive = sum(
+                1 for worker in self._workers if worker.is_alive())
+            executors = len(self._workers)
+        store_writable = probe_writable(self.store_dir)
+        degraded = executors_alive < executors or not store_writable
+        return {
+            "status": "degraded" if degraded else "ok",
+            "queue_depth": queue_depth,
+            "executors": executors,
+            "executors_alive": executors_alive,
+            "store_writable": store_writable,
+        }
 
     def wait(self, job_id: str, timeout: float | None = None) -> Job | None:
         """Block until the job reaches a terminal state (tests/CLI)."""

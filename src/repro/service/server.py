@@ -7,7 +7,10 @@ to an asyncio socket server speaking the minimal HTTP of
 ========  ===========================  =======================================
 Method    Path                         Meaning
 ========  ===========================  =======================================
-GET       ``/healthz``                 liveness (also ``/v1/healthz``)
+GET       ``/healthz``                 liveness (also ``/v1/healthz``);
+                                       ``?deep=1`` adds queue depth,
+                                       executor liveness and a store
+                                       writability probe (ok/degraded)
 GET       ``/v1/metrics``              Prometheus text exposition
 GET       ``/v1/stats``                queue/job summary (JSON)
 POST      ``/v1/jobs``                 submit a suite request; 202 created,
@@ -171,8 +174,10 @@ class ServiceServer:
         path, method = request.path, request.method
         if path in ("/healthz", f"{API_PREFIX}/healthz"):
             self._require(method, "GET")
-            writer.write(render_response(200, json_bytes(
-                {"status": "ok", "version": __version__})))
+            deep = request.query.get("deep") not in (None, "", "0")
+            body = dict(self.manager.health(deep=deep),
+                        version=__version__)
+            writer.write(render_response(200, json_bytes(body)))
             return "/healthz", 200
         if path == f"{API_PREFIX}/metrics":
             self._require(method, "GET")

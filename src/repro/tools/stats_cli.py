@@ -97,11 +97,14 @@ def discover(path: str | Path) -> dict:
     path = Path(path)
     if path.is_file():
         return {"journal": path, "trace": None, "metrics": None,
-                "ledgers": []}
+                "ledgers": [], "shards": None}
     if not path.is_dir():
         raise FileNotFoundError(str(path))
     found: dict = {"journal": None, "trace": None, "metrics": None,
-                   "ledgers": []}
+                   "ledgers": [], "shards": None}
+    shards = path / "shards.json"
+    if shards.is_file():
+        found["shards"] = shards
     trace = path / "trace.jsonl"
     if trace.is_file():
         found["trace"] = trace
@@ -135,8 +138,14 @@ def _journal_stats(path: Path) -> dict:
     retry_kinds: dict[str, int] = {}
     fail_kinds: dict[str, int] = {}
     tallies = {"watchdog_kills": 0, "store_failures": 0, "interrupted": 0}
+    by_node: dict[str, int] = {}   # merged cluster journals only
+    node_deaths = 0
+    rebalances = 0
     for entry in events:
         kind = entry.get("kind")
+        node = entry.get("node")
+        if node:
+            by_node[str(node)] = by_node.get(str(node), 0) + 1
         if entry["event"] == "retrying" and kind:
             retry_kinds[kind] = retry_kinds.get(kind, 0) + 1
         elif entry["event"] == "failed" and kind:
@@ -147,7 +156,20 @@ def _journal_stats(path: Path) -> dict:
             tallies["store_failures"] += 1
         elif entry["event"] == "interrupted":
             tallies["interrupted"] += 1
+        elif entry["event"] == "node-dead":
+            node_deaths += 1
+        elif entry["event"] == "rebalance":
+            rebalances += 1
+    cluster = None
+    if by_node or node_deaths or rebalances:
+        cluster = {
+            "events_by_node": dict(sorted(by_node.items())),
+            "node_deaths": node_deaths,
+            "rebalances": rebalances,
+            "reroutes": retry_kinds.get("node-crash", 0),
+        }
     return {
+        "cluster": cluster,
         "path": str(path),
         "events": len(events),
         "summary": {
@@ -249,6 +271,22 @@ def _ledger_stats(paths: list[Path]) -> list[dict]:
     return out
 
 
+def _shard_stats(path: Path) -> dict:
+    """The partition directory, summarized (a coordinator's run dir)."""
+    from repro.dist.directory import PartitionDirectory
+
+    directory = PartitionDirectory.load(path)
+    per_node = {node: len(directory.shards_of(node))
+                for node in directory.nodes}
+    return {
+        "path": str(path),
+        "version": directory.version,
+        "num_shards": directory.num_shards,
+        "nodes": directory.nodes,
+        "shards_per_node": dict(sorted(per_node.items())),
+    }
+
+
 def collect_stats(path: str | Path) -> dict:
     """Everything repro-stats knows about ``path`` as one document."""
     found = discover(path)
@@ -261,6 +299,7 @@ def collect_stats(path: str | Path) -> dict:
         _metrics_stats(found["metrics"]) if found["metrics"] else None
     )
     stats["fault_ledgers"] = _ledger_stats(found["ledgers"])
+    stats["shards"] = _shard_stats(found["shards"]) if found["shards"] else None
     return stats
 
 
@@ -305,8 +344,24 @@ def _render(stats: dict) -> str:
                            ("interrupted", "interrupted")):
             if journal[key]:
                 lines.append(f"  {label:<18}{journal[key]}")
+        cluster = journal.get("cluster")
+        if cluster:
+            lines.append(f"  cluster           "
+                         f"{len(cluster['events_by_node'])} node(s), "
+                         f"{cluster['node_deaths']} death(s), "
+                         f"{cluster['rebalances']} rebalance(s), "
+                         f"{cluster['reroutes']} reroute(s)")
+            for node, count in cluster["events_by_node"].items():
+                lines.append(f"    {node:<16}{count} events")
     else:
         lines.append("journal             (none found)")
+    shards = stats.get("shards")
+    if shards:
+        lines.append(f"shard map           {shards['path']} "
+                     f"(v{shards['version']}, {shards['num_shards']} shards "
+                     f"on {len(shards['nodes'])} node(s))")
+        for node, count in shards["shards_per_node"].items():
+            lines.append(f"  {node:<18}{count} shards")
     trace = stats.get("trace")
     if trace:
         lines.append(f"trace               {trace['path']} "
@@ -363,7 +418,8 @@ def main(argv: list[str] | None = None) -> int:
                        timeout=args.follow_timeout)
     stats = collect_stats(args.path)
     if (stats["journal"] is None and stats["trace"] is None
-            and stats["metrics"] is None and not stats["fault_ledgers"]):
+            and stats["metrics"] is None and not stats["fault_ledgers"]
+            and stats["shards"] is None):
         raise CliError(
             f"no run artifacts (journal, trace, metrics or ledger) "
             f"found under {args.path}"

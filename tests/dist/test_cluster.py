@@ -1,0 +1,191 @@
+"""End-to-end cluster tests: the distributed byte-identity invariant.
+
+The acceptance bar for the whole :mod:`repro.dist` layer: a distributed
+run — chaos-faulted, node-killed mid-run, rebalanced, resumed — renders
+a report byte-identical to the sequential single-machine baseline, with
+zero MISSING cells.  Node-crash faults ``os._exit`` the node process, so
+those scenarios run real subprocess nodes (in-process background nodes
+would take the test down with them).
+"""
+
+import os
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.dist.client import NodeClient
+from repro.dist.coordinator import DistributedCoordinator, run_distributed
+from repro.dist.node import start_node_in_background
+from repro.exec.jobs import plan_sections
+from repro.experiments.api import RunOptions, SuiteRequest, run_suite
+from repro.faults import NODE_CRASH_EXIT_CODE
+
+_REQUEST = SuiteRequest(sections=("figure2",), scale=0.001)
+
+#: Coordinator knobs tuned for test latency: fast heartbeats, prompt
+#: death declaration, short per-request timeouts.
+_FAST = {"heartbeat": 0.1, "liveness_failures": 2, "client_timeout": 5.0,
+         "stream_timeout": 2.0}
+
+
+@pytest.fixture(scope="module")
+def baseline() -> str:
+    """The sequential single-machine report every scenario compares to."""
+    return run_suite(_REQUEST, RunOptions(), render=True).report_text
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _spawn_node(tmp_path: Path, name: str, port: int,
+                fault_env: dict | None = None) -> subprocess.Popen:
+    env = dict(os.environ)
+    env.pop("REPRO_FAULTS", None)
+    env.pop("REPRO_FAULT_LEDGER", None)
+    if fault_env:
+        env.update(fault_env)
+    process = subprocess.Popen(
+        [sys.executable, "-c",
+         "from repro.tools.dist_cli import node_main; import sys; "
+         "sys.exit(node_main())",
+         "--data-dir", str(tmp_path / name),
+         "--store-dir", str(tmp_path / "store"),
+         "--port", str(port)],
+        env=env, stderr=subprocess.DEVNULL)
+    address = f"127.0.0.1:{port}"
+    assert NodeClient(address).wait_ready(timeout=15), \
+        f"node {name} never came up"
+    return process
+
+
+class TestClusterByteIdentity:
+    def test_plain_two_node_run_matches_sequential(self, tmp_path, baseline):
+        nodes = [start_node_in_background(tmp_path / f"n{i}",
+                                          tmp_path / "store")
+                 for i in range(2)]
+        try:
+            text, cluster = run_distributed(
+                _REQUEST, [n.address for n in nodes],
+                tmp_path / "coord", tmp_path / "store",
+                timeout=240, coordinator_options=_FAST)
+        finally:
+            for handle in nodes:
+                handle.stop()
+        assert cluster.ok and not cluster.missing
+        assert text == baseline
+
+    def test_join_mid_run_rebalances_and_stays_identical(self, tmp_path,
+                                                         baseline):
+        nodes = [start_node_in_background(tmp_path / f"n{i}",
+                                          tmp_path / "store")
+                 for i in range(3)]
+        specs = plan_sections(["figure2"], scale=_REQUEST.scale)
+        coordinator = DistributedCoordinator(
+            [nodes[0].address, nodes[1].address],
+            tmp_path / "coord", tmp_path / "store", **_FAST)
+        import threading
+        joiner = threading.Timer(0.5, coordinator.rebalance, args=(
+            [n.address for n in nodes],))
+        joiner.start()
+        try:
+            cluster = coordinator.run(specs, timeout=240)
+        finally:
+            joiner.cancel()
+            for handle in nodes:
+                handle.stop()
+        assert cluster.ok
+        assert cluster.directory_version >= 2  # initial + join
+        text, resumed = run_distributed(
+            _REQUEST, [nodes[0].address], tmp_path / "coord",
+            tmp_path / "store", resume=True, timeout=60,
+            coordinator_options=_FAST)
+        assert resumed.resumed == len(resumed.specs)
+        assert text == baseline
+
+
+class TestClusterChaos:
+    def test_node_crash_rebalance_resume_byte_identical(self, tmp_path,
+                                                        baseline):
+        """The tentpole invariant, end to end.
+
+        Three subprocess nodes; one carries a seeded ``node-crash:node``
+        plan and exits (code 23) on its second contact — after the
+        coordinator has routed work at it.  The liveness watchdog must
+        declare it dead, rebalance the directory, re-route its cells
+        (journaled as ``retrying`` with ``kind="node-crash"``), and the
+        run must still complete every cell and render the baseline's
+        exact bytes.  A resumed run over the merged journal then redoes
+        nothing.
+        """
+        ledger = tmp_path / "crash-ledger"
+        ports = [_free_port() for _ in range(3)]
+        procs = [
+            _spawn_node(tmp_path, "n0", ports[0]),
+            _spawn_node(tmp_path, "n1", ports[1]),
+            _spawn_node(tmp_path, "n2", ports[2], fault_env={
+                "REPRO_FAULTS": "node-crash:node:nth=2",
+                "REPRO_FAULT_LEDGER": str(ledger),
+            }),
+        ]
+        addresses = [f"127.0.0.1:{port}" for port in ports]
+        try:
+            text, cluster = run_distributed(
+                _REQUEST, addresses, tmp_path / "coord",
+                tmp_path / "store", timeout=240,
+                coordinator_options=_FAST)
+        finally:
+            for process in procs[:2]:
+                process.terminate()
+        assert procs[2].wait(timeout=30) == NODE_CRASH_EXIT_CODE
+        assert "node-crash:node" in ledger.read_text()
+        assert cluster.deaths == [addresses[2]]
+        assert cluster.reroutes > 0
+        assert cluster.directory_version >= 2
+        assert cluster.ok and not cluster.missing
+        assert text == baseline
+        # Cluster-wide resume: the merged journal confirms everything.
+        text2, resumed = run_distributed(
+            _REQUEST, addresses[:2], tmp_path / "coord",
+            tmp_path / "store", resume=True, timeout=60,
+            coordinator_options=_FAST)
+        for process in procs[:2]:
+            process.wait(timeout=10)
+        assert resumed.resumed == len(resumed.specs)
+        assert resumed.reroutes == 0
+        assert text2 == baseline
+
+    def test_interrupted_run_resumes_to_identical_report(self, tmp_path,
+                                                         baseline):
+        """A coordinator that dies mid-run (here: overall timeout) leaves
+        a merged journal a ``--resume`` run completes from."""
+        node = start_node_in_background(tmp_path / "n0", tmp_path / "store")
+        try:
+            _, first = run_distributed(
+                _REQUEST, [node.address], tmp_path / "coord",
+                tmp_path / "store", timeout=1.0,
+                coordinator_options=_FAST)
+            # The interrupted run degraded; the resume run must not.
+            assert first.missing
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                text, second = run_distributed(
+                    _REQUEST, [node.address], tmp_path / "coord2",
+                    tmp_path / "store", resume=False, timeout=240,
+                    coordinator_options=_FAST)
+                if second.ok:
+                    break
+            assert second.ok and not second.missing
+            assert text == baseline
+            # Work the first run *did* finish was reused, not redone:
+            # those cells arrive as cache-hits or resumed, and the store
+            # already held them.
+            assert len(second.results) == len(second.specs)
+        finally:
+            node.stop()

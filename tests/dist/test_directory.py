@@ -1,0 +1,75 @@
+"""Partition directory tests: versioning, atomicity, rebalance movement."""
+
+import json
+
+import pytest
+
+from repro.dist.directory import SCHEMA, PartitionDirectory
+from repro.dist.ring import shard_of
+
+_NODES = ["127.0.0.1:8301", "127.0.0.1:8302", "127.0.0.1:8303"]
+
+
+class TestPartitionDirectory:
+    def test_rebalance_assigns_every_shard_and_bumps_version(self, tmp_path):
+        directory = PartitionDirectory(tmp_path / "shards.json",
+                                       num_shards=32)
+        moved = directory.rebalance(_NODES)
+        assert directory.version == 1
+        assert set(directory.owners) == set(range(32))
+        assert set(moved) == set(range(32))  # everything moved from nothing
+        assert set(directory.owners.values()) <= set(_NODES)
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "shards.json"
+        directory = PartitionDirectory(path, num_shards=16)
+        directory.rebalance(_NODES)
+        loaded = PartitionDirectory.load(path)
+        assert loaded.version == directory.version
+        assert loaded.num_shards == 16
+        assert loaded.nodes == sorted(_NODES)
+        assert loaded.owners == directory.owners
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "shards.json"
+        path.write_text(json.dumps({"schema": "bogus/v9"}))
+        with pytest.raises(ValueError, match=SCHEMA):
+            PartitionDirectory.load(path)
+
+    def test_persisted_file_is_always_complete(self, tmp_path):
+        # Atomic replace: after any number of rebalances the on-disk
+        # document parses and matches the live state.
+        path = tmp_path / "shards.json"
+        directory = PartitionDirectory(path, num_shards=8)
+        for nodes in (_NODES, _NODES[:2], _NODES[:1], _NODES):
+            directory.rebalance(nodes)
+            doc = json.loads(path.read_text())
+            assert doc["schema"] == SCHEMA
+            assert doc["version"] == directory.version
+            assert len(doc["owners"]) == 8
+
+    def test_rebalance_returns_only_moved_shards(self, tmp_path):
+        directory = PartitionDirectory(tmp_path / "shards.json")
+        directory.rebalance(_NODES)
+        before = dict(directory.owners)
+        moved = directory.rebalance(_NODES[:-1])
+        assert moved  # the departed node owned something
+        for shard, new_owner in moved.items():
+            assert before[shard] == _NODES[-1] or before[shard] != new_owner
+        unchanged = set(directory.owners) - set(moved)
+        assert all(directory.owners[s] == before[s] for s in unchanged)
+
+    def test_owner_of_uses_content_address(self, tmp_path):
+        directory = PartitionDirectory(tmp_path / "shards.json",
+                                       num_shards=8)
+        directory.rebalance(_NODES)
+        job_id = "0f" * 32
+        expected = directory.owners[shard_of(job_id, 8)]
+        assert directory.owner_of(job_id) == expected
+
+    def test_empty_directory_refuses_lookup_and_rebalance(self, tmp_path):
+        directory = PartitionDirectory(tmp_path / "shards.json")
+        with pytest.raises(RuntimeError):
+            directory.owner_of("ab" * 32)
+        with pytest.raises(ValueError):
+            directory.rebalance([])

@@ -132,6 +132,75 @@ class TestTailClassmethod:
         events = list(RunJournal.tail(path, follow=True, stop=done.is_set))
         assert [e["job"] for e in events] == ["a", "b"]
 
+    def test_follow_concurrent_appenders_yield_every_event_once(
+            self, tmp_path):
+        # Several writers interleave appends on the same journal — the
+        # distributed merger's world, where a node journal takes engine
+        # events from worker processes while the server appends its own.
+        # O_APPEND single-write lines never interleave bytes, so the
+        # tailer must see every event exactly once, in file order.
+        path = tmp_path / "run.jsonl"
+        writers, per_writer = 4, 25
+        barrier = threading.Barrier(writers)
+
+        def appender(writer_id):
+            barrier.wait()
+            for i in range(per_writer):
+                _write_line(path, {"event": "finished",
+                                   "job": f"w{writer_id}-{i}"})
+
+        threads = [threading.Thread(target=appender, args=(w,))
+                   for w in range(writers)]
+        for thread in threads:
+            thread.start()
+        events = []
+        for entry in RunJournal.tail(path, follow=True, poll_interval=0.002,
+                                     timeout=10.0):
+            events.append(entry["job"])
+            if len(events) == writers * per_writer:
+                break
+        for thread in threads:
+            thread.join()
+        assert len(events) == writers * per_writer
+        assert len(set(events)) == len(events)  # no duplicates
+        for w in range(writers):  # per-writer order survives interleaving
+            mine = [job for job in events if job.startswith(f"w{w}-")]
+            assert mine == [f"w{w}-{i}" for i in range(per_writer)]
+
+    def test_follow_rides_out_mid_line_truncation(self, tmp_path):
+        # A crashing appender leaves a torn tail; a reopening journal
+        # heals it by truncating mid-poll, *while* a follow-mode tailer
+        # is live.  The tailer must neither duplicate events from before
+        # the truncation nor emit the torn fragment.
+        path = tmp_path / "run.jsonl"
+        with path.open("w") as stream:
+            stream.write('{"event": "finished", "job": "a"}\n')
+            stream.write('{"event": "torn-fragm')
+        seen = []
+        stop = threading.Event()
+
+        def healer():
+            # Wait until the tailer has consumed the intact prefix, then
+            # heal the tear and append the replacement events.
+            deadline = time.monotonic() + 5.0
+            while not seen and time.monotonic() < deadline:
+                time.sleep(0.005)
+            RunJournal.recover_torn_tail(path)
+            _write_line(path, {"event": "finished", "job": "b"})
+            _write_line(path, {"event": "run-end"})
+
+        thread = threading.Thread(target=healer)
+        thread.start()
+        for entry in RunJournal.tail(path, follow=True, poll_interval=0.002,
+                                     timeout=10.0, stop=stop.is_set):
+            seen.append(entry)
+            if entry["event"] == "run-end":
+                stop.set()
+        thread.join()
+        jobs = [e.get("job") for e in seen if e["event"] == "finished"]
+        assert jobs == ["a", "b"]
+        assert not any("torn" in str(e) for e in seen)
+
     def test_follow_timeout_bounds_the_iterator(self, tmp_path):
         path = tmp_path / "run.jsonl"
         _write_line(path, {"event": "finished", "job": "a"})

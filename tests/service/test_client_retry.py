@@ -1,0 +1,120 @@
+"""Client retry-policy tests: bounded jittered backoff on idempotent
+GETs, never-blind-retry on submits, and the deep health probe."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.client import ServiceClient, retry_idempotent
+from repro.service.manager import JobManager
+from repro.service.server import start_in_background
+
+
+class _Flaky:
+    """Callable failing ``failures`` times before returning ``value``."""
+
+    def __init__(self, failures, value="ok",
+                 error=ConnectionRefusedError):
+        self.failures = failures
+        self.value = value
+        self.error = error
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error("transient")
+        return self.value
+
+
+class TestRetryIdempotent:
+    def test_recovers_from_transient_failures(self):
+        sleeps = []
+        flaky = _Flaky(failures=2)
+        result = retry_idempotent(flaky, key="/healthz", attempts=4,
+                                  backoff=0.1, sleep=sleeps.append)
+        assert result == "ok"
+        assert flaky.calls == 3
+        assert len(sleeps) == 2  # one backoff per failed attempt
+
+    def test_exhausted_attempts_reraise(self):
+        flaky = _Flaky(failures=10)
+        with pytest.raises(ConnectionRefusedError):
+            retry_idempotent(flaky, key="k", attempts=3, backoff=0,
+                             sleep=lambda _s: None)
+        assert flaky.calls == 3  # bounded: attempts total, not per-error
+
+    def test_non_transport_errors_propagate_immediately(self):
+        flaky = _Flaky(failures=10, error=ValueError)
+        with pytest.raises(ValueError):
+            retry_idempotent(flaky, key="k", attempts=4, backoff=0,
+                             sleep=lambda _s: None)
+        assert flaky.calls == 1
+
+    def test_backoff_grows_capped_and_jittered(self):
+        sleeps = []
+        retry_idempotent(_Flaky(failures=4), key="/v1/stats", attempts=5,
+                         backoff=0.1, max_backoff=0.25,
+                         sleep=sleeps.append)
+        # Exponential base schedule 0.1, 0.2, 0.25, 0.25 — each jittered
+        # into 75–125%.
+        for actual, base in zip(sleeps, [0.1, 0.2, 0.25, 0.25]):
+            assert 0.75 * base <= actual <= 1.25 * base
+
+    def test_jitter_is_deterministic_per_key_and_desynchronized(self):
+        def schedule(key):
+            sleeps = []
+            retry_idempotent(_Flaky(failures=3), key=key, attempts=4,
+                             backoff=0.1, sleep=sleeps.append)
+            return sleeps
+
+        assert schedule("a") == schedule("a")  # reproducible
+        assert schedule("a") != schedule("b")  # cohort de-synchronized
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError):
+            retry_idempotent(lambda: None, key="k", attempts=0)
+
+
+class TestClientRetryPolicy:
+    def test_idempotent_get_rides_out_transient_failures(self, monkeypatch):
+        client = ServiceClient("127.0.0.1:1", retries=3, retry_backoff=0)
+        flaky = _Flaky(failures=2,
+                       value=(200, {}, b'{"status": "ok"}'))
+        monkeypatch.setattr(client, "_request",
+                            lambda *a, **k: flaky())
+        assert client.health()["status"] == "ok"
+        assert flaky.calls == 3
+
+    def test_submit_is_never_blind_retried(self, monkeypatch):
+        # A POST that died mid-flight may have been accepted; repeating
+        # it is only safe because *this* server coalesces by digest — a
+        # guarantee the transport layer must not assume.  The failure
+        # surfaces after exactly one attempt.
+        client = ServiceClient("127.0.0.1:1", retries=4, retry_backoff=0)
+        flaky = _Flaky(failures=10)
+        monkeypatch.setattr(client, "_request",
+                            lambda *a, **k: flaky())
+        with pytest.raises(ConnectionRefusedError):
+            client.submit({"sections": ["table1"]})
+        assert flaky.calls == 1
+
+
+class TestDeepHealth:
+    def test_deep_healthz_reports_readiness(self, tmp_path):
+        manager = JobManager(tmp_path / "svc", executors=2,
+                             registry=MetricsRegistry())
+        handle = start_in_background(manager)
+        try:
+            client = ServiceClient(handle.url, tenant="test")
+            shallow = client.health()
+            assert shallow["status"] == "ok"
+            assert "store_writable" not in shallow  # probe is deep-only
+            deep = client.health(deep=True)
+            assert deep["status"] == "ok"
+            assert deep["queue_depth"] == 0
+            assert deep["executors"] == 2
+            assert deep["executors_alive"] == 2
+            assert deep["store_writable"] is True
+        finally:
+            handle.stop()
+            manager.shutdown()

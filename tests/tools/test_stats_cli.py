@@ -51,6 +51,31 @@ def run_dir(tmp_path):
     return tmp_path
 
 
+@pytest.fixture
+def coord_dir(tmp_path):
+    """A synthetic coordinator run directory: merged journal + shard map."""
+    write_jsonl(tmp_path / "journal.jsonl", [
+        {"event": "run-start", "time": 0.0, "jobs": 3},
+        {"event": "finished", "job": "a", "time": 0.4, "attempt": 1,
+         "duration": 0.4, "node": "127.0.0.1:8311"},
+        {"event": "node-dead", "node": "127.0.0.1:8312", "time": 0.5},
+        {"event": "rebalance", "version": 2, "time": 0.5,
+         "nodes": ["127.0.0.1:8311"]},
+        {"event": "retrying", "job": "b", "time": 0.5, "attempt": 1,
+         "kind": "node-crash", "node": "127.0.0.1:8312"},
+        {"event": "finished", "job": "b", "time": 0.9, "attempt": 2,
+         "duration": 0.4, "node": "127.0.0.1:8311"},
+        {"event": "finished", "job": "c", "time": 0.9, "attempt": 1,
+         "duration": 0.3, "node": "127.0.0.1:8311"},
+        {"event": "run-end", "time": 1.0, "wall_seconds": 1.0},
+    ])
+    from repro.dist.directory import PartitionDirectory
+    directory = PartitionDirectory(tmp_path / "shards.json", num_shards=8)
+    directory.rebalance(["127.0.0.1:8311", "127.0.0.1:8312"])
+    directory.rebalance(["127.0.0.1:8311"])
+    return tmp_path
+
+
 class TestCollect:
     def test_full_directory(self, run_dir):
         stats = stats_cli.collect_stats(run_dir)
@@ -96,6 +121,39 @@ class TestCollect:
     def test_missing_path_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             stats_cli.collect_stats(tmp_path / "nope")
+
+
+class TestCluster:
+    def test_merged_journal_and_shard_map_collected(self, coord_dir):
+        stats = stats_cli.collect_stats(coord_dir)
+        cluster = stats["journal"]["cluster"]
+        # 8312's tally includes its own node-dead notice and the
+        # re-route it caused, both attributed via the node= tag.
+        assert cluster["events_by_node"] == {
+            "127.0.0.1:8311": 3, "127.0.0.1:8312": 2}
+        assert cluster["node_deaths"] == 1
+        assert cluster["rebalances"] == 1
+        assert cluster["reroutes"] == 1
+        shards = stats["shards"]
+        assert shards["version"] == 2
+        assert shards["num_shards"] == 8
+        assert shards["nodes"] == ["127.0.0.1:8311"]
+        assert shards["shards_per_node"] == {"127.0.0.1:8311": 8}
+
+    def test_single_machine_run_has_no_cluster_section(self, run_dir):
+        stats = stats_cli.collect_stats(run_dir)
+        assert stats["journal"]["cluster"] is None
+        assert stats["shards"] is None
+
+    def test_text_rendering(self, coord_dir, capsys):
+        assert stats_cli.main([str(coord_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "cluster" in out
+        assert "2 node(s), 1 death(s), 1 rebalance(s), 1 reroute(s)" in out
+        assert "127.0.0.1:8312" in out
+        assert "shard map" in out
+        assert "(v2, 8 shards on 1 node(s))" in out
+        assert "127.0.0.1:8311    8 shards" in out
 
 
 class TestCli:
