@@ -139,6 +139,16 @@ class NodeClient:
         path = "/healthz?deep=1" if deep else "/healthz"
         return self._retrying(lambda: self._json("GET", path), key=path)
 
+    def mark_run(self, run_id: str) -> dict:
+        """POST /v1/run-marker — append this run's marker to the node's
+        journal.  Everything before the marker is a previous run's
+        history; the coordinator's mergers only merge events after it.
+        Retried: re-marking is idempotent (a duplicate marker is inert —
+        the merger syncs on the first match)."""
+        return self._retrying(
+            lambda: self._json("POST", "/v1/run-marker", {"run": run_id}),
+            key="/v1/run-marker")
+
     def submit_cells(self, payloads: list[dict],
                      directory_version: int | None = None) -> dict:
         """POST /v1/cells — dispatch one batch (**never retried here**;

@@ -9,25 +9,38 @@ One :class:`DistributedCoordinator` drives one distributed grid run:
 2. **Merge.**  A merger thread per node follows that node's journal
    stream (``GET /v1/journal/events`` with the ``seq`` cursor) and
    re-records every *job-level* event into the coordinator's own merged
-   run journal, tagged ``node=<name>``.  Node-level bookkeeping events
-   (each batch's ``run-start``/``run-end``) stay on the node; duplicate
-   completions (a re-routed cell both nodes finished) are dropped at
-   merge time.  The merged journal is therefore one convergent, ordinary
-   run journal: ``repro-stats`` reads it, the progress meter follows it,
-   and :meth:`~repro.exec.journal.RunJournal.completed_jobs` over it is
+   run journal, tagged ``node=<name>``.  The stream is **scoped to this
+   run**: before dispatching anything the coordinator POSTs a run
+   marker (``/v1/run-marker``) that the node appends to its journal,
+   and the merger skips everything before the marker — a long-lived
+   node's journal carries history from previous runs (including stale
+   ``failed`` events) that must never leak into this one.  Node-level
+   bookkeeping events (each batch's ``run-start``/``run-end``) stay on
+   the node; duplicate completions (a re-routed cell both nodes
+   finished) are dropped at merge time, and a ``failed`` whose result
+   already exists in the shared store converges to a completion.  The
+   merged journal is therefore one convergent, ordinary run journal:
+   ``repro-stats`` reads it, the progress meter follows it, and
+   :meth:`~repro.exec.journal.RunJournal.completed_jobs` over it is
    what makes ``--resume`` work across the whole cluster.
-3. **Watch.**  A liveness watchdog polls every node's ``/healthz``;
-   ``liveness_failures`` *consecutive* failures (refused, reset, timed
-   out, or an injected ``partition:link``) declare the node dead.
+3. **Watch.**  A liveness watchdog polls every node's ``/healthz``
+   through a dedicated non-retrying client, so ``liveness_failures``
+   *consecutive* failures (refused, reset, timed out, or an injected
+   ``partition:link``) declare the node dead at heartbeat granularity
+   — a hung node cannot hide behind the transport retry budget.
 4. **Recover.**  A dead node triggers a directory rebalance (version
    bump, atomic rewrite) and re-dispatch of its unfinished cells to the
    new owners, each journaled as ``retrying`` with
    ``kind="node-crash"`` — the node-loss analogue of the engine's
    worker-crash retries.  Cells the dead node *did* finish are already
    in the shared store, so the new owner answers them as cache-hits:
-   re-routing is idempotent by construction.  Only when a cell's
-   re-route budget is exhausted (or no nodes survive) does it degrade
-   to MISSING, exactly like a cell the single-machine engine gave up on.
+   re-routing is idempotent by construction.  A ``batch-failed`` event
+   (a node's engine run blew up without journaling its cells) re-routes
+   the batch's still-pending cells through the same budgeted path, with
+   ``kind="batch-failed"`` — the node stays alive, but its work does
+   not wait on it.  Only when a cell's re-route budget is exhausted (or
+   no nodes survive) does it degrade to MISSING, exactly like a cell
+   the single-machine engine gave up on.
 
 Because nodes write results straight into the shared content-addressed
 store and every report is rendered *from the store*, none of this
@@ -42,6 +55,7 @@ from __future__ import annotations
 import io
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -138,18 +152,26 @@ class DistributedCoordinator:
         self.stream_timeout = stream_timeout
         self.resume = bool(resume)
         self._listener = listener
+        #: This run's identity; the node-journal marker the mergers sync
+        #: on (events before it are a previous run's history).
+        self.run_id = uuid.uuid4().hex[:12]
+        # The watchdog's probe timeout: short enough that a hung node
+        # becomes a strike within a few heartbeats, floored so a busy
+        # but healthy node is not struck out spuriously.
+        self._probe_timeout = min(client_timeout, max(2 * heartbeat, 0.5))
         self.directory = PartitionDirectory(
             self.data_dir / "shards.json", num_shards=num_shards)
         self.directory.rebalance(nodes)
-        self._clients = {
-            address: NodeClient(address, timeout=client_timeout)
-            for address in self.directory.nodes
-        }
+        self._clients: dict[str, NodeClient] = {}
+        self._probes: dict[str, NodeClient] = {}
+        for address in self.directory.nodes:
+            self._add_client(address)
         self._lock = threading.Condition()
         self._alive: set[str] = set(self.directory.nodes)
         self._dead: set[str] = set()
         self._strikes: dict[str, int] = {}
         self._pending: dict[str, JobSpec] = {}     # job_id -> spec
+        self._universe: set[str] = set()           # this run's job_ids
         self._assigned: dict[str, str] = {}        # job_id -> node
         self._completed: set[str] = set()
         self._failed: dict[str, str] = {}          # job_id -> reason
@@ -158,6 +180,16 @@ class DistributedCoordinator:
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
         self._journal: RunJournal | None = None
+
+    def _add_client(self, address: str) -> None:
+        self._clients[address] = NodeClient(
+            address, timeout=self.client_timeout)
+        # The watchdog gets its own non-retrying client: a liveness
+        # strike must mean one actual failed probe at heartbeat
+        # granularity, not retries x timeout of absorbed backoff —
+        # otherwise a hung node takes minutes to be declared dead.
+        self._probes[address] = NodeClient(
+            address, timeout=self._probe_timeout, retries=1)
 
     # ------------------------------------------------------------------
     # The run
@@ -191,6 +223,7 @@ class DistributedCoordinator:
                 resumed=len(already))
             with self._lock:
                 for spec in unique:
+                    self._universe.add(spec.job_id)
                     if spec.job_id in already:
                         self._completed.add(spec.job_id)
                         self._journal.record("resumed", spec.job_id,
@@ -198,8 +231,19 @@ class DistributedCoordinator:
                         result.resumed += 1
                     else:
                         self._pending[spec.job_id] = spec
+                # Assign owners before the first node contact: a node
+                # that dies during marking re-routes its cells through
+                # the ordinary _on_node_death path instead of silently
+                # having had nothing assigned yet.
+                batches: dict[str, list[JobSpec]] = {}
+                for job_id, spec in self._pending.items():
+                    owner = self.directory.owner_of(job_id)
+                    self._assigned[job_id] = owner
+                    batches.setdefault(owner, []).append(spec)
             self._start_threads()
-            self._dispatch_all()
+            self._mark_alive_nodes()
+            for node, batch in sorted(batches.items()):
+                self._dispatch(node, batch)
             self._wait(timeout)
         finally:
             self._stop.set()
@@ -248,15 +292,22 @@ class DistributedCoordinator:
     # Dispatch and re-dispatch
     # ------------------------------------------------------------------
 
-    def _dispatch_all(self) -> None:
-        with self._lock:
-            batches: dict[str, list[JobSpec]] = {}
-            for job_id, spec in self._pending.items():
-                owner = self.directory.owner_of(job_id)
-                self._assigned[job_id] = owner
-                batches.setdefault(owner, []).append(spec)
-        for node, batch in sorted(batches.items()):
-            self._dispatch(node, batch)
+    def _mark_alive_nodes(self) -> None:
+        """Scope every node's journal stream to this run.
+
+        The marker each node appends is what the mergers sync on:
+        events before it — a previous run's history in a long-lived
+        node journal — are never merged, so a stale ``failed`` cannot
+        poison this run and the merged journal stops re-recording
+        replayed history on every resume.  A node that cannot be marked
+        is unreachable *now*: it is retired immediately, re-routing its
+        already-assigned cells.
+        """
+        for node in sorted(self._alive):
+            try:
+                self._clients[node].mark_run(self.run_id)
+            except (NodeUnreachable, NodeError, OSError):
+                self._on_node_death(node)
 
     def _dispatch(self, node: str, batch: list[JobSpec]) -> None:
         """Send one batch; a dispatch failure is an immediate strike-out
@@ -299,9 +350,13 @@ class DistributedCoordinator:
         The ``seq`` cursor makes the loop loss-free across stream
         timeouts, connection drops and node restarts; a dead node just
         makes every reconnect fail until the watchdog retires it.
+        Nothing is merged until this run's marker flows past: a
+        long-lived node's journal opens with previous runs' history,
+        which is not ours to account.
         """
         client = self._clients[node]
         cursor = -1
+        synced = False
         while not self._stop.is_set():
             if node in self._dead:
                 return
@@ -309,7 +364,11 @@ class DistributedCoordinator:
                 for seq, entry in client.events(
                         after=cursor, timeout=self.stream_timeout):
                     cursor = max(cursor, seq)
-                    self._merge_one(node, entry)
+                    if not synced:
+                        synced = (entry.get("event") == "coordinator-run"
+                                  and entry.get("run") == self.run_id)
+                    else:
+                        self._merge_one(node, entry)
                     if self._stop.is_set():
                         return
             except (NodeUnreachable, NodeError, OSError):
@@ -322,38 +381,77 @@ class DistributedCoordinator:
         if event not in _MERGED_EVENTS:
             return
         job_id = entry.get("job")
+        batches: dict[str, list[JobSpec]] = {}
         with self._lock:
             if self._stop.is_set():
                 return  # shutdown already closed the merged journal
+            if job_id is not None and job_id not in self._universe:
+                # A long-lived node's executor may still be draining a
+                # previous coordinator's batch past our run marker; its
+                # cells are not ours to account.
+                return
             if job_id is not None and job_id in self._completed and (
                     event in COMPLETED_EVENTS):
                 # A re-routed cell both the dead node and its successor
                 # finished: drop the duplicate so the merged journal
                 # stays convergent (one completion per cell).
                 return
+            if event == "failed":
+                spec = self._pending.get(job_id)
+                if spec is not None and self.store.contains(
+                        spec.store_key):
+                    # The node's engine gave up on the cell, but its
+                    # result already exists (another node, or a replica
+                    # path, produced it): the store wins — converge on
+                    # completion, never a spurious MISSING.
+                    self._journal.record("cache-hit", job_id, node=node,
+                                         source="store-after-failed")
+                    self._completed.add(job_id)
+                    del self._pending[job_id]
+                    self._lock.notify_all()
+                    return
             fields = {k: v for k, v in entry.items()
                       if k not in ("event", "job", "time", "node")}
             self._journal.record(event, job_id, node=node, **fields)
-            if job_id is None:
-                return
-            if event in COMPLETED_EVENTS:
+            if event == "batch-failed":
+                # The node's engine run blew up before journaling its
+                # cells (the node itself is still alive).  Its
+                # still-pending cells must not wait on it: re-route
+                # them through the budgeted path so the run always
+                # terminates — transient blow-ups heal on re-dispatch,
+                # deterministic ones exhaust the budget and degrade.
+                batches = self._reroute_locked(
+                    node, kind="batch-failed",
+                    reason=f"batch failed on {node}")
+            elif job_id is None:
+                pass
+            elif event in COMPLETED_EVENTS:
                 self._completed.add(job_id)
                 self._pending.pop(job_id, None)
                 self._lock.notify_all()
-            elif event == "failed":
+            elif event == "failed" and job_id in self._pending:
                 # The node's engine exhausted its *cell* retries — a
                 # deterministic failure re-routing cannot fix.
                 self._failed[job_id] = entry.get("error", "cell failed")
-                self._pending.pop(job_id, None)
+                del self._pending[job_id]
                 self._lock.notify_all()
+        for target, batch in sorted(batches.items()):
+            self._dispatch(target, batch)
 
     def _watch(self) -> None:
-        """The liveness watchdog: consecutive-failure death detection."""
+        """The liveness watchdog: consecutive-failure death detection.
+
+        Probes go through the dedicated non-retrying clients
+        (``_probes``): each strike is one actual failed probe at
+        heartbeat granularity, not ``retries`` attempts of absorbed
+        backoff, so a hung node strikes out in roughly
+        ``liveness_failures`` heartbeats.
+        """
         while not self._stop.is_set():
             for node in sorted(self._alive - self._dead):
                 if self._stop.is_set():
                     return
-                client = self._clients[node]
+                client = self._probes[node]
                 try:
                     ok = client.health().get("status") == "ok"
                 except (NodeUnreachable, NodeError, OSError, ValueError):
@@ -370,6 +468,45 @@ class DistributedCoordinator:
     # Death and rebalancing
     # ------------------------------------------------------------------
 
+    def _reroute_locked(self, node: str, *, kind: str,
+                        reason: str) -> dict[str, list[JobSpec]]:
+        """Re-route every still-pending cell assigned to ``node``.
+
+        The shared budgeted path under node deaths and batch failures:
+        each cell either moves to its current directory owner
+        (journaled as ``retrying`` with ``kind``) or, once its
+        re-route budget is exhausted — or no nodes remain — degrades
+        to a journaled failure.  The caller holds the lock and must
+        dispatch the returned batches after releasing it.
+        """
+        batches: dict[str, list[JobSpec]] = {}
+        orphans = {
+            job_id: spec for job_id, spec in self._pending.items()
+            if self._assigned.get(job_id) == node
+        }
+        for job_id, spec in orphans.items():
+            count = self._reroutes.get(job_id, 0) + 1
+            if not self._alive or count > self.reroute_budget:
+                why = ("no surviving nodes" if not self._alive else
+                       f"re-route budget exhausted ({count - 1})")
+                self._failed[job_id] = f"{reason}: {why}"
+                self._journal.record("failed", job_id,
+                                     error=self._failed[job_id],
+                                     describe=spec.describe())
+                del self._pending[job_id]
+                continue
+            self._reroutes[job_id] = count
+            self._reroute_total += 1
+            new_owner = self.directory.owner_of(job_id)
+            self._assigned[job_id] = new_owner
+            self._journal.record(
+                "retrying", job_id, kind=kind, attempt=count,
+                node=node, rerouted_to=new_owner,
+                describe=spec.describe())
+            batches.setdefault(new_owner, []).append(spec)
+        self._lock.notify_all()
+        return batches
+
     def _on_node_death(self, node: str) -> None:
         """Retire a dead node: journal it, rebalance, re-route its cells."""
         with self._lock:
@@ -378,12 +515,11 @@ class DistributedCoordinator:
             self._dead.add(node)
             self._alive.discard(node)
             survivors = sorted(self._alive)
-            orphans = {
-                job_id: spec for job_id, spec in self._pending.items()
-                if self._assigned.get(job_id) == node
-            }
+            unfinished = sum(
+                1 for job_id in self._pending
+                if self._assigned.get(job_id) == node)
             self._journal.record("node-dead", node=node,
-                                 unfinished=len(orphans),
+                                 unfinished=unfinished,
                                  survivors=len(survivors))
             if survivors:
                 moved = self.directory.rebalance(survivors)
@@ -391,28 +527,8 @@ class DistributedCoordinator:
                     "rebalance", directory_version=self.directory.version,
                     moved_shards=len(moved), nodes=len(survivors),
                     reason="node-dead", node=node)
-            batches: dict[str, list[JobSpec]] = {}
-            for job_id, spec in orphans.items():
-                count = self._reroutes.get(job_id, 0) + 1
-                if not survivors or count > self.reroute_budget:
-                    reason = ("no surviving nodes" if not survivors else
-                              f"re-route budget exhausted ({count - 1})")
-                    self._failed[job_id] = f"node {node} died: {reason}"
-                    self._journal.record("failed", job_id,
-                                         error=self._failed[job_id],
-                                         describe=spec.describe())
-                    del self._pending[job_id]
-                    continue
-                self._reroutes[job_id] = count
-                self._reroute_total += 1
-                new_owner = self.directory.owner_of(job_id)
-                self._assigned[job_id] = new_owner
-                self._journal.record(
-                    "retrying", job_id, kind="node-crash", attempt=count,
-                    node=node, rerouted_to=new_owner,
-                    describe=spec.describe())
-                batches.setdefault(new_owner, []).append(spec)
-            self._lock.notify_all()
+            batches = self._reroute_locked(
+                node, kind="node-crash", reason=f"node {node} died")
         for target, batch in sorted(batches.items()):
             self._dispatch(target, batch)
 
@@ -427,14 +543,19 @@ class DistributedCoordinator:
         merged journal converges on exactly one completion.  Returns the
         moved shards (shard → new owner).
         """
+        joined: list[str] = []
         with self._lock:
             for address in nodes:
                 if address not in self._clients:
-                    self._clients[address] = NodeClient(
-                        address, timeout=self.client_timeout)
+                    self._add_client(address)
                 if address not in self._alive and address not in self._dead:
                     self._alive.add(address)
                     if self._journal is not None:
+                        # Mid-run join: the new node needs a run marker
+                        # (posted below, outside the lock) before any
+                        # cells, so its merger can sync.  Pre-run joins
+                        # are marked by run() itself.
+                        joined.append(address)
                         self._start_merger(address)
             moved = self.directory.rebalance(sorted(set(nodes)))
             departed = self._alive - set(nodes)
@@ -454,6 +575,11 @@ class DistributedCoordinator:
                     if new_owner != old:
                         self._assigned[job_id] = new_owner
                         batches.setdefault(new_owner, []).append(spec)
+        for address in joined:
+            try:
+                self._clients[address].mark_run(self.run_id)
+            except (NodeUnreachable, NodeError, OSError):
+                self._on_node_death(address)
         for target, batch in sorted(batches.items()):
             self._dispatch(target, batch)
         return moved

@@ -21,6 +21,10 @@ GET       ``/healthz``              liveness; ``?deep=1`` adds queue
                                     writability probe (ok/degraded)
 POST      ``/v1/cells``             a batch of cell payloads; 202 once
                                     enqueued for the executor thread
+POST      ``/v1/run-marker``        append a coordinator run marker to
+                                    the journal; the coordinator's
+                                    merger only merges events after it
+                                    (journals persist across runs)
 GET       ``/v1/journal/events``    NDJSON of this node's journal with
                                     a monotone ``seq`` per event;
                                     ``?after=SEQ`` resumes a cursor,
@@ -269,6 +273,11 @@ class NodeServer:
                 raise HttpError(405, "use POST")
             self._accept_cells(request, writer)
             return
+        if path == "/v1/run-marker":
+            if method != "POST":
+                raise HttpError(405, "use POST")
+            self._mark_run(request, writer)
+            return
         if path == "/v1/journal/events":
             if method != "GET":
                 raise HttpError(405, "use GET")
@@ -308,6 +317,26 @@ class NodeServer:
             "directory_version": document.get("directory_version"),
         }
         writer.write(render_response(202, json_bytes(body)))
+
+    def _mark_run(self, request: Request,
+                  writer: asyncio.StreamWriter) -> None:
+        """POST /v1/run-marker — journal a coordinator run boundary.
+
+        Node journals persist across coordinator runs (a long-lived
+        node serves many).  The marker gives the coordinator's merger a
+        sync point: events before it are a previous run's history and
+        are never merged, so a stale ``failed`` from last week cannot
+        poison today's run.  Appending is safe against a concurrent
+        executor: both writers flush whole lines under ``O_APPEND``.
+        """
+        document = request.json()
+        run = document.get("run")
+        if not isinstance(run, str) or not run:
+            raise HttpError(400, "expected a non-empty 'run' id")
+        with RunJournal(self.journal_path) as journal:
+            journal.record("coordinator-run", run=run, node=self.name)
+        writer.write(render_response(200, json_bytes(
+            {"status": "marked", "run": run, "node": self.name})))
 
     async def _stream_journal(self, request: Request,
                               writer: asyncio.StreamWriter) -> None:

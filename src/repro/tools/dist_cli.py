@@ -94,6 +94,10 @@ def node_main(argv: list[str] | None = None) -> int:
         async with server:
             while not node._stopping.is_set():
                 await asyncio.sleep(0.1)
+        # A graceful /v1/shutdown promises "stop after current batch":
+        # let the executor drain before the process exits (mirrors
+        # NodeServer.serve_forever).
+        node._executor.join(timeout=60)
 
     try:
         asyncio.run(serve())

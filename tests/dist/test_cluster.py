@@ -12,6 +12,7 @@ import os
 import socket
 import subprocess
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -21,6 +22,7 @@ from repro.dist.client import NodeClient
 from repro.dist.coordinator import DistributedCoordinator, run_distributed
 from repro.dist.node import start_node_in_background
 from repro.exec.jobs import plan_sections
+from repro.exec.journal import RunJournal
 from repro.experiments.api import RunOptions, SuiteRequest, run_suite
 from repro.faults import NODE_CRASH_EXIT_CODE
 
@@ -108,6 +110,117 @@ class TestClusterByteIdentity:
             coordinator_options=_FAST)
         assert resumed.resumed == len(resumed.specs)
         assert text == baseline
+
+
+class TestBatchFailureRecovery:
+    def test_batch_failure_reroutes_and_completes(self, tmp_path, baseline,
+                                                  monkeypatch):
+        """A transient engine blow-up journals ``batch-failed``; the
+        coordinator must re-route the batch's cells (kind=batch-failed)
+        and still render the baseline's exact bytes."""
+        import repro.dist.node as node_mod
+        real_engine = node_mod.ExecutionEngine
+        calls: list[int] = []
+
+        class FlakyEngine:
+            def __init__(self, *args, **kwargs):
+                calls.append(1)
+                if len(calls) == 1:
+                    raise RuntimeError("injected engine blow-up")
+                self._engine = real_engine(*args, **kwargs)
+
+            def run(self, specs):
+                return self._engine.run(specs)
+
+        monkeypatch.setattr(node_mod, "ExecutionEngine", FlakyEngine)
+        node = start_node_in_background(tmp_path / "n0", tmp_path / "store")
+        try:
+            text, cluster = run_distributed(
+                _REQUEST, [node.address], tmp_path / "coord",
+                tmp_path / "store", timeout=240,
+                coordinator_options=_FAST)
+        finally:
+            node.stop()
+        assert cluster.ok and not cluster.missing
+        assert cluster.reroutes > 0
+        assert text == baseline
+        merged = RunJournal.read(tmp_path / "coord" / "journal.jsonl")
+        assert any(e["event"] == "retrying"
+                   and e.get("kind") == "batch-failed" for e in merged)
+
+    def test_deterministic_batch_failure_degrades_without_timeout(
+            self, tmp_path, monkeypatch):
+        """run()'s contract under a permanently exploding engine: with
+        ``timeout=None`` it must still terminate — the batch's cells
+        degrade to MISSING once the re-route budget is exhausted, never
+        blocking forever on work no node will complete."""
+        import repro.dist.node as node_mod
+
+        class ExplodingEngine:
+            def __init__(self, *args, **kwargs):
+                raise RuntimeError("always boom")
+
+        monkeypatch.setattr(node_mod, "ExecutionEngine", ExplodingEngine)
+        node = start_node_in_background(tmp_path / "n0", tmp_path / "store")
+        specs = plan_sections(["figure2"], scale=_REQUEST.scale)
+        coordinator = DistributedCoordinator(
+            [node.address], tmp_path / "coord", tmp_path / "store",
+            reroute_budget=2, **_FAST)
+        box: dict = {}
+        runner = threading.Thread(
+            target=lambda: box.update(
+                cluster=coordinator.run(specs, timeout=None)),
+            daemon=True)
+        runner.start()
+        runner.join(timeout=120)
+        hung = runner.is_alive()
+        node.stop()
+        assert not hung, "run(timeout=None) hung on a failed batch"
+        cluster = box["cluster"]
+        assert not cluster.ok
+        assert len(cluster.missing) == len(specs)
+        assert all("batch failed" in reason
+                   for reason in cluster.failed.values())
+
+    def test_stale_node_journal_history_is_not_merged(self, tmp_path,
+                                                      baseline):
+        """Node journals persist across coordinator runs; a previous
+        run's ``failed`` events must never leak into a new run (the run
+        marker scopes the merge to events after it)."""
+        node = start_node_in_background(tmp_path / "n0", tmp_path / "store")
+        try:
+            _, first = run_distributed(
+                _REQUEST, [node.address], tmp_path / "c1",
+                tmp_path / "store", timeout=240,
+                coordinator_options=_FAST)
+            assert first.ok
+            # Forge a previous run's failures into the node's journal.
+            specs = plan_sections(["figure2"], scale=_REQUEST.scale)
+            with RunJournal(node.node.journal_path) as journal:
+                for spec in specs:
+                    journal.record("failed", spec.job_id,
+                                   error="stale history")
+            text, second = run_distributed(
+                _REQUEST, [node.address], tmp_path / "c2",
+                tmp_path / "store", timeout=240,
+                coordinator_options=_FAST)
+        finally:
+            node.stop()
+        assert second.ok and not second.missing
+        assert text == baseline
+        merged = RunJournal.read(tmp_path / "c2" / "journal.jsonl")
+        # The stale events were skipped outright — neither honored as
+        # failures nor even reached the store-verification fallback.
+        assert not any(e.get("error") == "stale history" for e in merged)
+        assert not any(e.get("source") == "store-after-failed"
+                       for e in merged)
+
+    def test_watchdog_probe_is_non_retrying(self, tmp_path):
+        coordinator = DistributedCoordinator(
+            ["127.0.0.1:9"], tmp_path / "coord", tmp_path / "store")
+        probe = coordinator._probes["127.0.0.1:9"]
+        assert probe.retries == 1
+        assert probe.timeout <= coordinator.client_timeout
 
 
 class TestClusterChaos:

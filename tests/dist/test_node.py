@@ -97,6 +97,19 @@ class TestNodeServer:
         hits = [e for e in seen if e.get("event") == "cache-hit"]
         assert hits
 
+    def test_run_marker_journals_a_boundary(self, node):
+        client = NodeClient(node.address)
+        marked = client.mark_run("run-abc")
+        assert marked == {"status": "marked", "run": "run-abc",
+                          "node": node.address}
+        seen, _ = _drain_until(client, lambda seen: any(
+            e.get("event") == "coordinator-run" and e.get("run") == "run-abc"
+            for e in seen))
+        # A marker without a run id is a client error, not a journal entry.
+        with pytest.raises(NodeError) as excinfo:
+            client._json("POST", "/v1/run-marker", {})
+        assert excinfo.value.status == 400
+
     def test_partition_fault_severs_then_heals(self, node, tmp_path):
         ledger = tmp_path / "ledger"
         client = NodeClient(node.address, retries=1)
