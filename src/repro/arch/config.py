@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.topo.model import Topology
 from repro.util.validate import check_positive, check_power_of_two
 
 __all__ = ["ArchConfig"]
@@ -48,6 +49,14 @@ class ArchConfig:
             paper's baseline is False — writes retire into an
             Alewife-style write buffer and only *misses* trigger context
             switches.  Exposed as an ablation of that assumption.
+        topology: Optional :class:`~repro.topo.model.Topology` replacing
+            the single ``memory_latency_cycles`` with per-tier latencies
+            (group-local vs cross-group; see ``docs/TOPOLOGY.md``).
+            ``None`` — the default, and what every pre-topology config
+            pickles/compares as — is the paper's flat machine: every
+            remote operation costs ``memory_latency_cycles``.  A set
+            topology *overrides* ``memory_latency_cycles`` for every
+            miss and upgrade stall.
     """
 
     num_processors: int
@@ -59,6 +68,7 @@ class ArchConfig:
     memory_latency_cycles: int = 50
     context_switch_cycles: int = 6
     write_upgrade_stalls: bool = False
+    topology: Topology | None = None
 
     #: §4.3's "effectively infinite" cache: 8 MB = 2M words.
     INFINITE_CACHE_WORDS: int = 1 << 21
@@ -78,6 +88,8 @@ class ArchConfig:
                 f"{self.associativity}-way sets of {self.block_words}-word blocks"
             )
         check_power_of_two("num_sets", self.num_sets)
+        if self.topology is not None:
+            self.topology.validate_for(self.num_processors)
 
     @property
     def num_sets(self) -> int:
@@ -94,6 +106,24 @@ class ArchConfig:
         """Threads the machine can hold (one per hardware context)."""
         return self.num_processors * self.contexts_per_processor
 
+    @property
+    def tiered(self) -> bool:
+        """True when miss latency varies by processor-pair tier.
+
+        A ``None`` topology and a uniform one both take the engines'
+        constant-latency fast path — the flat machine stays bit-identical
+        to the pre-topology baseline by construction.
+        """
+        return self.topology is not None and not self.topology.uniform
+
+    @property
+    def flat_miss_latency(self) -> int:
+        """The single miss latency when the machine is not tiered: the
+        topology's uniform latency if one is set, else Table 3's value."""
+        if self.topology is not None:
+            return self.topology.local_latency
+        return self.memory_latency_cycles
+
     def with_cache_words(self, cache_words: int) -> "ArchConfig":
         """Copy of this configuration with a different cache size."""
         return ArchConfig(
@@ -106,6 +136,7 @@ class ArchConfig:
             memory_latency_cycles=self.memory_latency_cycles,
             context_switch_cycles=self.context_switch_cycles,
             write_upgrade_stalls=self.write_upgrade_stalls,
+            topology=self.topology,
         )
 
     def with_memory_latency(self, memory_latency_cycles: int) -> "ArchConfig":
@@ -120,10 +151,42 @@ class ArchConfig:
             memory_latency_cycles=memory_latency_cycles,
             context_switch_cycles=self.context_switch_cycles,
             write_upgrade_stalls=self.write_upgrade_stalls,
+            topology=self.topology,
+        )
+
+    def with_topology(self, topology: Topology | None) -> "ArchConfig":
+        """Copy of this configuration on a different machine topology."""
+        return ArchConfig(
+            num_processors=self.num_processors,
+            contexts_per_processor=self.contexts_per_processor,
+            cache_words=self.cache_words,
+            block_words=self.block_words,
+            associativity=self.associativity,
+            hit_cycles=self.hit_cycles,
+            memory_latency_cycles=self.memory_latency_cycles,
+            context_switch_cycles=self.context_switch_cycles,
+            write_upgrade_stalls=self.write_upgrade_stalls,
+            topology=topology,
         )
 
     def describe(self) -> list[tuple[str, str]]:
-        """Human-readable (parameter, value) rows — the Table 3 content."""
+        """Human-readable (parameter, value) rows — the Table 3 content.
+
+        The topology row appears only when a topology is explicitly set,
+        so baseline (``topology=None``) reports render byte-identically
+        to the pre-topology suite.
+        """
+        rows = self._describe_flat()
+        if self.topology is not None:
+            topo = self.topology
+            rows.append((
+                "Topology",
+                f"{topo.groups} group(s), local {topo.local_latency} / "
+                f"remote {topo.remote_latency} cycles",
+            ))
+        return rows
+
+    def _describe_flat(self) -> list[tuple[str, str]]:
         return [
             ("Number of processors", str(self.num_processors)),
             ("Hardware contexts per processor", str(self.contexts_per_processor)),

@@ -205,8 +205,9 @@ class GuardedDirectory(Directory):
     """
 
     def __init__(self, caches: list, pairwise: np.ndarray,
-                 forbidden: frozenset) -> None:
-        super().__init__(caches, pairwise)
+                 forbidden: frozenset,
+                 lat_rows: list[list[int]] | None = None) -> None:
+        super().__init__(caches, pairwise, lat_rows)
         self._forbidden = forbidden
 
     def fetch(self, block: int, processor: int, is_write: bool) -> int | None:
@@ -260,15 +261,21 @@ def _partition(
     placement: PlacementMap,
     neighbor_placement: PlacementMap,
     block_bits: int,
-) -> tuple[list[int], list[int], frozenset]:
+) -> tuple[list[int], list[int], frozenset, int]:
     """Split processors into (replayed, copied) plus the forbidden blocks.
 
     A processor is copyable when its thread set is unchanged from the
     neighbor placement AND it is coherence-isolated under the new one
     (both placements put exactly those threads on it, so isolation —
     a thread-set property — holds in both runs).
+
+    Also returns the cut-edge count — the number of blocks touched by
+    threads of more than one processor.  When no processor is copyable
+    this quantifies *why* (how entangled the placement's sharing graph
+    is), and the rejection journals it.
     """
     footprints, block_pid = _pid_footprints(trace_set, placement, block_bits)
+    cut_blocks = sum(1 for owner in block_pid.values() if owner == -1)
     copied: list[int] = []
     replayed: list[int] = []
     for pid in range(placement.num_processors):
@@ -280,7 +287,7 @@ def _partition(
             replayed.append(pid)
     forbidden = frozenset().union(*(footprints[q] for q in copied)) \
         if copied else frozenset()
-    return replayed, copied, forbidden
+    return replayed, copied, forbidden, cut_blocks
 
 
 def _check_neighbor(
@@ -323,7 +330,8 @@ def _delta_replay(
     pairwise = np.zeros((p, p), dtype=np.int64)
     max_block = max_block_of(trace_set, config.block_bits)
     caches = [make_fast_cache(config, max_block) for _ in range(p)]
-    directory = GuardedDirectory(caches, pairwise, forbidden)
+    lat_rows = config.topology.latency_rows(p) if config.tiered else None
+    directory = GuardedDirectory(caches, pairwise, forbidden, lat_rows)
     replay = set(replayed)
     processors = [
         FastProcessor(
@@ -404,11 +412,20 @@ def speculate_from_neighbor(
             )
 
         # Tier 2: copy isolated unchanged processors, replay the rest.
-        replayed, copied, forbidden = _partition(
+        replayed, copied, forbidden, cut_blocks = _partition(
             trace_set, placement, neighbor_placement, config.block_bits
         )
         if not copied:
-            raise SpeculationDiverged("no isolated unchanged processors")
+            # Journal *why* the partition was empty: the cut-edge count
+            # says how entangled the sharing graph is (0 means every
+            # processor changed threads; large means sharing spans
+            # processors everywhere).
+            if probe is not None:
+                probe.spec_delta_rejects += 1
+            raise SpeculationDiverged(
+                "no isolated unchanged processors "
+                f"(cut_blocks={cut_blocks})"
+            )
         _check_neighbor(trace_set, placement, neighbor_result, copied)
         processors, caches, directory, pairwise = _delta_replay(
             trace_set, placement, config, quantum_refs,

@@ -28,12 +28,25 @@ class Directory:
     current time — the trace-driven approximation described in DESIGN.md).
     """
 
-    def __init__(self, caches: list, pairwise: np.ndarray) -> None:
+    def __init__(
+        self, caches: list, pairwise: np.ndarray,
+        lat_rows: list[list[int]] | None = None,
+    ) -> None:
         self._caches = caches
         self._sharers: dict[int, set[int]] = {}
         self._last_writer: dict[int, int] = {}
         self.stats = InterconnectStats()
         self.pairwise = pairwise
+        #: Per-processor-pair tier latencies (``lat_rows[writer][holder]``)
+        #: on a tiered :class:`~repro.topo.model.Topology`; None on the
+        #: flat machine, where the invalidation walk pays no tracking.
+        self._lat_rows = lat_rows
+        #: Max tier latency over the holders the last invalidation round
+        #: actually reached — what a stalling upgrade waits out on a
+        #: tiered machine.  Engines read it only right after a
+        #: ``write_hit`` that sent invalidations, which always refreshes
+        #: it (``sent > 0`` implies at least one invalidated holder).
+        self.last_upgrade_latency = 0
         #: Optional :class:`~repro.obs.probes.SimProbe` (armed by the
         #: simulator); tested once per invalidation-sending upgrade only.
         self._probe = None
@@ -106,12 +119,18 @@ class Directory:
                 del self._sharers[block]
 
     def _invalidate_others(self, block: int, writer: int, sharers: set[int]) -> None:
+        row = self._lat_rows[writer] if self._lat_rows is not None else None
+        worst = 0
         for holder in sharers:
             if holder == writer:
                 continue
             if self._caches[holder].invalidate(block, by_processor=writer):
                 self.stats.invalidations_sent += 1
                 self.pairwise[writer, holder] += 1
+                if row is not None and row[holder] > worst:
+                    worst = row[holder]
+        if row is not None:
+            self.last_upgrade_latency = worst
 
     def check_invariants(self) -> None:
         """Single-writer/multi-reader sanity check (used by tests).

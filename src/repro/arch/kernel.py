@@ -317,6 +317,20 @@ class FastProcessor(Processor):
         # Optional SimProbe; same single-test gating as the classic engine
         # (``_pay_switch`` is inherited and reads it too).
         self._probe = None
+        # Tier-latency bindings (see Processor.__init__): the per-source
+        # lookup row and per-home-group memory row are precomputed tables,
+        # so a tiered miss costs one list index; on the flat machine both
+        # are None and every charge site takes the constant path.
+        if config.tiered:
+            topo = config.topology
+            p = config.num_processors
+            self._lat_row = topo.latency_rows(p)[pid]
+            self._mem_lat = topo.memory_latency_row(pid, p)
+            self._topo_groups = topo.groups
+        else:
+            self._lat_row = None
+            self._mem_lat = None
+            self._topo_groups = 1
         # Direct-mapped caches get the hit test inlined into the run loop;
         # set-associative ones go through cache.access (the MRU move is
         # stateful even on a hit).
@@ -332,8 +346,9 @@ class FastProcessor(Processor):
                 directory.write_hit, directory._sharers.get,
                 directory._last_writer.get, directory.evict,
                 directory.fetch, directory.pairwise,
-                config.memory_latency_cycles, config.write_upgrade_stalls,
-                pid, {pid},
+                config.flat_miss_latency, config.write_upgrade_stalls,
+                pid, {pid}, self._lat_row, self._mem_lat,
+                self._topo_groups, directory,
             )
         # Cumulative refs/windows served by _run_array: picks between the
         # vectorized whole-window hit scan (wins on long hit windows) and
@@ -379,8 +394,8 @@ class FastProcessor(Processor):
         # skips the call outright.
         (tags, mask, tags_np, seen, departure, actor, miss_counts,
          write_hit, sharers_get, last_writer_get, dir_evict, dir_fetch,
-         pairwise, memory_latency, upgrade_stalls, pid,
-         pid_set) = self._hot
+         pairwise, memory_latency, upgrade_stalls, pid, pid_set,
+         lat_row, mem_lat, topo_groups, directory) = self._hot
         tid = context.thread_id
         time = self.time
         start_time = time
@@ -448,7 +463,9 @@ class FastProcessor(Processor):
                             wb = blocks[w]
                             if last_writer_get(wb) != pid or sharers_get(wb) != pid_set:
                                 if write_hit(wb, pid):
-                                    context.ready_time = time + memory_latency
+                                    context.ready_time = time + (
+                                        memory_latency if lat_row is None
+                                        else directory.last_upgrade_latency)
                                     stalled = True
                                     break
                             seg = run_end[w]
@@ -498,7 +515,13 @@ class FastProcessor(Processor):
                         pairwise[pid, invalidator] += 1
                     elif kind is _COMPULSORY and source is not None:
                         pairwise[pid, source] += 1
-                    context.ready_time = time + memory_latency
+                    if lat_row is None:
+                        context.ready_time = time + memory_latency
+                    elif source is not None:
+                        context.ready_time = time + lat_row[source]
+                    else:
+                        context.ready_time = (
+                            time + mem_lat[block % topo_groups])
                     stalled = True
             else:
                 while i < iend:
@@ -519,7 +542,9 @@ class FastProcessor(Processor):
                             i = w + 1
                             if last_writer_get(block) != pid or sharers_get(block) != pid_set:
                                 if write_hit(block, pid):
-                                    context.ready_time = time + memory_latency
+                                    context.ready_time = time + (
+                                        memory_latency if lat_row is None
+                                        else directory.last_upgrade_latency)
                                     stalled = True
                                     break
                             if i < stop:
@@ -576,7 +601,13 @@ class FastProcessor(Processor):
                             pairwise[pid, invalidator] += 1
                         elif kind is _COMPULSORY and source is not None:
                             pairwise[pid, source] += 1
-                        context.ready_time = time + memory_latency
+                        if lat_row is None:
+                            context.ready_time = time + memory_latency
+                        elif source is not None:
+                            context.ready_time = time + lat_row[source]
+                        else:
+                            context.ready_time = (
+                                time + mem_lat[block % topo_groups])
                         stalled = True
                         break
 
@@ -617,7 +648,10 @@ class FastProcessor(Processor):
         pid = self.pid
         pairwise = directory.pairwise
         hit_cycles = config.hit_cycles
-        memory_latency = config.memory_latency_cycles
+        memory_latency = config.flat_miss_latency
+        lat_row = self._lat_row
+        mem_lat = self._mem_lat
+        topo_groups = self._topo_groups
         upgrade_stalls = config.write_upgrade_stalls
         tid = context.thread_id
         time = self.time
@@ -663,7 +697,13 @@ class FastProcessor(Processor):
                         pairwise[pid, invalidator] += 1
                     elif kind is MissKind.COMPULSORY and source is not None:
                         pairwise[pid, source] += 1
-                    context.ready_time = time + memory_latency
+                    if lat_row is None:
+                        context.ready_time = time + memory_latency
+                    elif source is not None:
+                        context.ready_time = time + lat_row[source]
+                    else:
+                        context.ready_time = (
+                            time + mem_lat[block % topo_groups])
                     stalled = True
                     break
                 owned = False
@@ -671,7 +711,9 @@ class FastProcessor(Processor):
                     sent = write_hit(block, pid)
                     owned = True
                     if sent and upgrade_stalls:
-                        context.ready_time = time + memory_latency
+                        context.ready_time = time + (
+                            memory_latency if lat_row is None
+                            else directory.last_upgrade_latency)
                         stalled = True
                         break
                 # Bulk-replay the rest of the run (to the quantum edge):
@@ -696,7 +738,9 @@ class FastProcessor(Processor):
                             i = w + 1
                             sent = write_hit(block, pid)
                             if sent and upgrade_stalls:
-                                context.ready_time = time + memory_latency
+                                context.ready_time = time + (
+                                    memory_latency if lat_row is None
+                                    else directory.last_upgrade_latency)
                                 stalled = True
                                 break
                     if i < seg_end:

@@ -98,6 +98,18 @@ class Processor:
         self.cache = cache
         self.directory = directory
         self.contexts = [HardwareContext(t, config.block_bits) for t in traces]
+        # Tier-latency bindings; all None/trivial on the flat machine so
+        # the constant-latency path below is exactly the pre-topology one.
+        if config.tiered:
+            topo = config.topology
+            p = config.num_processors
+            self._lat_row = topo.latency_rows(p)[pid]
+            self._mem_lat = topo.memory_latency_row(pid, p)
+            self._topo_groups = topo.groups
+        else:
+            self._lat_row = None
+            self._mem_lat = None
+            self._topo_groups = 1
         self.stats = ProcessorStats()
         self.time = 0
         self.current = 0
@@ -146,6 +158,10 @@ class Processor:
         pid = self.pid
         pairwise = directory.pairwise
         hit_cycles = config.hit_cycles
+        memory_latency = config.flat_miss_latency
+        lat_row = self._lat_row
+        mem_lat = self._mem_lat
+        groups = self._topo_groups
         upgrade_stalls = config.write_upgrade_stalls
         tid = context.thread_id
         time = self.time
@@ -175,13 +191,18 @@ class Processor:
                         sent = directory.write_hit(block, pid)
                         if sent and upgrade_stalls:
                             # Sequentially-consistent mode: the upgrade is a
-                            # remote transaction the context must wait out.
-                            context.ready_time = (
-                                time + config.memory_latency_cycles)
+                            # remote transaction the context must wait out —
+                            # on a tiered machine, out to the farthest copy
+                            # it invalidated.
+                            context.ready_time = time + (
+                                memory_latency if lat_row is None
+                                else directory.last_upgrade_latency)
                             stalled = True
                             break
                     continue
-                # Miss: coherence transaction plus a full memory latency.
+                # Miss: coherence transaction plus the memory latency of
+                # the tier the data is sourced from (one constant on the
+                # flat machine).
                 if self._probe is not None:
                     self._probe.misses[kind] += 1
                 if evicted is not None:
@@ -191,7 +212,12 @@ class Processor:
                     pairwise[pid, invalidator] += 1
                 elif kind is MissKind.COMPULSORY and source is not None:
                     pairwise[pid, source] += 1
-                context.ready_time = time + config.memory_latency_cycles
+                if lat_row is None:
+                    context.ready_time = time + memory_latency
+                elif source is not None:
+                    context.ready_time = time + lat_row[source]
+                else:
+                    context.ready_time = time + mem_lat[block % groups]
                 stalled = True
                 break
 

@@ -127,7 +127,8 @@ def simulate(
     else:
         caches = [make_cache(config) for _ in range(p)]
         processor_cls = Processor
-    directory = Directory(caches, pairwise)
+    lat_rows = config.topology.latency_rows(p) if config.tiered else None
+    directory = Directory(caches, pairwise, lat_rows)
     processors = [
         processor_cls(
             pid,

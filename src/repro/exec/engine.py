@@ -89,16 +89,18 @@ _SUITES: dict[tuple, object] = {}
 def _suite_for(scale: float, seed: int, quantum_refs: int,
                engine: str = "classic", speculate: bool = True,
                store_dir: str | None = None,
-               stream_chunk_refs: int | None = None):
+               stream_chunk_refs: int | None = None,
+               topology: str | None = None):
     from repro.experiments.runner import ExperimentSuite
 
     key = (scale, seed, quantum_refs, engine, speculate, store_dir,
-           stream_chunk_refs)
+           stream_chunk_refs, topology)
     if key not in _SUITES:
         suite = ExperimentSuite(scale=scale, seed=seed,
                                 quantum_refs=quantum_refs,
                                 engine=engine, speculate=speculate,
-                                stream_chunk_refs=stream_chunk_refs)
+                                stream_chunk_refs=stream_chunk_refs,
+                                topology=topology)
         if store_dir is not None:
             # Workers hold no *writable* store (the coordinator persists
             # results and fires the store fault sites exactly once per
@@ -135,7 +137,7 @@ def simulate_cell(payload: dict) -> dict:
     suite = _suite_for(spec.scale, spec.seed, spec.quantum_refs, spec.engine,
                        bool(payload.get("speculate", True)),
                        payload.get("store_dir"),
-                       spec.stream_chunk_refs)
+                       spec.stream_chunk_refs, spec.topology)
     probe = None
     if payload.get("probe"):
         from repro.obs.probes import SimProbe, stash_pending

@@ -24,6 +24,7 @@ from dataclasses import asdict, dataclass, replace
 from repro.experiments.cache import cell_store_key, store_digest
 from repro.experiments.runner import PROCESSOR_COUNTS
 from repro.placement.algorithms import all_algorithms, static_sharing_algorithms
+from repro.topo.model import canonical_topology
 from repro.workload.applications import DEFAULT_SCALE, application_names, spec_for
 
 __all__ = ["JobSpec", "SIMULATED_SECTIONS", "plan_sections", "plan_full_grid"]
@@ -73,6 +74,12 @@ class JobSpec:
     suite.  Like ``engine`` it is excluded from the content address:
     streaming replay is bit-for-bit identical to whole-column replay
     (see ``docs/STREAMING.md``), so either mode produces the same cell.
+
+    ``topology`` — a spec string like ``numa:4:50:150`` (see
+    :mod:`repro.topo.model`) — *is* part of the content address: a tiered
+    machine computes genuinely different results.  It is canonicalized on
+    construction, so the flat baseline collapses to None and keeps every
+    pre-topology job id.
     """
 
     app: str
@@ -88,6 +95,7 @@ class JobSpec:
     engine: str = "classic"
     neighbors: tuple = ()
     stream_chunk_refs: int | None = None
+    topology: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "app", spec_for(self.app).name)
@@ -96,6 +104,11 @@ class JobSpec:
             raise ValueError(
                 f"unknown engine {self.engine!r}: expected 'classic' or 'fast'"
             )
+        canonical = canonical_topology(self.topology)
+        object.__setattr__(
+            self, "topology",
+            canonical.spec if canonical is not None else None,
+        )
         # Canonicalize hints (payloads may carry them as JSON lists).
         object.__setattr__(
             self, "neighbors",
@@ -105,8 +118,11 @@ class JobSpec:
     @property
     def cell(self) -> tuple:
         """The suite's in-process memoization key for this cell."""
-        return (self.app, self.algorithm, self.processors, self.infinite,
+        cell = (self.app, self.algorithm, self.processors, self.infinite,
                 self.associativity, self.cache_words, self.replicate)
+        if self.topology is not None:
+            cell += (self.topology,)
+        return cell
 
     @property
     def store_key(self) -> tuple:
@@ -116,7 +132,7 @@ class JobSpec:
             app=self.app, algorithm=self.algorithm,
             processors=self.processors, infinite=self.infinite,
             associativity=self.associativity, cache_words=self.cache_words,
-            replicate=self.replicate,
+            replicate=self.replicate, topology=self.topology,
         )
 
     @property
@@ -147,7 +163,7 @@ def _sort_key(spec: JobSpec) -> tuple:
     return (spec.app, spec.algorithm, spec.processors, spec.infinite,
             spec.associativity,
             -1 if spec.cache_words is None else spec.cache_words,
-            spec.replicate)
+            spec.replicate, spec.topology or "")
 
 
 def _dedup(specs: list[JobSpec]) -> list[JobSpec]:
@@ -172,16 +188,21 @@ def _assign_neighbors(specs: list[JobSpec]) -> list[JobSpec]:
     hinted = []
     for spec in specs:
         group = (spec.app, spec.processors, spec.infinite,
-                 spec.associativity, spec.cache_words)
+                 spec.associativity, spec.cache_words, spec.topology)
         earlier = seen.setdefault(group, [])
         hinted.append(replace(spec, neighbors=tuple(earlier[:_MAX_HINTS])))
         earlier.append((spec.algorithm, spec.replicate))
     return hinted
 
 
-def _processors_for(app: str) -> list[int]:
+def _processors_for(app: str, topology: str | None = None) -> list[int]:
+    """Machine sizes for one application: p <= t, and — mirroring
+    :meth:`ExperimentSuite.processors_for` — divisible into a tiered
+    topology's groups."""
     threads = spec_for(app).num_threads
-    return [p for p in PROCESSOR_COUNTS if p <= threads]
+    canonical = canonical_topology(topology)
+    groups = canonical.groups if canonical is not None else 1
+    return [p for p in PROCESSOR_COUNTS if p <= threads and p % groups == 0]
 
 
 def _figure_jobs(app: str, *, random_replicates: int, params: dict) -> list[JobSpec]:
@@ -189,7 +210,7 @@ def _figure_jobs(app: str, *, random_replicates: int, params: dict) -> list[JobS
     fourteen static algorithms per machine, with the RANDOM baseline's
     extra replicate draws."""
     jobs = []
-    for processors in _processors_for(app):
+    for processors in _processors_for(app, params.get("topology")):
         for algorithm in all_algorithms():
             jobs.append(JobSpec(app=app, algorithm=algorithm.name,
                                 processors=processors, **params))
@@ -212,7 +233,7 @@ def _table5_jobs(params: dict) -> list[JobSpec]:
     )
     jobs = []
     for app in _TABLE5_APPS:
-        for processors in _processors_for(app):
+        for processors in _processors_for(app, params.get("topology")):
             jobs += [
                 JobSpec(app=app, algorithm=name, processors=processors,
                         infinite=True, **params)
@@ -230,6 +251,7 @@ def plan_sections(
     random_replicates: int = 3,
     engine: str = "classic",
     stream_chunk_refs: int | None = None,
+    topology: str | None = None,
 ) -> list[JobSpec]:
     """The deduplicated, deterministically ordered jobs the chosen report
     sections will need (default: all sections).
@@ -238,7 +260,8 @@ def plan_sections(
     cells (if any) are computed sequentially at render time.
     """
     params = dict(scale=scale, seed=seed, quantum_refs=quantum_refs,
-                  engine=engine, stream_chunk_refs=stream_chunk_refs)
+                  engine=engine, stream_chunk_refs=stream_chunk_refs,
+                  topology=topology)
     chosen = set(sections) if sections is not None else set(SIMULATED_SECTIONS)
     jobs: list[JobSpec] = []
     for section, app in _FIGURE_APPS.items():
@@ -258,12 +281,14 @@ def plan_full_grid(
     random_replicates: int = 3,
     engine: str = "classic",
     stream_chunk_refs: int | None = None,
+    topology: str | None = None,
 ) -> list[JobSpec]:
     """The paper's full evaluation universe: every application x algorithm
     x machine cell (plus RANDOM replicates and the Table 5 infinite-cache
     cells) — ~900 simulations at default replication."""
     params = dict(scale=scale, seed=seed, quantum_refs=quantum_refs,
-                  engine=engine, stream_chunk_refs=stream_chunk_refs)
+                  engine=engine, stream_chunk_refs=stream_chunk_refs,
+                  topology=topology)
     jobs: list[JobSpec] = []
     for app in application_names():
         jobs += _figure_jobs(app, random_replicates=random_replicates,

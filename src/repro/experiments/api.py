@@ -36,6 +36,7 @@ from typing import TextIO
 from repro.arch.simulator import ENGINES
 from repro.experiments.report import REPORT_SECTIONS, write_report
 from repro.experiments.runner import ExperimentSuite
+from repro.topo.model import canonical_topology
 from repro.obs.spans import trace_span
 from repro.util.validate import check_positive
 from repro.workload.applications import DEFAULT_SCALE
@@ -75,9 +76,18 @@ class SuiteRequest:
     charts: bool = False
     check_invariants: bool = False
     stream_chunk_refs: int | None = None
+    topology: str | None = None
 
     def __post_init__(self) -> None:
         check_positive("scale", self.scale)
+        # Canonicalize the topology spec: the flat baseline collapses to
+        # None, so a `flat:50` submission names — and coalesces with —
+        # the same run as a pre-topology one.
+        canonical = canonical_topology(self.topology)
+        object.__setattr__(
+            self, "topology",
+            canonical.spec if canonical is not None else None,
+        )
         check_positive("quantum_refs", self.quantum_refs)
         check_positive("random_replicates", self.random_replicates)
         if self.engine not in ENGINES:
@@ -159,6 +169,7 @@ class SuiteRequest:
             "charts": self.charts,
             "check_invariants": self.check_invariants,
             "stream_chunk_refs": self.stream_chunk_refs,
+            "topology": self.topology,
         }
 
     # -- content address -------------------------------------------------
@@ -172,6 +183,7 @@ class SuiteRequest:
             list(self.sections) if self.sections is not None else None,
             scale=self.scale, seed=self.seed, quantum_refs=self.quantum_refs,
             random_replicates=self.random_replicates,
+            topology=self.topology,
         )
         return [spec.job_id for spec in specs]
 
@@ -187,28 +199,33 @@ class SuiteRequest:
         ``stream_chunk_refs`` (bit-for-bit equivalent replay modes) and
         every :class:`RunOptions` mechanic.
         """
-        material = json.dumps(
-            {
-                "schema": REQUEST_SCHEMA,
-                "sections": (list(self.sections)
-                             if self.sections is not None else None),
-                "scale": self.scale,
-                "seed": self.seed,
-                "quantum_refs": self.quantum_refs,
-                "random_replicates": self.random_replicates,
-                "charts": self.charts,
-                "check_invariants": self.check_invariants,
-                "cells": self.cell_ids(),
-            },
-            sort_keys=True,
-        )
+        fields_material = {
+            "schema": REQUEST_SCHEMA,
+            "sections": (list(self.sections)
+                         if self.sections is not None else None),
+            "scale": self.scale,
+            "seed": self.seed,
+            "quantum_refs": self.quantum_refs,
+            "random_replicates": self.random_replicates,
+            "charts": self.charts,
+            "check_invariants": self.check_invariants,
+            "cells": self.cell_ids(),
+        }
+        if self.topology is not None:
+            # Only a non-flat topology contributes (the flat baseline is
+            # canonicalized away), so pre-topology digests are unchanged.
+            fields_material["topology"] = self.topology
+        material = json.dumps(fields_material, sort_keys=True)
         return hashlib.sha256(material.encode("ascii")).hexdigest()[:32]
 
     def describe(self) -> str:
         """One-line human label (service listings, logs)."""
         names = ",".join(self.sections) if self.sections is not None else "all"
-        return (f"sections={names} scale={self.scale:g} seed={self.seed} "
-                f"q={self.quantum_refs}")
+        label = (f"sections={names} scale={self.scale:g} seed={self.seed} "
+                 f"q={self.quantum_refs}")
+        if self.topology is not None:
+            label += f" topo={self.topology}"
+        return label
 
 
 @dataclass(frozen=True)
@@ -310,6 +327,7 @@ def run_suite(
         engine=request.engine, strict=strict,
         speculate=options.speculate,
         stream_chunk_refs=request.stream_chunk_refs,
+        topology=request.topology,
     )
     sections = list(request.sections) if request.sections is not None else None
     result = SuiteResult(request=request, suite=suite)

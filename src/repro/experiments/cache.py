@@ -76,19 +76,28 @@ def cell_store_key(
     associativity: int,
     cache_words: int | None,
     replicate: int,
+    topology: str | None = None,
 ) -> tuple:
     """The canonical store key of one simulation cell.
 
     This is the single definition shared by the sequential
     :class:`~repro.experiments.runner.ExperimentSuite` and the parallel
     :mod:`repro.exec` engine, so both address the same ``.npz`` entries.
-    ``app`` and ``algorithm`` must already be canonical (paper spelling).
+    ``app`` and ``algorithm`` must already be canonical (paper spelling);
+    ``topology`` must be a *canonical* spec string (see
+    :func:`repro.topo.model.canonical_topology`) or None.  The flat
+    machine is the None spelling and appends nothing, so every pre-
+    topology store key — and therefore every existing ``.npz`` entry —
+    keeps its content address.
     """
-    return (
+    key = (
         STORE_KEY_TAG, scale, seed, quantum_refs,
         app, algorithm.upper(), processors,
         infinite, associativity, cache_words, replicate,
     )
+    if topology is not None:
+        key += (topology,)
+    return key
 
 
 def store_digest(key: tuple) -> str:

@@ -164,6 +164,15 @@ def build_parser() -> argparse.ArgumentParser:
              "also the default --journal location when observing",
     )
     parser.add_argument(
+        "--topology",
+        metavar="SPEC",
+        default=None,
+        help="machine topology for every simulation: 'flat[:latency]' "
+             "(the default machine) or 'numa:<groups>:<local>:<remote>' "
+             "(tiered latencies; see docs/TOPOLOGY.md).  'flat:50' is "
+             "byte-identical to omitting the flag",
+    )
+    parser.add_argument(
         "--engine",
         choices=ENGINES,
         default="classic",
@@ -280,6 +289,7 @@ def main(argv: list[str] | None = None) -> int:
         engine=args.engine, charts=args.charts,
         check_invariants=args.check_invariants,
         stream_chunk_refs=args.stream_chunk_refs,
+        topology=args.topology,
     )
     observer = None
     if observing:

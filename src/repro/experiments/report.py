@@ -22,6 +22,7 @@ from repro.experiments.ablations import (
 from repro.experiments.figures import figure2, figure3, figure4, figure5
 from repro.experiments.runner import ExperimentSuite
 from repro.experiments.tables import table1, table2, table3, table4, table5
+from repro.topo.experiments import topology_section
 from repro.workload.applications import application_names, spec_for
 from repro.workload.calibration import calibrate
 
@@ -71,7 +72,7 @@ def ablations_section(suite: ExperimentSuite) -> TextSection:
 
 
 #: Every regenerable artifact, in the order the paper presents them, plus
-#: the reproduction's own calibration and ablation sections.
+#: the reproduction's own calibration, ablation and topology sections.
 REPORT_SECTIONS: dict[str, Callable[[ExperimentSuite], object]] = {
     "calibration": calibration_section,
     "table1": table1,
@@ -84,6 +85,7 @@ REPORT_SECTIONS: dict[str, Callable[[ExperimentSuite], object]] = {
     "table4": table4,
     "table5": table5,
     "ablations": ablations_section,
+    "topology": topology_section,
 }
 
 

@@ -29,6 +29,7 @@ from repro.experiments.cache import ResultStore, cell_store_key, store_digest
 from repro.placement.algorithms import algorithm_by_name
 from repro.placement.base import PlacementInputs, PlacementMap
 from repro.placement.dynamic import measure_coherence_matrix
+from repro.topo.model import Topology, canonical_topology
 from repro.trace.analysis import TraceSetAnalysis
 from repro.trace.stream import TraceSet
 from repro.workload.applications import DEFAULT_SCALE, build_application, spec_for
@@ -97,6 +98,14 @@ class ExperimentSuite:
             (enforced by ``tests/speculation/``).  Disabled
             automatically under ``check_invariants`` (the oracle must
             audit real from-scratch runs).
+        topology: Machine topology every cell simulates under — a
+            :class:`~repro.topo.model.Topology`, a spec string
+            (``numa:4:50:150``) or None.  Canonicalized on construction:
+            the flat baseline collapses to None, so flat suites keep
+            every pre-topology memo key, store key and report byte.
+            Unlike ``engine`` this *is* identity — a tiered machine
+            computes genuinely different results — so it extends memo
+            keys and store keys (only when non-None).
         stream_chunk_refs: When set, every simulation replays the
             application's traces through the chunked streaming view
             (:func:`repro.trace.streaming.as_streaming` with this chunk
@@ -128,6 +137,7 @@ class ExperimentSuite:
         strict: bool = True,
         speculate: bool = True,
         stream_chunk_refs: int | None = None,
+        topology: Topology | str | None = None,
     ) -> None:
         check_positive("scale", scale)
         check_positive("random_replicates", random_replicates)
@@ -153,6 +163,12 @@ class ExperimentSuite:
         self.strict = bool(strict)
         self.speculate = bool(speculate)
         self.stream_chunk_refs = stream_chunk_refs
+        #: Canonical topology (None = the flat baseline machine) and its
+        #: spec string — the spelling that extends store keys.
+        self.topology: Topology | None = canonical_topology(topology)
+        self.topology_spec: str | None = (
+            self.topology.spec if self.topology is not None else None
+        )
         #: Cells a degraded prefetch failed to compute (memo-key tuples).
         self.missing: set[tuple] = set()
         #: Optional :class:`~repro.obs.probes.SimProbe` observing every
@@ -208,7 +224,8 @@ class ExperimentSuite:
             _rebuild_suite,
             (self.scale, self.seed, self.quantum_refs,
              self.random_replicates, self.cache_dir, self.check_invariants,
-             self.engine, self.speculate, self.stream_chunk_refs),
+             self.engine, self.speculate, self.stream_chunk_refs,
+             self.topology_spec),
         )
 
     # ------------------------------------------------------------------
@@ -252,9 +269,11 @@ class ExperimentSuite:
         return self._coherence[name]
 
     def processors_for(self, app: str) -> list[int]:
-        """Processor counts applicable to this application (p <= t)."""
+        """Processor counts applicable to this application (p <= t; on a
+        tiered suite, also divisible into the topology's groups)."""
         t = spec_for(app).num_threads
-        return [p for p in PROCESSOR_COUNTS if p <= t]
+        groups = self.topology.groups if self.topology is not None else 1
+        return [p for p in PROCESSOR_COUNTS if p <= t and p % groups == 0]
 
     def machine_specs(self, app: str) -> list[MachineSpec]:
         """The figures' X-axis: (processors, nominal contexts) pairs."""
@@ -316,6 +335,7 @@ class ExperimentSuite:
             contexts_per_processor=contexts,
             cache_words=cache_words,
             associativity=associativity,
+            topology=self.topology,
         )
 
     def run(
@@ -350,6 +370,8 @@ class ExperimentSuite:
         name = spec_for(app).name
         key = (name, algorithm.upper(), processors, infinite, associativity,
                cache_words, replicate)
+        if self.topology_spec is not None:
+            key += (self.topology_spec,)
         if key in self.missing:
             raise MissingCellError(
                 f"cell {key} failed during prefetch and is marked missing; "
@@ -362,6 +384,7 @@ class ExperimentSuite:
                 app=name, algorithm=algorithm, processors=processors,
                 infinite=infinite, associativity=associativity,
                 cache_words=cache_words, replicate=replicate,
+                topology=self.topology_spec,
             )
             stored = self._store.load(store_key) if self._store is not None else None
             if stored is not None:
@@ -445,6 +468,7 @@ class ExperimentSuite:
                     app=gname, algorithm=algorithm, processors=processors,
                     infinite=infinite, associativity=associativity,
                     cache_words=cache_words, replicate=replicate,
+                    topology=self.topology_spec,
                 ))
                 if stored is None or id(stored) in known:
                     continue
@@ -539,6 +563,7 @@ class ExperimentSuite:
             random_replicates=self.random_replicates,
             engine=self.engine,
             stream_chunk_refs=self.stream_chunk_refs,
+            topology=self.topology_spec,
         )
         engine = ExecutionEngine(
             workers=jobs, timeout=timeout, hang_timeout=hang_timeout,
@@ -612,8 +637,11 @@ class ExperimentSuite:
     def missing_labels(self) -> list[str]:
         """Human-readable labels of the missing cells (sorted, stable)."""
         labels = []
-        for (app, algorithm, processors, infinite, _assoc, _words,
-             replicate) in sorted(self.missing, key=repr):
+        # Keys are 7-tuples on a flat suite, 8-tuples (trailing topology
+        # spec) on a tiered one; the label fields sit at fixed positions.
+        for key in sorted(self.missing, key=repr):
+            app, algorithm, processors, infinite = key[:4]
+            replicate = key[6]
             label = f"{app}/{algorithm}/{processors}p"
             if infinite:
                 label += "/inf"
@@ -625,11 +653,12 @@ class ExperimentSuite:
 
 def _rebuild_suite(scale, seed, quantum_refs, random_replicates, cache_dir,
                    check_invariants=False, engine="classic", speculate=True,
-                   stream_chunk_refs=None):
+                   stream_chunk_refs=None, topology=None):
     """Unpickling target for :meth:`ExperimentSuite.__reduce__`."""
     return ExperimentSuite(
         scale=scale, seed=seed, quantum_refs=quantum_refs,
         random_replicates=random_replicates, cache_dir=cache_dir,
         check_invariants=check_invariants, engine=engine,
         speculate=speculate, stream_chunk_refs=stream_chunk_refs,
+        topology=topology,
     )

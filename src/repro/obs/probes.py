@@ -42,7 +42,8 @@ class SimProbe:
     """Event counters one simulation run fills in (single-threaded)."""
 
     __slots__ = ("quanta", "switches", "upgrades", "misses", "cells",
-                 "spec_attempts", "spec_hits", "spec_aborts")
+                 "spec_attempts", "spec_hits", "spec_aborts",
+                 "spec_delta_rejects")
 
     def __init__(self) -> None:
         self.quanta = 0      #: scheduling quanta executed
@@ -59,6 +60,9 @@ class SimProbe:
         self.spec_attempts = 0
         self.spec_hits = 0
         self.spec_aborts = 0
+        # Aborts specifically from the delta tier's empty partition (no
+        # copyable processor); the journal carries the cut-edge count.
+        self.spec_delta_rejects = 0
 
     def snapshot(self) -> dict[str, int]:
         """Flat ``{metric_name: count}`` view (ships between processes)."""
@@ -74,6 +78,7 @@ class SimProbe:
         out["sim_spec_attempts"] = self.spec_attempts
         out["sim_spec_hits"] = self.spec_hits
         out["sim_spec_aborts"] = self.spec_aborts
+        out["sim_spec_delta_rejects"] = self.spec_delta_rejects
         return out
 
     def merge(self, other: "SimProbe") -> None:
@@ -85,6 +90,7 @@ class SimProbe:
         self.spec_attempts += other.spec_attempts
         self.spec_hits += other.spec_hits
         self.spec_aborts += other.spec_aborts
+        self.spec_delta_rejects += other.spec_delta_rejects
         for kind in MissKind:
             self.misses[kind] += other.misses[kind]
 

@@ -132,14 +132,24 @@ class _HistoryCache:
 
 
 class _HistoryDirectory:
-    """Full-map write-invalidate directory over the reference caches."""
+    """Full-map write-invalidate directory over the reference caches.
 
-    def __init__(self, caches: list[_HistoryCache], pairwise: np.ndarray) -> None:
+    On a tiered topology (``config.topology`` with unequal tiers) the
+    directory additionally remembers, after each invalidation round, the
+    farthest tier it reached — recomputed naively per holder from the
+    topology's group arithmetic, never from the production lookup
+    tables.  A stalling upgrade waits that long.
+    """
+
+    def __init__(self, caches: list[_HistoryCache], pairwise: np.ndarray,
+                 config: ArchConfig | None = None) -> None:
         self.caches = caches
         self.sharers: dict[int, set[int]] = {}
         self.last_writer: dict[int, int] = {}
         self.stats = InterconnectStats()
         self.pairwise = pairwise
+        self.config = config
+        self.last_upgrade_latency = 0
 
     def fetch(self, block: int, processor: int, is_write: bool) -> int | None:
         """A miss fetch; returns the processor the data was sourced from
@@ -178,12 +188,48 @@ class _HistoryDirectory:
             sharers.discard(processor)
 
     def _invalidate_others(self, block: int, writer: int, sharers: set[int]) -> None:
+        worst = 0
         for holder in sharers:
             if holder == writer:
                 continue
             if self.caches[holder].invalidate(block, by_processor=writer):
                 self.stats.invalidations_sent += 1
                 self.pairwise[writer, holder] += 1
+                reached = _tier_latency(self.config, writer, holder)
+                if reached > worst:
+                    worst = reached
+        self.last_upgrade_latency = worst
+
+
+def _tier_latency(config: ArchConfig | None, pid: int, other: int) -> int:
+    """Naive per-pair tier latency: explicit group arithmetic per call.
+
+    Deliberately recomputed from first principles on every use — the
+    reference never touches the production engines' precomputed lookup
+    rows.
+    """
+    if config is None or config.topology is None:
+        return 0 if config is None else config.memory_latency_cycles
+    topology = config.topology
+    group_size = config.num_processors // topology.groups
+    if pid // group_size == other // group_size:
+        return topology.local_latency
+    return topology.remote_latency
+
+
+def _miss_latency(config: ArchConfig, pid: int, source: int | None,
+                  block: int) -> int:
+    """Naive miss-stall latency: the source's tier, or the block's home
+    group when memory services the fetch (round-robin interleaving)."""
+    topology = config.topology
+    if topology is None:
+        return config.memory_latency_cycles
+    if source is not None:
+        return _tier_latency(config, pid, source)
+    group_size = config.num_processors // topology.groups
+    if block % topology.groups == pid // group_size:
+        return topology.local_latency
+    return topology.remote_latency
 
 
 class _Context:
@@ -241,10 +287,16 @@ class _RefProcessor:
                 if is_write:
                     sent = self.directory.write_hit(block, self.pid)
                     if sent and self.config.write_upgrade_stalls:
-                        stalled = self._stall(context)
+                        # An invalidation round went out (sent > 0), so the
+                        # directory just recomputed how far it reached; the
+                        # context waits out the farthest copy (one uniform
+                        # latency on the flat machine).
+                        stalled = self._stall(
+                            context, self.directory.last_upgrade_latency)
                         break
                 continue
-            # Miss: the coherence transaction, then a full memory latency.
+            # Miss: the coherence transaction, then the memory latency of
+            # the tier the data comes from (recomputed naively per miss).
             if evicted is not None:
                 self.directory.evict(evicted, self.pid)
             source = self.directory.fetch(block, self.pid, is_write)
@@ -252,7 +304,8 @@ class _RefProcessor:
                 self.directory.pairwise[self.pid, invalidator] += 1
             elif kind is MissKind.COMPULSORY and source is not None:
                 self.directory.pairwise[self.pid, source] += 1
-            stalled = self._stall(context)
+            stalled = self._stall(
+                context, _miss_latency(self.config, self.pid, source, block))
             break
 
         # A context that stalled on its final reference completes only when
@@ -263,8 +316,8 @@ class _RefProcessor:
             return True  # quantum expired mid-run; same context continues
         return self._schedule_next()
 
-    def _stall(self, context: _Context) -> bool:
-        context.ready_time = self.time + self.config.memory_latency_cycles
+    def _stall(self, context: _Context, latency: int) -> bool:
+        context.ready_time = self.time + latency
         return True
 
     def _schedule_next(self) -> bool:
@@ -336,7 +389,7 @@ def reference_simulate(
     p = config.num_processors
     pairwise = np.zeros((p, p), dtype=np.int64)
     caches = [_HistoryCache(config.num_sets, config.associativity) for _ in range(p)]
-    directory = _HistoryDirectory(caches, pairwise)
+    directory = _HistoryDirectory(caches, pairwise, config)
     processors = []
     for pid in range(p):
         contexts = []

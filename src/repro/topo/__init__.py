@@ -1,0 +1,21 @@
+"""Machine-topology subsystem: latency tiers and dynamic placement.
+
+The paper's machine is flat — every remote operation costs one uniform
+latency (Table 3's 50 cycles).  This package opens ROADMAP Item 3's
+hierarchy axis: a :class:`~repro.topo.model.Topology` describes processor
+groups with tiered access latency (cluster-local vs cross-cluster), the
+placement layer gains hierarchy-aware variants of the paper's algorithms
+(:mod:`repro.topo.placement`), and :mod:`repro.topo.migration` adds the
+*dynamic* axis — runtime thread migration driven by observed coherence
+traffic.
+
+Only the topology model itself is exported here: :mod:`repro.arch.config`
+imports it, so this ``__init__`` must stay free of ``repro.arch``
+dependencies (import :mod:`repro.topo.migration`,
+:mod:`repro.topo.placement`, :mod:`repro.topo.oracle` and
+:mod:`repro.topo.experiments` explicitly).
+"""
+
+from repro.topo.model import Topology, canonical_topology, parse_topology
+
+__all__ = ["Topology", "canonical_topology", "parse_topology"]

@@ -14,8 +14,11 @@ like any other code change:
     PYTHONPATH=src python tests/arch/test_golden_snapshots.py
 
 The cases span the machine space: a multithreaded 2-processor run, a
-4-processor run under a sharing-based placement, and an effectively
-infinite cache (no conflict misses) under MIN-INVS.
+4-processor run under a sharing-based placement, an effectively
+infinite cache (no conflict misses) under MIN-INVS, and two tiered
+(NUMA) machines with distinct group counts and latency splits.  A
+separate test pins the ``flat:50`` topology spec to the *same* snapshot
+as the topology-free baseline — the canonicalization contract.
 """
 
 import json
@@ -32,11 +35,15 @@ DATA_DIR = Path(__file__).resolve().parent.parent / "data"
 SCALE = 0.0005
 SEED = 11
 
-#: (slug, app, algorithm, processors, infinite)
+#: (slug, app, algorithm, processors, infinite, topology)
 CASES = [
-    ("water-loadbal-2p", "Water", "LOAD-BAL", 2, False),
-    ("fft-sharerefs-4p", "FFT", "SHARE-REFS", 4, False),
-    ("barneshut-mininvs-4p-inf", "Barnes-Hut", "MIN-INVS", 4, True),
+    ("water-loadbal-2p", "Water", "LOAD-BAL", 2, False, None),
+    ("fft-sharerefs-4p", "FFT", "SHARE-REFS", 4, False, None),
+    ("barneshut-mininvs-4p-inf", "Barnes-Hut", "MIN-INVS", 4, True, None),
+    ("fft-sharerefs-4p-numa2", "FFT", "SHARE-REFS", 4, False,
+     "numa:2:50:150"),
+    ("barneshut-mininvs-4p-numa4", "Barnes-Hut", "MIN-INVS", 4, False,
+     "numa:4:50:200"),
 ]
 
 
@@ -70,17 +77,18 @@ def snapshot_dict(result: SimulationResult) -> dict:
 
 
 def compute(app: str, algorithm: str, processors: int, infinite: bool,
-            engine: str = "classic") -> dict:
-    suite = ExperimentSuite(scale=SCALE, seed=SEED, engine=engine)
+            topology: str | None = None, engine: str = "classic") -> dict:
+    suite = ExperimentSuite(scale=SCALE, seed=SEED, engine=engine,
+                            topology=topology)
     return snapshot_dict(suite.run(app, algorithm, processors,
                                    infinite=infinite))
 
 
 @pytest.mark.parametrize("engine", ENGINES)
-@pytest.mark.parametrize("slug,app,algorithm,processors,infinite",
+@pytest.mark.parametrize("slug,app,algorithm,processors,infinite,topology",
                          CASES, ids=[c[0] for c in CASES])
 def test_simulation_matches_golden_snapshot(slug, app, algorithm, processors,
-                                            infinite, engine):
+                                            infinite, topology, engine):
     """Both replay engines must reproduce the *same* snapshot — the golden
     files are engine-agnostic on purpose (bit-for-bit equivalence)."""
     path = DATA_DIR / f"golden_{slug}.json"
@@ -89,7 +97,7 @@ def test_simulation_matches_golden_snapshot(slug, app, algorithm, processors,
         f"`PYTHONPATH=src python tests/arch/test_golden_snapshots.py`"
     )
     expected = json.loads(path.read_text())
-    actual = compute(app, algorithm, processors, infinite, engine)
+    actual = compute(app, algorithm, processors, infinite, topology, engine)
     assert actual == expected, (
         f"{slug} [{engine}]: simulation diverged from its golden snapshot; "
         f"if the change is intentional, regenerate tests/data/ snapshots "
@@ -97,11 +105,21 @@ def test_simulation_matches_golden_snapshot(slug, app, algorithm, processors,
     )
 
 
+def test_flat_topology_spec_matches_baseline_snapshot():
+    """``flat:50`` must hit the very same golden file as no topology at
+    all: ``canonical_topology`` collapses the default-latency flat spec to
+    None, so the pre-topology snapshots remain authoritative for it."""
+    expected = json.loads(
+        (DATA_DIR / "golden_fft-sharerefs-4p.json").read_text()
+    )
+    assert compute("FFT", "SHARE-REFS", 4, False, "flat:50") == expected
+
+
 def regenerate() -> None:
     DATA_DIR.mkdir(parents=True, exist_ok=True)
-    for slug, app, algorithm, processors, infinite in CASES:
+    for slug, app, algorithm, processors, infinite, topology in CASES:
         path = DATA_DIR / f"golden_{slug}.json"
-        snapshot = compute(app, algorithm, processors, infinite)
+        snapshot = compute(app, algorithm, processors, infinite, topology)
         path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
         print(f"wrote {path} (execution_time={snapshot['execution_time']})")
 

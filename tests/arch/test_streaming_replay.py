@@ -80,10 +80,11 @@ class TestStreamingDifferential:
 class TestStreamingGoldenSnapshots:
     @both_engines
     @pytest.mark.parametrize("stream_chunk_refs", [64, 4096])
-    @pytest.mark.parametrize("slug,app,algorithm,processors,infinite",
-                             CASES, ids=[c[0] for c in CASES])
+    @pytest.mark.parametrize(
+        "slug,app,algorithm,processors,infinite,topology",
+        CASES, ids=[c[0] for c in CASES])
     def test_streaming_suite_matches_golden_snapshot(
-            self, slug, app, algorithm, processors, infinite,
+            self, slug, app, algorithm, processors, infinite, topology,
             stream_chunk_refs, engine):
         """The paper pipeline under ``stream_chunk_refs`` reproduces the
         *same* golden files the materialized pipeline pins — streaming is
@@ -92,7 +93,8 @@ class TestStreamingGoldenSnapshots:
         assert path.exists(), f"missing snapshot {path}"
         expected = json.loads(path.read_text())
         suite = ExperimentSuite(scale=SCALE, seed=SEED, engine=engine,
-                                stream_chunk_refs=stream_chunk_refs)
+                                stream_chunk_refs=stream_chunk_refs,
+                                topology=topology)
         actual = snapshot_dict(suite.run(app, algorithm, processors,
                                          infinite=infinite))
         assert actual == expected, (

@@ -20,7 +20,7 @@ class TestReport:
             "calibration",
             "table1", "table2", "table3", "table4", "table5",
             "figure2", "figure3", "figure4", "figure5",
-            "ablations",
+            "ablations", "topology",
         }
 
     def test_single_section(self, suite):

@@ -20,6 +20,7 @@ from hypothesis import strategies as st
 
 from repro.arch.config import ArchConfig
 from repro.placement.base import PlacementMap
+from repro.topo.model import Topology
 from repro.trace.stream import ThreadTrace, TraceSet
 
 __all__ = [
@@ -27,6 +28,7 @@ __all__ = [
     "thread_traces",
     "trace_sets",
     "placements_for",
+    "topologies_for",
     "arch_configs_for",
     "simulation_cases",
     "partitioned_cases",
@@ -94,11 +96,39 @@ def placements_for(draw, trace_set: TraceSet, max_processors: int = 4) -> Placem
 
 
 @st.composite
-def arch_configs_for(draw, placement: PlacementMap) -> ArchConfig:
-    """A legal machine for the placement, spanning the geometry corners."""
+def topologies_for(draw, num_processors: int) -> Topology | None:
+    """None (the flat baseline), a uniform topology (must be bit-identical
+    to flat at the same latency), or a genuinely tiered NUMA machine whose
+    group count divides the processor count."""
+    choice = draw(st.sampled_from(["none", "none", "uniform", "tiered"]))
+    if choice == "none":
+        return None
+    if choice == "uniform":
+        latency = draw(st.sampled_from([3, 11, 50]))
+        return Topology.flat(latency)
+    divisors = [g for g in (2, 3, 4) if num_processors % g == 0]
+    if not divisors:
+        return None
+    local, remote = draw(st.sampled_from([(3, 17), (11, 50), (50, 150)]))
+    return Topology(groups=draw(st.sampled_from(divisors)),
+                    local_latency=local, remote_latency=remote)
+
+
+@st.composite
+def arch_configs_for(draw, placement: PlacementMap,
+                     tiered: bool = True) -> ArchConfig:
+    """A legal machine for the placement, spanning the geometry corners.
+
+    ``tiered=False`` pins ``topology=None``: the partitioned metamorphic
+    theorems (processor relabeling) assume every processor sees the same
+    memory latency, which a tiered topology deliberately violates.
+    """
     num_sets = draw(st.sampled_from([1, 2, 4, 8, 16]))
     block_words = draw(st.sampled_from([1, 2, 4]))
     associativity = draw(st.sampled_from([1, 1, 1, 2]))  # bias: paper's DM
+    topology = (
+        draw(topologies_for(placement.num_processors)) if tiered else None
+    )
     return ArchConfig(
         num_processors=placement.num_processors,
         contexts_per_processor=max(1, int(placement.cluster_sizes().max())),
@@ -111,6 +141,7 @@ def arch_configs_for(draw, placement: PlacementMap) -> ArchConfig:
         # ~25% sequentially-consistent machines; the paper's baseline is
         # the write-buffered (non-stalling) upgrade.
         write_upgrade_stalls=draw(st.booleans()) and draw(st.booleans()),
+        topology=topology,
     )
 
 
@@ -160,6 +191,6 @@ def partitioned_cases(
         ))
     traces = TraceSet("partitioned", threads)
     placement = PlacementMap(assignment, p)
-    config = draw(arch_configs_for(placement))
+    config = draw(arch_configs_for(placement, tiered=False))
     quantum = draw(st.sampled_from(QUANTA))
     return traces, placement, config, quantum

@@ -114,7 +114,7 @@ class TestGuardedDirectory:
 class TestPartition:
     def test_isolated_unchanged_processor_is_copied(self, split_world):
         traces, config, npl, tpl = split_world
-        replayed, copied, forbidden = _partition(
+        replayed, copied, forbidden, _ = _partition(
             traces, tpl, npl, config.block_bits)
         assert copied == [2]
         assert sorted(replayed) == [0, 1]
@@ -124,7 +124,7 @@ class TestPartition:
     def test_changed_thread_set_is_replayed(self, split_world):
         traces, config, npl, _ = split_world
         moved = PlacementMap([0, 1, 2, 1], 3)   # thread 3 left processor 2
-        _, copied, _ = _partition(traces, moved, npl, config.block_bits)
+        _, copied, _, _ = _partition(traces, moved, npl, config.block_bits)
         assert copied == []
 
     def test_sharing_processor_is_never_copied(self):
@@ -135,8 +135,11 @@ class TestPartition:
         ])
         a = PlacementMap([0, 1], 2)
         b = PlacementMap([1, 0], 2)
-        _, copied, _ = _partition(traces, a, b, 2)
+        _, copied, _, cut_blocks = _partition(traces, a, b, 2)
         assert copied == []
+        # Exactly one block (address 0's) is touched from both
+        # processors — the cut-edge count the rejection journals.
+        assert cut_blocks == 1
 
 
 class TestSpeculateFromNeighbor:

@@ -1,0 +1,86 @@
+"""Content-address stability: topology in store keys, job ids, digests.
+
+The invariant under test everywhere: the *absence* of a topology and the
+canonical flat machine spell identically, so every artifact address minted
+before the topology subsystem existed remains valid; any non-flat topology
+gets a distinct address.
+"""
+
+from repro.experiments.api import SuiteRequest
+from repro.experiments.cache import cell_store_key
+from repro.exec.jobs import JobSpec, plan_sections
+
+
+class TestStoreKeys:
+    def test_flat_appends_nothing(self):
+        base = cell_store_key(scale=0.004, seed=0, quantum_refs=256,
+                              app="Health", algorithm="SHARE-REFS",
+                              processors=8, infinite=False, associativity=1,
+                              cache_words=None, replicate=0)
+        assert cell_store_key(scale=0.004, seed=0, quantum_refs=256,
+                              app="Health", algorithm="SHARE-REFS",
+                              processors=8, infinite=False, associativity=1,
+                              cache_words=None, replicate=0,
+                              topology=None) == base
+
+    def test_topology_extends_the_key(self):
+        kwargs = dict(scale=0.004, seed=0, quantum_refs=256, app="Health",
+                      algorithm="SHARE-REFS", processors=8, infinite=False,
+                      associativity=1, cache_words=None, replicate=0)
+        base = cell_store_key(**kwargs)
+        tiered = cell_store_key(topology="numa:2:50:150", **kwargs)
+        assert tiered != base
+        assert tiered[:len(base)] == base
+
+
+class TestJobSpecs:
+    def test_flat_spec_canonicalizes_to_none(self):
+        spec = JobSpec(scale=0.004, seed=0, quantum_refs=256, app="Health",
+                       algorithm="SHARE-REFS", processors=8, infinite=False,
+                       associativity=1, cache_words=None, replicate=0,
+                       topology="flat:50")
+        bare = JobSpec(scale=0.004, seed=0, quantum_refs=256, app="Health",
+                       algorithm="SHARE-REFS", processors=8, infinite=False,
+                       associativity=1, cache_words=None, replicate=0)
+        assert spec.topology is None
+        assert spec.job_id == bare.job_id
+        assert spec.cell == bare.cell
+
+    def test_numa_spec_changes_the_identity(self):
+        kwargs = dict(scale=0.004, seed=0, quantum_refs=256, app="Health",
+                      algorithm="SHARE-REFS", processors=8, infinite=False,
+                      associativity=1, cache_words=None, replicate=0)
+        bare = JobSpec(**kwargs)
+        numa = JobSpec(topology="numa:2:50:150", **kwargs)
+        assert numa.topology == "numa:2:50:150"
+        assert numa.job_id != bare.job_id
+        assert numa.cell != bare.cell
+
+    def test_plans_filter_indivisible_processor_counts(self):
+        flat = plan_sections(["figure4"], scale=0.001, seed=0)
+        numa = plan_sections(["figure4"], scale=0.001, seed=0,
+                             topology="numa:4:50:200")
+        flat_procs = {s.processors for s in flat}
+        numa_procs = {s.processors for s in numa}
+        assert numa_procs <= flat_procs
+        assert all(p % 4 == 0 for p in numa_procs)
+        assert any(p % 4 != 0 for p in flat_procs)
+
+
+class TestSuiteRequests:
+    BASE = dict(scale=0.001, seed=0, sections=("figure4",))
+
+    def test_flat_digest_matches_baseline(self):
+        assert SuiteRequest(**self.BASE, topology="flat:50").digest == \
+            SuiteRequest(**self.BASE).digest
+
+    def test_numa_digest_differs(self):
+        tiered = SuiteRequest(**self.BASE, topology="numa:2:50:150")
+        assert tiered.digest != SuiteRequest(**self.BASE).digest
+        assert "topo=numa:2:50:150" in tiered.describe()
+
+    def test_roundtrips_through_dict(self):
+        tiered = SuiteRequest(**self.BASE, topology="numa:2:50:150")
+        assert SuiteRequest.from_dict(tiered.to_dict()) == tiered
+        bare = SuiteRequest(**self.BASE)
+        assert SuiteRequest.from_dict(bare.to_dict()).topology is None

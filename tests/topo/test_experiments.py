@@ -1,0 +1,83 @@
+"""The topology report section: rendering, self-checks, oracle audit."""
+
+import pytest
+
+from repro.experiments.report import full_report
+from repro.experiments.runner import ExperimentSuite
+from repro.topo.experiments import (
+    TOPOLOGY_SECTION_APPS,
+    TOPOLOGY_SECTION_POLICIES,
+    TOPOLOGY_SECTION_TOPOLOGIES,
+    audit_topology_section,
+    topology_cells,
+    topology_section,
+)
+
+SCALE = 0.0005
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return ExperimentSuite(scale=SCALE, seed=0)
+
+
+@pytest.fixture(scope="module")
+def cells(suite):
+    return topology_cells(suite)
+
+
+class TestSection:
+    def test_covers_the_full_grid(self, cells):
+        expected = {
+            (app, policy, spec)
+            for app in TOPOLOGY_SECTION_APPS
+            for policy in TOPOLOGY_SECTION_POLICIES
+            for spec in TOPOLOGY_SECTION_TOPOLOGIES
+        }
+        assert set(cells) == expected
+
+    def test_renders_every_axis(self, suite):
+        text = topology_section(suite).render()
+        for spec in TOPOLOGY_SECTION_TOPOLOGIES:
+            assert spec in text
+        for policy in TOPOLOGY_SECTION_POLICIES:
+            assert policy in text
+        assert "migrations" in text
+
+    def test_random_baseline_is_unity(self, suite):
+        table = topology_section(suite)
+        for row in table.rows:
+            if row[1] == "RANDOM":
+                assert all(v == "1.000"
+                           for v in row[2:2 + len(TOPOLOGY_SECTION_TOPOLOGIES)])
+
+    def test_flat_column_self_checks(self, cells):
+        """On flat:50 the hierarchy-aware variant degenerates to the base
+        algorithm and the dynamic policy never fires."""
+        for app in TOPOLOGY_SECTION_APPS:
+            base = cells[(app, "SHARE-REFS", "flat:50")]
+            aware = cells[(app, "H-SHARE-REFS", "flat:50")]
+            assert aware.execution_time == base.execution_time
+            migrate = cells[(app, "MIGRATE", "flat:50")]
+            assert migrate.events == ()
+            assert migrate.result.execution_time == base.execution_time
+
+    def test_registered_in_the_report(self, suite):
+        text = full_report(suite, sections=["topology"])
+        assert "Topology: placement policies across latency tiers" in text
+
+    def test_migrations_counted_on_tiered_columns(self, cells):
+        fired = sum(
+            len(cells[(app, "MIGRATE", spec)].events)
+            for app in TOPOLOGY_SECTION_APPS
+            for spec in TOPOLOGY_SECTION_TOPOLOGIES
+            if spec != "flat:50"
+        )
+        assert fired >= 1
+
+
+class TestAudit:
+    def test_oracle_recomputes_every_cell(self, suite):
+        """Every cell — static and migrating — recomputed bit-for-bit by
+        the naive reference interpreter."""
+        audit_topology_section(suite)

@@ -1,0 +1,96 @@
+"""Unit tests for the topology model: parsing, canonicalization, tiers."""
+
+import pytest
+
+from repro.topo.model import Topology, canonical_topology, parse_topology
+
+
+class TestValidation:
+    def test_rejects_nonpositive_groups(self):
+        with pytest.raises(ValueError, match="groups"):
+            Topology(groups=0)
+
+    def test_rejects_nonpositive_latencies(self):
+        with pytest.raises(ValueError, match="local_latency"):
+            Topology(local_latency=0)
+        with pytest.raises(ValueError, match="remote_latency"):
+            Topology(remote_latency=-1)
+
+    def test_validate_for_requires_divisibility(self):
+        Topology(groups=3).validate_for(6)
+        with pytest.raises(ValueError, match="does not divide"):
+            Topology(groups=3).validate_for(8)
+
+
+class TestStructure:
+    def test_flat_is_uniform(self):
+        assert Topology.flat(50).uniform
+        assert Topology(groups=4, local_latency=7, remote_latency=7).uniform
+        assert not Topology.numa(2, 50, 150).uniform
+
+    def test_contiguous_groups(self):
+        topo = Topology.numa(2)
+        assert [topo.group_of(pid, 8) for pid in range(8)] == [0] * 4 + [1] * 4
+        assert topo.group_size(8) == 4
+
+    def test_home_group_interleaves_blocks(self):
+        topo = Topology.numa(4)
+        assert [topo.home_group(b) for b in range(8)] == [0, 1, 2, 3] * 2
+
+    def test_pair_latency_tiers(self):
+        topo = Topology.numa(2, 10, 99)
+        assert topo.pair_latency(0, 1, 4) == 10     # same group
+        assert topo.pair_latency(0, 2, 4) == 99     # cross group
+        assert topo.pair_latency(3, 2, 4) == 10
+
+    def test_latency_rows_match_pair_latency(self):
+        topo = Topology.numa(3, 11, 50)
+        rows = topo.latency_rows(6)
+        for pid in range(6):
+            for src in range(6):
+                assert rows[pid][src] == topo.pair_latency(pid, src, 6)
+
+    def test_memory_latency_row(self):
+        topo = Topology.numa(2, 10, 99)
+        assert topo.memory_latency_row(0, 4) == [10, 99]
+        assert topo.memory_latency_row(3, 4) == [99, 10]
+
+
+class TestSpecRoundtrip:
+    @pytest.mark.parametrize("topo", [
+        Topology.flat(50),
+        Topology.flat(11),
+        Topology.numa(2, 50, 150),
+        Topology.numa(4, 25, 200),
+    ])
+    def test_parse_inverts_spec(self, topo):
+        assert parse_topology(topo.spec) == topo
+
+    def test_parse_flat_defaults(self):
+        assert parse_topology("flat") == Topology.flat(50)
+        assert parse_topology("flat:25") == Topology.flat(25)
+
+    @pytest.mark.parametrize("bad", [
+        "", "mesh:2", "numa:2", "numa:2:50", "flat:x", "numa:a:b:c",
+    ])
+    def test_parse_rejects_garbage(self, bad):
+        with pytest.raises(ValueError, match="bad topology spec"):
+            parse_topology(bad)
+
+
+class TestCanonicalization:
+    def test_baseline_flat_collapses_to_none(self):
+        assert canonical_topology(None) is None
+        assert canonical_topology("flat:50") is None
+        assert canonical_topology(Topology.flat(50)) is None
+        # Uniform-by-equal-tiers at the baseline latency is still flat.
+        assert canonical_topology(Topology(groups=4, local_latency=50,
+                                           remote_latency=50)) is None
+
+    def test_non_baseline_survives(self):
+        assert canonical_topology("flat:25") == Topology.flat(25)
+        assert canonical_topology("numa:2:50:150") == Topology.numa(2, 50, 150)
+
+    def test_respects_memory_latency_argument(self):
+        assert canonical_topology("flat:25", memory_latency=25) is None
+        assert canonical_topology("flat:50", memory_latency=25) is not None

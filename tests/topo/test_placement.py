@@ -1,0 +1,94 @@
+"""Hierarchical (tier-aware) placement and the topology cost metric."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import ExperimentSuite
+from repro.placement.algorithms import algorithm_by_name, static_sharing_algorithms
+from repro.placement.base import PlacementInputs, PlacementMap
+from repro.topo.model import Topology
+from repro.topo.placement import (
+    HierarchicalPlacement,
+    hierarchical_algorithms,
+    topology_cost,
+)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return ExperimentSuite(scale=0.001, seed=3)
+
+
+def _inputs(suite, app, processors):
+    return PlacementInputs(suite.analysis(app), processors)
+
+
+class TestHierarchicalPlacement:
+    @pytest.mark.parametrize("algo", ["SHARE-REFS", "MIN-INVS"])
+    def test_flat_topology_is_exactly_the_base(self, suite, algo):
+        """One-group (and uniform) topologies must reduce to the wrapped
+        algorithm bit-for-bit — H-X on the paper's machine IS X."""
+        base = algorithm_by_name(algo)
+        inputs = _inputs(suite, "Health", 8)
+        for topo in (Topology.flat(), Topology(groups=4, local_latency=9,
+                                               remote_latency=9)):
+            wrapped = HierarchicalPlacement(base, topo)
+            assert wrapped.place(inputs).assignment.tolist() == \
+                base.place(inputs).assignment.tolist()
+
+    def test_respects_processor_balance(self, suite):
+        """Every processor still gets at least one thread and cluster
+        sizes stay within the base algorithm's balance envelope."""
+        topo = Topology.numa(4, 50, 200)
+        algo = HierarchicalPlacement(algorithm_by_name("SHARE-REFS"), topo)
+        placement = algo.place(_inputs(suite, "Vandermonde", 8))
+        sizes = placement.cluster_sizes()
+        assert sizes.min() >= 1
+        assert sizes.max() - sizes.min() <= sizes.min() + 1
+
+    def test_never_costs_more_than_the_blind_base(self, suite):
+        """The whole point: on a tiered machine, the tier-aware variant's
+        latency-weighted sharing cost must not exceed the blind base's."""
+        topo = Topology.numa(2, 50, 150)
+        base = algorithm_by_name("SHARE-REFS")
+        wrapped = HierarchicalPlacement(base, topo)
+        for app in ("Health", "Vandermonde"):
+            inputs = _inputs(suite, app, 8)
+            matrix = inputs.analysis.shared_refs_matrix
+            blind = topology_cost(base.place(inputs), matrix, topo)
+            aware = topology_cost(wrapped.place(inputs), matrix, topo)
+            assert aware <= blind
+
+    def test_hierarchical_algorithms_factory(self):
+        topo = Topology.numa(2)
+        algos = hierarchical_algorithms(topo)
+        assert len(algos) == len(static_sharing_algorithms())
+        assert all(a.name.startswith("H-") for a in algos)
+        assert all(a.topology is topo for a in algos)
+
+
+class TestTopologyCost:
+    def test_same_processor_pairs_are_free(self):
+        placement = PlacementMap([0, 0], 2)
+        matrix = np.array([[0.0, 5.0], [5.0, 0.0]])
+        assert topology_cost(placement, matrix, Topology.numa(2)) == 0.0
+
+    def test_flat_reduces_to_latency_times_cross_sharing(self):
+        placement = PlacementMap([0, 1], 2)
+        matrix = np.array([[0.0, 5.0], [5.0, 0.0]])
+        assert topology_cost(placement, matrix, None) == 50.0 * 5.0
+        assert topology_cost(placement, matrix, Topology.flat(10)) == 10.0 * 5.0
+
+    def test_tiers_weight_cross_group_pairs_more(self):
+        # 4 processors in 2 groups; threads 0,1 on pids 0,1 (same group),
+        # thread 2 on pid 2 (other group).
+        placement = PlacementMap([0, 1, 2], 4)
+        matrix = np.zeros((3, 3))
+        matrix[0, 1] = matrix[1, 0] = 2.0   # intra-group pair
+        matrix[0, 2] = matrix[2, 0] = 3.0   # cross-group pair
+        topo = Topology.numa(2, 10, 100)
+        assert topology_cost(placement, matrix, topo) == 2.0 * 10 + 3.0 * 100
+
+    def test_rejects_mismatched_matrix(self):
+        with pytest.raises(ValueError, match="does not match"):
+            topology_cost(PlacementMap([0, 1], 2), np.zeros((3, 3)), None)
